@@ -1,0 +1,291 @@
+// Benchmarks regenerating the paper's evaluation (one per table and
+// figure), plus scheduler micro-benchmarks and ablations. Simulated cycle
+// counts are reported as custom metrics so `go test -bench` output carries
+// the reproduced numbers, not just wall-clock time.
+package cgra_test
+
+import (
+	"testing"
+
+	"cgra/internal/adpcm"
+	"cgra/internal/amidar"
+	"cgra/internal/arch"
+	"cgra/internal/cdfg"
+	"cgra/internal/exper"
+	"cgra/internal/pipeline"
+	"cgra/internal/route"
+	"cgra/internal/sched"
+	"cgra/internal/workload"
+)
+
+func newSetup(b *testing.B) *exper.Setup {
+	b.Helper()
+	s, err := exper.NewSetup()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkTableI regenerates Table I (contexts and RF entries on the six
+// meshes) and reports the 9-PE numbers.
+func BenchmarkTableI(b *testing.B) {
+	s := newSetup(b)
+	var rows []exper.TableIRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exper.TableI(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Comp == "9 PEs" {
+			b.ReportMetric(float64(r.UsedContexts), "contexts(9PE)")
+			b.ReportMetric(float64(r.MaxRF), "maxRF(9PE)")
+		}
+	}
+}
+
+// BenchmarkTableII regenerates Table II (cycles + synthesis estimates for
+// all twelve compositions).
+func BenchmarkTableII(b *testing.B) {
+	s := newSetup(b)
+	var rows []exper.TableIIRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exper.TableII(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Comp == "8 PEs D" {
+			b.ReportMetric(float64(r.Cycles), "cycles(D)")
+		}
+		if r.Comp == "8 PEs B" {
+			b.ReportMetric(float64(r.Cycles), "cycles(B)")
+		}
+	}
+}
+
+// BenchmarkTableIII regenerates the single-cycle-multiplier variant.
+func BenchmarkTableIII(b *testing.B) {
+	s := newSetup(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := exper.TableIII(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableIV regenerates the wall-clock comparison.
+func BenchmarkTableIV(b *testing.B) {
+	s := newSetup(b)
+	var rows []exper.TableIVRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exper.TableIV(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Comp == "9 PEs" {
+			b.ReportMetric(r.DualMS, "ms(9PE,2cyc)")
+		}
+	}
+}
+
+// BenchmarkFig12 regenerates the decoder's control-flow summary.
+func BenchmarkFig12(b *testing.B) {
+	var st cdfg.Stats
+	for i := 0; i < b.N; i++ {
+		var err error
+		st, err = exper.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(st.Loops), "loops")
+	b.ReportMetric(float64(st.MaxLoopDepth), "depth")
+}
+
+// BenchmarkSpeedup regenerates the §VI headline comparison and reports the
+// measured speedup factor (paper: 7.3x).
+func BenchmarkSpeedup(b *testing.B) {
+	s := newSetup(b)
+	var res *exper.SpeedupResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = exper.Speedup(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Speedup, "speedup")
+	b.ReportMetric(float64(res.AMIDARCycles), "amidar-cycles")
+}
+
+// BenchmarkSchedulerTime measures scheduling + context generation for the
+// decoder on the 9-PE mesh (paper: at most 3.1 s for all compositions on an
+// i7-6700).
+func BenchmarkSchedulerTime(b *testing.B) {
+	comp, err := arch.HomogeneousMesh(9, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := adpcm.Kernel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.Compile(k, comp, pipeline.Defaults()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateADPCM measures the simulator executing the full
+// 416-sample decode on the 9-PE mesh.
+func BenchmarkSimulateADPCM(b *testing.B) {
+	s := newSetup(b)
+	comp, err := arch.HomogeneousMesh(9, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := pipeline.Compile(adpcm.Kernel(), comp, pipeline.Defaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		host := adpcm.NewHost(s.Codes, s.N)
+		res, err := c.Run(adpcm.Args(s.N, adpcm.State{}), host)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.TotalCycles()
+	}
+	b.ReportMetric(float64(cycles), "cgra-cycles")
+}
+
+// BenchmarkAMIDARBaseline measures the baseline cost-model execution.
+func BenchmarkAMIDARBaseline(b *testing.B) {
+	s := newSetup(b)
+	k := adpcm.Kernel()
+	cm := amidar.DefaultCostModel()
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res, err := amidar.Execute(k, cm, adpcm.Args(s.N, adpcm.State{}), adpcm.NewHost(s.Codes, s.N))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "amidar-cycles")
+}
+
+// --- ablations (A1-A5 in DESIGN.md) ---
+
+func benchAblation(b *testing.B, modify func(*pipeline.Options)) {
+	s := newSetup(b)
+	var rows []exper.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = s.Ablation(modify, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Comp == "9 PEs" {
+			b.ReportMetric(float64(r.BaseCycles), "base-cycles")
+			b.ReportMetric(float64(r.VariantCycles), "variant-cycles")
+		}
+	}
+}
+
+// BenchmarkAblationAttraction disables the attraction criterion (A1).
+func BenchmarkAblationAttraction(b *testing.B) {
+	benchAblation(b, exper.AblationNoAttraction)
+}
+
+// BenchmarkAblationFusing disables pWRITE fusing (A2).
+func BenchmarkAblationFusing(b *testing.B) { benchAblation(b, exper.AblationNoFusing) }
+
+// BenchmarkAblationUnroll disables partial loop unrolling (A3).
+func BenchmarkAblationUnroll(b *testing.B) { benchAblation(b, exper.AblationNoUnroll) }
+
+// BenchmarkAblationCSE disables common subexpression elimination (A4).
+func BenchmarkAblationCSE(b *testing.B) { benchAblation(b, exper.AblationNoCSE) }
+
+// BenchmarkAblationBranchAllIfs branches every conditional instead of
+// predicating (A5).
+func BenchmarkAblationBranchAllIfs(b *testing.B) {
+	benchAblation(b, exper.AblationBranchAllIfs)
+}
+
+// --- scheduler micro-benchmarks ---
+
+// BenchmarkScheduleWorkloads schedules every library workload on the 9-PE
+// mesh.
+func BenchmarkScheduleWorkloads(b *testing.B) {
+	comp, err := arch.HomogeneousMesh(9, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range workload.All() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pipeline.Compile(w.Kernel, comp, pipeline.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCDFGBuild measures graph construction for the decoder.
+func BenchmarkCDFGBuild(b *testing.B) {
+	k := adpcm.Kernel()
+	for i := 0; i < b.N; i++ {
+		if _, err := cdfg.Build(k, cdfg.BuildOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkListScheduler measures bare scheduling (no context generation)
+// for the decoder on the 16-PE mesh, the largest evaluated array.
+func BenchmarkListScheduler(b *testing.B) {
+	comp, err := arch.HomogeneousMesh(16, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := cdfg.Build(adpcm.Kernel(), cdfg.BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.Run(g, comp, sched.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFloydWarshall measures routing-table construction (§V-G).
+func BenchmarkFloydWarshall(b *testing.B) {
+	comp, err := arch.HomogeneousMesh(16, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		t := route.New(comp)
+		if !t.FullyConnected() {
+			b.Fatal("mesh not connected")
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package cgra is the public facade of the CGRA tool set reproducing
+// Ruschke et al., "Scheduler for Inhomogeneous and Irregular CGRAs with
+// Support for Complex Control Flow" (IPDPSW 2016).
+//
+// The implementation lives in internal packages; this package re-exports
+// the surface a downstream user needs:
+//
+//   - describe or pick a composition (Composition, ParseComposition,
+//     HomogeneousMesh, IrregularComposition, EvaluatedCompositions),
+//   - write a kernel (ParseKernel for the text language, or the builder API
+//     in internal/ir re-exported through Kernel),
+//   - compile it (Compile, Options, Defaults) and inspect the mapping
+//     (Compiled: contexts, RF usage, schedule statistics),
+//   - execute on the cycle-accurate simulator (Compiled.Run) with host heap
+//     memory (NewHost), and
+//   - cross-check against the reference interpreter
+//     (CheckAgainstInterpreter).
+//
+// See examples/quickstart for an end-to-end walkthrough and DESIGN.md for
+// the system inventory.
+package cgra
+
+import (
+	"cgra/internal/arch"
+	"cgra/internal/ir"
+	"cgra/internal/irtext"
+	"cgra/internal/pipeline"
+	"cgra/internal/sim"
+	"cgra/internal/synth"
+	"cgra/internal/vgen"
+)
+
+// Composition is a CGRA instance: PEs, operation sets, interconnect and
+// memory sizing.
+type Composition = arch.Composition
+
+// PE is one processing element of a composition.
+type PE = arch.PE
+
+// Kernel is a compilable unit in the tool-flow IR.
+type Kernel = ir.Kernel
+
+// Host is the host processor's heap, reached via DMA.
+type Host = ir.Host
+
+// Options tunes the synthesis flow.
+type Options = pipeline.Options
+
+// Compiled bundles the artifacts of one synthesis run.
+type Compiled = pipeline.Compiled
+
+// Result reports one simulated CGRA invocation.
+type Result = sim.Result
+
+// SynthReport is an estimated FPGA synthesis result.
+type SynthReport = synth.Report
+
+// VerilogFile is one generated Verilog source file.
+type VerilogFile = vgen.File
+
+// ParseKernel compiles kernel source text (see examples and internal/irtext
+// for the grammar).
+func ParseKernel(src string) (*Kernel, error) { return irtext.Parse(src) }
+
+// Program is a set of kernels that may call each other.
+type Program = ir.Program
+
+// ParseProgram parses one or more kernels (the first is the entry); calls
+// between them are resolved and validated.
+func ParseProgram(src string) (*Program, error) { return irtext.ParseProgram(src) }
+
+// CompileProgram inlines every kernel call of the entry kernel (the paper's
+// optional "method inlining" step) and compiles the result.
+func CompileProgram(p *Program, comp *Composition, o Options) (*Compiled, error) {
+	return pipeline.CompileProgram(p, comp, o)
+}
+
+// ParseComposition parses a JSON composition description (the paper's
+// Fig. 8/9 format).
+func ParseComposition(data []byte) (*Composition, error) {
+	return arch.ParseComposition(data, nil)
+}
+
+// MarshalComposition renders a composition back to its JSON description.
+func MarshalComposition(c *Composition) ([]byte, error) {
+	return arch.MarshalComposition(c)
+}
+
+// HomogeneousMesh builds one of the paper's evaluated meshes (4, 6, 8, 9,
+// 12 or 16 PEs) with the given multiplier latency (2 = block multiplier).
+func HomogeneousMesh(numPEs, mulDuration int) (*Composition, error) {
+	return arch.HomogeneousMesh(numPEs, mulDuration)
+}
+
+// IrregularComposition builds one of the paper's irregular 8-PE
+// compositions "A".."F".
+func IrregularComposition(name string, mulDuration int) (*Composition, error) {
+	return arch.IrregularComposition(name, mulDuration)
+}
+
+// EvaluatedCompositions returns all twelve compositions of the paper's
+// evaluation.
+func EvaluatedCompositions(mulDuration int) ([]*Composition, error) {
+	return arch.EvaluatedCompositions(mulDuration)
+}
+
+// NewHost creates an empty host heap.
+func NewHost() *Host { return ir.NewHost() }
+
+// Defaults returns the paper's flow configuration (inner loops unrolled
+// with factor 2, CSE and constant folding on).
+func Defaults() Options { return pipeline.Defaults() }
+
+// Compile maps a kernel onto a composition: CDFG construction, list
+// scheduling with routing-aware copies and predication, left-edge RF and
+// C-Box allocation, and context generation.
+func Compile(k *Kernel, comp *Composition, o Options) (*Compiled, error) {
+	return pipeline.Compile(k, comp, o)
+}
+
+// CheckAgainstInterpreter runs a compiled kernel on the simulator and the
+// original kernel on the reference interpreter, comparing live-outs and
+// heap contents.
+func CheckAgainstInterpreter(original *Kernel, c *Compiled, args map[string]int32, host *Host) (*pipeline.CheckResult, error) {
+	return pipeline.CheckAgainstInterpreter(original, c, args, host)
+}
+
+// EstimateSynthesis models Vivado synthesis of the composition on the
+// paper's Virtex-7 target (see internal/synth for the calibration).
+func EstimateSynthesis(c *Composition) *SynthReport { return synth.Estimate(c) }
+
+// GenerateVerilog emits the composition's Verilog description (the paper's
+// Fig. 7 generator).
+func GenerateVerilog(c *Composition) ([]VerilogFile, error) {
+	return vgen.Generate(c, vgen.Options{})
+}

@@ -1,0 +1,109 @@
+package cgra_test
+
+import (
+	"strings"
+	"testing"
+
+	"cgra"
+)
+
+// TestFacadeEndToEnd exercises the public surface exactly as the README
+// shows it.
+func TestFacadeEndToEnd(t *testing.T) {
+	kernel, err := cgra.ParseKernel(`
+kernel dot(array a, array b, in n, inout s) {
+	s = 0;
+	for (i = 0; i < n; i = i + 1) { s = s + a[i] * b[i]; }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := cgra.HomogeneousMesh(9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cgra.Compile(kernel, comp, cgra.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := cgra.NewHost()
+	host.Arrays["a"] = []int32{1, 2, 3}
+	host.Arrays["b"] = []int32{4, 5, 6}
+	res, err := c.Run(map[string]int32{"n": 3, "s": 0}, host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LiveOuts["s"] != 32 {
+		t.Errorf("s = %d, want 32", res.LiveOuts["s"])
+	}
+	host2 := cgra.NewHost()
+	host2.Arrays["a"] = []int32{1, 2, 3}
+	host2.Arrays["b"] = []int32{4, 5, 6}
+	if _, err := cgra.CheckAgainstInterpreter(kernel, c, map[string]int32{"n": 3, "s": 0}, host2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeCompositions(t *testing.T) {
+	all, err := cgra.EvaluatedCompositions(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 12 {
+		t.Fatalf("compositions = %d", len(all))
+	}
+	f, err := cgra.IrregularComposition("F", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := cgra.EstimateSynthesis(f)
+	if rep.DSPs != 6 {
+		t.Errorf("F DSPs = %d, want 6", rep.DSPs)
+	}
+	files, err := cgra.GenerateVerilog(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Error("no Verilog files")
+	}
+	data, err := cgra.ParseComposition(mustJSON(t, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.NumPEs() != 8 {
+		t.Error("JSON round trip lost PEs")
+	}
+}
+
+func mustJSON(t *testing.T, c *cgra.Composition) []byte {
+	t.Helper()
+	data, err := cgra.MarshalComposition(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestFacadeScheduleDump(t *testing.T) {
+	kernel, err := cgra.ParseKernel(`kernel k(in x, inout r) { r = x * 3 + 1; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := cgra.HomogeneousMesh(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cgra.Compile(kernel, comp, cgra.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := c.Schedule.Dump()
+	if !strings.Contains(dump, "utilization:") || !strings.Contains(dump, "ctx") {
+		t.Errorf("dump malformed:\n%s", dump)
+	}
+	u := c.Schedule.Utilization()
+	if u.OpsPerCycle <= 0 {
+		t.Error("no ops per cycle")
+	}
+}

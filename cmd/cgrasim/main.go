@@ -1,0 +1,189 @@
+// Command cgrasim compiles a kernel and executes it on the cycle-accurate
+// CGRA simulator, cross-checking against the reference interpreter.
+//
+// Usage:
+//
+//	cgrasim -kernel dot.k -comp "9 PEs" -arg n=8 -arg s=0 \
+//	        -array a=1,2,3,4,5,6,7,8 -array b=8,7,6,5,4,3,2,1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cgra/internal/arch"
+	"cgra/internal/ir"
+	"cgra/internal/irtext"
+	"cgra/internal/pipeline"
+	"cgra/internal/sim"
+	"cgra/internal/trace"
+)
+
+type argList []string
+
+func (a *argList) String() string     { return strings.Join(*a, ",") }
+func (a *argList) Set(s string) error { *a = append(*a, s); return nil }
+
+func main() {
+	kernelPath := flag.String("kernel", "", "kernel source file (required)")
+	compName := flag.String("comp", "9 PEs", "evaluated composition name")
+	jsonPath := flag.String("json", "", "JSON composition description (overrides -comp)")
+	unroll := flag.Int("unroll", 2, "inner-loop unroll factor (1 = off)")
+	verify := flag.Bool("verify", true, "cross-check against the reference interpreter")
+	vcdPath := flag.String("vcd", "", "write a VCD waveform of the run to this file")
+	var args argList
+	var arrays argList
+	flag.Var(&args, "arg", "scalar argument name=value (repeatable)")
+	flag.Var(&arrays, "array", "array argument name=v0,v1,... or name=zeros:N (repeatable)")
+	flag.Parse()
+
+	if *kernelPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*kernelPath)
+	if err != nil {
+		fatal(err)
+	}
+	k, err := irtext.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	comp, err := loadComposition(*jsonPath, *compName)
+	if err != nil {
+		fatal(err)
+	}
+	scalars := map[string]int32{}
+	for _, a := range args {
+		name, val, err := splitArg(a)
+		if err != nil {
+			fatal(err)
+		}
+		v, err := strconv.ParseInt(val, 10, 32)
+		if err != nil {
+			fatal(fmt.Errorf("argument %s: %v", a, err))
+		}
+		scalars[name] = int32(v)
+	}
+	host := ir.NewHost()
+	for _, a := range arrays {
+		name, val, err := splitArg(a)
+		if err != nil {
+			fatal(err)
+		}
+		data, err := parseArray(val)
+		if err != nil {
+			fatal(fmt.Errorf("array %s: %v", name, err))
+		}
+		host.Arrays[name] = data
+	}
+
+	c, err := pipeline.Compile(k, comp, pipeline.Options{UnrollFactor: *unroll, CSE: true, ConstFold: true})
+	if err != nil {
+		fatal(err)
+	}
+	if *verify && *vcdPath == "" {
+		res, err := pipeline.CheckAgainstInterpreter(k, c, scalars, host)
+		if err != nil {
+			fatal(fmt.Errorf("differential check failed: %v", err))
+		}
+		report(c.UsedContexts(), res.Sim.RunCycles, res.Sim.TransferCycles, res.Sim.Energy, res.Sim.LiveOuts, host)
+		return
+	}
+	m := sim.New(c.Program)
+	var rec *trace.Recorder
+	if *vcdPath != "" {
+		rec = trace.NewRecorder()
+		rec.Attach(m)
+	}
+	res, err := m.Run(scalars, host)
+	if err != nil {
+		fatal(err)
+	}
+	if rec != nil {
+		f, err := os.Create(*vcdPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteVCD(f, k.Name); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote waveform to %s\n", *vcdPath)
+	}
+	report(c.UsedContexts(), res.RunCycles, res.TransferCycles, res.Energy, res.LiveOuts, host)
+}
+
+func report(ctx int, run, xfer int64, energy float64, outs map[string]int32, host *ir.Host) {
+	fmt.Printf("contexts: %d, run cycles: %d, transfer cycles: %d, energy: %.1f\n",
+		ctx, run, xfer, energy)
+	var names []string
+	for name := range outs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %s = %d\n", name, outs[name])
+	}
+	var arrays []string
+	for name := range host.Arrays {
+		arrays = append(arrays, name)
+	}
+	sort.Strings(arrays)
+	for _, name := range arrays {
+		a := host.Arrays[name]
+		if len(a) > 16 {
+			fmt.Printf("  %s = %v... (%d elements)\n", name, a[:16], len(a))
+		} else {
+			fmt.Printf("  %s = %v\n", name, a)
+		}
+	}
+}
+
+func splitArg(s string) (string, string, error) {
+	i := strings.IndexByte(s, '=')
+	if i <= 0 {
+		return "", "", fmt.Errorf("malformed argument %q (want name=value)", s)
+	}
+	return s[:i], s[i+1:], nil
+}
+
+func parseArray(val string) ([]int32, error) {
+	if n, ok := strings.CutPrefix(val, "zeros:"); ok {
+		size, err := strconv.Atoi(n)
+		if err != nil || size < 0 {
+			return nil, fmt.Errorf("bad zeros size %q", n)
+		}
+		return make([]int32, size), nil
+	}
+	parts := strings.Split(val, ",")
+	out := make([]int32, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 32)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, int32(v))
+	}
+	return out, nil
+}
+
+func loadComposition(jsonPath, name string) (*arch.Composition, error) {
+	if jsonPath == "" {
+		return arch.ByName(name)
+	}
+	// PE references in the document resolve against *.json files in the
+	// document's directory (the paper's Fig. 8 path-reference style).
+	return arch.LoadCompositionFile(jsonPath, "")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cgrasim:", err)
+	os.Exit(1)
+}

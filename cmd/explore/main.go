@@ -1,0 +1,72 @@
+// Command explore searches composition space for a workload set: the
+// paper's future work (§VII) of generating a matching CGRA composition for
+// an application domain. Starting from an evaluated composition it greedily
+// adds/removes links, prunes multipliers and moves DMA ports, scoring each
+// candidate by simulated cycles and estimated area.
+//
+//	explore -start "4 PEs" -iters 6 -area 0.2 -workloads dot,sobel,gcd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cgra/internal/arch"
+	"cgra/internal/explore"
+	"cgra/internal/workload"
+)
+
+func main() {
+	startName := flag.String("start", "4 PEs", "starting composition")
+	iters := flag.Int("iters", 6, "greedy iterations")
+	area := flag.Float64("area", 0.1, "area weight in the objective")
+	names := flag.String("workloads", "dot,sobel,gcd", "comma-separated workload names")
+	emitJSON := flag.Bool("emit-json", false, "print the best composition as JSON")
+	flag.Parse()
+
+	start, err := arch.ByName(*startName)
+	if err != nil {
+		fatal(err)
+	}
+	var ws []*workload.Workload
+	for _, name := range strings.Split(*names, ",") {
+		w, err := workload.ByName(strings.TrimSpace(name))
+		if err != nil {
+			fatal(err)
+		}
+		ws = append(ws, w)
+	}
+	e := &explore.Explorer{
+		Workloads: ws,
+		Objective: explore.DefaultObjective(*area),
+		MaxIters:  *iters,
+	}
+	best, trail, err := e.Run(start)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("search trail (%d steps):\n", len(trail)-1)
+	for i, c := range trail {
+		fmt.Printf("  %d. %-28s cycles=%-7d LUT=%.2f%% DSP=%d score=%.0f\n",
+			i, c.Move, c.Cycles, c.Report.LUTLogicPct, c.Report.DSPs, c.Score)
+	}
+	fmt.Printf("\nbest composition: %s\n", best.Comp.Name)
+	fmt.Printf("  %d PEs, %d multipliers, DMA at %v\n",
+		best.Comp.NumPEs(), len(best.Comp.SupportingPEs(arch.IMUL)), best.Comp.DMAPEs())
+	fmt.Printf("  cycles %d (start %d), score %.0f (start %.0f)\n",
+		best.Cycles, trail[0].Cycles, best.Score, trail[0].Score)
+	if *emitJSON {
+		data, err := arch.MarshalComposition(best.Comp)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "explore:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Irregular and inhomogeneous mapping (§VI-C): run a multiplier-heavy
+// kernel on composition D (rich interconnect, all PEs multiply) and on
+// composition F (same interconnect, only two PEs multiply), showing that
+// the scheduler handles inhomogeneity without manual intervention and that
+// F trades a small cycle overhead for 75 % fewer DSP blocks.
+//
+//	go run ./examples/irregular
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cgra/internal/arch"
+	"cgra/internal/ir"
+	"cgra/internal/irtext"
+	"cgra/internal/pipeline"
+	"cgra/internal/synth"
+	"cgra/internal/vgen"
+)
+
+func main() {
+	kernel, err := irtext.Parse(`
+kernel poly3(array x, array y, in n) {
+	// y[i] = 2*x^3 - 3*x^2 + 5*x - 1, multiplier pressure on purpose
+	for (i = 0; i < n; i = i + 1) {
+		v = x[i];
+		v2 = v * v;
+		v3 = v2 * v;
+		y[i] = 2 * v3 - 3 * v2 + 5 * v - 1;
+	}
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	input := make([]int32, 32)
+	for i := range input {
+		input[i] = int32(i) - 16
+	}
+
+	for _, name := range []string{"D", "F"} {
+		comp, err := arch.IrregularComposition(name, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := pipeline.Compile(kernel, comp, pipeline.Defaults())
+		if err != nil {
+			log.Fatal(err)
+		}
+		host := ir.NewHost()
+		host.Arrays["x"] = append([]int32(nil), input...)
+		host.Arrays["y"] = make([]int32, len(input))
+		res, err := pipeline.CheckAgainstInterpreter(kernel, c,
+			map[string]int32{"n": int32(len(input))}, host)
+		if err != nil {
+			log.Fatal(err)
+		}
+		est := synth.Estimate(comp)
+		fmt.Printf("composition %s: %d multiplier PEs\n", comp.Name,
+			len(comp.SupportingPEs(arch.IMUL)))
+		fmt.Printf("  cycles: %d   contexts: %d   copies inserted: %d\n",
+			res.Sim.TotalCycles(), c.UsedContexts(), c.Schedule.Stats.CopiesInserted)
+		fmt.Printf("  estimated synthesis: %.1f MHz, %.2f%% LUT, %d DSP blocks\n",
+			est.FreqMHz, est.LUTLogicPct, est.DSPs)
+
+		// The generator emits Verilog for the irregular composition just
+		// like for the meshes (Fig. 7).
+		files, err := vgen.Generate(comp, vgen.Options{ContextWidths: c.Program.Formats})
+		if err != nil {
+			log.Fatal(err)
+		}
+		total := 0
+		for _, f := range files {
+			total += len(f.Content)
+		}
+		fmt.Printf("  generated Verilog: %d modules, %d bytes\n\n", len(files), total)
+	}
+	fmt.Println("F maps every multiplication onto its two multiplier PEs automatically;")
+	fmt.Println("the scheduler's routing-aware copies feed them from the other PEs.")
+}

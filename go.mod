@@ -1,0 +1,3 @@
+module cgra
+
+go 1.22

@@ -1,0 +1,198 @@
+// Package adpcm provides the paper's evaluation workload: an IMA/DVI ADPCM
+// decoder (§VI-A, also used in the authors' prior work [20]). It contains a
+// reference Go codec, a synthetic 416-sample input generator standing in for
+// the paper's input vector, and the decoder expressed as a kernel for the
+// CGRA tool flow.
+//
+// The kernel exhibits exactly the control structure the paper highlights
+// (Fig. 12): one large outer while loop; conditionally executed code in the
+// body (the nibble fetch); a nested loop whose body contains data-dependent
+// control flow (the vpdiff accumulation over the three magnitude bits); and
+// nested loops executed only under data-dependent conditions (the
+// index/valpred clamping loops).
+package adpcm
+
+import "fmt"
+
+// IndexTable is the standard IMA step-index adjustment table.
+var IndexTable = [16]int32{
+	-1, -1, -1, -1, 2, 4, 6, 8,
+	-1, -1, -1, -1, 2, 4, 6, 8,
+}
+
+// StepSizeTable is the standard 89-entry IMA quantizer step table.
+var StepSizeTable = [89]int32{
+	7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+	19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+	50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+	130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+	337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+	876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+	2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+	5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+	15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+}
+
+// State is the coder/decoder state carried across blocks.
+type State struct {
+	ValPred int32 // predicted output value
+	Index   int32 // index into StepSizeTable
+}
+
+func clampIndex(i int32) int32 {
+	if i < 0 {
+		return 0
+	}
+	if i > 88 {
+		return 88
+	}
+	return i
+}
+
+func clamp16(v int32) int32 {
+	if v > 32767 {
+		return 32767
+	}
+	if v < -32768 {
+		return -32768
+	}
+	return v
+}
+
+// Encode compresses 16-bit samples to 4-bit codes, two per output byte
+// (first sample in the high nibble), using the standard IMA algorithm.
+// It returns the packed bytes; len(samples) must be even.
+func Encode(samples []int32, st *State) ([]byte, error) {
+	if len(samples)%2 != 0 {
+		return nil, fmt.Errorf("adpcm: sample count %d is odd", len(samples))
+	}
+	out := make([]byte, 0, len(samples)/2)
+	valpred, index := st.ValPred, st.Index
+	step := StepSizeTable[index]
+	var buffer byte
+	bufferstep := false
+	for _, sample := range samples {
+		diff := sample - valpred
+		var sign int32
+		if diff < 0 {
+			sign = 8
+			diff = -diff
+		}
+		var delta int32
+		vpdiff := step >> 3
+		if diff >= step {
+			delta = 4
+			diff -= step
+			vpdiff += step
+		}
+		step >>= 1
+		if diff >= step {
+			delta |= 2
+			diff -= step
+			vpdiff += step
+		}
+		step >>= 1
+		if diff >= step {
+			delta |= 1
+			vpdiff += step
+		}
+		if sign != 0 {
+			valpred -= vpdiff
+		} else {
+			valpred += vpdiff
+		}
+		valpred = clamp16(valpred)
+		delta |= sign
+		index = clampIndex(index + IndexTable[delta])
+		step = StepSizeTable[index]
+		if bufferstep {
+			out = append(out, buffer|byte(delta&0xf))
+		} else {
+			buffer = byte(delta&0xf) << 4
+		}
+		bufferstep = !bufferstep
+	}
+	st.ValPred, st.Index = valpred, index
+	return out, nil
+}
+
+// Decode expands packed 4-bit codes back to 16-bit samples; n is the number
+// of samples to produce (2 per input byte). This is the reference
+// implementation the CGRA run is checked against.
+func Decode(data []byte, n int, st *State) ([]int32, error) {
+	if n > 2*len(data) {
+		return nil, fmt.Errorf("adpcm: %d samples need %d bytes, have %d", n, (n+1)/2, len(data))
+	}
+	out := make([]int32, 0, n)
+	valpred, index := st.ValPred, st.Index
+	step := StepSizeTable[index]
+	var inputbuffer int32
+	bufferstep := false
+	for i := 0; i < n; i++ {
+		var delta int32
+		if !bufferstep {
+			inputbuffer = int32(data[i/2])
+			delta = (inputbuffer >> 4) & 0xf
+		} else {
+			delta = inputbuffer & 0xf
+		}
+		bufferstep = !bufferstep
+		index = clampIndex(index + IndexTable[delta])
+		sign := delta & 8
+		delta &= 7
+		// vpdiff = step/8 + (delta&4 ? step : 0) + (delta&2 ? step/2 : 0)
+		//        + (delta&1 ? step/4 : 0)
+		vpdiff := step >> 3
+		if delta&4 != 0 {
+			vpdiff += step
+		}
+		if delta&2 != 0 {
+			vpdiff += step >> 1
+		}
+		if delta&1 != 0 {
+			vpdiff += step >> 2
+		}
+		if sign != 0 {
+			valpred -= vpdiff
+		} else {
+			valpred += vpdiff
+		}
+		valpred = clamp16(valpred)
+		step = StepSizeTable[index]
+		out = append(out, valpred)
+	}
+	st.ValPred, st.Index = valpred, index
+	return out, nil
+}
+
+// GenerateSamples produces the deterministic synthetic input vector used
+// throughout the evaluation: a mix of three integer sinusoid-like waves with
+// varying amplitude, standing in for the paper's (unpublished) 416-sample
+// input. NumSamples matches the paper's vector length.
+const NumSamples = 416
+
+// GenerateSamples returns n synthetic 16-bit samples.
+func GenerateSamples(n int) []int32 {
+	out := make([]int32, n)
+	// Integer triangle/harmonic mix: fully deterministic, no float math.
+	// The amplitude fades in over the first 64 samples so the decoder's
+	// predictor (which starts at 0 with the smallest step size) can track
+	// the waveform from the first sample on.
+	for i := 0; i < n; i++ {
+		t := int32(i)
+		tri := func(period, amp int32) int32 {
+			ph := t % period
+			half := period / 2
+			if ph < half {
+				return (ph*2*amp)/period*2 - amp
+			}
+			return amp - ((ph-half)*2*amp)/period*2
+		}
+		v := tri(64, 9000) + tri(23, 4000) + tri(171, 12000)
+		if i < 64 {
+			v = v * t / 64
+		}
+		out[i] = clamp16(v)
+	}
+	return out
+}

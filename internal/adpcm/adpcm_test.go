@@ -1,0 +1,188 @@
+package adpcm
+
+import (
+	"testing"
+
+	"cgra/internal/arch"
+	"cgra/internal/ir"
+	"cgra/internal/pipeline"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	samples := GenerateSamples(NumSamples)
+	var enc State
+	codes, err := Encode(samples, &enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(codes) != NumSamples/2 {
+		t.Fatalf("codes = %d bytes, want %d", len(codes), NumSamples/2)
+	}
+	var dec State
+	out, err := Decode(codes, NumSamples, &dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ADPCM is lossy: after the adaptation warm-up the decoded output
+	// must track the input within the quantizer's reach.
+	var maxErr int32
+	for i := 96; i < len(samples); i++ {
+		d := samples[i] - out[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > maxErr {
+			maxErr = d
+		}
+	}
+	if maxErr > 4000 {
+		t.Errorf("max reconstruction error %d too large; encoder/decoder mismatch?", maxErr)
+	}
+}
+
+func TestDecodeOddSampleCount(t *testing.T) {
+	samples := GenerateSamples(10)
+	var enc State
+	codes, err := Encode(samples, &enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec State
+	out, err := Decode(codes, 9, &dec) // odd count: last nibble unused
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 9 {
+		t.Fatalf("out = %d samples", len(out))
+	}
+}
+
+func TestEncodeOddRejected(t *testing.T) {
+	var st State
+	if _, err := Encode(make([]int32, 3), &st); err == nil {
+		t.Error("odd sample count accepted")
+	}
+	var dec State
+	if _, err := Decode(make([]byte, 1), 5, &dec); err == nil {
+		t.Error("decode beyond data accepted")
+	}
+}
+
+func TestKernelMatchesReferenceViaInterpreter(t *testing.T) {
+	samples := GenerateSamples(NumSamples)
+	var enc State
+	codes, err := Encode(samples, &enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref State
+	want, err := Decode(codes, NumSamples, &ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	k := Kernel()
+	host := NewHost(codes, NumSamples)
+	interp := &ir.Interp{}
+	outs, err := interp.Run(k, Args(NumSamples, State{}), host)
+	if err != nil {
+		t.Fatalf("interpret kernel: %v", err)
+	}
+	got := host.Arrays["out"]
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: kernel %d != reference %d", i, got[i], want[i])
+		}
+	}
+	if outs["valpred"] != ref.ValPred || outs["index"] != ref.Index {
+		t.Errorf("final state kernel (%d,%d) != reference (%d,%d)",
+			outs["valpred"], outs["index"], ref.ValPred, ref.Index)
+	}
+}
+
+func TestKernelOnCGRA(t *testing.T) {
+	// The headline experiment in miniature: decode on the CGRA simulator
+	// and compare with the reference decoder, on a mesh and on the
+	// inhomogeneous irregular composition F.
+	const n = 64
+	samples := GenerateSamples(n)
+	var enc State
+	codes, err := Encode(samples, &enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh9, err := arch.HomogeneousMesh(9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := arch.IrregularComposition("F", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, comp := range []*arch.Composition{mesh9, f} {
+		comp := comp
+		t.Run(comp.Name, func(t *testing.T) {
+			k := Kernel()
+			c, err := pipeline.Compile(k, comp, pipeline.Options{})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			host := NewHost(codes, n)
+			res, err := pipeline.CheckAgainstInterpreter(k, c, Args(n, State{}), host)
+			if err != nil {
+				t.Fatalf("differential check: %v", err)
+			}
+			perSample := float64(res.Sim.RunCycles) / float64(n)
+			t.Logf("%s: %d contexts, %d cycles (%.1f / sample), max RF %d",
+				comp.Name, c.UsedContexts(), res.Sim.RunCycles, perSample, c.MaxRFEntries())
+		})
+	}
+}
+
+func TestKernelOnCGRAWithDefaults(t *testing.T) {
+	// With the paper's optimization defaults (unroll 2 + CSE).
+	const n = 32
+	samples := GenerateSamples(n)
+	var enc State
+	codes, err := Encode(samples, &enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := arch.HomogeneousMesh(9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Kernel()
+	c, err := pipeline.Compile(k, comp, pipeline.Defaults())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	host := NewHost(codes, n)
+	if _, err := pipeline.CheckAgainstInterpreter(k, c, Args(n, State{}), host); err != nil {
+		t.Fatalf("differential check: %v", err)
+	}
+}
+
+func TestGenerateSamplesDeterministic(t *testing.T) {
+	a := GenerateSamples(NumSamples)
+	b := GenerateSamples(NumSamples)
+	if len(a) != NumSamples {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic input vector")
+		}
+		if a[i] > 32767 || a[i] < -32768 {
+			t.Fatalf("sample %d out of 16-bit range: %d", i, a[i])
+		}
+	}
+	// The waveform must actually move (not a constant).
+	distinct := map[int32]bool{}
+	for _, v := range a {
+		distinct[v] = true
+	}
+	if len(distinct) < 50 {
+		t.Errorf("input vector too flat: %d distinct values", len(distinct))
+	}
+}

@@ -1,0 +1,89 @@
+package adpcm
+
+import (
+	"cgra/internal/ir"
+	"cgra/internal/irtext"
+)
+
+// KernelSource is the decoder as tool-flow kernel source. Array parameters:
+// "in" holds the packed code bytes (one byte per element), "out" receives
+// the decoded samples, "steptab" and "indextab" are the IMA tables in host
+// memory (reached via DMA, like all heap data in the paper's system).
+//
+// The structure deliberately mirrors Fig. 12: a large outer while loop;
+// a conditionally executed byte fetch; conditionally executed clamping
+// loops; and a nested magnitude loop with conditional code in its body.
+const KernelSource = `
+kernel adpcm_decode(array in, array out, array steptab, array indextab,
+                    in n, inout valpred, inout index) {
+	step = steptab[index];
+	bufferstep = 0;
+	inputbuffer = 0;
+	i = 0;
+	while (i < n) {
+		// Conditionally executed code: a new byte is fetched every
+		// other sample.
+		if (bufferstep == 0) {
+			inputbuffer = in[i >> 1];
+			delta = (inputbuffer >> 4) & 15;
+			bufferstep = 1;
+		} else {
+			delta = inputbuffer & 15;
+			bufferstep = 0;
+		}
+		index = index + indextab[delta];
+		// Data-dependent, conditionally executed clamping loops.
+		while (index < 0) { index = 0; }
+		while (index > 88) { index = 88; }
+		sign = delta & 8;
+		dmag = delta & 7;
+		// Nested loop with control flow in the body: accumulate the
+		// predicted difference over the three magnitude bits.
+		vpdiff = step >> 3;
+		bit = 4;
+		shift = 0;
+		j = 0;
+		while (j < 3) {
+			if ((dmag & bit) != 0) {
+				vpdiff = vpdiff + (step >> shift);
+			}
+			bit = bit >> 1;
+			shift = shift + 1;
+			j = j + 1;
+		}
+		if (sign != 0) {
+			valpred = valpred - vpdiff;
+		} else {
+			valpred = valpred + vpdiff;
+		}
+		while (valpred > 32767) { valpred = 32767; }
+		while (valpred < 0 - 32768) { valpred = 0 - 32768; }
+		step = steptab[index];
+		out[i] = valpred;
+		i = i + 1;
+	}
+}`
+
+// Kernel parses the decoder kernel.
+func Kernel() *ir.Kernel { return irtext.MustParse(KernelSource) }
+
+// NewHost builds a host heap with the IMA tables, the packed input codes
+// and an output buffer for n samples.
+func NewHost(codes []byte, n int) *ir.Host {
+	host := ir.NewHost()
+	in := make([]int32, len(codes))
+	for i, b := range codes {
+		in[i] = int32(b)
+	}
+	host.Arrays["in"] = in
+	host.Arrays["out"] = make([]int32, n)
+	host.Arrays["steptab"] = append([]int32(nil), StepSizeTable[:]...)
+	host.Arrays["indextab"] = append([]int32(nil), IndexTable[:]...)
+	return host
+}
+
+// Args returns the scalar arguments for a decode of n samples from the
+// given initial state.
+func Args(n int, st State) map[string]int32 {
+	return map[string]int32{"n": int32(n), "valpred": st.ValPred, "index": st.Index}
+}

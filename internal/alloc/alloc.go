@@ -1,0 +1,151 @@
+// Package alloc assigns physical register-file entries and C-Box
+// condition-memory slots to a schedule using the left-edge algorithm
+// (paper §V-I). Lifetimes honour loops: a value defined before a loop and
+// read inside it stays live until the end of that loop, because every
+// iteration re-reads it; the same rule applies to condition bits.
+package alloc
+
+import (
+	"fmt"
+	"sort"
+
+	"cgra/internal/sched"
+)
+
+// Result summarizes an allocation.
+type Result struct {
+	// RFUsage is the number of RF entries used per PE; the paper's
+	// "Max. RF entries" (Table I) is the maximum over PEs.
+	RFUsage []int
+	// CBoxUsage is the number of physical condition-memory slots used.
+	CBoxUsage int
+}
+
+// MaxRF returns the largest per-PE RF usage.
+func (r *Result) MaxRF() int {
+	m := 0
+	for _, u := range r.RFUsage {
+		if u > m {
+			m = u
+		}
+	}
+	return m
+}
+
+type interval struct {
+	start, end int
+	assign     func(addr int)
+}
+
+// Allocate assigns addresses in place (Value.Addr, Slot.Phys) and verifies
+// the composition's RF and condition-memory capacities.
+func Allocate(s *sched.Schedule) (*Result, error) {
+	res := &Result{RFUsage: make([]int, s.Comp.NumPEs())}
+
+	// Register files, one left-edge pass per PE.
+	perPE := make([][]interval, s.Comp.NumPEs())
+	for _, v := range s.Values {
+		v := v
+		var iv interval
+		if v.Pinned {
+			// Home slots and constants live for the whole run.
+			iv = interval{start: -1, end: s.Length}
+		} else {
+			end := extendUses(v.Def, v.Uses, s.LoopRanges)
+			iv = interval{start: v.Def, end: end}
+		}
+		iv.assign = func(addr int) { v.Addr = addr }
+		perPE[v.PE] = append(perPE[v.PE], iv)
+	}
+	for pe, ivs := range perPE {
+		used := leftEdge(ivs)
+		res.RFUsage[pe] = used
+		if used > s.Comp.PEs[pe].RegfileSize {
+			return nil, fmt.Errorf("alloc: PE %d needs %d RF entries, has %d",
+				pe, used, s.Comp.PEs[pe].RegfileSize)
+		}
+	}
+
+	// C-Box condition memory.
+	var slotIvs []interval
+	for _, sl := range s.Slots {
+		sl := sl
+		if len(sl.Writes) == 0 {
+			// A planned but never computed slot (dead condition):
+			// no physical space needed.
+			sl.Phys = 0
+			continue
+		}
+		start := sl.Writes[0]
+		for _, w := range sl.Writes {
+			if w < start {
+				start = w
+			}
+		}
+		end := extendUses(start, append(append([]int(nil), sl.Uses...), sl.Writes...), s.LoopRanges)
+		slotIvs = append(slotIvs, interval{
+			start: start, end: end,
+			assign: func(addr int) { sl.Phys = addr },
+		})
+	}
+	res.CBoxUsage = leftEdge(slotIvs)
+	if res.CBoxUsage > s.Comp.CBoxSlots {
+		return nil, fmt.Errorf("alloc: schedule needs %d C-Box slots, composition has %d",
+			res.CBoxUsage, s.Comp.CBoxSlots)
+	}
+	return res, nil
+}
+
+// extendUses computes the lifetime end of a value defined at def with the
+// given use cycles, extending uses inside loops the definition precedes to
+// the loop end (iterating to a fixed point for nested loops).
+func extendUses(def int, uses []int, loops [][2]int) int {
+	end := def
+	for _, u := range uses {
+		if u > end {
+			end = u
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, lr := range loops {
+			// A lifetime reaching into a loop the definition
+			// precedes must survive the whole loop.
+			if def < lr[0] && end >= lr[0] && end < lr[1] {
+				end = lr[1]
+				changed = true
+			}
+		}
+	}
+	return end
+}
+
+// leftEdge performs the classic left-edge interval assignment and returns
+// the number of registers used. An entry whose last read is at cycle t may
+// be overwritten by a value defined at t: reads see the register state from
+// before the end-of-cycle write.
+func leftEdge(ivs []interval) int {
+	sort.SliceStable(ivs, func(i, j int) bool {
+		if ivs[i].start != ivs[j].start {
+			return ivs[i].start < ivs[j].start
+		}
+		return ivs[i].end < ivs[j].end
+	})
+	var regEnd []int // last occupied cycle per register
+	for _, iv := range ivs {
+		placed := false
+		for r := range regEnd {
+			if regEnd[r] <= iv.start {
+				regEnd[r] = iv.end
+				iv.assign(r)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			regEnd = append(regEnd, iv.end)
+			iv.assign(len(regEnd) - 1)
+		}
+	}
+	return len(regEnd)
+}

@@ -1,0 +1,121 @@
+package amidar
+
+import (
+	"testing"
+
+	"cgra/internal/adpcm"
+	"cgra/internal/ir"
+	"cgra/internal/irtext"
+	"cgra/internal/workload"
+)
+
+// TestADPCMCalibration pins the cost model to the paper's baseline: the
+// ADPCM decoder over 416 samples must cost ~926 k AMIDAR cycles (§VI-A).
+func TestADPCMCalibration(t *testing.T) {
+	samples := adpcm.GenerateSamples(adpcm.NumSamples)
+	var enc adpcm.State
+	codes, err := adpcm.Encode(samples, &enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(adpcm.Kernel(), DefaultCostModel(),
+		adpcm.Args(adpcm.NumSamples, adpcm.State{}), adpcm.NewHost(codes, adpcm.NumSamples))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const paper = 926_000
+	dev := float64(res.Cycles-paper) / paper
+	if dev < 0 {
+		dev = -dev
+	}
+	t.Logf("AMIDAR ADPCM baseline: %d cycles (paper: 926k, deviation %.2f%%)", res.Cycles, dev*100)
+	if dev > 0.02 {
+		t.Errorf("calibration off by %.1f%% (got %d cycles, want ~926k)", dev*100, res.Cycles)
+	}
+}
+
+func TestExecuteReturnsLiveOuts(t *testing.T) {
+	k := irtext.MustParse(`kernel k(in x, inout r) { r = x * 2; }`)
+	res, err := Execute(k, DefaultCostModel(), map[string]int32{"x": 21, "r": 0}, ir.NewHost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LiveOuts["r"] != 42 {
+		t.Errorf("r = %d", res.LiveOuts["r"])
+	}
+	if res.Cycles <= 0 {
+		t.Error("no cycles")
+	}
+}
+
+func TestProfilerFlagsHotKernels(t *testing.T) {
+	p := NewProfiler(5000)
+	hot := workload.DotProduct()
+	cold := irtext.MustParse(`kernel tiny(in x, inout r) { r = x + 1; }`)
+
+	// The dot product runs many times; the tiny kernel once.
+	for i := 0; i < 20; i++ {
+		if _, err := p.Observe(Invocation{Kernel: hot.Kernel, Args: hot.Args(64), Host: hot.Host(64)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.Observe(Invocation{Kernel: cold, Args: map[string]int32{"x": 1, "r": 0}, Host: ir.NewHost()}); err != nil {
+		t.Fatal(err)
+	}
+	hots := p.HotKernels()
+	if len(hots) != 1 || hots[0] != "dot" {
+		t.Errorf("hot kernels = %v, want [dot]", hots)
+	}
+	rep := p.Report()
+	if len(rep) != 2 || rep[0].Name != "dot" {
+		t.Errorf("report order wrong: %+v", rep)
+	}
+	if rep[0].Invocations != 20 {
+		t.Errorf("invocations = %d", rep[0].Invocations)
+	}
+}
+
+func TestCostModelMonotonic(t *testing.T) {
+	// More work must never cost fewer cycles.
+	small := workload.FIR()
+	cm := DefaultCostModel()
+	r1, err := Execute(small.Kernel, cm, small.Args(8), small.Host(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Execute(small.Kernel, cm, small.Args(64), small.Host(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Cycles <= r1.Cycles {
+		t.Errorf("64-sample FIR (%d) not costlier than 8-sample (%d)", r2.Cycles, r1.Cycles)
+	}
+}
+
+func TestExecuteProgramWithCalls(t *testing.T) {
+	prog, err := irtext.ParseProgram(`
+kernel main(inout r) {
+	double(r);
+	double(r);
+}
+kernel double(inout x) { x = x * 2; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ExecuteProgram(prog.EntryKernel(), prog.Kernels, DefaultCostModel(),
+		map[string]int32{"r": 3}, ir.NewHost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LiveOuts["r"] != 12 {
+		t.Errorf("r = %d, want 12", res.LiveOuts["r"])
+	}
+	if res.Stats.Calls != 2 {
+		t.Errorf("calls = %d, want 2", res.Stats.Calls)
+	}
+	// Calls carry invocation overhead in the cost model.
+	cm := DefaultCostModel()
+	if cm.Cycles(&res.Stats) <= cm.Cycles(&ir.OpStats{Mul: res.Stats.Mul, LocalWr: res.Stats.LocalWr, LocalRd: res.Stats.LocalRd}) {
+		t.Error("call overhead not priced")
+	}
+}

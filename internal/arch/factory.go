@@ -1,0 +1,319 @@
+package arch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file constructs the compositions evaluated in the paper: the six
+// homogeneous mesh CGRAs of Fig. 13 (4, 6, 8, 9, 12 and 16 PEs) and the six
+// irregular 8-PE compositions A–F of Fig. 14. The figures are drawings, not
+// machine-readable netlists, so DMA placement and the exact irregular edge
+// sets are documented approximations chosen to preserve each composition's
+// described character (B: very little interconnect; D: well connected and
+// fastest; F: same interconnect as D but only two PEs with multipliers).
+
+// Default sizing used throughout the evaluation (paper §VI-B).
+const (
+	DefaultContextSize = 256
+	DefaultRFSize      = 128
+	DefaultCBoxSlots   = 32
+	// DefaultDMALatency is the LOAD/STORE duration in cycles.
+	DefaultDMALatency = 2
+)
+
+// StandardOps returns the homogeneous operation set of the evaluated
+// compositions: 32-bit logic operations, addition, subtraction and
+// multiplication (§VI-B), plus moves, immediates and the compare operations
+// every control-flow-capable PE needs. mulDuration selects the block
+// multiplier (2) or the single-cycle multiplier (1). withDMA adds the
+// LOAD/STORE pair.
+func StandardOps(mulDuration int, withDMA bool) map[OpCode]OpInfo {
+	ops := map[OpCode]OpInfo{
+		NOP:   {Energy: 0.7, Duration: 1},
+		MOVE:  {Energy: 0.8, Duration: 1},
+		CONST: {Energy: 0.8, Duration: 1},
+		IADD:  {Energy: 1.0, Duration: 1},
+		ISUB:  {Energy: 1.3, Duration: 1},
+		IMUL:  {Energy: 1.7, Duration: mulDuration},
+		IAND:  {Energy: 0.9, Duration: 1},
+		IOR:   {Energy: 0.9, Duration: 1},
+		IXOR:  {Energy: 0.9, Duration: 1},
+		ISHL:  {Energy: 1.0, Duration: 1},
+		ISHR:  {Energy: 1.0, Duration: 1},
+		IUSHR: {Energy: 1.0, Duration: 1},
+		INEG:  {Energy: 1.0, Duration: 1},
+		INOT:  {Energy: 0.9, Duration: 1},
+		IFLT:  {Energy: 1.1, Duration: 1},
+		IFLE:  {Energy: 1.1, Duration: 1},
+		IFGT:  {Energy: 1.1, Duration: 1},
+		IFGE:  {Energy: 1.1, Duration: 1},
+		IFEQ:  {Energy: 1.1, Duration: 1},
+		IFNE:  {Energy: 1.1, Duration: 1},
+	}
+	if withDMA {
+		ops[LOAD] = OpInfo{Energy: 2.5, Duration: DefaultDMALatency}
+		ops[STORE] = OpInfo{Energy: 2.5, Duration: DefaultDMALatency}
+	}
+	return ops
+}
+
+// MeshOptions parameterizes Mesh.
+type MeshOptions struct {
+	Name        string
+	Rows, Cols  int
+	RFSize      int   // default DefaultRFSize
+	MulDuration int   // default 2 (block multiplier)
+	DMAPEs      []int // default: spread over the array
+	ContextSize int   // default DefaultContextSize
+	CBoxSlots   int   // default DefaultCBoxSlots
+}
+
+// Mesh builds a homogeneous mesh composition with bidirectional
+// 4-neighbourhood interconnect, as in Fig. 13.
+func Mesh(o MeshOptions) (*Composition, error) {
+	if o.Rows <= 0 || o.Cols <= 0 {
+		return nil, fmt.Errorf("mesh: rows and cols must be positive")
+	}
+	n := o.Rows * o.Cols
+	if o.RFSize == 0 {
+		o.RFSize = DefaultRFSize
+	}
+	if o.MulDuration == 0 {
+		o.MulDuration = 2
+	}
+	if o.ContextSize == 0 {
+		o.ContextSize = DefaultContextSize
+	}
+	if o.CBoxSlots == 0 {
+		o.CBoxSlots = DefaultCBoxSlots
+	}
+	if o.DMAPEs == nil {
+		o.DMAPEs = defaultDMAPlacement(n)
+	}
+	if o.Name == "" {
+		o.Name = fmt.Sprintf("%d PEs", n)
+	}
+	dma := map[int]bool{}
+	for _, i := range o.DMAPEs {
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("mesh: DMA PE %d out of range", i)
+		}
+		dma[i] = true
+	}
+	c := &Composition{Name: o.Name, ContextSize: o.ContextSize, CBoxSlots: o.CBoxSlots}
+	for r := 0; r < o.Rows; r++ {
+		for col := 0; col < o.Cols; col++ {
+			idx := r*o.Cols + col
+			pe := &PE{
+				Name:        peKindName(dma[idx]),
+				Index:       idx,
+				RegfileSize: o.RFSize,
+				HasDMA:      dma[idx],
+				Ops:         StandardOps(o.MulDuration, dma[idx]),
+			}
+			var in []int
+			if r > 0 {
+				in = append(in, idx-o.Cols)
+			}
+			if r < o.Rows-1 {
+				in = append(in, idx+o.Cols)
+			}
+			if col > 0 {
+				in = append(in, idx-1)
+			}
+			if col < o.Cols-1 {
+				in = append(in, idx+1)
+			}
+			sort.Ints(in)
+			pe.Inputs = in
+			c.PEs = append(c.PEs, pe)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func peKindName(dma bool) string {
+	if dma {
+		return "PE_mem"
+	}
+	return "PE_no_mem"
+}
+
+// defaultDMAPlacement spreads the DMA-capable PEs over the array, matching
+// the grey PEs of Fig. 13 in spirit (corners/edges, at most 4).
+func defaultDMAPlacement(n int) []int {
+	switch n {
+	case 4:
+		return []int{0, 3}
+	case 6:
+		return []int{0, 5}
+	case 8:
+		return []int{0, 7}
+	case 9:
+		return []int{0, 4, 8}
+	case 12:
+		return []int{0, 5, 6, 11}
+	case 16:
+		return []int{0, 5, 10, 15}
+	default:
+		if n == 1 {
+			return []int{0}
+		}
+		return []int{0, n - 1}
+	}
+}
+
+// meshShapes maps the evaluated PE counts to their Fig. 13 grid shapes.
+var meshShapes = map[int][2]int{
+	4: {2, 2}, 6: {2, 3}, 8: {2, 4}, 9: {3, 3}, 12: {3, 4}, 16: {4, 4},
+}
+
+// HomogeneousMesh builds one of the six Fig. 13 compositions by PE count.
+func HomogeneousMesh(numPEs, mulDuration int) (*Composition, error) {
+	shape, ok := meshShapes[numPEs]
+	if !ok {
+		return nil, fmt.Errorf("no evaluated mesh with %d PEs (have 4, 6, 8, 9, 12, 16)", numPEs)
+	}
+	return Mesh(MeshOptions{Rows: shape[0], Cols: shape[1], MulDuration: mulDuration})
+}
+
+// HomogeneousMeshes builds all six Fig. 13 compositions.
+func HomogeneousMeshes(mulDuration int) ([]*Composition, error) {
+	var out []*Composition
+	for _, n := range []int{4, 6, 8, 9, 12, 16} {
+		c, err := HomogeneousMesh(n, mulDuration)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// irregularEdges describes the undirected interconnect of the 8-PE
+// compositions A–E of Fig. 14 (see the file comment about approximation).
+// F shares D's interconnect.
+var irregularEdges = map[string][][2]int{
+	// A: a chain with one long feedback link — mid connectivity.
+	"A": {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {0, 4}},
+	// B: a bare ring, the least interconnect; the paper reports B slowest
+	// "because little interconnect is available".
+	"B": {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 0}},
+	// C: 2x4 mesh plus two diagonals.
+	"C": {{0, 1}, {1, 2}, {2, 3}, {4, 5}, {5, 6}, {6, 7}, {0, 4}, {1, 5}, {2, 6}, {3, 7}, {0, 5}, {2, 7}},
+	// D: the richest interconnect; the paper reports D fastest.
+	"D": {
+		{0, 1}, {1, 2}, {2, 3}, {4, 5}, {5, 6}, {6, 7},
+		{0, 4}, {1, 5}, {2, 6}, {3, 7},
+		{0, 5}, {1, 6}, {2, 7}, {1, 4}, {2, 5}, {3, 6},
+		{0, 2}, {5, 7},
+	},
+	// E: two hubs (1 and 6) each connected to every other PE on their side.
+	"E": {{1, 0}, {1, 2}, {1, 3}, {1, 6}, {6, 4}, {6, 5}, {6, 7}, {0, 7}, {3, 4}},
+}
+
+// irregularDMA places the two DMA PEs of each Fig. 14 composition.
+var irregularDMA = map[string][]int{
+	"A": {0, 4}, "B": {0, 4}, "C": {0, 6}, "D": {0, 6}, "E": {1, 6}, "F": {0, 6},
+}
+
+// IrregularComposition builds one of the Fig. 14 compositions ("A".."F").
+// All have the operational spectrum of the meshes, except F where only
+// PEs 2 and 5 support multiplication (the paper's "only the black PEs
+// support multiplication", cutting DSP utilization by 75 %).
+func IrregularComposition(name string, mulDuration int) (*Composition, error) {
+	edgeKey := name
+	if name == "F" {
+		edgeKey = "D"
+	}
+	edges, ok := irregularEdges[edgeKey]
+	if !ok {
+		return nil, fmt.Errorf("no irregular composition %q (have A..F)", name)
+	}
+	const n = 8
+	dma := map[int]bool{}
+	for _, i := range irregularDMA[name] {
+		dma[i] = true
+	}
+	c := &Composition{
+		Name:        "8 PEs " + name,
+		ContextSize: DefaultContextSize,
+		CBoxSlots:   DefaultCBoxSlots,
+	}
+	mulPEs := map[int]bool{}
+	if name == "F" {
+		mulPEs = map[int]bool{2: true, 5: true}
+	}
+	for i := 0; i < n; i++ {
+		ops := StandardOps(mulDuration, dma[i])
+		if name == "F" && !mulPEs[i] {
+			delete(ops, IMUL)
+		}
+		c.PEs = append(c.PEs, &PE{
+			Name:        peKindName(dma[i]),
+			Index:       i,
+			RegfileSize: DefaultRFSize,
+			HasDMA:      dma[i],
+			Ops:         ops,
+		})
+	}
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		c.PEs[a].Inputs = append(c.PEs[a].Inputs, b)
+		c.PEs[b].Inputs = append(c.PEs[b].Inputs, a)
+	}
+	for _, pe := range c.PEs {
+		sort.Ints(pe.Inputs)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// IrregularCompositions builds all six Fig. 14 compositions A–F.
+func IrregularCompositions(mulDuration int) ([]*Composition, error) {
+	var out []*Composition
+	for _, name := range []string{"A", "B", "C", "D", "E", "F"} {
+		c, err := IrregularComposition(name, mulDuration)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// EvaluatedCompositions returns all twelve compositions of the paper's
+// evaluation (six meshes, six irregular), in table order.
+func EvaluatedCompositions(mulDuration int) ([]*Composition, error) {
+	meshes, err := HomogeneousMeshes(mulDuration)
+	if err != nil {
+		return nil, err
+	}
+	irr, err := IrregularCompositions(mulDuration)
+	if err != nil {
+		return nil, err
+	}
+	return append(meshes, irr...), nil
+}
+
+// ByName resolves an evaluated composition by its table label, e.g.
+// "4 PEs", "9 PEs", "8 PEs D". The multiplier defaults to the block
+// multiplier (duration 2).
+func ByName(name string) (*Composition, error) {
+	all, err := EvaluatedCompositions(2)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range all {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown composition %q", name)
+}

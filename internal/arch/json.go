@@ -1,0 +1,188 @@
+package arch
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// This file implements the JSON composition description of the paper
+// (Fig. 8 and Fig. 9). A composition document looks like:
+//
+//	{
+//	  "name": "CGRA1",
+//	  "Number_of_PEs": 4,
+//	  "PEs": { "0": "PE_mem", "1": { ...inline PE... }, ... },
+//	  "Interconnect": { "0": [1, 2], "1": [0, 3], ... },
+//	  "Context_memory_length": 256,
+//	  "CBox_slots": 32
+//	}
+//
+// A PE entry is either an inline PE description or a string naming an entry
+// in a PE library (the paper uses file paths; we resolve names against a
+// caller-provided library so parsing needs no file system). A PE description
+// mixes fixed keys with one key per operation:
+//
+//	{
+//	  "name": "PE_EXAMPLE",
+//	  "Regfile_size": 32,
+//	  "DMA": true,
+//	  "IADD": {"energy": 1.0, "duration": 1},
+//	  "IMUL": {"energy": 1.7, "duration": 2}
+//	}
+
+// PEDoc is the JSON form of a PE description.
+type peDoc struct {
+	Name        string
+	RegfileSize int
+	DMA         bool
+	Ops         map[OpCode]OpInfo
+}
+
+type opDoc struct {
+	Energy   float64 `json:"energy"`
+	Duration int     `json:"duration"`
+}
+
+func parsePEDoc(raw json.RawMessage) (*peDoc, error) {
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		return nil, fmt.Errorf("PE description: %v", err)
+	}
+	doc := &peDoc{Ops: map[OpCode]OpInfo{}}
+	for key, val := range fields {
+		switch key {
+		case "name":
+			if err := json.Unmarshal(val, &doc.Name); err != nil {
+				return nil, fmt.Errorf("PE name: %v", err)
+			}
+		case "Regfile_size":
+			if err := json.Unmarshal(val, &doc.RegfileSize); err != nil {
+				return nil, fmt.Errorf("PE Regfile_size: %v", err)
+			}
+		case "DMA":
+			if err := json.Unmarshal(val, &doc.DMA); err != nil {
+				return nil, fmt.Errorf("PE DMA flag: %v", err)
+			}
+		default:
+			op, ok := OpByName(key)
+			if !ok {
+				return nil, fmt.Errorf("PE description: unknown key or operation %q", key)
+			}
+			var od opDoc
+			if err := json.Unmarshal(val, &od); err != nil {
+				return nil, fmt.Errorf("PE op %s: %v", key, err)
+			}
+			doc.Ops[op] = OpInfo{Energy: od.Energy, Duration: od.Duration}
+		}
+	}
+	if doc.RegfileSize == 0 {
+		return nil, fmt.Errorf("PE %q: missing Regfile_size", doc.Name)
+	}
+	return doc, nil
+}
+
+type compDoc struct {
+	Name                string                     `json:"name"`
+	NumberOfPEs         int                        `json:"Number_of_PEs"`
+	PEs                 map[string]json.RawMessage `json:"PEs"`
+	Interconnect        map[string][]int           `json:"Interconnect"`
+	ContextMemoryLength int                        `json:"Context_memory_length"`
+	CBoxSlots           int                        `json:"CBox_slots"`
+}
+
+// ParseComposition parses a JSON composition document. String-valued PE
+// entries are resolved against library (name → PE description JSON);
+// library may be nil when all PEs are inline.
+func ParseComposition(data []byte, library map[string]json.RawMessage) (*Composition, error) {
+	var doc compDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("composition: %v", err)
+	}
+	if doc.NumberOfPEs <= 0 {
+		return nil, fmt.Errorf("composition %q: Number_of_PEs must be positive", doc.Name)
+	}
+	if len(doc.PEs) != doc.NumberOfPEs {
+		return nil, fmt.Errorf("composition %q: Number_of_PEs is %d but %d PE entries given",
+			doc.Name, doc.NumberOfPEs, len(doc.PEs))
+	}
+	c := &Composition{
+		Name:        doc.Name,
+		ContextSize: doc.ContextMemoryLength,
+		CBoxSlots:   doc.CBoxSlots,
+		PEs:         make([]*PE, doc.NumberOfPEs),
+	}
+	for key, raw := range doc.PEs {
+		idx, err := strconv.Atoi(key)
+		if err != nil || idx < 0 || idx >= doc.NumberOfPEs {
+			return nil, fmt.Errorf("composition %q: bad PE index %q", doc.Name, key)
+		}
+		// A string entry names a library PE; otherwise it is inline.
+		var name string
+		if err := json.Unmarshal(raw, &name); err == nil {
+			lib, ok := library[name]
+			if !ok {
+				return nil, fmt.Errorf("composition %q: PE %d references unknown library entry %q",
+					doc.Name, idx, name)
+			}
+			raw = lib
+		}
+		pd, err := parsePEDoc(raw)
+		if err != nil {
+			return nil, fmt.Errorf("composition %q: PE %d: %v", doc.Name, idx, err)
+		}
+		pe := &PE{
+			Name:        pd.Name,
+			Index:       idx,
+			RegfileSize: pd.RegfileSize,
+			HasDMA:      pd.DMA,
+			Ops:         pd.Ops,
+		}
+		c.PEs[idx] = pe
+	}
+	for key, srcs := range doc.Interconnect {
+		idx, err := strconv.Atoi(key)
+		if err != nil || idx < 0 || idx >= doc.NumberOfPEs {
+			return nil, fmt.Errorf("composition %q: interconnect references bad PE %q", doc.Name, key)
+		}
+		c.PEs[idx].Inputs = append([]int(nil), srcs...)
+		sort.Ints(c.PEs[idx].Inputs)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// MarshalComposition renders a composition back to its JSON document with
+// all PEs inline. ParseComposition(MarshalComposition(c)) reproduces c.
+func MarshalComposition(c *Composition) ([]byte, error) {
+	doc := compDoc{
+		Name:                c.Name,
+		NumberOfPEs:         len(c.PEs),
+		PEs:                 map[string]json.RawMessage{},
+		Interconnect:        map[string][]int{},
+		ContextMemoryLength: c.ContextSize,
+		CBoxSlots:           c.CBoxSlots,
+	}
+	for _, pe := range c.PEs {
+		fields := map[string]interface{}{
+			"name":         pe.Name,
+			"Regfile_size": pe.RegfileSize,
+		}
+		if pe.HasDMA {
+			fields["DMA"] = true
+		}
+		for op, info := range pe.Ops {
+			fields[op.String()] = opDoc{Energy: info.Energy, Duration: info.Duration}
+		}
+		raw, err := json.Marshal(fields)
+		if err != nil {
+			return nil, err
+		}
+		doc.PEs[strconv.Itoa(pe.Index)] = raw
+		doc.Interconnect[strconv.Itoa(pe.Index)] = append([]int(nil), pe.Inputs...)
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}

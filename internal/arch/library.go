@@ -1,0 +1,70 @@
+package arch
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// LoadPELibrary reads a directory of PE description files (*.json) into a
+// library for ParseComposition. The paper's composition documents reference
+// PE descriptions by path (Fig. 8: "cgras/CGRA/WHICHEVER_PES.json"); this
+// loader registers each file under both its base name without extension and
+// its declared "name" field, so documents may reference either.
+func LoadPELibrary(dir string) (map[string]json.RawMessage, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("arch: PE library: %v", err)
+	}
+	lib := map[string]json.RawMessage{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("arch: PE library: %v", err)
+		}
+		// Skip files that are composition documents, not PE entries.
+		var probe struct {
+			NumberOfPEs int    `json:"Number_of_PEs"`
+			Name        string `json:"name"`
+		}
+		if err := json.Unmarshal(data, &probe); err != nil {
+			return nil, fmt.Errorf("arch: PE library %s: %v", e.Name(), err)
+		}
+		if probe.NumberOfPEs > 0 {
+			continue
+		}
+		base := strings.TrimSuffix(e.Name(), ".json")
+		lib[base] = json.RawMessage(data)
+		if probe.Name != "" && probe.Name != base {
+			lib[probe.Name] = json.RawMessage(data)
+		}
+	}
+	if len(lib) == 0 {
+		return nil, fmt.Errorf("arch: PE library %s: no PE descriptions found", dir)
+	}
+	return lib, nil
+}
+
+// LoadCompositionFile parses a composition document from disk, resolving
+// string PE references against the library directory (default: the
+// document's own directory).
+func LoadCompositionFile(path, libDir string) (*Composition, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("arch: %v", err)
+	}
+	if libDir == "" {
+		libDir = filepath.Dir(path)
+	}
+	lib, err := LoadPELibrary(libDir)
+	if err != nil {
+		// A document with only inline PEs needs no library.
+		lib = nil
+	}
+	return ParseComposition(data, lib)
+}

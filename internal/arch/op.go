@@ -1,0 +1,121 @@
+// Package arch models CGRA compositions: the set of processing elements
+// (PEs), the operations each PE implements (with per-op energy and duration),
+// the irregular interconnect, and the sizing of context memories and the
+// C-Box condition memory. It corresponds to the paper's "CGRA model" that
+// both the scheduler and the Verilog generator consume (Fig. 7 / Fig. 10).
+package arch
+
+import "fmt"
+
+// OpCode enumerates the machine operations a PE can implement. The names
+// follow the paper's JSON example (IADD, ISUB, IMUL, IFGE, IFLT, NOP, ...):
+// integer arithmetic/logic, status-producing compares evaluated by the C-Box,
+// register moves, immediate loads, and DMA memory accesses.
+type OpCode int
+
+// Machine operations.
+const (
+	NOP OpCode = iota
+	// MOVE copies a value (own RF or routed from a neighbour) into the RF.
+	// It implements the scheduler's copy insertion and unfused pWRITEs.
+	MOVE
+	// CONST writes an immediate from the context into the RF.
+	CONST
+	IADD
+	ISUB
+	IMUL
+	IAND
+	IOR
+	IXOR
+	ISHL
+	ISHR  // arithmetic shift right
+	IUSHR // logical shift right
+	INEG
+	INOT
+	// Status-producing compares; the result bit is routed to the C-Box.
+	IFLT
+	IFLE
+	IFGT
+	IFGE
+	IFEQ
+	IFNE
+	// DMA operations (only on PEs with a DMA interface).
+	LOAD
+	STORE
+
+	numOpCodes int = iota
+)
+
+var opNames = [numOpCodes]string{
+	NOP: "NOP", MOVE: "MOVE", CONST: "CONST",
+	IADD: "IADD", ISUB: "ISUB", IMUL: "IMUL",
+	IAND: "IAND", IOR: "IOR", IXOR: "IXOR",
+	ISHL: "ISHL", ISHR: "ISHR", IUSHR: "IUSHR",
+	INEG: "INEG", INOT: "INOT",
+	IFLT: "IFLT", IFLE: "IFLE", IFGT: "IFGT",
+	IFGE: "IFGE", IFEQ: "IFEQ", IFNE: "IFNE",
+	LOAD: "LOAD", STORE: "STORE",
+}
+
+func (op OpCode) String() string {
+	if op >= 0 && int(op) < numOpCodes {
+		return opNames[op]
+	}
+	return fmt.Sprintf("OpCode(%d)", int(op))
+}
+
+// OpByName resolves the JSON spelling of an operation.
+func OpByName(name string) (OpCode, bool) {
+	for i, n := range opNames {
+		if n == name {
+			return OpCode(i), true
+		}
+	}
+	return NOP, false
+}
+
+// AllOpCodes returns every defined opcode, in declaration order.
+func AllOpCodes() []OpCode {
+	ops := make([]OpCode, numOpCodes)
+	for i := range ops {
+		ops[i] = OpCode(i)
+	}
+	return ops
+}
+
+// IsCompare reports whether op produces a status bit for the C-Box.
+func (op OpCode) IsCompare() bool { return op >= IFLT && op <= IFNE }
+
+// IsDMA reports whether op accesses host memory via the DMA interface.
+func (op OpCode) IsDMA() bool { return op == LOAD || op == STORE }
+
+// IsALU reports whether op runs on the PE's ALU data path (everything except
+// NOP; MOVE and CONST occupy the ALU issue slot for one cycle).
+func (op OpCode) IsALU() bool { return op != NOP }
+
+// Arity returns the number of register operands op consumes.
+func (op OpCode) Arity() int {
+	switch op {
+	case NOP, CONST:
+		return 0
+	case MOVE, INEG, INOT:
+		return 1
+	case LOAD:
+		return 1 // index (the array handle is a pseudo-constant in the context)
+	case STORE:
+		return 2 // index, value
+	default:
+		return 2
+	}
+}
+
+// OpInfo carries the per-PE implementation parameters of one operation,
+// matching the paper's PE description ("IADD": {"energy":1.0, "duration":1}).
+type OpInfo struct {
+	// Energy is the relative energy per execution (arbitrary units).
+	Energy float64
+	// Duration is the operation latency in cycles (>= 1). The paper
+	// evaluates both a two-cycle block multiplier and a single-cycle
+	// multiplier (Table II vs Table III).
+	Duration int
+}

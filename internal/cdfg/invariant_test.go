@@ -1,0 +1,106 @@
+package cdfg
+
+import (
+	"testing"
+
+	"cgra/internal/kgen"
+)
+
+// TestGraphInvariantsOnRandomKernels checks structural invariants of the
+// CDFG builder over the fuzzer's kernel distribution:
+//
+//  1. block node lists are topologically ordered w.r.t. data and ordering
+//     edges (the scheduler's priority sweep relies on this),
+//  2. FromNode operands reference nodes of the same block,
+//  3. predicates of a block's nodes only reference condition leaves of the
+//     same block,
+//  4. every loop region has a header condition; loop depths are
+//     consistent with nesting.
+func TestGraphInvariantsOnRandomKernels(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		gk := kgen.New(seed, kgen.Config{MaxDepth: 3})
+		g, err := Build(gk.Kernel, BuildOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		checkInvariants(t, seed, g)
+		// Branch-all variant too.
+		g2, err := Build(gk.Kernel, BuildOptions{BranchAllIfs: true})
+		if err != nil {
+			t.Fatalf("seed %d (branched): %v", seed, err)
+		}
+		checkInvariants(t, seed, g2)
+	}
+}
+
+func checkInvariants(t *testing.T, seed int64, g *Graph) {
+	t.Helper()
+	for _, blk := range g.Root.Blocks() {
+		pos := map[*Node]int{}
+		for i, n := range blk.Nodes {
+			pos[n] = i
+		}
+		for i, n := range blk.Nodes {
+			for _, a := range n.Args {
+				if a.Kind != FromNode {
+					continue
+				}
+				j, same := pos[a.Node]
+				if !same {
+					t.Fatalf("seed %d: node n%d consumes n%d from another block",
+						seed, n.ID, a.Node.ID)
+				}
+				if j >= i {
+					t.Fatalf("seed %d: node n%d consumes later node n%d", seed, n.ID, a.Node.ID)
+				}
+			}
+			for _, d := range n.Prereqs {
+				if j, same := pos[d]; same && j >= i {
+					t.Fatalf("seed %d: prereq n%d not before n%d", seed, d.ID, n.ID)
+				}
+			}
+			for _, d := range n.WeakPrereqs {
+				if j, same := pos[d]; same && j > i {
+					t.Fatalf("seed %d: weak prereq n%d after n%d", seed, d.ID, n.ID)
+				}
+				if d == n {
+					t.Fatalf("seed %d: self weak dependency on n%d", seed, n.ID)
+				}
+			}
+			if n.Pred != nil {
+				for _, leaf := range collectLeaves(n.Pred) {
+					if _, same := pos[leaf]; !same {
+						t.Fatalf("seed %d: predicate of n%d references compare n%d outside the block",
+							seed, n.ID, leaf.ID)
+					}
+				}
+			}
+		}
+	}
+	g.Root.Walk(func(r *Region) {
+		if r.Kind == RLoop {
+			if r.Header == nil || r.Header.Cond == nil {
+				t.Fatalf("seed %d: loop region %d without header condition", seed, r.ID)
+			}
+			if r.Body != nil && r.Body.Depth != r.Depth {
+				t.Fatalf("seed %d: loop %d body depth %d != loop depth %d",
+					seed, r.ID, r.Body.Depth, r.Depth)
+			}
+			if r.Parent != nil {
+				outer := r.Parent.EnclosingLoop()
+				if outer != nil && r.Depth != outer.Depth+1 {
+					t.Fatalf("seed %d: loop %d depth %d under loop of depth %d",
+						seed, r.ID, r.Depth, outer.Depth)
+				}
+			}
+		}
+	})
+}
+
+func collectLeaves(p *Pred) []*Node {
+	var out []*Node
+	for q := p; q != nil; q = q.Parent {
+		out = q.Cond.Leaves(out)
+	}
+	return out
+}

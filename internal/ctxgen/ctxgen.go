@@ -1,0 +1,323 @@
+// Package ctxgen turns a schedule into context streams: one context memory
+// per PE, one for the C-Box and the CCU jump table (paper §V-I, Fig. 10).
+// It also computes the bit-mask that minimizes each context word's width
+// (§IV-B: control-signal widths vary with neighbour count and RF size, so a
+// bit-mask is created for each context).
+package ctxgen
+
+import (
+	"fmt"
+	"math/bits"
+
+	"cgra/internal/alloc"
+	"cgra/internal/arch"
+	"cgra/internal/sched"
+)
+
+// SrcMode encodes an operand multiplexer setting.
+type SrcMode int
+
+// Operand multiplexer settings.
+const (
+	SrcNone  SrcMode = iota
+	SrcReg           // own register file
+	SrcRoute         // a neighbour's routing output
+)
+
+// PECtx is one decoded context word of one PE. A multi-cycle operation
+// occupies only its issue context; the PE holds it until completion.
+type PECtx struct {
+	Op arch.OpCode
+	// Operand A/B multiplexers. For SrcReg, Addr is the RF read address;
+	// for SrcRoute, Input indexes the PE's Inputs list.
+	AMode, BMode   SrcMode
+	AAddr, BAddr   int
+	AInput, BInput int
+	// WriteAddr receives the result at the end of the op's final cycle.
+	WriteEnable bool
+	WriteAddr   int
+	// Predicated gates the commit (RF write / DMA access) with the
+	// C-Box predication output of the issue cycle.
+	Predicated bool
+	// Imm is the CONST immediate.
+	Imm int32
+	// Array selects the DMA target array.
+	Array int
+	// Outl drives the routing output with an RF read this cycle.
+	OutlEnable bool
+	OutlAddr   int
+}
+
+// CBoxCtx is one decoded C-Box context word.
+type CBoxCtx struct {
+	// Consume combines the incoming status with a stored condition.
+	Consume  bool
+	StatusPE int
+	// Recombine combines two stored conditions instead.
+	Recombine  bool
+	Logic      sched.CBLogic
+	AAddr      int
+	AInv       bool
+	BAddr      int
+	BInv       bool
+	WriteAddr  int
+	HasA, HasB bool
+	// OutPE drives the predication signal from a stored slot.
+	OutPEEnable bool
+	OutPEAddr   int
+	// OutCtrl drives the branch-selection signal from a stored slot.
+	OutCtrlEnable bool
+	OutCtrlAddr   int
+	OutCtrlInv    bool
+}
+
+// CCUCtx is one decoded context-control word.
+type CCUCtx struct {
+	// Mode: 0 increment, 1 unconditional jump, 2 conditional jump (taken
+	// when the branch-selection signal is true).
+	Mode   int
+	Target int
+}
+
+// CCU modes.
+const (
+	CCUInc = iota
+	CCUJump
+	CCUCondJump
+)
+
+// PEFormat describes the bit layout of one PE's context word after
+// bit-mask minimization.
+type PEFormat struct {
+	OpBits     int
+	AModeBits  int
+	AAddrBits  int
+	AInputBits int
+	BModeBits  int
+	BAddrBits  int
+	BInputBits int
+	WriteBits  int // enable + address
+	PredBits   int
+	ImmBits    int
+	ArrayBits  int
+	OutlBits   int // enable + address
+}
+
+// Width returns the total context word width in bits.
+func (f PEFormat) Width() int {
+	return f.OpBits + f.AModeBits + f.AAddrBits + f.AInputBits +
+		f.BModeBits + f.BAddrBits + f.BInputBits +
+		f.WriteBits + f.PredBits + f.ImmBits + f.ArrayBits + f.OutlBits
+}
+
+// Program is the complete configuration of a composition for one kernel:
+// what the paper's context generator emits and the hardware executes.
+type Program struct {
+	Sched *sched.Schedule
+	Alloc *alloc.Result
+	// NumCtx is the number of contexts (Table I's "used contexts").
+	NumCtx int
+	// PE[pe][cycle] is the decoded context stream.
+	PE [][]PECtx
+	// CBox[cycle] is the C-Box context stream.
+	CBox []CBoxCtx
+	// CCU[cycle] is the jump table.
+	CCU []CCUCtx
+	// Formats gives each PE's minimized context layout; CBoxWidth and
+	// CCUWidth the corresponding control-word widths.
+	Formats   []PEFormat
+	CBoxWidth int
+	CCUWidth  int
+}
+
+// TotalContextBits returns the total context storage this program needs.
+func (p *Program) TotalContextBits() int {
+	bits := 0
+	for _, f := range p.Formats {
+		bits += f.Width() * p.NumCtx
+	}
+	bits += (p.CBoxWidth + p.CCUWidth) * p.NumCtx
+	return bits
+}
+
+// Generate allocates the schedule (left-edge RF and condition-memory
+// assignment) and emits the context streams.
+func Generate(s *sched.Schedule) (*Program, error) {
+	res, err := alloc.Allocate(s)
+	if err != nil {
+		return nil, fmt.Errorf("ctxgen: %v", err)
+	}
+	n := s.Length
+	if n > s.Comp.ContextSize {
+		return nil, fmt.Errorf("ctxgen: schedule needs %d contexts, memory holds %d",
+			n, s.Comp.ContextSize)
+	}
+	p := &Program{
+		Sched:  s,
+		Alloc:  res,
+		NumCtx: n,
+		PE:     make([][]PECtx, s.Comp.NumPEs()),
+		CBox:   make([]CBoxCtx, n),
+		CCU:    make([]CCUCtx, n),
+	}
+	for pe := range p.PE {
+		p.PE[pe] = make([]PECtx, n)
+	}
+	for _, op := range s.Ops {
+		ctx := &p.PE[op.PE][op.Cycle]
+		if ctx.Op != arch.NOP {
+			return nil, fmt.Errorf("ctxgen: PE %d cycle %d double-booked", op.PE, op.Cycle)
+		}
+		ctx.Op = op.Code
+		ctx.Imm = op.Imm
+		ctx.Array = op.Array
+		if err := p.encodeSrc(op, op.A, &ctx.AMode, &ctx.AAddr, &ctx.AInput); err != nil {
+			return nil, err
+		}
+		if err := p.encodeSrc(op, op.B, &ctx.BMode, &ctx.BAddr, &ctx.BInput); err != nil {
+			return nil, err
+		}
+		if op.Dest != nil {
+			ctx.WriteEnable = true
+			ctx.WriteAddr = op.Dest.Addr
+		}
+		if op.PredSlot != nil {
+			ctx.Predicated = true
+		}
+	}
+	// Routing outputs: every routed read makes the source PE present the
+	// value on outl in that cycle.
+	for _, op := range s.Ops {
+		for _, src := range []sched.Src{op.A, op.B} {
+			if src.Kind != sched.SrcRoute {
+				continue
+			}
+			ctx := &p.PE[src.FromPE][op.Cycle]
+			if ctx.OutlEnable && ctx.OutlAddr != src.Val.Addr {
+				return nil, fmt.Errorf("ctxgen: outl conflict on PE %d cycle %d", src.FromPE, op.Cycle)
+			}
+			ctx.OutlEnable = true
+			ctx.OutlAddr = src.Val.Addr
+		}
+	}
+	// C-Box contexts.
+	for _, cb := range s.CBox {
+		ctx := &p.CBox[cb.Cycle]
+		if ctx.Consume || ctx.Recombine {
+			return nil, fmt.Errorf("ctxgen: C-Box cycle %d double-booked", cb.Cycle)
+		}
+		ctx.Logic = cb.Logic
+		ctx.WriteAddr = cb.Write.Phys
+		if cb.Kind == sched.CBConsume {
+			ctx.Consume = true
+			ctx.StatusPE = cb.StatusPE
+		} else {
+			ctx.Recombine = true
+		}
+		if cb.A != nil {
+			ctx.HasA = true
+			ctx.AAddr = cb.A.Phys
+			ctx.AInv = cb.InvA
+		}
+		if cb.B != nil {
+			ctx.HasB = true
+			ctx.BAddr = cb.B.Phys
+			ctx.BInv = cb.InvB
+		}
+	}
+	// Predication reads: all predicated commits of one cycle share a slot.
+	for _, op := range s.Ops {
+		if op.PredSlot == nil {
+			continue
+		}
+		ctx := &p.CBox[op.Cycle]
+		if ctx.OutPEEnable && ctx.OutPEAddr != op.PredSlot.Phys {
+			return nil, fmt.Errorf("ctxgen: two predication slots at cycle %d", op.Cycle)
+		}
+		ctx.OutPEEnable = true
+		ctx.OutPEAddr = op.PredSlot.Phys
+	}
+	// CCU contexts and branch-selection reads.
+	for cycle, j := range s.CCU {
+		c := &p.CCU[cycle]
+		c.Target = j.Target
+		if j.Uncond {
+			c.Mode = CCUJump
+			continue
+		}
+		c.Mode = CCUCondJump
+		ctx := &p.CBox[cycle]
+		if ctx.OutCtrlEnable {
+			return nil, fmt.Errorf("ctxgen: two branch selections at cycle %d", cycle)
+		}
+		ctx.OutCtrlEnable = true
+		ctx.OutCtrlAddr = j.Slot.Phys
+		ctx.OutCtrlInv = j.Invert
+	}
+	p.computeFormats(res)
+	return p, nil
+}
+
+func (p *Program) encodeSrc(op *sched.Op, src sched.Src, mode *SrcMode, addr, input *int) error {
+	switch src.Kind {
+	case sched.SrcNone:
+		*mode = SrcNone
+	case sched.SrcReg:
+		*mode = SrcReg
+		*addr = src.Val.Addr
+	case sched.SrcRoute:
+		*mode = SrcRoute
+		idx := -1
+		for i, in := range p.Sched.Comp.PEs[op.PE].Inputs {
+			if in == src.FromPE {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("ctxgen: op %v routes from non-input PE %d", op, src.FromPE)
+		}
+		*input = idx
+		*addr = src.Val.Addr
+	}
+	return nil
+}
+
+// computeFormats derives the minimized per-PE context layouts: address
+// fields sized by actual RF usage, input selectors by neighbour count,
+// immediate and DMA fields only where the PE uses them (§IV-B bit-masks).
+func (p *Program) computeFormats(res *alloc.Result) {
+	comp := p.Sched.Comp
+	p.Formats = make([]PEFormat, comp.NumPEs())
+	for i, pe := range comp.PEs {
+		f := &p.Formats[i]
+		f.OpBits = bitsFor(len(pe.Ops) + 1)
+		addrBits := bitsFor(res.RFUsage[i])
+		inputBits := bitsFor(len(pe.Inputs))
+		f.AModeBits, f.BModeBits = 2, 2
+		f.AAddrBits, f.BAddrBits = addrBits, addrBits
+		f.AInputBits, f.BInputBits = inputBits, inputBits
+		f.WriteBits = 1 + addrBits
+		f.PredBits = 1
+		if pe.Supports(arch.CONST) {
+			f.ImmBits = 32
+		}
+		if pe.HasDMA {
+			f.ArrayBits = bitsFor(len(p.Sched.Graph.Arrays))
+		}
+		f.OutlBits = 1 + addrBits
+	}
+	slotBits := bitsFor(res.CBoxUsage)
+	// status source select + logic + A/B addr + inverts + write.
+	p.CBoxWidth = bitsFor(comp.NumPEs()) + 2 + 2 + (slotBits+1)*2 + 1 + slotBits +
+		(1 + slotBits) + (1 + slotBits + 1)
+	p.CCUWidth = 2 + bitsFor(p.NumCtx)
+	_ = res
+}
+
+// bitsFor returns ceil(log2(n)) with a minimum of 1.
+func bitsFor(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return bits.Len(uint(n - 1))
+}

@@ -1,0 +1,193 @@
+package ctxgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cgra/internal/arch"
+)
+
+// This file packs decoded contexts into binary context words using the
+// minimized per-PE formats — the bit streams the paper's context generator
+// writes into the context memories (Fig. 10 shows them as raw bits).
+// Packing and unpacking round-trip, which the tests use to prove the
+// minimized widths are sufficient.
+
+// Bitstream is one context memory's image: one word per context, each
+// Width bits wide, stored in little chunks of 64 bits.
+type Bitstream struct {
+	Width int
+	Words [][]uint64
+}
+
+// packer assembles one word LSB-first.
+type packer struct {
+	bits  []uint64
+	width int
+}
+
+func (p *packer) put(value uint64, width int) {
+	if width == 0 {
+		return
+	}
+	for i := 0; i < width; i++ {
+		bitIdx := p.width + i
+		for len(p.bits) <= bitIdx/64 {
+			p.bits = append(p.bits, 0)
+		}
+		if value&(1<<uint(i)) != 0 {
+			p.bits[bitIdx/64] |= 1 << uint(bitIdx%64)
+		}
+	}
+	p.width += width
+}
+
+func (p *packer) putBool(b bool) {
+	v := uint64(0)
+	if b {
+		v = 1
+	}
+	p.put(v, 1)
+}
+
+// unpacker reads a word back LSB-first.
+type unpacker struct {
+	bits []uint64
+	pos  int
+}
+
+func (u *unpacker) get(width int) uint64 {
+	var v uint64
+	for i := 0; i < width; i++ {
+		idx := u.pos + i
+		if idx/64 < len(u.bits) && u.bits[idx/64]&(1<<uint(idx%64)) != 0 {
+			v |= 1 << uint(i)
+		}
+	}
+	u.pos += width
+	return v
+}
+
+func (u *unpacker) getBool() bool { return u.get(1) != 0 }
+
+// opTable returns the PE's operation encoding table: index 0 is NOP, the
+// implemented operations follow in opcode order. This matches the case
+// indices of the generated ALU Verilog (vgen) and keeps the op field within
+// the minimized width even for PEs with sparse operation sets.
+func (p *Program) opTable(pe int) []arch.OpCode {
+	ops := make([]arch.OpCode, 0, len(p.Sched.Comp.PEs[pe].Ops)+1)
+	ops = append(ops, arch.NOP)
+	for op := range p.Sched.Comp.PEs[pe].Ops {
+		if op != arch.NOP {
+			ops = append(ops, op)
+		}
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	return ops
+}
+
+func opIndex(table []arch.OpCode, op arch.OpCode) (uint64, error) {
+	for i, o := range table {
+		if o == op {
+			return uint64(i), nil
+		}
+	}
+	return 0, fmt.Errorf("ctxgen: op %v not in PE's table", op)
+}
+
+// PackPE encodes one PE's context stream with its minimized format.
+func (p *Program) PackPE(pe int) (*Bitstream, error) {
+	f := p.Formats[pe]
+	table := p.opTable(pe)
+	bs := &Bitstream{Width: f.Width()}
+	for cycle := 0; cycle < p.NumCtx; cycle++ {
+		ctx := p.PE[pe][cycle]
+		pk := &packer{}
+		opIdx, err := opIndex(table, ctx.Op)
+		if err != nil {
+			return nil, err
+		}
+		pk.put(opIdx, f.OpBits)
+		pk.put(uint64(ctx.AMode), f.AModeBits)
+		pk.put(uint64(ctx.AAddr), f.AAddrBits)
+		pk.put(uint64(ctx.AInput), f.AInputBits)
+		pk.put(uint64(ctx.BMode), f.BModeBits)
+		pk.put(uint64(ctx.BAddr), f.BAddrBits)
+		pk.put(uint64(ctx.BInput), f.BInputBits)
+		pk.putBool(ctx.WriteEnable)
+		pk.put(uint64(ctx.WriteAddr), f.WriteBits-1)
+		pk.putBool(ctx.Predicated)
+		pk.put(uint64(uint32(ctx.Imm)), f.ImmBits)
+		pk.put(uint64(ctx.Array), f.ArrayBits)
+		pk.putBool(ctx.OutlEnable)
+		pk.put(uint64(ctx.OutlAddr), f.OutlBits-1)
+		if pk.width != bs.Width {
+			return nil, fmt.Errorf("ctxgen: PE %d cycle %d packed %d bits, format says %d",
+				pe, cycle, pk.width, bs.Width)
+		}
+		bs.Words = append(bs.Words, pk.bits)
+	}
+	return bs, nil
+}
+
+// UnpackPE decodes a packed stream back into contexts (for verification).
+func (p *Program) UnpackPE(pe int, bs *Bitstream) ([]PECtx, error) {
+	f := p.Formats[pe]
+	if bs.Width != f.Width() {
+		return nil, fmt.Errorf("ctxgen: width mismatch %d vs %d", bs.Width, f.Width())
+	}
+	table := p.opTable(pe)
+	out := make([]PECtx, len(bs.Words))
+	for i, w := range bs.Words {
+		u := &unpacker{bits: w}
+		var c PECtx
+		idx := u.get(f.OpBits)
+		if int(idx) >= len(table) {
+			return nil, fmt.Errorf("ctxgen: op index %d outside PE's table", idx)
+		}
+		c.Op = table[idx]
+		c.AMode = SrcMode(u.get(f.AModeBits))
+		c.AAddr = int(u.get(f.AAddrBits))
+		c.AInput = int(u.get(f.AInputBits))
+		c.BMode = SrcMode(u.get(f.BModeBits))
+		c.BAddr = int(u.get(f.BAddrBits))
+		c.BInput = int(u.get(f.BInputBits))
+		c.WriteEnable = u.getBool()
+		c.WriteAddr = int(u.get(f.WriteBits - 1))
+		c.Predicated = u.getBool()
+		c.Imm = int32(uint32(u.get(f.ImmBits)))
+		c.Array = int(u.get(f.ArrayBits))
+		c.OutlEnable = u.getBool()
+		c.OutlAddr = int(u.get(f.OutlBits - 1))
+		out[i] = c
+	}
+	return out, nil
+}
+
+// BitstreamDump renders a bitstream like the paper's Fig. 10 context dump:
+// one binary word per line, MSB first.
+func (b *Bitstream) Dump(maxWords int) string {
+	var sb strings.Builder
+	n := len(b.Words)
+	if maxWords > 0 && n > maxWords {
+		n = maxWords
+	}
+	for i := 0; i < n; i++ {
+		for bit := b.Width - 1; bit >= 0; bit-- {
+			if b.Words[i][bit/64]&(1<<uint(bit%64)) != 0 {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	if n < len(b.Words) {
+		fmt.Fprintf(&sb, "... (%d more)\n", len(b.Words)-n)
+	}
+	return sb.String()
+}
+
+// TotalBits returns the stream's total storage requirement.
+func (b *Bitstream) TotalBits() int { return b.Width * len(b.Words) }

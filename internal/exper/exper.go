@@ -1,0 +1,543 @@
+// Package exper regenerates the paper's evaluation (§VI): every table and
+// figure, plus the ablations called out in DESIGN.md. It is the shared
+// engine behind cmd/tables and the repository's benchmarks.
+//
+// Absolute numbers are not expected to match the paper — the substrate here
+// is a calibrated simulator, not the authors' FPGA testbed — but the shape
+// must: which composition wins, the direction of trends, and the
+// utilization ratios. EXPERIMENTS.md records the paper-vs-measured values.
+package exper
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cgra/internal/adpcm"
+	"cgra/internal/amidar"
+	"cgra/internal/arch"
+	"cgra/internal/cdfg"
+	"cgra/internal/pipeline"
+	"cgra/internal/synth"
+	"cgra/internal/workload"
+)
+
+// Setup is the shared experimental input: the paper's ADPCM decode of a
+// 416-sample vector.
+type Setup struct {
+	Samples []int32
+	Codes   []byte
+	N       int
+}
+
+// NewSetup builds the deterministic input vector and its encoding.
+func NewSetup() (*Setup, error) {
+	samples := adpcm.GenerateSamples(adpcm.NumSamples)
+	var enc adpcm.State
+	codes, err := adpcm.Encode(samples, &enc)
+	if err != nil {
+		return nil, err
+	}
+	return &Setup{Samples: samples, Codes: codes, N: adpcm.NumSamples}, nil
+}
+
+// Run is one ADPCM decode mapped and simulated on one composition.
+type Run struct {
+	Comp         *arch.Composition
+	UsedContexts int
+	MaxRF        int
+	Cycles       int64 // total invocation cycles (run + transfers)
+	RunCycles    int64
+	Energy       float64
+	CompileTime  time.Duration
+	Copies       int
+	FusedPWrites int
+	CBoxOps      int
+	CBoxSlots    int
+}
+
+// runOn compiles and simulates the decoder on one composition, checking the
+// output against the reference decoder.
+func (s *Setup) runOn(comp *arch.Composition, opts pipeline.Options) (*Run, error) {
+	k := adpcm.Kernel()
+	start := time.Now()
+	c, err := pipeline.Compile(k, comp, opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", comp.Name, err)
+	}
+	elapsed := time.Since(start)
+	host := adpcm.NewHost(s.Codes, s.N)
+	res, err := pipeline.CheckAgainstInterpreter(k, c, adpcm.Args(s.N, adpcm.State{}), host)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", comp.Name, err)
+	}
+	return &Run{
+		Comp:         comp,
+		UsedContexts: c.UsedContexts(),
+		MaxRF:        c.MaxRFEntries(),
+		Cycles:       res.Sim.TotalCycles(),
+		RunCycles:    res.Sim.RunCycles,
+		Energy:       res.Sim.Energy,
+		CompileTime:  elapsed,
+		Copies:       c.Schedule.Stats.CopiesInserted,
+		FusedPWrites: c.Schedule.Stats.FusedPWrites,
+		CBoxOps:      c.Schedule.Stats.CBoxOps,
+		CBoxSlots:    c.Program.Alloc.CBoxUsage,
+	}, nil
+}
+
+// Options returns the evaluation configuration: the paper maps the decoder
+// with a maximum inner-loop unroll factor of 2 (§VI-B).
+func Options() pipeline.Options { return pipeline.Defaults() }
+
+// --- Table I ---
+
+// TableIRow is one column of the paper's Table I.
+type TableIRow struct {
+	Comp          string
+	UsedContexts  int
+	MaxRF         int
+	PaperContexts int
+	PaperMaxRF    int
+}
+
+var paperTableI = map[int][2]int{
+	4: {200, 66}, 6: {191, 69}, 8: {189, 62}, 9: {175, 51}, 12: {173, 44}, 16: {168, 49},
+}
+
+// TableI reproduces "Memory utilization of the ADPCM decoder schedules".
+func TableI(s *Setup) ([]TableIRow, error) {
+	var rows []TableIRow
+	for _, n := range []int{4, 6, 8, 9, 12, 16} {
+		comp, err := arch.HomogeneousMesh(n, 2)
+		if err != nil {
+			return nil, err
+		}
+		r, err := s.runOn(comp, Options())
+		if err != nil {
+			return nil, err
+		}
+		paper := paperTableI[n]
+		rows = append(rows, TableIRow{
+			Comp:          comp.Name,
+			UsedContexts:  r.UsedContexts,
+			MaxRF:         r.MaxRF,
+			PaperContexts: paper[0],
+			PaperMaxRF:    paper[1],
+		})
+	}
+	return rows, nil
+}
+
+// --- Table II ---
+
+// TableIIRow is one column of the paper's Table II.
+type TableIIRow struct {
+	Comp        string
+	Cycles      int64
+	FreqMHz     float64
+	LUTLogicPct float64
+	LUTMemPct   float64
+	DSPPct      float64
+	BRAMPct     float64
+	PaperCycles int64
+	PaperFreq   float64
+}
+
+var paperTableII = map[string][2]float64{
+	"4 PEs": {152300, 103.6}, "6 PEs": {135300, 99.5}, "8 PEs": {137500, 98.0},
+	"9 PEs": {126600, 93.6}, "12 PEs": {135300, 88.1}, "16 PEs": {140100, 86.9},
+	"8 PEs A": {147600, 94.8}, "8 PEs B": {157700, 93.6}, "8 PEs C": {133900, 100.4},
+	"8 PEs D": {133800, 96.0}, "8 PEs E": {150400, 94.3}, "8 PEs F": {134400, 93.5},
+}
+
+// TableII reproduces execution cycles plus synthesis estimates for all
+// twelve evaluated compositions with the block (two-cycle) multiplier.
+func TableII(s *Setup) ([]TableIIRow, error) {
+	comps, err := arch.EvaluatedCompositions(2)
+	if err != nil {
+		return nil, err
+	}
+	var rows []TableIIRow
+	for _, comp := range comps {
+		r, err := s.runOn(comp, Options())
+		if err != nil {
+			return nil, err
+		}
+		est := synth.Estimate(comp)
+		paper := paperTableII[comp.Name]
+		rows = append(rows, TableIIRow{
+			Comp:        comp.Name,
+			Cycles:      r.Cycles,
+			FreqMHz:     est.FreqMHz,
+			LUTLogicPct: est.LUTLogicPct,
+			LUTMemPct:   est.LUTMemPct,
+			DSPPct:      est.DSPPct,
+			BRAMPct:     est.BRAMPct,
+			PaperCycles: int64(paper[0]),
+			PaperFreq:   paper[1],
+		})
+	}
+	return rows, nil
+}
+
+// --- Table III ---
+
+// TableIIIRow is one column of the paper's Table III (single-cycle
+// multipliers).
+type TableIIIRow struct {
+	Comp        string
+	Cycles      int64
+	FreqMHz     float64
+	PaperCycles int64
+	PaperFreq   float64
+}
+
+var paperTableIII = map[int][2]float64{
+	4: {147000, 86.9}, 6: {131400, 84.0}, 8: {134900, 81.3},
+	9: {125600, 79.7}, 12: {133100, 79.0}, 16: {143100, 76.3},
+}
+
+// TableIII reproduces the single-cycle-multiplier variant on the six meshes.
+func TableIII(s *Setup) ([]TableIIIRow, error) {
+	var rows []TableIIIRow
+	for _, n := range []int{4, 6, 8, 9, 12, 16} {
+		comp, err := arch.HomogeneousMesh(n, 1)
+		if err != nil {
+			return nil, err
+		}
+		r, err := s.runOn(comp, Options())
+		if err != nil {
+			return nil, err
+		}
+		est := synth.Estimate(comp)
+		paper := paperTableIII[n]
+		rows = append(rows, TableIIIRow{
+			Comp:        comp.Name,
+			Cycles:      r.Cycles,
+			FreqMHz:     est.FreqMHz,
+			PaperCycles: int64(paper[0]),
+			PaperFreq:   paper[1],
+		})
+	}
+	return rows, nil
+}
+
+// --- Table IV ---
+
+// TableIVRow is one column of the paper's Table IV: wall-clock decode time.
+type TableIVRow struct {
+	Comp        string
+	SingleMS    float64
+	DualMS      float64
+	PaperSingle float64
+	PaperDual   float64
+}
+
+var paperTableIV = map[int][2]float64{
+	4: {1.69, 1.48}, 6: {1.56, 1.36}, 8: {1.66, 1.40},
+	9: {1.58, 1.35}, 12: {1.68, 1.54}, 16: {1.88, 1.61},
+}
+
+// TableIV combines cycles and estimated frequencies into milliseconds.
+func TableIV(s *Setup) ([]TableIVRow, error) {
+	var rows []TableIVRow
+	for _, n := range []int{4, 6, 8, 9, 12, 16} {
+		dual, err := arch.HomogeneousMesh(n, 2)
+		if err != nil {
+			return nil, err
+		}
+		single, err := arch.HomogeneousMesh(n, 1)
+		if err != nil {
+			return nil, err
+		}
+		rd, err := s.runOn(dual, Options())
+		if err != nil {
+			return nil, err
+		}
+		rs, err := s.runOn(single, Options())
+		if err != nil {
+			return nil, err
+		}
+		paper := paperTableIV[n]
+		rows = append(rows, TableIVRow{
+			Comp:        dual.Name,
+			SingleMS:    synth.Estimate(single).ExecutionTimeMS(rs.Cycles),
+			DualMS:      synth.Estimate(dual).ExecutionTimeMS(rd.Cycles),
+			PaperSingle: paper[0],
+			PaperDual:   paper[1],
+		})
+	}
+	return rows, nil
+}
+
+// --- Fig. 12 ---
+
+// Fig12 summarizes the control-flow structure of the decoder kernel: the
+// loops, branch points and nesting the paper's figure draws.
+func Fig12() (cdfg.Stats, error) {
+	g, err := cdfg.Build(adpcm.Kernel(), cdfg.BuildOptions{})
+	if err != nil {
+		return cdfg.Stats{}, err
+	}
+	return g.Stats(), nil
+}
+
+// --- Speedup (§VI headline) ---
+
+// SpeedupResult compares AMIDAR-only execution with the best CGRA mapping.
+type SpeedupResult struct {
+	AMIDARCycles int64
+	BestComp     string
+	BestCycles   int64
+	Speedup      float64
+	// PerComp lists each composition's speedup.
+	PerComp map[string]float64
+}
+
+// Speedup reproduces the headline comparison: the paper reports 926 k AMIDAR
+// cycles and a 7.3x speedup for the best composition (9 PEs).
+func Speedup(s *Setup) (*SpeedupResult, error) {
+	base, err := amidar.Execute(adpcm.Kernel(), amidar.DefaultCostModel(),
+		adpcm.Args(s.N, adpcm.State{}), adpcm.NewHost(s.Codes, s.N))
+	if err != nil {
+		return nil, err
+	}
+	comps, err := arch.EvaluatedCompositions(2)
+	if err != nil {
+		return nil, err
+	}
+	out := &SpeedupResult{AMIDARCycles: base.Cycles, PerComp: map[string]float64{}}
+	for _, comp := range comps {
+		r, err := s.runOn(comp, Options())
+		if err != nil {
+			return nil, err
+		}
+		sp := float64(base.Cycles) / float64(r.Cycles)
+		out.PerComp[comp.Name] = sp
+		if sp > out.Speedup {
+			out.Speedup = sp
+			out.BestComp = comp.Name
+			out.BestCycles = r.Cycles
+		}
+	}
+	return out, nil
+}
+
+// --- Scheduling time (§VI-C: at most 3.1 s on an i7-6700) ---
+
+// SchedulingTime measures the slowest scheduling+context generation over
+// the evaluated compositions.
+func SchedulingTime(s *Setup) (time.Duration, error) {
+	comps, err := arch.EvaluatedCompositions(2)
+	if err != nil {
+		return 0, err
+	}
+	var worst time.Duration
+	for _, comp := range comps {
+		r, err := s.runOn(comp, Options())
+		if err != nil {
+			return 0, err
+		}
+		if r.CompileTime > worst {
+			worst = r.CompileTime
+		}
+	}
+	return worst, nil
+}
+
+// --- Multiplier latency on a multiplier-bound kernel ---
+// The ADPCM decoder contains no multiplication (EXPERIMENTS.md, Table III
+// discussion), so the block-vs-single-cycle multiplier effect on cycle
+// counts is demonstrated on the FIR workload instead.
+
+// MulLatencyRow compares the two multiplier implementations on one mesh.
+type MulLatencyRow struct {
+	Comp         string
+	CyclesDual   int64 // 2-cycle block multiplier
+	CyclesSingle int64 // 1-cycle multiplier
+}
+
+// MulLatency runs the FIR filter on the six meshes with both multiplier
+// variants.
+func MulLatency() ([]MulLatencyRow, error) {
+	w := workload.FIR()
+	var rows []MulLatencyRow
+	for _, n := range []int{4, 6, 8, 9, 12, 16} {
+		row := MulLatencyRow{}
+		for _, mul := range []int{2, 1} {
+			comp, err := arch.HomogeneousMesh(n, mul)
+			if err != nil {
+				return nil, err
+			}
+			row.Comp = comp.Name
+			c, err := pipeline.Compile(w.Kernel, comp, pipeline.Options{})
+			if err != nil {
+				return nil, err
+			}
+			res, err := pipeline.CheckAgainstInterpreter(w.Kernel, c,
+				w.Args(w.DefaultSize), w.Host(w.DefaultSize))
+			if err != nil {
+				return nil, err
+			}
+			if mul == 2 {
+				row.CyclesDual = res.Sim.TotalCycles()
+			} else {
+				row.CyclesSingle = res.Sim.TotalCycles()
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// --- Energy (the paper's closing claim: irregular and inhomogeneous
+// structures "can potentially save area on the chip and most likely
+// energy") ---
+
+// EnergyRow reports one composition's energy picture for the ADPCM decode.
+type EnergyRow struct {
+	Comp string
+	// Dynamic is the summed per-operation energy over the whole run
+	// (arbitrary units from the composition description).
+	Dynamic float64
+	// AreaProxy is the estimated LUT+DSP utilization, a static-power
+	// proxy.
+	AreaProxy float64
+	Cycles    int64
+}
+
+// Energy runs the decoder on all twelve compositions and reports dynamic
+// energy and the static-area proxy.
+func Energy(s *Setup) ([]EnergyRow, error) {
+	comps, err := arch.EvaluatedCompositions(2)
+	if err != nil {
+		return nil, err
+	}
+	var rows []EnergyRow
+	for _, comp := range comps {
+		r, err := s.runOn(comp, Options())
+		if err != nil {
+			return nil, err
+		}
+		est := synth.Estimate(comp)
+		rows = append(rows, EnergyRow{
+			Comp:      comp.Name,
+			Dynamic:   r.Energy,
+			AreaProxy: est.LUTLogicPct + est.DSPPct,
+			Cycles:    r.Cycles,
+		})
+	}
+	return rows, nil
+}
+
+// --- Ablations ---
+
+// AblationRow compares a scheduler/flow variant against the default.
+type AblationRow struct {
+	Comp            string
+	BaseCycles      int64
+	VariantCycles   int64
+	BaseContexts    int
+	VariantContexts int
+	BaseCopies      int
+	VariantCopies   int
+}
+
+// Ablation runs the decoder with a modified configuration on the given
+// compositions (nil = the three most interesting: 9 PEs, 8 PEs B, 8 PEs D).
+func (s *Setup) Ablation(modify func(*pipeline.Options), comps []*arch.Composition) ([]AblationRow, error) {
+	if comps == nil {
+		var err error
+		comps, err = defaultAblationComps()
+		if err != nil {
+			return nil, err
+		}
+	}
+	var rows []AblationRow
+	for _, comp := range comps {
+		base, err := s.runOn(comp, Options())
+		if err != nil {
+			return nil, err
+		}
+		varOpts := Options()
+		modify(&varOpts)
+		variant, err := s.runOn(comp, varOpts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Comp:            comp.Name,
+			BaseCycles:      base.Cycles,
+			VariantCycles:   variant.Cycles,
+			BaseContexts:    base.UsedContexts,
+			VariantContexts: variant.UsedContexts,
+			BaseCopies:      base.Copies,
+			VariantCopies:   variant.Copies,
+		})
+	}
+	return rows, nil
+}
+
+func defaultAblationComps() ([]*arch.Composition, error) {
+	var out []*arch.Composition
+	for _, name := range []string{"9 PEs", "8 PEs B", "8 PEs D"} {
+		c, err := arch.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// AblationNoAttraction disables the attraction criterion (A1).
+func AblationNoAttraction(o *pipeline.Options) { o.Sched.NoAttraction = true }
+
+// AblationNoFusing disables pWRITE fusing (A2).
+func AblationNoFusing(o *pipeline.Options) { o.Sched.NoFusing = true }
+
+// AblationNoUnroll disables partial loop unrolling (A3).
+func AblationNoUnroll(o *pipeline.Options) { o.UnrollFactor = 1 }
+
+// AblationNoCSE disables common subexpression elimination (A4).
+func AblationNoCSE(o *pipeline.Options) { o.CSE = false }
+
+// AblationBranchAllIfs turns every conditional into branches (A5): the
+// opposite of the paper's speculation+predication strategy.
+func AblationBranchAllIfs(o *pipeline.Options) { o.Build.BranchAllIfs = true }
+
+// FormatTable renders rows of cells as an aligned text table.
+func FormatTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,241 @@
+// Package explore implements the paper's stated future work (§VII): "a tool
+// that automatically analyzes a set of problems from an application domain
+// and generates a matching CGRA composition". It performs a greedy local
+// search over composition space — adding or removing interconnect edges,
+// pruning multipliers, and moving DMA ports — evaluating every candidate by
+// actually compiling and simulating a workload set and scoring the result
+// against an area-aware objective.
+//
+// The search honours the paper's observation that "supporting irregular and
+// inhomogeneous structures can potentially save area on the chip and most
+// likely energy": starting from a homogeneous mesh it typically discovers
+// compositions with fewer multipliers and tailored links at equal cycle
+// counts.
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"cgra/internal/arch"
+	"cgra/internal/pipeline"
+	"cgra/internal/synth"
+	"cgra/internal/workload"
+)
+
+// Objective scores a candidate; lower is better.
+type Objective func(totalCycles int64, rep *synth.Report) float64
+
+// DefaultObjective balances performance against area: cycles scaled by an
+// area factor built from LUT and DSP utilization. A composition that drops
+// multipliers without slowing the workloads down scores strictly better.
+func DefaultObjective(areaWeight float64) Objective {
+	return func(cycles int64, rep *synth.Report) float64 {
+		area := rep.LUTLogicPct + rep.DSPPct + rep.BRAMPct
+		return float64(cycles) * (1.0 + areaWeight*area)
+	}
+}
+
+// Candidate is one evaluated composition.
+type Candidate struct {
+	Comp   *arch.Composition
+	Cycles int64 // summed over the workload set
+	Report *synth.Report
+	Score  float64
+	// Move describes how the candidate was derived from its parent.
+	Move string
+}
+
+// Explorer drives the search.
+type Explorer struct {
+	// Workloads is the application-domain sample (default: dot, sobel,
+	// gcd — one multiplier-bound, one control-bound, one data-dependent).
+	Workloads []*workload.Workload
+	// Sizes overrides each workload's default problem size (0 = default).
+	Size int
+	// Opts is the flow configuration used for evaluation.
+	Opts pipeline.Options
+	// Objective scores candidates (default: DefaultObjective(0.05)).
+	Objective Objective
+	// MaxIters bounds the greedy iterations (default 8).
+	MaxIters int
+	// MaxMovesPerIter bounds the neighbourhood size (default 24).
+	MaxMovesPerIter int
+}
+
+func (e *Explorer) defaults() {
+	if e.Workloads == nil {
+		e.Workloads = []*workload.Workload{
+			workload.DotProduct(), workload.Sobel1D(), workload.GCD(),
+		}
+	}
+	if e.Objective == nil {
+		e.Objective = DefaultObjective(0.05)
+	}
+	if e.MaxIters == 0 {
+		e.MaxIters = 8
+	}
+	if e.MaxMovesPerIter == 0 {
+		e.MaxMovesPerIter = 24
+	}
+}
+
+// Run searches from the starting composition and returns the best candidate
+// found plus the greedy trail (starting point first).
+func (e *Explorer) Run(start *arch.Composition) (*Candidate, []*Candidate, error) {
+	e.defaults()
+	cur, err := e.evaluate(start, "start")
+	if err != nil {
+		return nil, nil, fmt.Errorf("explore: starting composition infeasible: %v", err)
+	}
+	trail := []*Candidate{cur}
+	for iter := 0; iter < e.MaxIters; iter++ {
+		best := cur
+		for _, mv := range e.moves(cur.Comp) {
+			cand, err := e.evaluate(mv.comp, mv.desc)
+			if err != nil {
+				continue // infeasible neighbour (disconnected, capacity, ...)
+			}
+			if cand.Score < best.Score {
+				best = cand
+			}
+		}
+		if best == cur {
+			break // local optimum
+		}
+		cur = best
+		trail = append(trail, cur)
+	}
+	return cur, trail, nil
+}
+
+// evaluate compiles and simulates every workload on the composition.
+func (e *Explorer) evaluate(comp *arch.Composition, move string) (*Candidate, error) {
+	if err := comp.Validate(); err != nil {
+		return nil, err
+	}
+	var total int64
+	for _, w := range e.Workloads {
+		size := e.Size
+		if size == 0 {
+			size = w.DefaultSize
+		}
+		c, err := pipeline.Compile(w.Kernel, comp, e.Opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", w.Name, err)
+		}
+		res, err := pipeline.CheckAgainstInterpreter(w.Kernel, c, w.Args(size), w.Host(size))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", w.Name, err)
+		}
+		total += res.Sim.TotalCycles()
+	}
+	rep := synth.Estimate(comp)
+	return &Candidate{
+		Comp:   comp,
+		Cycles: total,
+		Report: rep,
+		Score:  e.Objective(total, rep),
+		Move:   move,
+	}, nil
+}
+
+type move struct {
+	comp *arch.Composition
+	desc string
+}
+
+// moves enumerates the neighbourhood, deterministically capped.
+func (e *Explorer) moves(c *arch.Composition) []move {
+	var out []move
+	n := c.NumPEs()
+	// 1. Remove a multiplier (inhomogeneity; keep at least one).
+	mulPEs := c.SupportingPEs(arch.IMUL)
+	if len(mulPEs) > 1 {
+		for _, pe := range mulPEs {
+			cc := c.Clone()
+			delete(cc.PEs[pe].Ops, arch.IMUL)
+			cc.Name = fmt.Sprintf("%s -mul%d", c.Name, pe)
+			out = append(out, move{cc, fmt.Sprintf("drop multiplier on PE %d", pe)})
+		}
+	}
+	// 2. Add a missing (bidirectional) link.
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if c.PEs[a].CanReadFrom(b) {
+				continue
+			}
+			cc := c.Clone()
+			cc.PEs[a].Inputs = insertSorted(cc.PEs[a].Inputs, b)
+			cc.PEs[b].Inputs = insertSorted(cc.PEs[b].Inputs, a)
+			cc.Name = fmt.Sprintf("%s +%d-%d", c.Name, a, b)
+			out = append(out, move{cc, fmt.Sprintf("add link %d<->%d", a, b)})
+		}
+	}
+	// 3. Remove an existing (bidirectional) link.
+	for a := 0; a < n; a++ {
+		for _, b := range c.PEs[a].Inputs {
+			if b < a {
+				continue
+			}
+			cc := c.Clone()
+			cc.PEs[a].Inputs = removeVal(cc.PEs[a].Inputs, b)
+			cc.PEs[b].Inputs = removeVal(cc.PEs[b].Inputs, a)
+			cc.Name = fmt.Sprintf("%s -%d-%d", c.Name, a, b)
+			out = append(out, move{cc, fmt.Sprintf("remove link %d<->%d", a, b)})
+		}
+	}
+	// 4. Move a DMA port to a neighbouring PE.
+	for _, pe := range c.DMAPEs() {
+		for _, nb := range c.PEs[pe].Inputs {
+			if c.PEs[nb].HasDMA {
+				continue
+			}
+			cc := c.Clone()
+			src, dst := cc.PEs[pe], cc.PEs[nb]
+			src.HasDMA = false
+			load, store := src.Ops[arch.LOAD], src.Ops[arch.STORE]
+			delete(src.Ops, arch.LOAD)
+			delete(src.Ops, arch.STORE)
+			dst.HasDMA = true
+			dst.Ops[arch.LOAD] = load
+			dst.Ops[arch.STORE] = store
+			src.Name, dst.Name = "PE_no_mem", "PE_mem"
+			cc.Name = fmt.Sprintf("%s dma%d->%d", c.Name, pe, nb)
+			out = append(out, move{cc, fmt.Sprintf("move DMA %d->%d", pe, nb)})
+		}
+	}
+	// Deterministic cap: spread across move classes by sorting on a
+	// simple hash of the description, then truncating.
+	sort.SliceStable(out, func(i, j int) bool {
+		return hash(out[i].desc)%97 < hash(out[j].desc)%97
+	})
+	if len(out) > e.MaxMovesPerIter {
+		out = out[:e.MaxMovesPerIter]
+	}
+	return out
+}
+
+func hash(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+func insertSorted(s []int, v int) []int {
+	s = append(s, v)
+	sort.Ints(s)
+	return s
+}
+
+func removeVal(s []int, v int) []int {
+	out := s[:0]
+	for _, x := range s {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}

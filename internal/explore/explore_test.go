@@ -1,0 +1,118 @@
+package explore
+
+import (
+	"testing"
+
+	"cgra/internal/arch"
+	"cgra/internal/workload"
+)
+
+func TestExploreImprovesOrHolds(t *testing.T) {
+	start, err := arch.HomogeneousMesh(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Explorer{MaxIters: 3, MaxMovesPerIter: 10}
+	best, trail, err := e.Run(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trail) == 0 || trail[0].Move != "start" {
+		t.Fatal("trail must begin with the starting point")
+	}
+	if best.Score > trail[0].Score {
+		t.Errorf("search worsened the objective: %.1f -> %.1f", trail[0].Score, best.Score)
+	}
+	// The trail must be monotonically improving.
+	for i := 1; i < len(trail); i++ {
+		if trail[i].Score >= trail[i-1].Score {
+			t.Errorf("trail step %d not improving: %.1f -> %.1f",
+				i, trail[i-1].Score, trail[i].Score)
+		}
+	}
+	// Every candidate on the trail is a valid composition.
+	for _, c := range trail {
+		if err := c.Comp.Validate(); err != nil {
+			t.Errorf("invalid candidate on trail: %v", err)
+		}
+	}
+}
+
+func TestExploreDropsMultipliersOnControlWorkloads(t *testing.T) {
+	// With only control-flow workloads (no multiplications) and an
+	// area-aware objective, the explorer should prune multipliers.
+	start, err := arch.HomogeneousMesh(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Explorer{
+		Workloads: []*workload.Workload{workload.GCD(), workload.Sobel1D()},
+		Objective: DefaultObjective(0.5),
+		MaxIters:  6,
+	}
+	best, _, err := e.Run(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startMuls := len(start.SupportingPEs(arch.IMUL))
+	bestMuls := len(best.Comp.SupportingPEs(arch.IMUL))
+	if bestMuls >= startMuls {
+		t.Errorf("explorer kept %d multipliers (start %d) despite mul-free workloads",
+			bestMuls, startMuls)
+	}
+	if bestMuls < 1 {
+		t.Error("explorer removed every multiplier (must keep one)")
+	}
+}
+
+func TestExploreDeterministic(t *testing.T) {
+	start, err := arch.HomogeneousMesh(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() float64 {
+		e := &Explorer{MaxIters: 2, MaxMovesPerIter: 8}
+		best, _, err := e.Run(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return best.Score
+	}
+	if run() != run() {
+		t.Error("exploration is nondeterministic")
+	}
+}
+
+func TestExploreInfeasibleStart(t *testing.T) {
+	start, err := arch.HomogeneousMesh(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start.PEs[0].Inputs = nil // disconnect
+	for _, pe := range start.PEs {
+		pe.Inputs = removeVal(pe.Inputs, 0)
+	}
+	e := &Explorer{MaxIters: 1}
+	if _, _, err := e.Run(start); err == nil {
+		t.Error("disconnected start accepted")
+	}
+}
+
+func TestMovesKeepBidirectionality(t *testing.T) {
+	c, err := arch.HomogeneousMesh(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Explorer{}
+	e.defaults()
+	for _, mv := range e.moves(c) {
+		for _, pe := range mv.comp.PEs {
+			for _, src := range pe.Inputs {
+				if !mv.comp.PEs[src].CanReadFrom(pe.Index) {
+					t.Errorf("move %q broke bidirectionality (%d->%d)",
+						mv.desc, src, pe.Index)
+				}
+			}
+		}
+	}
+}

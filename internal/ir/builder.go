@@ -1,0 +1,114 @@
+package ir
+
+// This file provides a terse construction API for kernels. Examples and the
+// workload library use it to express algorithms close to their pseudo-code.
+
+// C builds an integer constant expression.
+func C(v int32) *Const { return &Const{Value: v} }
+
+// V builds a variable reference.
+func V(name string) *VarRef { return &VarRef{Name: name} }
+
+// At builds an array load Array[index].
+func At(array string, index Expr) *Load { return &Load{Array: array, Index: index} }
+
+// Add builds x + y.
+func Add(x, y Expr) *Bin { return &Bin{Op: OpAdd, X: x, Y: y} }
+
+// Sub builds x - y.
+func Sub(x, y Expr) *Bin { return &Bin{Op: OpSub, X: x, Y: y} }
+
+// Mul builds x * y.
+func Mul(x, y Expr) *Bin { return &Bin{Op: OpMul, X: x, Y: y} }
+
+// And builds bitwise x & y.
+func And(x, y Expr) *Bin { return &Bin{Op: OpAnd, X: x, Y: y} }
+
+// Or builds bitwise x | y.
+func Or(x, y Expr) *Bin { return &Bin{Op: OpOr, X: x, Y: y} }
+
+// Xor builds x ^ y.
+func Xor(x, y Expr) *Bin { return &Bin{Op: OpXor, X: x, Y: y} }
+
+// Shl builds x << y.
+func Shl(x, y Expr) *Bin { return &Bin{Op: OpShl, X: x, Y: y} }
+
+// Shr builds the arithmetic shift x >> y.
+func Shr(x, y Expr) *Bin { return &Bin{Op: OpShr, X: x, Y: y} }
+
+// ShrU builds the logical shift x >>> y.
+func ShrU(x, y Expr) *Bin { return &Bin{Op: OpShrU, X: x, Y: y} }
+
+// Lt builds x < y.
+func Lt(x, y Expr) *Bin { return &Bin{Op: OpLt, X: x, Y: y} }
+
+// Le builds x <= y.
+func Le(x, y Expr) *Bin { return &Bin{Op: OpLe, X: x, Y: y} }
+
+// Gt builds x > y.
+func Gt(x, y Expr) *Bin { return &Bin{Op: OpGt, X: x, Y: y} }
+
+// Ge builds x >= y.
+func Ge(x, y Expr) *Bin { return &Bin{Op: OpGe, X: x, Y: y} }
+
+// Eq builds x == y.
+func Eq(x, y Expr) *Bin { return &Bin{Op: OpEq, X: x, Y: y} }
+
+// Ne builds x != y.
+func Ne(x, y Expr) *Bin { return &Bin{Op: OpNe, X: x, Y: y} }
+
+// LAnd builds the short-circuit conjunction x && y.
+func LAnd(x, y Expr) *Bin { return &Bin{Op: OpLAnd, X: x, Y: y} }
+
+// LOr builds the short-circuit disjunction x || y.
+func LOr(x, y Expr) *Bin { return &Bin{Op: OpLOr, X: x, Y: y} }
+
+// Neg builds -x.
+func Neg(x Expr) *Un { return &Un{Op: OpNeg, X: x} }
+
+// Not builds the bitwise complement ~x.
+func Not(x Expr) *Un { return &Un{Op: OpNot, X: x} }
+
+// LNot builds the logical negation !x.
+func LNot(x Expr) *Un { return &Un{Op: OpLNot, X: x} }
+
+// Set builds the assignment name = value.
+func Set(name string, value Expr) *Assign { return &Assign{Name: name, Value: value} }
+
+// SetElem builds the array store array[index] = value.
+func SetElem(array string, index, value Expr) *Store {
+	return &Store{Array: array, Index: index, Value: value}
+}
+
+// IfThen builds a one-armed conditional.
+func IfThen(cond Expr, then ...Stmt) *If { return &If{Cond: cond, Then: then} }
+
+// IfElse builds a two-armed conditional.
+func IfElse(cond Expr, then, els []Stmt) *If { return &If{Cond: cond, Then: then, Else: els} }
+
+// Loop builds a while loop.
+func Loop(cond Expr, body ...Stmt) *While { return &While{Cond: cond, Body: body} }
+
+// Count builds the counted loop: name = from; while (name < to) { body; name = name + step }.
+func Count(name string, from, to Expr, step int32, body ...Stmt) *For {
+	return &For{
+		Init: Set(name, from),
+		Cond: Lt(V(name), to),
+		Post: Set(name, Add(V(name), C(step))),
+		Body: body,
+	}
+}
+
+// In declares a scalar input parameter.
+func In(name string) Param { return Param{Name: name, Kind: ScalarIn} }
+
+// InOut declares a scalar input parameter written back after the run.
+func InOut(name string) Param { return Param{Name: name, Kind: ScalarInOut} }
+
+// Array declares an array (heap handle) parameter.
+func Array(name string) Param { return Param{Name: name, Kind: ArrayRef} }
+
+// NewKernel assembles a kernel from parameters and body statements.
+func NewKernel(name string, params []Param, body ...Stmt) *Kernel {
+	return &Kernel{Name: name, Params: params, Body: body}
+}

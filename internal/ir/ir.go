@@ -1,0 +1,265 @@
+// Package ir defines the kernel intermediate representation consumed by the
+// CGRA tool flow.
+//
+// The paper builds its control/data-flow graph (CDFG) from Java bytecode
+// sequences that the AMIDAR hardware profiler flags as hot. This repository
+// substitutes a small, typed kernel IR: a kernel is a parameterized function
+// over 32-bit integers and integer arrays, with assignments, array loads and
+// stores, if/else, and while/for loops (including data-dependent bounds and
+// arbitrary nesting). Any front end that can produce this IR exercises the
+// same scheduler code paths as the paper's bytecode front end.
+//
+// The IR is deliberately word-oriented: every scalar is an int32, matching
+// the 32-bit integer data path of the generated CGRAs (the paper's current
+// implementation supports integer and control-flow operations only).
+package ir
+
+import "fmt"
+
+// BinOp enumerates binary operators. Arithmetic and logic operators map 1:1
+// onto CGRA ALU operations; comparison operators become status-producing
+// operations whose result is routed to the C-Box. Division is intentionally
+// absent: the paper's PEs exclude it.
+type BinOp int
+
+// Binary operators.
+const (
+	OpAdd  BinOp = iota // +
+	OpSub               // -
+	OpMul               // *
+	OpAnd               // & (bitwise)
+	OpOr                // | (bitwise)
+	OpXor               // ^
+	OpShl               // <<
+	OpShr               // >> (arithmetic)
+	OpShrU              // >>> (logical)
+	OpLt                // <
+	OpLe                // <=
+	OpGt                // >
+	OpGe                // >=
+	OpEq                // ==
+	OpNe                // !=
+	OpLAnd              // && (short-circuit in conditions, 0/1 as value)
+	OpLOr               // || (short-circuit in conditions, 0/1 as value)
+)
+
+var binOpNames = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpAnd: "&", OpOr: "|", OpXor: "^",
+	OpShl: "<<", OpShr: ">>", OpShrU: ">>>", OpLt: "<", OpLe: "<=",
+	OpGt: ">", OpGe: ">=", OpEq: "==", OpNe: "!=", OpLAnd: "&&", OpLOr: "||",
+}
+
+func (op BinOp) String() string {
+	if s, ok := binOpNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("BinOp(%d)", int(op))
+}
+
+// IsCompare reports whether op yields a boolean (0/1) comparison result.
+func (op BinOp) IsCompare() bool {
+	switch op {
+	case OpLt, OpLe, OpGt, OpGe, OpEq, OpNe:
+		return true
+	}
+	return false
+}
+
+// IsLogical reports whether op is a short-circuit logical connective.
+func (op BinOp) IsLogical() bool { return op == OpLAnd || op == OpLOr }
+
+// UnOp enumerates unary operators.
+type UnOp int
+
+// Unary operators.
+const (
+	OpNeg  UnOp = iota // arithmetic negation
+	OpNot              // bitwise complement
+	OpLNot             // logical negation (0/1)
+)
+
+func (op UnOp) String() string {
+	switch op {
+	case OpNeg:
+		return "-"
+	case OpNot:
+		return "~"
+	case OpLNot:
+		return "!"
+	}
+	return fmt.Sprintf("UnOp(%d)", int(op))
+}
+
+// Expr is an expression tree node.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// Const is an integer literal.
+type Const struct{ Value int32 }
+
+// VarRef reads a scalar local or scalar parameter.
+type VarRef struct{ Name string }
+
+// Load reads one element of an array parameter: Array[Index].
+type Load struct {
+	Array string
+	Index Expr
+}
+
+// Bin applies a binary operator.
+type Bin struct {
+	Op   BinOp
+	X, Y Expr
+}
+
+// Un applies a unary operator.
+type Un struct {
+	Op UnOp
+	X  Expr
+}
+
+func (*Const) exprNode()  {}
+func (*VarRef) exprNode() {}
+func (*Load) exprNode()   {}
+func (*Bin) exprNode()    {}
+func (*Un) exprNode()     {}
+
+func (e *Const) String() string  { return fmt.Sprintf("%d", e.Value) }
+func (e *VarRef) String() string { return e.Name }
+func (e *Load) String() string   { return fmt.Sprintf("%s[%s]", e.Array, e.Index) }
+func (e *Bin) String() string    { return fmt.Sprintf("(%s %s %s)", e.X, e.Op, e.Y) }
+func (e *Un) String() string     { return fmt.Sprintf("%s%s", e.Op, e.X) }
+
+// Stmt is a statement node.
+type Stmt interface {
+	stmtNode()
+}
+
+// Assign sets a scalar local (declaring it on first assignment).
+type Assign struct {
+	Name  string
+	Value Expr
+}
+
+// Store writes one element of an array parameter: Array[Index] = Value.
+type Store struct {
+	Array string
+	Index Expr
+	Value Expr
+}
+
+// If is a two-armed conditional. Else may be empty.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// While is a pre-tested loop.
+type While struct {
+	Cond Expr
+	Body []Stmt
+}
+
+// For is sugar for Init; while(Cond) { Body; Post }.
+type For struct {
+	Init *Assign
+	Cond Expr
+	Post *Assign
+	Body []Stmt
+}
+
+func (*Assign) stmtNode() {}
+func (*Store) stmtNode()  {}
+func (*If) stmtNode()     {}
+func (*While) stmtNode()  {}
+func (*For) stmtNode()    {}
+
+// ParamKind distinguishes kernel parameter classes.
+type ParamKind int
+
+// Parameter kinds.
+const (
+	// ScalarIn is a scalar passed in by value (a live-in local variable).
+	ScalarIn ParamKind = iota
+	// ScalarInOut is a scalar passed in and written back after the run
+	// (a live-in, live-out local variable).
+	ScalarInOut
+	// ArrayRef is a handle to a host heap array accessed via DMA.
+	ArrayRef
+)
+
+func (k ParamKind) String() string {
+	switch k {
+	case ScalarIn:
+		return "in"
+	case ScalarInOut:
+		return "inout"
+	case ArrayRef:
+		return "array"
+	}
+	return fmt.Sprintf("ParamKind(%d)", int(k))
+}
+
+// Param declares a kernel parameter.
+type Param struct {
+	Name string
+	Kind ParamKind
+}
+
+// Kernel is a compilable unit: the code sequence that the profiler decided to
+// synthesize onto the CGRA.
+type Kernel struct {
+	Name   string
+	Params []Param
+	Body   []Stmt
+}
+
+// Param returns the declaration of the named parameter, or nil.
+func (k *Kernel) Param(name string) *Param {
+	for i := range k.Params {
+		if k.Params[i].Name == name {
+			return &k.Params[i]
+		}
+	}
+	return nil
+}
+
+// IsArray reports whether name is an array parameter of k.
+func (k *Kernel) IsArray(name string) bool {
+	p := k.Param(name)
+	return p != nil && p.Kind == ArrayRef
+}
+
+// LowerFor replaces every For statement in the body with its
+// Init/While/Post desugaring, returning a structurally equivalent kernel.
+// The scheduler pipeline runs this first so later passes only see While.
+func (k *Kernel) LowerFor() *Kernel {
+	return &Kernel{Name: k.Name, Params: k.Params, Body: lowerForStmts(k.Body)}
+}
+
+func lowerForStmts(stmts []Stmt) []Stmt {
+	out := make([]Stmt, 0, len(stmts))
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *For:
+			if s.Init != nil {
+				out = append(out, s.Init)
+			}
+			body := lowerForStmts(s.Body)
+			if s.Post != nil {
+				body = append(body, s.Post)
+			}
+			out = append(out, &While{Cond: s.Cond, Body: body})
+		case *If:
+			out = append(out, &If{Cond: s.Cond, Then: lowerForStmts(s.Then), Else: lowerForStmts(s.Else)})
+		case *While:
+			out = append(out, &While{Cond: s.Cond, Body: lowerForStmts(s.Body)})
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package ir
+
+import "fmt"
+
+// Validate checks a kernel for structural well-formedness: every variable is
+// assigned (or declared as a scalar parameter) before it is read, array
+// accesses name array parameters, array names are never used as scalars, and
+// shift amounts are plain expressions. It returns the first violation found.
+func Validate(k *Kernel) error {
+	v := &validator{kernel: k, defined: map[string]bool{}}
+	seen := map[string]bool{}
+	for _, p := range k.Params {
+		if p.Name == "" {
+			return fmt.Errorf("kernel %s: parameter with empty name", k.Name)
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("kernel %s: duplicate parameter %q", k.Name, p.Name)
+		}
+		seen[p.Name] = true
+		if p.Kind != ArrayRef {
+			v.defined[p.Name] = true
+		}
+	}
+	return v.stmts(k.Body)
+}
+
+type validator struct {
+	kernel *Kernel
+	// defined tracks scalars guaranteed to be assigned on every path that
+	// reaches the current statement.
+	defined map[string]bool
+	// program resolves calls; nil for single-kernel validation, where
+	// calls are rejected (they must be inlined first).
+	program *Program
+}
+
+func (v *validator) stmts(stmts []Stmt) error {
+	for _, s := range stmts {
+		if err := v.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (v *validator) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *Assign:
+		if v.kernel.IsArray(s.Name) {
+			return fmt.Errorf("cannot assign scalar to array parameter %q", s.Name)
+		}
+		if err := v.expr(s.Value); err != nil {
+			return err
+		}
+		v.defined[s.Name] = true
+		return nil
+	case *Store:
+		if !v.kernel.IsArray(s.Array) {
+			return fmt.Errorf("store to %q: not an array parameter", s.Array)
+		}
+		if err := v.expr(s.Index); err != nil {
+			return err
+		}
+		return v.expr(s.Value)
+	case *If:
+		if err := v.expr(s.Cond); err != nil {
+			return err
+		}
+		// Variables assigned in only one arm are not definitely assigned
+		// afterwards; track the intersection.
+		base := v.snapshot()
+		if err := v.stmts(s.Then); err != nil {
+			return err
+		}
+		afterThen := v.snapshot()
+		v.defined = base
+		if err := v.stmts(s.Else); err != nil {
+			return err
+		}
+		for name := range v.defined {
+			if !afterThen[name] {
+				delete(v.defined, name)
+			}
+		}
+		for name := range afterThen {
+			if base[name] {
+				v.defined[name] = true
+			}
+		}
+		return nil
+	case *While:
+		if err := v.expr(s.Cond); err != nil {
+			return err
+		}
+		// The body may execute zero times: validate it against the current
+		// definitions but discard additions afterwards.
+		base := v.snapshot()
+		if err := v.stmts(s.Body); err != nil {
+			return err
+		}
+		// The condition must also be valid against body-end definitions;
+		// it was validated against the superset-free entry set already,
+		// which is the stricter check, so nothing more to do.
+		v.defined = base
+		return nil
+	case *For:
+		if s.Init != nil {
+			if err := v.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if err := v.expr(s.Cond); err != nil {
+			return err
+		}
+		base := v.snapshot()
+		if err := v.stmts(s.Body); err != nil {
+			return err
+		}
+		if s.Post != nil {
+			if err := v.stmt(s.Post); err != nil {
+				return err
+			}
+		}
+		v.defined = base
+		return nil
+	case *Call:
+		if v.program == nil {
+			return fmt.Errorf("call to %q outside a program context (inline first)", s.Callee)
+		}
+		callee := v.program.Kernels[s.Callee]
+		return checkCall(v.kernel, callee, s, func(p Param, arg Expr) error {
+			switch p.Kind {
+			case ScalarIn:
+				return v.expr(arg)
+			case ScalarInOut:
+				// Copied in and written back: must be readable now,
+				// stays defined afterwards.
+				if err := v.expr(arg); err != nil {
+					return err
+				}
+				v.defined[arg.(*VarRef).Name] = true
+			}
+			return nil
+		})
+	case nil:
+		return fmt.Errorf("nil statement")
+	default:
+		return fmt.Errorf("unknown statement type %T", s)
+	}
+}
+
+func (v *validator) snapshot() map[string]bool {
+	m := make(map[string]bool, len(v.defined))
+	for k, val := range v.defined {
+		m[k] = val
+	}
+	return m
+}
+
+func (v *validator) expr(e Expr) error {
+	switch e := e.(type) {
+	case *Const:
+		return nil
+	case *VarRef:
+		if v.kernel.IsArray(e.Name) {
+			return fmt.Errorf("array parameter %q used as scalar", e.Name)
+		}
+		if !v.defined[e.Name] {
+			return fmt.Errorf("variable %q may be read before assignment", e.Name)
+		}
+		return nil
+	case *Load:
+		if !v.kernel.IsArray(e.Array) {
+			return fmt.Errorf("load from %q: not an array parameter", e.Array)
+		}
+		return v.expr(e.Index)
+	case *Bin:
+		if err := v.expr(e.X); err != nil {
+			return err
+		}
+		return v.expr(e.Y)
+	case *Un:
+		return v.expr(e.X)
+	case nil:
+		return fmt.Errorf("nil expression")
+	default:
+		return fmt.Errorf("unknown expression type %T", e)
+	}
+}

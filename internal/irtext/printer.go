@@ -1,0 +1,123 @@
+package irtext
+
+import (
+	"fmt"
+	"strings"
+
+	"cgra/internal/ir"
+)
+
+// Print renders a kernel back to source text. Print and Parse round-trip:
+// Parse(Print(k)) is structurally equivalent to k (operator precedence is
+// made explicit with parentheses where needed).
+func Print(k *ir.Kernel) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s(", k.Name)
+	for i, p := range k.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", p.Kind, p.Name)
+	}
+	b.WriteString(") {\n")
+	printStmts(&b, k.Body, "\t")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func printStmts(b *strings.Builder, stmts []ir.Stmt, indent string) {
+	for _, s := range stmts {
+		printStmt(b, s, indent)
+	}
+}
+
+func printStmt(b *strings.Builder, s ir.Stmt, indent string) {
+	switch s := s.(type) {
+	case *ir.Assign:
+		fmt.Fprintf(b, "%s%s = %s;\n", indent, s.Name, exprString(s.Value, 0))
+	case *ir.Store:
+		fmt.Fprintf(b, "%s%s[%s] = %s;\n", indent, s.Array,
+			exprString(s.Index, 0), exprString(s.Value, 0))
+	case *ir.If:
+		fmt.Fprintf(b, "%sif (%s) {\n", indent, exprString(s.Cond, 0))
+		printStmts(b, s.Then, indent+"\t")
+		if len(s.Else) > 0 {
+			fmt.Fprintf(b, "%s} else {\n", indent)
+			printStmts(b, s.Else, indent+"\t")
+		}
+		fmt.Fprintf(b, "%s}\n", indent)
+	case *ir.While:
+		fmt.Fprintf(b, "%swhile (%s) {\n", indent, exprString(s.Cond, 0))
+		printStmts(b, s.Body, indent+"\t")
+		fmt.Fprintf(b, "%s}\n", indent)
+	case *ir.Call:
+		fmt.Fprintf(b, "%s%s(", indent, s.Callee)
+		for i, a := range s.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(exprString(a, 0))
+		}
+		b.WriteString(");\n")
+	case *ir.For:
+		init, post := "", ""
+		if s.Init != nil {
+			init = fmt.Sprintf("%s = %s", s.Init.Name, exprString(s.Init.Value, 0))
+		}
+		if s.Post != nil {
+			post = fmt.Sprintf("%s = %s", s.Post.Name, exprString(s.Post.Value, 0))
+		} else if s.Init != nil {
+			// The grammar requires a post assignment; a no-op keeps
+			// the round trip parseable.
+			post = fmt.Sprintf("%s = %s", s.Init.Name, s.Init.Name)
+		}
+		fmt.Fprintf(b, "%sfor (%s; %s; %s) {\n", indent, init, exprString(s.Cond, 0), post)
+		printStmts(b, s.Body, indent+"\t")
+		fmt.Fprintf(b, "%s}\n", indent)
+	}
+}
+
+// precedence mirrors binLevels: higher binds tighter.
+func precedence(op ir.BinOp) int {
+	for lvl, group := range binLevels {
+		for _, cand := range group {
+			if cand.op == op {
+				return lvl
+			}
+		}
+	}
+	return len(binLevels)
+}
+
+// exprString renders e, parenthesizing when its top operator binds looser
+// than the context requires.
+func exprString(e ir.Expr, ctxPrec int) string {
+	switch e := e.(type) {
+	case *ir.Const:
+		if e.Value < 0 {
+			// A leading minus would lex as unary minus on a positive
+			// literal, which parses identically, but parenthesize for
+			// contexts like `a - -3`.
+			return fmt.Sprintf("(-%d)", -int64(e.Value))
+		}
+		return fmt.Sprintf("%d", e.Value)
+	case *ir.VarRef:
+		return e.Name
+	case *ir.Load:
+		return fmt.Sprintf("%s[%s]", e.Array, exprString(e.Index, 0))
+	case *ir.Un:
+		return fmt.Sprintf("%s%s", e.Op, exprString(e.X, len(binLevels)))
+	case *ir.Bin:
+		prec := precedence(e.Op)
+		// Left child may share the level (left associativity); the
+		// right child must bind strictly tighter.
+		s := fmt.Sprintf("%s %s %s",
+			exprString(e.X, prec), e.Op, exprString(e.Y, prec+1))
+		if prec < ctxPrec {
+			return "(" + s + ")"
+		}
+		return s
+	default:
+		return fmt.Sprintf("/*?%T*/", e)
+	}
+}

@@ -1,0 +1,98 @@
+package irtext
+
+import (
+	"strings"
+	"testing"
+
+	"cgra/internal/ir"
+	"cgra/internal/kgen"
+)
+
+func TestPrintParseRoundTripFixed(t *testing.T) {
+	srcs := []string{
+		`kernel k(inout r) { r = 1 + 2 * 3; }`,
+		`kernel k(in x, inout r) { r = (x + 1) * (x - 1); }`,
+		`kernel k(in x, inout r) { r = x << 2 >> 1 >>> 3; }`,
+		`kernel k(in x, inout r) { r = -x + ~x + !x; }`,
+		`kernel k(array a, in n, inout s) {
+			s = 0;
+			for (i = 0; i < n; i = i + 1) {
+				if (a[i] > 0 && s < 100) { s = s + a[i]; } else { s = s - 1; }
+			}
+		}`,
+		`kernel k(in x, inout r) {
+			r = 0;
+			while (x > 0) { r = r + (x & 1); x = x >>> 1; }
+		}`,
+	}
+	for _, src := range srcs {
+		k1 := MustParse(src)
+		printed := Print(k1)
+		k2, err := Parse(printed)
+		if err != nil {
+			t.Errorf("re-parse failed for:\n%s\nerror: %v", printed, err)
+			continue
+		}
+		if Print(k2) != printed {
+			t.Errorf("print not idempotent:\n%s\nvs\n%s", printed, Print(k2))
+		}
+	}
+}
+
+// TestPrintParseSemanticEquivalence checks the round trip on randomly
+// generated kernels by executing both versions.
+func TestPrintParseSemanticEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		gk := kgen.New(seed, kgen.Config{})
+		printed := Print(gk.Kernel)
+		k2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("seed %d: re-parse failed: %v\n%s", seed, err, printed)
+		}
+		i1, i2 := &ir.Interp{}, &ir.Interp{}
+		o1, err := i1.Run(gk.Kernel, gk.Args, gk.NewHost())
+		if err != nil {
+			t.Fatalf("seed %d: original: %v", seed, err)
+		}
+		o2, err := i2.Run(k2, gk.Args, gk.NewHost())
+		if err != nil {
+			t.Fatalf("seed %d: round-tripped: %v", seed, err)
+		}
+		if o1["acc"] != o2["acc"] {
+			t.Errorf("seed %d: acc %d != %d after round trip\n%s",
+				seed, o1["acc"], o2["acc"], printed)
+		}
+	}
+}
+
+func TestPrintNegativeConstants(t *testing.T) {
+	k := ir.NewKernel("k", []ir.Param{ir.InOut("r")},
+		ir.Set("r", ir.Sub(ir.C(5), ir.C(-3))))
+	printed := Print(k)
+	if !strings.Contains(printed, "5 - (-3)") {
+		t.Errorf("negative literal not protected: %s", printed)
+	}
+	k2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	in := &ir.Interp{}
+	out, err := in.Run(k2, map[string]int32{"r": 0}, ir.NewHost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["r"] != 8 {
+		t.Errorf("r = %d, want 8", out["r"])
+	}
+}
+
+func TestPrintPrecedenceMinimalParens(t *testing.T) {
+	k := MustParse(`kernel k(in a, in b, in c, inout r) { r = a + b * c; }`)
+	printed := Print(k)
+	if strings.Contains(printed, "(") && strings.Contains(printed, "b * c)") {
+		t.Errorf("unnecessary parentheses: %s", printed)
+	}
+	if !strings.Contains(printed, "a + b * c") {
+		t.Errorf("expression mangled: %s", printed)
+	}
+}

@@ -1,0 +1,70 @@
+package kgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cgra/internal/ir"
+)
+
+// NewProgram generates a random program: an entry kernel that calls one or
+// two generated helper kernels (scalar in/inout and array parameters), for
+// differential fuzzing of the method-inlining path.
+func NewProgram(seed int64, cfg Config) (*ir.Program, *Generated) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(seed ^ 0x5ca1ab1e))
+	g := &gen{rng: rng, cfg: cfg, protected: map[string]bool{}}
+
+	// Helpers first: each takes (in hp, inout hacc, array hm).
+	nHelpers := 1 + rng.Intn(2)
+	var helpers []*ir.Kernel
+	for h := 0; h < nHelpers; h++ {
+		hg := &gen{rng: rng, cfg: cfg, protected: map[string]bool{}}
+		hg.scalars = []string{"hp", "hacc"}
+		hg.arrays = []string{"hm"}
+		body := hg.stmts(1)
+		body = append(body, ir.Set("hacc", ir.Add(ir.V("hacc"), hg.expr(1))))
+		helpers = append(helpers, &ir.Kernel{
+			Name: fmt.Sprintf("helper%d", h),
+			Params: []ir.Param{
+				ir.In("hp"), ir.InOut("hacc"), ir.Array("hm"),
+			},
+			Body: body,
+		})
+	}
+
+	// Entry kernel, same shape as New(), plus call sites.
+	gk := g.kernel(seed)
+	entry := gk.Kernel
+	// Call-site arguments may only read parameters, which are defined at
+	// every program point (temporaries might not be yet).
+	safeArg := func() ir.Expr {
+		switch rng.Intn(3) {
+		case 0:
+			return ir.V("p")
+		case 1:
+			return ir.Add(ir.V("q"), ir.C(int32(rng.Intn(50))))
+		default:
+			return ir.C(int32(rng.Intn(100) - 50))
+		}
+	}
+	var withCalls []ir.Stmt
+	for i, s := range entry.Body {
+		withCalls = append(withCalls, s)
+		if i%2 == 0 && len(helpers) > 0 {
+			h := helpers[rng.Intn(len(helpers))]
+			withCalls = append(withCalls, &ir.Call{
+				Callee: h.Name,
+				Args: []ir.Expr{
+					safeArg(),         // in hp
+					ir.V("acc"),       // inout hacc
+					ir.V(g.arrays[0]), // array hm
+				},
+			})
+		}
+	}
+	entry.Body = withCalls
+
+	prog := ir.NewProgram(entry, helpers...)
+	return prog, gk
+}

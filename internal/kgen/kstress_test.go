@@ -1,0 +1,38 @@
+package kgen
+
+import (
+	"strings"
+	"testing"
+
+	"cgra/internal/pipeline"
+)
+
+// TestFuzzStress is a wider sweep (enabled with -run TestFuzzStress).
+func TestFuzzStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress fuzzing skipped in -short mode")
+	}
+	comps := fuzzComps(t)
+	for seed := int64(1000); seed < 1400; seed++ {
+		gk := New(seed, Config{MaxDepth: 3, MaxStmts: 6})
+		comp := comps[seed%int64(len(comps))]
+		opts := pipeline.Options{}
+		if seed%2 == 0 {
+			opts = pipeline.Defaults()
+		}
+		c, err := pipeline.Compile(gk.Kernel, comp, opts)
+		if err != nil {
+			// Deep kernels can legitimately exceed the 256-entry
+			// context memories; only silent miscompiles are bugs.
+			if strings.Contains(err.Error(), "memory holds") ||
+				strings.Contains(err.Error(), "RF entries") ||
+				strings.Contains(err.Error(), "C-Box slots") {
+				continue
+			}
+			t.Fatalf("seed %d on %s: compile: %v", seed, comp.Name, err)
+		}
+		if _, err := pipeline.CheckAgainstInterpreter(gk.Kernel, c, gk.Args, gk.NewHost()); err != nil {
+			t.Fatalf("seed %d on %s: %v", seed, comp.Name, err)
+		}
+	}
+}

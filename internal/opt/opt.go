@@ -1,0 +1,391 @@
+// Package opt implements the optional IR-level optimizations of the paper's
+// synthesis flow (Fig. 1): partial loop unrolling and common subexpression
+// elimination, plus constant folding. All passes are semantics-preserving
+// source-to-source transforms on the kernel IR.
+package opt
+
+import (
+	"fmt"
+
+	"cgra/internal/ir"
+)
+
+// Options selects the passes to run.
+type Options struct {
+	// UnrollFactor partially unrolls innermost loops: a factor k rewrites
+	// while(c){B} into while(c){B; if(c){B; if(c){...}}} with k copies of
+	// the body. The guarded copies predicate into the same block, raising
+	// ILP exactly like the paper's "maximum unroll factor of 2 for inner
+	// loops" (§VI-B). 0 and 1 mean no unrolling.
+	UnrollFactor int
+	// CSE enables statement-level value numbering: a right-hand side
+	// equal to one already held in a live variable is replaced by that
+	// variable.
+	CSE bool
+	// ConstFold folds constant subexpressions.
+	ConstFold bool
+}
+
+// Apply runs the selected passes and returns a new kernel.
+func Apply(k *ir.Kernel, o Options) (*ir.Kernel, error) {
+	out := k
+	if o.ConstFold {
+		out = FoldConstants(out)
+	}
+	if o.UnrollFactor > 1 {
+		out = Unroll(out, o.UnrollFactor)
+	}
+	if o.CSE {
+		out = CSE(out)
+	}
+	if err := ir.Validate(out); err != nil {
+		return nil, fmt.Errorf("opt: transformed kernel invalid: %v", err)
+	}
+	return out, nil
+}
+
+// --- constant folding ---
+
+// FoldConstants folds constant subexpressions throughout the kernel.
+func FoldConstants(k *ir.Kernel) *ir.Kernel {
+	return &ir.Kernel{Name: k.Name, Params: k.Params, Body: foldStmts(k.Body)}
+}
+
+func foldStmts(stmts []ir.Stmt) []ir.Stmt {
+	out := make([]ir.Stmt, 0, len(stmts))
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ir.Assign:
+			out = append(out, &ir.Assign{Name: s.Name, Value: foldExpr(s.Value)})
+		case *ir.Store:
+			out = append(out, &ir.Store{Array: s.Array, Index: foldExpr(s.Index), Value: foldExpr(s.Value)})
+		case *ir.If:
+			out = append(out, &ir.If{Cond: foldExpr(s.Cond), Then: foldStmts(s.Then), Else: foldStmts(s.Else)})
+		case *ir.While:
+			out = append(out, &ir.While{Cond: foldExpr(s.Cond), Body: foldStmts(s.Body)})
+		case *ir.For:
+			f := &ir.For{Cond: foldExpr(s.Cond), Body: foldStmts(s.Body)}
+			if s.Init != nil {
+				f.Init = &ir.Assign{Name: s.Init.Name, Value: foldExpr(s.Init.Value)}
+			}
+			if s.Post != nil {
+				f.Post = &ir.Assign{Name: s.Post.Name, Value: foldExpr(s.Post.Value)}
+			}
+			out = append(out, f)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func foldExpr(e ir.Expr) ir.Expr {
+	switch e := e.(type) {
+	case *ir.Bin:
+		x, y := foldExpr(e.X), foldExpr(e.Y)
+		cx, okx := x.(*ir.Const)
+		cy, oky := y.(*ir.Const)
+		if okx && oky && !e.Op.IsLogical() {
+			if v, err := ir.EvalBin(e.Op, cx.Value, cy.Value, nil); err == nil {
+				return &ir.Const{Value: v}
+			}
+		}
+		if okx && oky && e.Op.IsLogical() {
+			bx, by := cx.Value != 0, cy.Value != 0
+			var r bool
+			if e.Op == ir.OpLAnd {
+				r = bx && by
+			} else {
+				r = bx || by
+			}
+			if r {
+				return &ir.Const{Value: 1}
+			}
+			return &ir.Const{Value: 0}
+		}
+		// Identity simplifications.
+		if oky && !okx {
+			switch {
+			case e.Op == ir.OpAdd && cy.Value == 0,
+				e.Op == ir.OpSub && cy.Value == 0,
+				e.Op == ir.OpMul && cy.Value == 1,
+				e.Op == ir.OpShl && cy.Value == 0,
+				e.Op == ir.OpShr && cy.Value == 0,
+				e.Op == ir.OpShrU && cy.Value == 0,
+				e.Op == ir.OpOr && cy.Value == 0,
+				e.Op == ir.OpXor && cy.Value == 0:
+				return x
+			case e.Op == ir.OpMul && cy.Value == 0,
+				e.Op == ir.OpAnd && cy.Value == 0:
+				return &ir.Const{Value: 0}
+			}
+		}
+		if okx && !oky {
+			switch {
+			case e.Op == ir.OpAdd && cx.Value == 0,
+				e.Op == ir.OpMul && cx.Value == 1,
+				e.Op == ir.OpOr && cx.Value == 0,
+				e.Op == ir.OpXor && cx.Value == 0:
+				return y
+			case e.Op == ir.OpMul && cx.Value == 0,
+				e.Op == ir.OpAnd && cx.Value == 0:
+				return &ir.Const{Value: 0}
+			}
+		}
+		return &ir.Bin{Op: e.Op, X: x, Y: y}
+	case *ir.Un:
+		x := foldExpr(e.X)
+		if c, ok := x.(*ir.Const); ok {
+			switch e.Op {
+			case ir.OpNeg:
+				return &ir.Const{Value: -c.Value}
+			case ir.OpNot:
+				return &ir.Const{Value: ^c.Value}
+			case ir.OpLNot:
+				if c.Value == 0 {
+					return &ir.Const{Value: 1}
+				}
+				return &ir.Const{Value: 0}
+			}
+		}
+		return &ir.Un{Op: e.Op, X: x}
+	case *ir.Load:
+		return &ir.Load{Array: e.Array, Index: foldExpr(e.Index)}
+	default:
+		return e
+	}
+}
+
+// --- partial loop unrolling ---
+
+// Unroll partially unrolls innermost loops by the given factor: the body is
+// followed by factor-1 copies, each guarded by the (re-evaluated) loop
+// condition. The transform is valid for arbitrary while loops:
+// while(c){B} == while(c){B; if(c){B}}. The guarded copies are loop-free,
+// so the CDFG builder predicates them into the same block, enlarging the
+// window for the list scheduler.
+func Unroll(k *ir.Kernel, factor int) *ir.Kernel {
+	lowered := k.LowerFor()
+	return &ir.Kernel{Name: k.Name, Params: k.Params, Body: unrollStmts(lowered.Body, factor)}
+}
+
+func unrollStmts(stmts []ir.Stmt, factor int) []ir.Stmt {
+	out := make([]ir.Stmt, 0, len(stmts))
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ir.If:
+			out = append(out, &ir.If{Cond: s.Cond, Then: unrollStmts(s.Then, factor), Else: unrollStmts(s.Else, factor)})
+		case *ir.While:
+			if isInnermost(s.Body) {
+				out = append(out, &ir.While{Cond: s.Cond, Body: buildUnrolled(s.Body, s.Cond, factor)})
+			} else {
+				out = append(out, &ir.While{Cond: s.Cond, Body: unrollStmts(s.Body, factor)})
+			}
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// buildUnrolled produces B; if(c){B; if(c){ ... }} with `factor` copies.
+func buildUnrolled(body []ir.Stmt, cond ir.Expr, factor int) []ir.Stmt {
+	result := append([]ir.Stmt(nil), body...)
+	tail := []ir.Stmt(nil)
+	for i := factor - 1; i >= 1; i-- {
+		inner := append(append([]ir.Stmt(nil), body...), tail...)
+		tail = []ir.Stmt{&ir.If{Cond: cond, Then: inner}}
+	}
+	return append(result, tail...)
+}
+
+func isInnermost(stmts []ir.Stmt) bool {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ir.While, *ir.For:
+			return false
+		case *ir.If:
+			if !isInnermost(s.Then) || !isInnermost(s.Else) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// --- common subexpression elimination ---
+
+// CSE performs statement-level value numbering: when an assignment's
+// right-hand side is structurally identical to one previously computed into
+// a still-valid variable, the recomputation is replaced by a variable read
+// (the paper's optional "Common Subexpression elim." step, Fig. 1).
+// Expressions containing array loads are never reused (stores may have
+// intervened), and control-flow boundaries clear the table conservatively.
+func CSE(k *ir.Kernel) *ir.Kernel {
+	c := &cseState{avail: map[string]string{}}
+	return &ir.Kernel{Name: k.Name, Params: k.Params, Body: c.stmts(k.Body)}
+}
+
+type cseState struct {
+	avail map[string]string // canonical expr -> variable holding it
+}
+
+func (c *cseState) stmts(stmts []ir.Stmt) []ir.Stmt {
+	out := make([]ir.Stmt, 0, len(stmts))
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ir.Assign:
+			val := s.Value
+			key, pure := exprKey(val)
+			if pure {
+				if holder, ok := c.avail[key]; ok && holder != s.Name {
+					val = &ir.VarRef{Name: holder}
+				}
+			}
+			c.invalidate(s.Name)
+			out = append(out, &ir.Assign{Name: s.Name, Value: val})
+			if pure && !mentions(val, s.Name) {
+				c.avail[key] = s.Name
+			}
+		case *ir.Store:
+			out = append(out, s)
+		case *ir.If:
+			// Arms see a copy of the table; afterwards drop entries
+			// whose holder or operands may have changed.
+			saved := c.snapshot()
+			thenC := &cseState{avail: c.snapshot()}
+			thenOut := thenC.stmts(s.Then)
+			elseC := &cseState{avail: c.snapshot()}
+			elseOut := elseC.stmts(s.Else)
+			c.avail = saved
+			for _, name := range assignedIn(s.Then) {
+				c.invalidate(name)
+			}
+			for _, name := range assignedIn(s.Else) {
+				c.invalidate(name)
+			}
+			out = append(out, &ir.If{Cond: s.Cond, Then: thenOut, Else: elseOut})
+		case *ir.While:
+			// The loop body may invalidate values before the
+			// condition re-evaluates: clear around it.
+			bodyC := &cseState{avail: map[string]string{}}
+			bodyOut := bodyC.stmts(s.Body)
+			for _, name := range assignedIn(s.Body) {
+				c.invalidate(name)
+			}
+			out = append(out, &ir.While{Cond: s.Cond, Body: bodyOut})
+		case *ir.For:
+			bodyC := &cseState{avail: map[string]string{}}
+			bodyOut := bodyC.stmts(s.Body)
+			for _, name := range assignedIn(s.Body) {
+				c.invalidate(name)
+			}
+			if s.Init != nil {
+				c.invalidate(s.Init.Name)
+			}
+			if s.Post != nil {
+				c.invalidate(s.Post.Name)
+			}
+			out = append(out, &ir.For{Init: s.Init, Cond: s.Cond, Post: s.Post, Body: bodyOut})
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (c *cseState) snapshot() map[string]string {
+	m := make(map[string]string, len(c.avail))
+	for k, v := range c.avail {
+		m[k] = v
+	}
+	return m
+}
+
+// invalidate drops entries computed from or held in the named variable.
+func (c *cseState) invalidate(name string) {
+	for key, holder := range c.avail {
+		if holder == name || keyMentions(key, name) {
+			delete(c.avail, key)
+		}
+	}
+}
+
+// exprKey returns a canonical string for a pure expression (no loads) and
+// whether the expression is pure.
+func exprKey(e ir.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ir.Const:
+		return fmt.Sprintf("#%d", e.Value), true
+	case *ir.VarRef:
+		return "%" + e.Name + "%", true
+	case *ir.Bin:
+		kx, okx := exprKey(e.X)
+		ky, oky := exprKey(e.Y)
+		if !okx || !oky || e.Op.IsLogical() {
+			return "", false
+		}
+		return fmt.Sprintf("(%s %v %s)", kx, e.Op, ky), true
+	case *ir.Un:
+		kx, okx := exprKey(e.X)
+		if !okx {
+			return "", false
+		}
+		return fmt.Sprintf("(%v %s)", e.Op, kx), true
+	default:
+		return "", false
+	}
+}
+
+func keyMentions(key, name string) bool {
+	needle := "%" + name + "%"
+	for i := 0; i+len(needle) <= len(key); i++ {
+		if key[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}
+
+func mentions(e ir.Expr, name string) bool {
+	switch e := e.(type) {
+	case *ir.VarRef:
+		return e.Name == name
+	case *ir.Bin:
+		return mentions(e.X, name) || mentions(e.Y, name)
+	case *ir.Un:
+		return mentions(e.X, name)
+	case *ir.Load:
+		return mentions(e.Index, name)
+	default:
+		return false
+	}
+}
+
+func assignedIn(stmts []ir.Stmt) []string {
+	var out []string
+	var walk func([]ir.Stmt)
+	walk = func(ss []ir.Stmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *ir.Assign:
+				out = append(out, s.Name)
+			case *ir.If:
+				walk(s.Then)
+				walk(s.Else)
+			case *ir.While:
+				walk(s.Body)
+			case *ir.For:
+				if s.Init != nil {
+					out = append(out, s.Init.Name)
+				}
+				if s.Post != nil {
+					out = append(out, s.Post.Name)
+				}
+				walk(s.Body)
+			}
+		}
+	}
+	walk(stmts)
+	return out
+}

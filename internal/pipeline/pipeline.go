@@ -1,0 +1,151 @@
+// Package pipeline drives the complete synthesis flow of the paper's Fig. 1
+// and Fig. 10: kernel IR → optional optimizations (loop unrolling, CSE) →
+// CDFG → scheduling and binding → RF/C-Box allocation → context generation,
+// plus execution of the result on the cycle-accurate simulator.
+//
+// This is the library's primary entry point:
+//
+//	comp, _ := arch.HomogeneousMesh(9, 2)
+//	c, err := pipeline.Compile(kernel, comp, pipeline.Options{UnrollFactor: 2})
+//	res, err := c.Run(args, host)
+package pipeline
+
+import (
+	"fmt"
+
+	"cgra/internal/arch"
+	"cgra/internal/cdfg"
+	"cgra/internal/ctxgen"
+	"cgra/internal/ir"
+	"cgra/internal/opt"
+	"cgra/internal/sched"
+	"cgra/internal/sim"
+)
+
+// Options tunes the flow; the zero value reproduces the paper's defaults
+// except unrolling (the paper's headline numbers use UnrollFactor 2).
+type Options struct {
+	// UnrollFactor partially unrolls innermost loops (0/1 = off).
+	UnrollFactor int
+	// CSE enables common subexpression elimination.
+	CSE bool
+	// ConstFold folds constant expressions (on by default in Defaults()).
+	ConstFold bool
+	// Build tunes CDFG construction.
+	Build cdfg.BuildOptions
+	// Sched tunes the scheduler.
+	Sched sched.Options
+}
+
+// Defaults returns the configuration used for the paper's evaluation:
+// inner loops unrolled with a maximum factor of 2, CSE and constant folding
+// on (Fig. 1 lists them as optional steps of the synthesis flow).
+func Defaults() Options {
+	return Options{UnrollFactor: 2, CSE: true, ConstFold: true}
+}
+
+// Compiled bundles every artifact of one synthesis run.
+type Compiled struct {
+	// Kernel is the post-optimization IR.
+	Kernel *ir.Kernel
+	// Graph is the scheduled CDFG.
+	Graph *cdfg.Graph
+	// Schedule is the placed and routed schedule.
+	Schedule *sched.Schedule
+	// Program holds the generated contexts and allocation results.
+	Program *ctxgen.Program
+}
+
+// CompileProgram inlines every kernel call of the program's entry kernel
+// (the paper's optional "method inlining" step, Fig. 1) and compiles the
+// result.
+func CompileProgram(prog *ir.Program, comp *arch.Composition, o Options) (*Compiled, error) {
+	flat, err := opt.Inline(prog)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(flat, comp, o)
+}
+
+// Compile runs the full flow.
+func Compile(k *ir.Kernel, comp *arch.Composition, o Options) (*Compiled, error) {
+	optimized, err := opt.Apply(k, opt.Options{
+		UnrollFactor: o.UnrollFactor,
+		CSE:          o.CSE,
+		ConstFold:    o.ConstFold,
+	})
+	if err != nil {
+		return nil, err
+	}
+	g, err := cdfg.Build(optimized, o.Build)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sched.Run(g, comp, o.Sched)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := ctxgen.Generate(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{Kernel: optimized, Graph: g, Schedule: s, Program: prog}, nil
+}
+
+// Run executes the compiled kernel on the CGRA simulator.
+func (c *Compiled) Run(args map[string]int32, host *ir.Host) (*sim.Result, error) {
+	return sim.New(c.Program).Run(args, host)
+}
+
+// UsedContexts returns the number of contexts the schedule occupies
+// (Table I).
+func (c *Compiled) UsedContexts() int { return c.Program.NumCtx }
+
+// MaxRFEntries returns the peak register-file usage over all PEs (Table I).
+func (c *Compiled) MaxRFEntries() int { return c.Program.Alloc.MaxRF() }
+
+// CheckResult is the outcome of a differential run.
+type CheckResult struct {
+	Sim       *sim.Result
+	Reference map[string]int32
+}
+
+// CheckAgainstInterpreter compiles nothing new: it runs the compiled kernel
+// on the simulator and the *original* kernel on the reference interpreter
+// with identical inputs, then compares live-out scalars and heap contents.
+// This is the reproduction's correctness oracle.
+func CheckAgainstInterpreter(original *ir.Kernel, c *Compiled, args map[string]int32, host *ir.Host) (*CheckResult, error) {
+	hostSim := host.Clone()
+	hostRef := host.Clone()
+
+	simRes, err := c.Run(args, hostSim)
+	if err != nil {
+		return nil, fmt.Errorf("simulator: %v", err)
+	}
+	interp := &ir.Interp{}
+	refOut, err := interp.Run(original, args, hostRef)
+	if err != nil {
+		return nil, fmt.Errorf("interpreter: %v", err)
+	}
+	for name, want := range refOut {
+		got, ok := simRes.LiveOuts[name]
+		if !ok {
+			return nil, fmt.Errorf("live-out %q missing from CGRA run", name)
+		}
+		if got != want {
+			return nil, fmt.Errorf("live-out %q: CGRA %d != reference %d", name, got, want)
+		}
+	}
+	if !hostSim.Equal(hostRef) {
+		for name, ref := range hostRef.Arrays {
+			got := hostSim.Arrays[name]
+			for i := range ref {
+				if got[i] != ref[i] {
+					return nil, fmt.Errorf("heap %s[%d]: CGRA %d != reference %d", name, i, got[i], ref[i])
+				}
+			}
+		}
+		return nil, fmt.Errorf("heap contents differ")
+	}
+	return &CheckResult{Sim: simRes, Reference: refOut}, nil
+}

@@ -1,0 +1,325 @@
+package pipeline
+
+import (
+	"testing"
+
+	"cgra/internal/arch"
+	"cgra/internal/ir"
+	"cgra/internal/irtext"
+)
+
+// check compiles src for comp, runs CGRA-vs-interpreter, and fails on any
+// divergence.
+func check(t *testing.T, src string, comp *arch.Composition, o Options,
+	args map[string]int32, arrays map[string][]int32) *CheckResult {
+	t.Helper()
+	k := irtext.MustParse(src)
+	c, err := Compile(k, comp, o)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	host := ir.NewHost()
+	for name, a := range arrays {
+		host.Arrays[name] = append([]int32(nil), a...)
+	}
+	res, err := CheckAgainstInterpreter(k, c, args, host)
+	if err != nil {
+		t.Fatalf("differential check: %v", err)
+	}
+	return res
+}
+
+func mesh(t *testing.T, n int) *arch.Composition {
+	t.Helper()
+	c, err := arch.HomogeneousMesh(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestEndToEndStraightLine(t *testing.T) {
+	res := check(t, `kernel k(in x, in y, inout r) { r = (x + y) * (x - y); }`,
+		mesh(t, 4), Options{},
+		map[string]int32{"x": 9, "y": 4, "r": 0}, nil)
+	if res.Sim.LiveOuts["r"] != (9+4)*(9-4) {
+		t.Errorf("r = %d", res.Sim.LiveOuts["r"])
+	}
+	if res.Sim.RunCycles <= 0 {
+		t.Error("no cycles counted")
+	}
+}
+
+func TestEndToEndPredicatedIf(t *testing.T) {
+	src := `
+kernel absdiff(in a, in b, inout r) {
+	if (a > b) { r = a - b; } else { r = b - a; }
+}`
+	for _, c := range []struct{ a, b int32 }{{9, 4}, {4, 9}, {5, 5}, {-3, 7}} {
+		res := check(t, src, mesh(t, 4), Options{},
+			map[string]int32{"a": c.a, "b": c.b, "r": -99}, nil)
+		want := c.a - c.b
+		if want < 0 {
+			want = -want
+		}
+		if res.Sim.LiveOuts["r"] != want {
+			t.Errorf("absdiff(%d,%d) = %d, want %d", c.a, c.b, res.Sim.LiveOuts["r"], want)
+		}
+	}
+}
+
+func TestEndToEndLoop(t *testing.T) {
+	src := `
+kernel tri(in n, inout s) {
+	s = 0;
+	i = 0;
+	while (i < n) { i = i + 1; s = s + i; }
+}`
+	for _, n := range []int32{0, 1, 5, 32} {
+		res := check(t, src, mesh(t, 4), Options{},
+			map[string]int32{"n": n, "s": 0}, nil)
+		if want := n * (n + 1) / 2; res.Sim.LiveOuts["s"] != want {
+			t.Errorf("tri(%d) = %d, want %d", n, res.Sim.LiveOuts["s"], want)
+		}
+	}
+}
+
+func TestEndToEndDMA(t *testing.T) {
+	src := `
+kernel scale(array a, array b, in n, in f) {
+	i = 0;
+	while (i < n) {
+		b[i] = a[i] * f;
+		i = i + 1;
+	}
+}`
+	check(t, src, mesh(t, 4), Options{},
+		map[string]int32{"n": 5, "f": 3},
+		map[string][]int32{"a": {1, -2, 3, -4, 5}, "b": make([]int32, 5)})
+}
+
+func TestEndToEndConditionalStore(t *testing.T) {
+	src := `
+kernel clampstore(array a, in n, in lo, in hi) {
+	i = 0;
+	while (i < n) {
+		v = a[i];
+		if (v < lo) { v = lo; }
+		if (v > hi) { v = hi; }
+		a[i] = v;
+		i = i + 1;
+	}
+}`
+	check(t, src, mesh(t, 4), Options{},
+		map[string]int32{"n": 6, "lo": 0, "hi": 10},
+		map[string][]int32{"a": {-5, 0, 3, 99, 7, 11}})
+}
+
+func TestEndToEndNestedLoops(t *testing.T) {
+	src := `
+kernel mat(array m, in rows, in cols, inout s) {
+	s = 0;
+	i = 0;
+	while (i < rows) {
+		j = 0;
+		while (j < cols) {
+			s = s + m[i * cols + j];
+			j = j + 1;
+		}
+		i = i + 1;
+	}
+}`
+	check(t, src, mesh(t, 4), Options{},
+		map[string]int32{"rows": 3, "cols": 4, "s": 0},
+		map[string][]int32{"m": {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}})
+}
+
+func TestEndToEndConditionalNestedLoop(t *testing.T) {
+	// The paper's hallmark: a nested loop executed under a data-dependent
+	// condition, with conditional code in the loop body.
+	src := `
+kernel cnl(array a, in n, inout s) {
+	s = 0;
+	i = 0;
+	while (i < n) {
+		v = a[i];
+		if (v > 10) {
+			j = 0;
+			while (j < 3) {
+				if ((v & 1) == 1) { s = s + v; } else { s = s - 1; }
+				v = v >> 1;
+				j = j + 1;
+			}
+		} else {
+			s = s + v;
+		}
+		i = i + 1;
+	}
+}`
+	check(t, src, mesh(t, 4), Options{},
+		map[string]int32{"n": 6, "s": 0},
+		map[string][]int32{"a": {3, 17, 64, 9, 255, 12}})
+}
+
+func TestEndToEndDataDependentLoop(t *testing.T) {
+	// Loop bounds not known at compile time (gcd by subtraction).
+	src := `
+kernel gcd(inout a, inout b) {
+	while (b != 0) {
+		if (a > b) { a = a - b; } else { b = b - a; }
+	}
+}`
+	res := check(t, src, mesh(t, 4), Options{},
+		map[string]int32{"a": 48, "b": 36}, nil)
+	if res.Sim.LiveOuts["a"]+res.Sim.LiveOuts["b"] != 12 {
+		t.Errorf("gcd(48,36): a=%d b=%d, want 12", res.Sim.LiveOuts["a"], res.Sim.LiveOuts["b"])
+	}
+}
+
+func TestEndToEndShortCircuit(t *testing.T) {
+	src := `
+kernel guard(array a, in i, in n, inout r) {
+	r = 0;
+	if (i < n && a[i] > 0) { r = 1; }
+}`
+	// Out-of-range index must be safe thanks to the guarded (predicated)
+	// load.
+	check(t, src, mesh(t, 4), Options{},
+		map[string]int32{"i": 99, "n": 3, "r": -1},
+		map[string][]int32{"a": {5, 6, 7}})
+	check(t, src, mesh(t, 4), Options{},
+		map[string]int32{"i": 1, "n": 3, "r": -1},
+		map[string][]int32{"a": {5, 6, 7}})
+}
+
+func TestEndToEndAllCompositions(t *testing.T) {
+	src := `
+kernel k(array a, in n, inout s) {
+	s = 0;
+	i = 0;
+	while (i < n) {
+		v = a[i] * 3;
+		if (v > 20) { v = v - 20; }
+		s = s + v;
+		i = i + 1;
+	}
+}`
+	all, err := arch.EvaluatedCompositions(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, comp := range all {
+		comp := comp
+		t.Run(comp.Name, func(t *testing.T) {
+			check(t, src, comp, Options{},
+				map[string]int32{"n": 8, "s": 0},
+				map[string][]int32{"a": {1, 9, 2, 8, 3, 7, 4, 6}})
+		})
+	}
+}
+
+func TestEndToEndUnrolling(t *testing.T) {
+	src := `
+kernel sum(array a, in n, inout s) {
+	s = 0;
+	i = 0;
+	while (i < n) { s = s + a[i]; i = i + 1; }
+}`
+	arrays := map[string][]int32{"a": {5, 4, 3, 2, 1, 9, 8, 7, 6}}
+	// Odd trip count exercises the unroll guard.
+	for _, uf := range []int{1, 2, 3} {
+		res := check(t, src, mesh(t, 9), Options{UnrollFactor: uf},
+			map[string]int32{"n": 9, "s": 0}, arrays)
+		if res.Sim.LiveOuts["s"] != 45 {
+			t.Errorf("unroll %d: s = %d, want 45", uf, res.Sim.LiveOuts["s"])
+		}
+	}
+}
+
+func TestEndToEndDefaults(t *testing.T) {
+	src := `
+kernel poly(array a, in n, inout s) {
+	s = 0;
+	i = 0;
+	while (i < n) {
+		x = a[i];
+		s = s + x * x * 2 + x * 3 + 1;
+		i = i + 1;
+	}
+}`
+	check(t, src, mesh(t, 9), Defaults(),
+		map[string]int32{"n": 5, "s": 0},
+		map[string][]int32{"a": {1, 2, 3, 4, 5}})
+}
+
+func TestEndToEndBranchAllIfsAblation(t *testing.T) {
+	src := `
+kernel k(in x, inout r) {
+	if (x > 0) { r = x * 2; } else { r = 0 - x; }
+}`
+	o := Options{}
+	o.Build.BranchAllIfs = true
+	for _, x := range []int32{5, -5, 0} {
+		res := check(t, src, mesh(t, 4), o, map[string]int32{"x": x, "r": 0}, nil)
+		want := -x
+		if x > 0 {
+			want = x * 2
+		}
+		if res.Sim.LiveOuts["r"] != want {
+			t.Errorf("x=%d: r=%d want %d", x, res.Sim.LiveOuts["r"], want)
+		}
+	}
+}
+
+func TestEndToEndInvocationCost(t *testing.T) {
+	res := check(t, `kernel k(in x, in y, inout r) { r = x + y; }`,
+		mesh(t, 4), Options{}, map[string]int32{"x": 1, "y": 2, "r": 0}, nil)
+	// 3 live-ins (x, y, r) and 1 live-out (r): 2 cycles each (§IV-A3).
+	if res.Sim.TransferCycles != 2*(3+1) {
+		t.Errorf("transfer cycles = %d, want 8", res.Sim.TransferCycles)
+	}
+}
+
+func TestCompileProgramWithCalls(t *testing.T) {
+	prog, err := irtext.ParseProgram(`
+kernel main(array a, in n, inout s) {
+	s = 0;
+	i = 0;
+	while (i < n) {
+		v = a[i];
+		abs(v);
+		s = s + v;
+		i = i + 1;
+	}
+}
+kernel abs(inout x) {
+	if (x < 0) { x = 0 - x; }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := CompileProgram(prog, mesh(t, 4), Defaults())
+	if err != nil {
+		t.Fatalf("compile program: %v", err)
+	}
+	host := ir.NewHost()
+	host.Arrays["a"] = []int32{-3, 4, -5, 6}
+	res, err := c.Run(map[string]int32{"n": 4, "s": 0}, host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LiveOuts["s"] != 18 {
+		t.Errorf("s = %d, want 18", res.LiveOuts["s"])
+	}
+	// Cross-check against the program-level interpreter.
+	host2 := ir.NewHost()
+	host2.Arrays["a"] = []int32{-3, 4, -5, 6}
+	interp := &ir.Interp{Library: prog.Kernels}
+	ref, err := interp.Run(prog.EntryKernel(), map[string]int32{"n": 4, "s": 0}, host2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref["s"] != res.LiveOuts["s"] {
+		t.Errorf("CGRA %d != reference %d", res.LiveOuts["s"], ref["s"])
+	}
+}

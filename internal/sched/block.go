@@ -1,0 +1,820 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"cgra/internal/arch"
+	"cgra/internal/cdfg"
+)
+
+// blockState carries the per-block list-scheduling context.
+type blockState struct {
+	start       int
+	strictDeps  map[*cdfg.Node][]*cdfg.Node
+	prio        map[*cdfg.Node]int
+	unscheduled map[*cdfg.Node]bool
+	// fusable maps a producer node to the pWRITE that may fold into it.
+	fusable map[*cdfg.Node]*cdfg.Node
+	maxEnd  int
+}
+
+// block schedules one straight-line block with the time-stepped list
+// scheduler (Algorithm 1) and returns the first cycle after it.
+func (s *scheduler) block(blk *cdfg.Block, start int) (int, error) {
+	if blk == nil || (len(blk.Nodes) == 0 && blk.Cond == nil) {
+		return start, nil
+	}
+	bs := &blockState{
+		start:       start,
+		strictDeps:  map[*cdfg.Node][]*cdfg.Node{},
+		prio:        map[*cdfg.Node]int{},
+		unscheduled: map[*cdfg.Node]bool{},
+		fusable:     map[*cdfg.Node]*cdfg.Node{},
+		maxEnd:      start,
+	}
+	// Register conditions and predicates used by this block with the
+	// C-Box planner, and serialize each condition's status consumption.
+	conds := map[*cdfg.CondExpr]bool{}
+	if blk.Cond != nil {
+		conds[blk.Cond] = true
+	}
+	for _, n := range blk.Nodes {
+		bs.unscheduled[n] = true
+		for p := n.Pred; p != nil; p = p.Parent {
+			conds[p.Cond] = true
+		}
+	}
+	for c := range conds {
+		s.prepareCond(c)
+	}
+	for _, n := range blk.Nodes {
+		if n.Pred != nil {
+			s.preparePred(n.Pred)
+		}
+	}
+	// Strict dependencies: data producers, explicit prereqs, and the
+	// C-Box status chains.
+	for _, n := range blk.Nodes {
+		deps := append([]*cdfg.Node(nil), n.Prereqs...)
+		for _, a := range n.Args {
+			if a.Kind == cdfg.FromNode {
+				deps = append(deps, a.Node)
+			}
+		}
+		bs.strictDeps[n] = deps
+	}
+	for c := range conds {
+		for _, e := range condChain(c) {
+			bs.strictDeps[e[1]] = append(bs.strictDeps[e[1]], e[0])
+		}
+	}
+	s.computePriorities(blk, bs)
+	if !s.opts.NoFusing {
+		for _, n := range blk.Nodes {
+			if n.Kind == cdfg.KPWrite && n.AliasOf != nil && n.Pred == nil {
+				if _, taken := bs.fusable[n.AliasOf]; !taken {
+					bs.fusable[n.AliasOf] = n
+				}
+			}
+		}
+	}
+
+	t := start
+	remaining := len(blk.Nodes)
+	for remaining > 0 {
+		if t-start > s.opts.MaxCycles {
+			var stuck []string
+			for n := range bs.unscheduled {
+				stuck = append(stuck, fmt.Sprintf("%s [%s]", n, s.stallReason(n, t, bs)))
+			}
+			sort.Strings(stuck)
+			return 0, fmt.Errorf("block %d: exceeded %d cycles (scheduling livelock?); unscheduled: %v",
+				blk.ID, s.opts.MaxCycles, stuck)
+		}
+		cands := s.candidates(blk, bs)
+		for _, n := range cands {
+			if !bs.unscheduled[n] {
+				continue // fused along with its producer this cycle
+			}
+			if s.readyCycle(bs, n) > t {
+				continue
+			}
+			if !s.weakOK(n, t) {
+				continue
+			}
+			var scheduled bool
+			var err error
+			if n.Kind == cdfg.KPWrite {
+				scheduled, err = s.schedPWrite(n, t)
+			} else {
+				scheduled, err = s.schedOp(n, t, bs)
+			}
+			if err != nil {
+				return 0, err
+			}
+			if scheduled {
+				delete(bs.unscheduled, n)
+				remaining--
+				if f := s.nodeFinish[n]; f+1 > bs.maxEnd {
+					bs.maxEnd = f + 1
+				}
+				// A fused pWRITE is scheduled together with its
+				// producer.
+				if pw := bs.fusable[n]; pw != nil && bs.unscheduled[pw] {
+					if _, done := s.nodeIssue[pw]; done {
+						delete(bs.unscheduled, pw)
+						remaining--
+					}
+				}
+			}
+		}
+		s.processPending()
+		t++
+	}
+	s.processPending()
+	return maxInt(bs.maxEnd, start), nil
+}
+
+// computePriorities assigns each node its longest-path weight to any sink
+// (§V-F: "the longest path weight is currently used as the priority
+// criterion"). Durations use the slowest implementation among supporting
+// PEs, a safe critical-path estimate on inhomogeneous arrays.
+func (s *scheduler) computePriorities(blk *cdfg.Block, bs *blockState) {
+	succs := map[*cdfg.Node][]*cdfg.Node{}
+	for n, deps := range bs.strictDeps {
+		for _, d := range deps {
+			succs[d] = append(succs[d], n)
+		}
+	}
+	// blk.Nodes is topologically ordered (builders append dependencies
+	// first), so one reverse sweep suffices.
+	for i := len(blk.Nodes) - 1; i >= 0; i-- {
+		n := blk.Nodes[i]
+		w := s.repDuration(n)
+		best := 0
+		for _, m := range succs[n] {
+			if bs.prio[m] > best {
+				best = bs.prio[m]
+			}
+		}
+		bs.prio[n] = w + best
+	}
+}
+
+// repDuration is a composition-representative latency for priority purposes.
+func (s *scheduler) repDuration(n *cdfg.Node) int {
+	op := n.Op
+	d := 1
+	for _, pe := range s.comp.PEs {
+		if pe.Supports(op) && pe.Duration(op) > d {
+			d = pe.Duration(op)
+		}
+	}
+	return d
+}
+
+// candidates returns unscheduled nodes whose strict dependencies are all
+// scheduled, ordered by decreasing priority (ties by node ID for
+// determinism).
+func (s *scheduler) candidates(blk *cdfg.Block, bs *blockState) []*cdfg.Node {
+	var out []*cdfg.Node
+	for _, n := range blk.Nodes {
+		if !bs.unscheduled[n] {
+			continue
+		}
+		ok := true
+		for _, d := range bs.strictDeps[n] {
+			if _, done := s.nodeIssue[d]; !done {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, n)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if bs.prio[out[i]] != bs.prio[out[j]] {
+			return bs.prio[out[i]] > bs.prio[out[j]]
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// readyCycle is the earliest issue cycle permitted by strict dependencies.
+func (s *scheduler) readyCycle(bs *blockState, n *cdfg.Node) int {
+	r := bs.start
+	for _, d := range bs.strictDeps[n] {
+		if f, ok := s.nodeFinish[d]; ok && f+1 > r {
+			r = f + 1
+		}
+	}
+	return r
+}
+
+// weakOK checks write-after-read ordering: every weak predecessor must have
+// issued no later than t.
+func (s *scheduler) weakOK(n *cdfg.Node, t int) bool {
+	for _, d := range n.WeakPrereqs {
+		iss, ok := s.nodeIssue[d]
+		if !ok || iss > t {
+			return false
+		}
+	}
+	return true
+}
+
+// consumersIssuedBy checks that every value consumer of the producer whose
+// write was fused into local's home slot has issued by the given cycle; a
+// later overwrite of the slot would otherwise feed them the wrong value.
+// self (the overwriting node) is exempt: it reads the slot in the cycle it
+// overwrites it, which the register file permits.
+func (s *scheduler) consumersIssuedBy(local string, cycle int, self *cdfg.Node) bool {
+	fp := s.fusedProd[local]
+	if fp == nil {
+		return true
+	}
+	for _, c := range s.consumers[fp] {
+		if c == self {
+			continue
+		}
+		iss, ok := s.nodeIssue[c]
+		if !ok || iss > cycle {
+			return false
+		}
+	}
+	return true
+}
+
+// stallReason explains (for livelock diagnostics) why node n cannot issue
+// at cycle t.
+func (s *scheduler) stallReason(n *cdfg.Node, t int, bs *blockState) string {
+	for _, d := range bs.strictDeps[n] {
+		if _, done := s.nodeIssue[d]; !done {
+			return fmt.Sprintf("strict dep n%d unscheduled", d.ID)
+		}
+	}
+	if r := s.readyCycle(bs, n); r > t {
+		return fmt.Sprintf("not ready before cycle %d", r)
+	}
+	if !s.weakOK(n, t) {
+		return "weak (WAR) predecessor unscheduled"
+	}
+	if n.Pred != nil {
+		if _, ok := s.predSlotReady(n.Pred, t); !ok {
+			return fmt.Sprintf("predicate p%d slot not ready", n.Pred.ID)
+		}
+	}
+	if n.Kind == cdfg.KPWrite {
+		if home, ok := s.sch.Homes[n.Local]; ok {
+			if !s.consumersIssuedBy(n.Local, t, n) {
+				return fmt.Sprintf("consumers of fused producer of %q pending", n.Local)
+			}
+			if src, ok := s.operandAccessible(n.Args[0], home.PE, t); !ok {
+				return fmt.Sprintf("operand %v inaccessible on home PE %d", n.Args[0], home.PE)
+			} else {
+				_ = src
+			}
+		}
+		return "home/resources"
+	}
+	return "resources"
+}
+
+// schedOp tries to schedule a KOp node at cycle t; false means "try again
+// later" (resources or operands unavailable; provisioning may have been
+// started).
+func (s *scheduler) schedOp(n *cdfg.Node, t int, bs *blockState) (bool, error) {
+	op := n.Op
+	role := s.cmpRole[n]
+	// Predication gating for DMA operations.
+	var predSlot *Slot
+	if n.IsDMA() && n.Pred != nil {
+		slot, ok := s.predSlotReady(n.Pred, t)
+		if !ok || !s.predGateOK(t, slot) {
+			return false, nil
+		}
+		predSlot = slot
+	}
+	pes := s.candidatePEs(n, op)
+	if len(pes) == 0 {
+		return false, fmt.Errorf("no PE supports %v (node %s)", op, n)
+	}
+	// Pass 1: a PE where all operands are accessible right now.
+	sawFree := false
+	for _, p := range pes {
+		dur := s.comp.PEs[p].Duration(op)
+		if !s.peFree(p, t, dur) {
+			continue
+		}
+		sawFree = true
+		// The status bit of a compare reaches the C-Box in the op's
+		// final cycle; the C-Box must be free then and the stored
+		// partial condition must already be available (§IV-A2).
+		if n.IsCompare() && role != nil {
+			finish := t + dur - 1
+			if s.cboxBusy[finish] || !s.cmpStoredReady(role, finish) {
+				continue
+			}
+		}
+		srcs, ok := s.argsAccessible(n, p, t)
+		if !ok {
+			continue
+		}
+		s.emitNode(n, p, t, dur, srcs, predSlot, bs)
+		return true, nil
+	}
+	// Pass 2: provision operands toward the most attractive compatible PE
+	// and delay the node (§V-F plan-candidate: values are copied, before
+	// the current time step when resources allow). Only provision when a
+	// compatible PE was actually free — otherwise the stall is transient.
+	if sawFree {
+		target := pes[0]
+		// With two or more operands, distance-1 sources can conflict
+		// on the source PE's single routing output indefinitely (both
+		// values living on the same neighbour); force the copies onto
+		// the target PE itself in that case.
+		force := len(n.Args) >= 2
+		for _, a := range n.Args {
+			s.provisionOperand(a, target, force)
+		}
+	}
+	return false, nil
+}
+
+// emitNode finalizes the placement of a KOp node.
+func (s *scheduler) emitNode(n *cdfg.Node, p, t, dur int, srcs []Src, predSlot *Slot, bs *blockState) {
+	finish := t + dur - 1
+	op := &Op{
+		PE:    p,
+		Cycle: t,
+		Dur:   dur,
+		Code:  n.Op,
+		Node:  n,
+		Array: n.Array,
+		Imm:   n.Const,
+	}
+	if len(srcs) > 0 {
+		op.A = srcs[0]
+	}
+	if len(srcs) > 1 {
+		op.B = srcs[1]
+	}
+	s.commitSrcs(srcs, t)
+	if predSlot != nil {
+		op.PredSlot = predSlot
+		s.gatePred(t, predSlot)
+	}
+	// Destination value.
+	if n.ProducesValue() {
+		if pw := bs.fusable[n]; pw != nil && s.tryFuse(pw, n, p, finish, t) {
+			home := s.homeValue(pw.Local, p)
+			op.Dest = home
+			s.nodeVal[n] = home
+			s.nodeIssue[pw] = t
+			s.nodeFinish[pw] = finish
+			s.nodeVal[pw] = home
+			delete(s.copies, pw.Local)
+			s.fusedProd[pw.Local] = n
+			s.sch.Stats.FusedPWrites++
+			if pw.Pred != nil {
+				panic("fused a predicated pWRITE") // guarded by construction
+			}
+		} else {
+			v := s.newValue(p, finish)
+			op.Dest = v
+			s.nodeVal[n] = v
+		}
+	}
+	s.markBusy(p, t, dur)
+	s.nodeIssue[n] = t
+	s.nodeFinish[n] = finish
+	s.sch.Ops = append(s.sch.Ops, op)
+	s.sch.Stats.Nodes++
+	if finish+1 > bs.maxEnd {
+		bs.maxEnd = finish + 1
+	}
+	if n.IsCompare() {
+		// The status bit reaches the C-Box in the op's final cycle.
+		if err := s.emitCompare(n, p, finish); err != nil {
+			panic(err) // cbox availability was checked above
+		}
+	}
+	s.bumpAttraction(n, p)
+}
+
+// tryFuse decides whether pWRITE pw may fold into producer n placed on PE p
+// finishing at cycle `finish` (§V-E): the variable's home must be p (or
+// still unassigned), all of pw's ordering predecessors must be satisfied at
+// the commit cycle, and no consumer-of-overwritten-value hazard may exist.
+func (s *scheduler) tryFuse(pw, n *cdfg.Node, p, finish, t int) bool {
+	if s.opts.NoFusing || pw.Pred != nil {
+		return false
+	}
+	if home, ok := s.sch.Homes[pw.Local]; ok && home.PE != p {
+		return false
+	}
+	for _, d := range pw.Prereqs {
+		if d == n {
+			continue
+		}
+		f, ok := s.nodeFinish[d]
+		if !ok || f+1 > finish {
+			return false
+		}
+	}
+	for _, d := range pw.WeakPrereqs {
+		iss, ok := s.nodeIssue[d]
+		if !ok || iss > finish {
+			return false
+		}
+	}
+	if !s.consumersIssuedBy(pw.Local, finish, pw) {
+		return false
+	}
+	return true
+}
+
+// schedPWrite schedules an unfused pWRITE as a MOVE/CONST on the variable's
+// home PE, predicated when control flow requires it.
+func (s *scheduler) schedPWrite(n *cdfg.Node, t int) (bool, error) {
+	arg := n.Args[0]
+	// Home assignment: prefer the PE that can provide the value (§V-D).
+	home, ok := s.sch.Homes[n.Local]
+	if !ok {
+		pe := s.pickHomePE(arg)
+		home = s.homeValue(n.Local, pe)
+	}
+	p := home.PE
+	code := arch.MOVE
+	if arg.Kind == cdfg.FromConst {
+		code = arch.CONST
+	}
+	if !s.comp.PEs[p].Supports(code) {
+		return false, fmt.Errorf("home PE %d of %q lacks %v", p, n.Local, code)
+	}
+	dur := s.comp.PEs[p].Duration(code)
+	if !s.peFree(p, t, dur) {
+		return false, nil
+	}
+	if !s.consumersIssuedBy(n.Local, t, n) {
+		return false, nil
+	}
+	var predSlot *Slot
+	if n.Pred != nil {
+		slot, ready := s.predSlotReady(n.Pred, t)
+		if !ready || !s.predGateOK(t, slot) {
+			return false, nil
+		}
+		predSlot = slot
+	}
+	var srcs []Src
+	if code == arch.MOVE {
+		src, ok := s.operandAccessible(arg, p, t)
+		if !ok {
+			s.provisionOperand(arg, p, false)
+			return false, nil
+		}
+		srcs = []Src{src}
+	}
+	finish := t + dur - 1
+	op := &Op{
+		PE: p, Cycle: t, Dur: dur, Code: code, Node: n,
+		Dest: home, PredSlot: predSlot, Imm: arg.Const,
+	}
+	if len(srcs) > 0 {
+		op.A = srcs[0]
+		s.commitSrcs(srcs, t)
+	}
+	if predSlot != nil {
+		s.gatePred(t, predSlot)
+	}
+	s.markBusy(p, t, dur)
+	s.nodeIssue[n] = t
+	s.nodeFinish[n] = finish
+	s.nodeVal[n] = home
+	delete(s.copies, n.Local)
+	s.fusedProd[n.Local] = nil
+	s.sch.Ops = append(s.sch.Ops, op)
+	s.sch.Stats.Nodes++
+	s.sch.Stats.UnfusedPWrites++
+	s.bumpAttraction(n, p)
+	return true, nil
+}
+
+// pickHomePE chooses a home PE for a local whose first access is a write.
+func (s *scheduler) pickHomePE(arg cdfg.Operand) int {
+	switch arg.Kind {
+	case cdfg.FromNode:
+		if v, ok := s.nodeVal[arg.Node]; ok {
+			return v.PE
+		}
+	case cdfg.FromLocal:
+		if h, ok := s.sch.Homes[arg.Local]; ok {
+			return h.PE
+		}
+	}
+	// Fall back to the best-connected PE.
+	best, bestDeg := 0, -1
+	for i := range s.comp.PEs {
+		if d := s.comp.Degree(i); d > bestDeg {
+			best, bestDeg = i, d
+		}
+	}
+	return best
+}
+
+// commitSrcs records register/route reads for lifetime analysis and reserves
+// routing outputs.
+func (s *scheduler) commitSrcs(srcs []Src, t int) {
+	for _, src := range srcs {
+		switch src.Kind {
+		case SrcReg:
+			src.Val.Uses = append(src.Val.Uses, t)
+		case SrcRoute:
+			src.Val.Uses = append(src.Val.Uses, t)
+			s.reserveOutl(src.FromPE, t, src.Val)
+		}
+	}
+}
+
+// bumpAttraction raises the attraction of n's value consumers toward every
+// PE that can access p's register file (§V-G).
+func (s *scheduler) bumpAttraction(n *cdfg.Node, p int) {
+	if s.opts.NoAttraction {
+		return
+	}
+	targets := append([]int{p}, s.comp.FanOut(p)...)
+	for _, succ := range s.consumers[n] {
+		m := s.attraction[succ]
+		if m == nil {
+			m = map[int]float64{}
+			s.attraction[succ] = m
+		}
+		for _, q := range targets {
+			m[q]++
+		}
+	}
+}
+
+// candidatePEs orders the PEs able to execute op by decreasing attraction,
+// breaking ties toward better-connected PEs (§V-G).
+func (s *scheduler) candidatePEs(n *cdfg.Node, op arch.OpCode) []int {
+	pes := s.comp.SupportingPEs(op)
+	if s.opts.NoAttraction {
+		return pes
+	}
+	score := func(q int) float64 {
+		sc := s.attraction[n][q]
+		for _, a := range n.Args {
+			for _, v := range s.sourcesOf(a) {
+				switch s.rt.Dist(v.PE, q) {
+				case 0:
+					sc += 2
+				case 1:
+					sc++
+				}
+			}
+		}
+		return sc
+	}
+	sort.SliceStable(pes, func(i, j int) bool {
+		si, sj := score(pes[i]), score(pes[j])
+		if si != sj {
+			return si > sj
+		}
+		di, dj := s.comp.Degree(pes[i]), s.comp.Degree(pes[j])
+		if di != dj {
+			return di > dj
+		}
+		return pes[i] < pes[j]
+	})
+	return pes
+}
+
+// sourcesOf lists the RF-resident instances of an operand's value.
+func (s *scheduler) sourcesOf(a cdfg.Operand) []*Value {
+	var out []*Value
+	switch a.Kind {
+	case cdfg.FromConst:
+		for _, v := range s.constCp[a.Const] {
+			out = append(out, v)
+		}
+	case cdfg.FromLocal:
+		if h, ok := s.sch.Homes[a.Local]; ok {
+			out = append(out, h)
+		}
+		for _, v := range s.copies[a.Local] {
+			out = append(out, v)
+		}
+	case cdfg.FromNode:
+		if v, ok := s.nodeVal[a.Node]; ok {
+			out = append(out, v)
+		}
+		for _, v := range s.nodeCp[a.Node] {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// argsAccessible resolves all operands of n for execution on p at t.
+func (s *scheduler) argsAccessible(n *cdfg.Node, p, t int) ([]Src, bool) {
+	srcs := make([]Src, 0, len(n.Args))
+	for _, a := range n.Args {
+		src, ok := s.operandAccessible(a, p, t)
+		if !ok {
+			return nil, false
+		}
+		srcs = append(srcs, src)
+	}
+	// Two routed operands from the same neighbour carrying different
+	// values would need two outl values in one cycle: reject.
+	for i := 0; i < len(srcs); i++ {
+		for j := i + 1; j < len(srcs); j++ {
+			if srcs[i].Kind == SrcRoute && srcs[j].Kind == SrcRoute &&
+				srcs[i].FromPE == srcs[j].FromPE && srcs[i].Val != srcs[j].Val {
+				return nil, false
+			}
+		}
+	}
+	return srcs, true
+}
+
+// operandAccessible finds a way to read operand a on PE p at cycle t without
+// inserting new operations (except immediate constant materialization into a
+// free earlier cycle of p itself).
+func (s *scheduler) operandAccessible(a cdfg.Operand, p, t int) (Src, bool) {
+	// Live-in locals are homed at their first requiring PE (§V-D).
+	if a.Kind == cdfg.FromLocal {
+		if _, ok := s.sch.Homes[a.Local]; !ok {
+			h := s.homeValue(a.Local, p)
+			return Src{Kind: SrcReg, Val: h}, true
+		}
+	}
+	var routed *Src
+	for _, v := range s.sourcesOf(a) {
+		if v.Def >= t {
+			continue // not yet written
+		}
+		switch s.rt.Dist(v.PE, p) {
+		case 0:
+			return Src{Kind: SrcReg, Val: v}, true
+		case 1:
+			if routed == nil && s.outlAvailable(v.PE, t, v) {
+				routed = &Src{Kind: SrcRoute, Val: v, FromPE: v.PE}
+			}
+		}
+	}
+	if routed != nil {
+		return *routed, true
+	}
+	// Constants can be materialized into an earlier free cycle of p.
+	if a.Kind == cdfg.FromConst && s.comp.PEs[p].Supports(arch.CONST) {
+		e := s.earliestFree(p, s.safeFloor, 1)
+		if e < t {
+			v := s.materializeConst(a.Const, p, e)
+			return Src{Kind: SrcReg, Val: v}, true
+		}
+	}
+	return Src{}, false
+}
+
+// provisionOperand starts making operand a accessible on PE p: materialize a
+// constant or copy the value along a shortest path (§V-F/G). Idempotent:
+// in-flight copies registered earlier are found as sources and nothing new
+// is scheduled. With force, only a distance-0 instance counts as available
+// (used to break routing-output conflicts between operands).
+func (s *scheduler) provisionOperand(a cdfg.Operand, p int, force bool) {
+	// Already available or in flight?
+	maxDist := 1
+	if force {
+		maxDist = 0
+	}
+	for _, v := range s.sourcesOf(a) {
+		if s.rt.Dist(v.PE, p) <= maxDist {
+			return
+		}
+	}
+	if a.Kind == cdfg.FromConst {
+		if s.comp.PEs[p].Supports(arch.CONST) {
+			e := s.earliestFree(p, s.safeFloor, 1)
+			s.materializeConst(a.Const, p, e)
+		}
+		return
+	}
+	if a.Kind == cdfg.FromLocal {
+		if _, ok := s.sch.Homes[a.Local]; !ok {
+			s.homeValue(a.Local, p)
+			return
+		}
+	}
+	sources := s.sourcesOf(a)
+	if len(sources) == 0 {
+		return // producer not scheduled yet; dependency handling retries
+	}
+	best := sources[0]
+	for _, v := range sources {
+		if s.rt.Dist(v.PE, p) < s.rt.Dist(best.PE, p) {
+			best = v
+		}
+	}
+	path, err := s.rt.Path(best.PE, p)
+	if err != nil {
+		return
+	}
+	prev := best
+	ready := best.Def + 1
+	// A copy serving a versioned local read must not start before the
+	// pending writers have committed: home slots are pinned (Def -1), so
+	// without this a copy could capture the stale pre-write value.
+	if a.Kind == cdfg.FromLocal {
+		for _, w := range a.Version {
+			f, ok := s.nodeFinish[w]
+			if !ok {
+				return // writer not scheduled yet; retry later
+			}
+			if f+1 > ready {
+				ready = f + 1
+			}
+		}
+	}
+	for _, hop := range path[1:] {
+		if !s.comp.PEs[hop].Supports(arch.MOVE) {
+			return // cannot route through this PE; give up this path
+		}
+		e := maxInt(ready, s.safeFloor)
+		for {
+			e = s.earliestFree(hop, e, 1)
+			if s.outlAvailable(prev.PE, e, prev) {
+				break
+			}
+			e++
+		}
+		dst := s.newValue(hop, e)
+		s.registerCopy(a, hop, dst)
+		op := &Op{
+			PE: hop, Cycle: e, Dur: 1, Code: arch.MOVE,
+			A:    Src{Kind: SrcRoute, Val: prev, FromPE: prev.PE},
+			Dest: dst,
+		}
+		prev.Uses = append(prev.Uses, e)
+		s.reserveOutl(prev.PE, e, prev)
+		s.markBusy(hop, e, 1)
+		s.sch.Ops = append(s.sch.Ops, op)
+		s.sch.Stats.CopiesInserted++
+		prev = dst
+		ready = e + 1
+	}
+}
+
+// materializeConst emits CONST #val on PE p at cycle e and registers the
+// copy for reuse.
+func (s *scheduler) materializeConst(val int32, p, e int) *Value {
+	v := s.newValue(p, e)
+	v.IsConst = true
+	v.ConstVal = val
+	v.Pinned = true
+	if s.constCp[val] == nil {
+		s.constCp[val] = map[int]*Value{}
+	}
+	s.constCp[val][p] = v
+	s.markBusy(p, e, 1)
+	s.sch.Ops = append(s.sch.Ops, &Op{PE: p, Cycle: e, Dur: 1, Code: arch.CONST, Imm: val, Dest: v})
+	s.sch.Stats.ConstsMaterialized++
+	return v
+}
+
+// registerCopy records a routing copy for reuse by later consumers.
+func (s *scheduler) registerCopy(a cdfg.Operand, pe int, v *Value) {
+	switch a.Kind {
+	case cdfg.FromConst:
+		v.IsConst = true
+		v.ConstVal = a.Const
+		v.Pinned = true
+		if s.constCp[a.Const] == nil {
+			s.constCp[a.Const] = map[int]*Value{}
+		}
+		if _, exists := s.constCp[a.Const][pe]; !exists {
+			s.constCp[a.Const][pe] = v
+		}
+	case cdfg.FromLocal:
+		v.Local = a.Local
+		if s.copies[a.Local] == nil {
+			s.copies[a.Local] = map[int]*Value{}
+		}
+		if _, exists := s.copies[a.Local][pe]; !exists {
+			s.copies[a.Local][pe] = v
+		}
+	case cdfg.FromNode:
+		if s.nodeCp[a.Node] == nil {
+			s.nodeCp[a.Node] = map[int]*Value{}
+		}
+		if _, exists := s.nodeCp[a.Node][pe]; !exists {
+			s.nodeCp[a.Node][pe] = v
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package sched
+
+import (
+	"fmt"
+
+	"cgra/internal/cdfg"
+)
+
+// This file schedules the C-Box: condition expressions are evaluated one
+// incoming status bit per cycle (§IV-A2), accumulating partial results in
+// condition-memory slots; predicate slots conjoin a parent predicate with a
+// (possibly negated) condition (§V-H). Sub-tree joins and parent conjunction
+// are stored-stored combinations floated into free C-Box cycles.
+
+// prepareCond registers the evaluation plan for a condition expression:
+// each compare leaf gets a cmpRole describing the C-Box consume operation
+// issued in its cycle; non-leaf right children become floated recombines.
+// Shared sub-expressions (pointer-identical) are prepared once.
+func (s *scheduler) prepareCond(c *cdfg.CondExpr) {
+	if c == nil || s.condSeen[c] {
+		return
+	}
+	s.condSeen[c] = true
+	switch c.Op {
+	case cdfg.CondLeaf:
+		s.condOut[c] = s.newSlot()
+		s.cmpRole[c.Cmp] = &cmpRole{Expr: c, Stored: nil, Logic: CBPass}
+	case cdfg.CondAnd, cdfg.CondOr:
+		logic := CBAnd
+		if c.Op == cdfg.CondOr {
+			logic = CBOr
+		}
+		s.prepareCond(c.X)
+		if c.Y.Op == cdfg.CondLeaf && !s.condSeen[c.Y] {
+			// Fold the right leaf's consume into the combine: the
+			// stored partial result meets the incoming status.
+			s.condSeen[c.Y] = true
+			s.condOut[c] = s.newSlot()
+			s.condOut[c.Y] = s.condOut[c] // alias: leaf value only observable combined
+			s.cmpRole[c.Y.Cmp] = &cmpRole{Expr: c, Stored: c.X, Logic: logic}
+		} else {
+			// General tree: evaluate both sides, then join the two
+			// stored conditions.
+			s.prepareCond(c.Y)
+			s.condOut[c] = s.newSlot()
+			s.pending = append(s.pending, &pendingComb{x: c.X, y: c.Y, logic: logic, out: c})
+		}
+	}
+}
+
+// chainEdges returns strict ordering constraints between the compare leaves
+// of a condition: the C-Box consumes one status per cycle, in evaluation
+// order.
+func condChain(c *cdfg.CondExpr) [][2]*cdfg.Node {
+	leaves := c.Leaves(nil)
+	var edges [][2]*cdfg.Node
+	for i := 1; i < len(leaves); i++ {
+		edges = append(edges, [2]*cdfg.Node{leaves[i-1], leaves[i]})
+	}
+	return edges
+}
+
+// preparePred ensures the predicate's slot computation is registered. The
+// slot is parent AND (cond ^ negate); predicates whose parent is nil and
+// that are not negated alias the condition's own slot (no extra C-Box op).
+func (s *scheduler) preparePred(p *cdfg.Pred) {
+	if p == nil || s.predSeen[p] {
+		return
+	}
+	s.predSeen[p] = true
+	s.preparePred(p.Parent)
+	s.prepareCond(p.Cond)
+	if p.Parent == nil && !p.Negate {
+		s.predSlots[p] = s.condOut[p.Cond]
+		return
+	}
+	s.predSlots[p] = s.newSlot()
+	s.pending = append(s.pending, &pendingComb{pred: p})
+}
+
+// cmpStoredReady reports whether the stored operand needed by a compare's
+// C-Box consume is available at cycle t (and exists at all).
+func (s *scheduler) cmpStoredReady(role *cmpRole, t int) bool {
+	if role.Stored == nil {
+		return true
+	}
+	ready, ok := s.condReady[role.Stored]
+	return ok && ready <= t
+}
+
+// emitCompare issues the C-Box consume for a compare node scheduled on pe at
+// cycle t.
+func (s *scheduler) emitCompare(n *cdfg.Node, pe, t int) error {
+	role := s.cmpRole[n]
+	if role == nil {
+		// A compare whose status nobody consumes (dead condition);
+		// nothing to do.
+		return nil
+	}
+	if s.cboxBusy[t] {
+		return fmt.Errorf("cbox busy at %d", t)
+	}
+	out := s.condOut[role.Expr]
+	op := &CBoxOp{
+		Cycle:    t,
+		Kind:     CBConsume,
+		StatusPE: pe,
+		Logic:    role.Logic,
+		Write:    out,
+	}
+	if role.Stored != nil {
+		a := s.condOut[role.Stored]
+		op.A = a
+		a.Uses = append(a.Uses, t)
+	}
+	out.Writes = append(out.Writes, t)
+	s.cboxBusy[t] = true
+	s.sch.CBox = append(s.sch.CBox, op)
+	s.sch.Stats.CBoxOps++
+	s.condReady[role.Expr] = t + 1
+	s.processPending()
+	return nil
+}
+
+// processPending places floated stored-stored combinations (condition tree
+// joins and predicate conjunctions) as soon as their inputs are ready, in
+// the earliest free C-Box cycle at or after the safe floor.
+func (s *scheduler) processPending() {
+	for progress := true; progress; {
+		progress = false
+		kept := s.pending[:0]
+		for _, pc := range s.pending {
+			if s.placeComb(pc) {
+				progress = true
+			} else {
+				kept = append(kept, pc)
+			}
+		}
+		s.pending = kept
+	}
+}
+
+// predReadyCycle resolves a predicate's slot readiness, following the alias
+// of non-negated root predicates to their condition slot.
+func (s *scheduler) predReadyCycle(p *cdfg.Pred) (int, bool) {
+	if r, ok := s.predReady[p]; ok {
+		return r, true
+	}
+	if p.Parent == nil && !p.Negate {
+		r, ok := s.condReady[p.Cond]
+		return r, ok
+	}
+	return 0, false
+}
+
+// placeComb tries to place one pending combination; returns true on success.
+func (s *scheduler) placeComb(pc *pendingComb) bool {
+	if pc.pred != nil {
+		p := pc.pred
+		condReady, ok := s.condReady[p.Cond]
+		if !ok {
+			return false
+		}
+		earliest := condReady
+		var parentSlot *Slot
+		if p.Parent != nil {
+			pr, ok := s.predReadyCycle(p.Parent)
+			if !ok {
+				return false
+			}
+			parentSlot = s.predSlots[p.Parent]
+			earliest = maxInt(earliest, pr)
+		}
+		t := s.freeCBoxCycle(maxInt(earliest, s.safeFloor))
+		out := s.predSlots[p]
+		condSlot := s.condOut[p.Cond]
+		var op *CBoxOp
+		if parentSlot == nil {
+			// parent nil, negate true: out = !cond
+			op = &CBoxOp{Cycle: t, Kind: CBRecombine, Logic: CBPass, A: condSlot, InvA: p.Negate, Write: out}
+			condSlot.Uses = append(condSlot.Uses, t)
+		} else {
+			op = &CBoxOp{Cycle: t, Kind: CBRecombine, Logic: CBAnd, A: parentSlot, B: condSlot, InvB: p.Negate, Write: out}
+			parentSlot.Uses = append(parentSlot.Uses, t)
+			condSlot.Uses = append(condSlot.Uses, t)
+		}
+		out.Writes = append(out.Writes, t)
+		s.cboxBusy[t] = true
+		s.sch.CBox = append(s.sch.CBox, op)
+		s.sch.Stats.CBoxOps++
+		s.predReady[p] = t + 1
+		return true
+	}
+	rx, okx := s.condReady[pc.x]
+	ry, oky := s.condReady[pc.y]
+	if !okx || !oky {
+		return false
+	}
+	t := s.freeCBoxCycle(maxInt(maxInt(rx, ry), s.safeFloor))
+	a, b, out := s.condOut[pc.x], s.condOut[pc.y], s.condOut[pc.out]
+	op := &CBoxOp{Cycle: t, Kind: CBRecombine, Logic: pc.logic, A: a, B: b, Write: out}
+	a.Uses = append(a.Uses, t)
+	b.Uses = append(b.Uses, t)
+	out.Writes = append(out.Writes, t)
+	s.cboxBusy[t] = true
+	s.sch.CBox = append(s.sch.CBox, op)
+	s.sch.Stats.CBoxOps++
+	s.condReady[pc.out] = t + 1
+	return true
+}
+
+func (s *scheduler) freeCBoxCycle(from int) int {
+	c := from
+	for s.cboxBusy[c] {
+		c++
+	}
+	return c
+}
+
+// predSlotReady returns the predicate's slot if it is usable at cycle t.
+func (s *scheduler) predSlotReady(p *cdfg.Pred, t int) (*Slot, bool) {
+	s.preparePred(p)
+	s.processPending()
+	ready, ok := s.predReadyCycle(p)
+	if !ok || ready > t {
+		return nil, false
+	}
+	return s.predSlots[p], true
+}
+
+// predGateOK reports whether a predicated commit can be gated at cycle t:
+// the C-Box drives one predication signal (outPE) per cycle, so every
+// predicated operation in a cycle must share the same slot.
+func (s *scheduler) predGateOK(t int, slot *Slot) bool {
+	cur, used := s.predRead[t]
+	return !used || cur == slot
+}
+
+func (s *scheduler) gatePred(t int, slot *Slot) {
+	s.predRead[t] = slot
+	slot.Uses = append(slot.Uses, t)
+}

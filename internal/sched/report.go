@@ -1,0 +1,85 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Utilization summarizes how busy each resource is across the schedule.
+type Utilization struct {
+	// PEBusy[pe] is the fraction of contexts in which the PE executes
+	// (multi-cycle occupancy included).
+	PEBusy []float64
+	// CBoxBusy is the fraction of contexts with a C-Box operation.
+	CBoxBusy float64
+	// JumpCycles is the number of contexts carrying a CCU jump.
+	JumpCycles int
+	// OpsPerCycle is the average number of PE operations issued per
+	// context.
+	OpsPerCycle float64
+}
+
+// Utilization computes the resource occupancy of the schedule.
+func (s *Schedule) Utilization() Utilization {
+	u := Utilization{PEBusy: make([]float64, s.Comp.NumPEs())}
+	if s.Length == 0 {
+		return u
+	}
+	busy := make([]int, s.Comp.NumPEs())
+	for _, op := range s.Ops {
+		busy[op.PE] += op.Dur
+	}
+	for pe, b := range busy {
+		u.PEBusy[pe] = float64(b) / float64(s.Length)
+	}
+	u.CBoxBusy = float64(len(s.CBox)) / float64(s.Length)
+	u.JumpCycles = len(s.CCU)
+	u.OpsPerCycle = float64(len(s.Ops)) / float64(s.Length)
+	return u
+}
+
+// Dump renders the full schedule as text: per-cycle rows with PE
+// operations, C-Box activity and jumps. Intended for cgrac -dump and for
+// debugging scheduler changes.
+func (s *Schedule) Dump() string {
+	var b strings.Builder
+	byCycle := map[int][]*Op{}
+	for _, op := range s.Ops {
+		byCycle[op.Cycle] = append(byCycle[op.Cycle], op)
+	}
+	cboxByCycle := map[int]*CBoxOp{}
+	for _, cb := range s.CBox {
+		cboxByCycle[cb.Cycle] = cb
+	}
+	fmt.Fprintf(&b, "schedule: %d contexts on %s\n", s.Length, s.Comp.Name)
+	for cyc := 0; cyc < s.Length; cyc++ {
+		ops := byCycle[cyc]
+		cb := cboxByCycle[cyc]
+		jump := s.CCU[cyc]
+		if len(ops) == 0 && cb == nil && jump == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "ctx %3d:\n", cyc)
+		sort.Slice(ops, func(i, j int) bool { return ops[i].PE < ops[j].PE })
+		for _, op := range ops {
+			fmt.Fprintf(&b, "    %s\n", op)
+		}
+		if cb != nil {
+			fmt.Fprintf(&b, "    %s\n", cb)
+		}
+		if jump != nil {
+			fmt.Fprintf(&b, "    %s\n", jump)
+		}
+	}
+	u := s.Utilization()
+	fmt.Fprintf(&b, "utilization: cbox %.0f%%, %.2f ops/ctx, PEs [", u.CBoxBusy*100, u.OpsPerCycle)
+	for i, v := range u.PEBusy {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%.0f%%", v*100)
+	}
+	b.WriteString("]\n")
+	return b.String()
+}

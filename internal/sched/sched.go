@@ -1,0 +1,475 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"cgra/internal/arch"
+	"cgra/internal/cdfg"
+	"cgra/internal/route"
+)
+
+// Run schedules graph g onto composition comp and returns the complete
+// schedule (contexts are generated from it by package ctxgen).
+func Run(g *cdfg.Graph, comp *arch.Composition, opts Options) (*Schedule, error) {
+	if err := comp.Validate(); err != nil {
+		return nil, fmt.Errorf("sched: %v", err)
+	}
+	rt := route.New(comp)
+	if !rt.FullyConnected() {
+		return nil, fmt.Errorf("sched: composition %s is not fully connected; values could strand", comp.Name)
+	}
+	if opts.MaxCycles == 0 {
+		opts.MaxCycles = 100000
+	}
+	s := &scheduler{
+		comp: comp,
+		g:    g,
+		rt:   rt,
+		opts: opts,
+		sch: &Schedule{
+			Comp:  comp,
+			Graph: g,
+			CCU:   map[int]*CCUOp{},
+			Homes: map[string]*Value{},
+		},
+		busy:       make([][]bool, comp.NumPEs()),
+		outl:       make([]map[int]*Value, comp.NumPEs()),
+		cboxBusy:   map[int]bool{},
+		predRead:   map[int]*Slot{},
+		copies:     map[string]map[int]*Value{},
+		constCp:    map[int32]map[int]*Value{},
+		nodeCp:     map[*cdfg.Node]map[int]*Value{},
+		nodeVal:    map[*cdfg.Node]*Value{},
+		nodeFinish: map[*cdfg.Node]int{},
+		nodeIssue:  map[*cdfg.Node]int{},
+		condOut:    map[*cdfg.CondExpr]*Slot{},
+		condReady:  map[*cdfg.CondExpr]int{},
+		condSeen:   map[*cdfg.CondExpr]bool{},
+		cmpRole:    map[*cdfg.Node]*cmpRole{},
+		predSlots:  map[*cdfg.Pred]*Slot{},
+		predReady:  map[*cdfg.Pred]int{},
+		predSeen:   map[*cdfg.Pred]bool{},
+		attraction: map[*cdfg.Node]map[int]float64{},
+		consumers:  map[*cdfg.Node][]*cdfg.Node{},
+		fusedProd:  map[string]*cdfg.Node{},
+	}
+	for i := range s.outl {
+		s.outl[i] = map[int]*Value{}
+	}
+	s.precomputeConsumers()
+	end, err := s.region(g.Root, 0)
+	if err != nil {
+		return nil, err
+	}
+	// Give every untouched live-in/live-out local a home so the
+	// invocation protocol has a transfer target even for unused
+	// parameters.
+	for _, name := range g.LiveIns() {
+		s.homeValue(name, 0)
+	}
+	for _, name := range g.LiveOuts() {
+		s.homeValue(name, 0)
+	}
+	// Halt context: the CCNT jumps to the last entry and stays locked
+	// (§IV-A3). Realized as a self-jump.
+	for s.sch.CCU[end] != nil {
+		end++
+	}
+	s.sch.CCU[end] = &CCUOp{Cycle: end, Uncond: true, Target: end}
+	s.sch.Length = end + 1
+	sort.SliceStable(s.sch.Ops, func(i, j int) bool {
+		a, b := s.sch.Ops[i], s.sch.Ops[j]
+		if a.Cycle != b.Cycle {
+			return a.Cycle < b.Cycle
+		}
+		return a.PE < b.PE
+	})
+	sort.SliceStable(s.sch.CBox, func(i, j int) bool {
+		return s.sch.CBox[i].Cycle < s.sch.CBox[j].Cycle
+	})
+	if err := Verify(s.sch); err != nil {
+		return nil, fmt.Errorf("sched: internal verification failed: %v", err)
+	}
+	return s.sch, nil
+}
+
+// cmpRole describes how one compare node feeds the C-Box: it completes the
+// condition sub-expression Expr by combining its status with the already
+// stored result of Stored (nil for the first leaf of a chain).
+type cmpRole struct {
+	Expr   *cdfg.CondExpr
+	Stored *cdfg.CondExpr
+	Logic  CBLogic
+}
+
+// pendingComb is a floated C-Box operation that combines stored conditions:
+// either joining two condition sub-trees or conjoining a predicate with its
+// parent.
+type pendingComb struct {
+	// For cond-tree joins:
+	x, y  *cdfg.CondExpr
+	logic CBLogic
+	out   *cdfg.CondExpr
+	// For predicate slots:
+	pred *cdfg.Pred
+}
+
+type scheduler struct {
+	comp *arch.Composition
+	g    *cdfg.Graph
+	rt   *route.Table
+	opts Options
+	sch  *Schedule
+
+	busy     [][]bool         // [pe][cycle]
+	outl     []map[int]*Value // [pe][cycle] -> routed value
+	cboxBusy map[int]bool
+	predRead map[int]*Slot
+
+	copies     map[string]map[int]*Value
+	constCp    map[int32]map[int]*Value
+	nodeCp     map[*cdfg.Node]map[int]*Value
+	nodeVal    map[*cdfg.Node]*Value
+	nodeFinish map[*cdfg.Node]int
+	nodeIssue  map[*cdfg.Node]int
+
+	condOut   map[*cdfg.CondExpr]*Slot
+	condReady map[*cdfg.CondExpr]int // first cycle the slot is usable
+	condSeen  map[*cdfg.CondExpr]bool
+	cmpRole   map[*cdfg.Node]*cmpRole
+	predSlots map[*cdfg.Pred]*Slot
+	predReady map[*cdfg.Pred]int
+	predSeen  map[*cdfg.Pred]bool
+	pending   []*pendingComb
+
+	attraction map[*cdfg.Node]map[int]float64
+	consumers  map[*cdfg.Node][]*cdfg.Node
+	// fusedProd tracks, per local, the producer node whose RF write was
+	// fused with the local's home slot; a later pWRITE of that local must
+	// wait until all of the producer's value consumers have issued.
+	fusedProd map[string]*cdfg.Node
+
+	// safeFloor is the earliest cycle scheduler-inserted operations may
+	// occupy: the start of the current unconditional straight-line
+	// stretch. Holes before it belong to contexts that re-execute in
+	// loops or execute conditionally.
+	safeFloor int
+}
+
+// precomputeConsumers records FromNode value consumers for the attraction
+// criterion and for fusing legality.
+func (s *scheduler) precomputeConsumers() {
+	for _, n := range s.g.AllNodes() {
+		for _, a := range n.Args {
+			if a.Kind == cdfg.FromNode {
+				s.consumers[a.Node] = append(s.consumers[a.Node], n)
+			}
+		}
+	}
+}
+
+// region schedules region r starting at cycle start and returns the first
+// cycle after it.
+func (s *scheduler) region(r *cdfg.Region, start int) (int, error) {
+	if r == nil {
+		return start, nil
+	}
+	switch r.Kind {
+	case cdfg.RBlock:
+		return s.block(r.Block, start)
+	case cdfg.RSeq:
+		t := start
+		var err error
+		for _, c := range r.Children {
+			t, err = s.region(c, t)
+			if err != nil {
+				return 0, err
+			}
+		}
+		return t, nil
+	case cdfg.RLoop:
+		return s.loop(r, start)
+	case cdfg.RIf:
+		return s.branchedIf(r, start)
+	default:
+		return 0, fmt.Errorf("unknown region kind %v", r.Kind)
+	}
+}
+
+// loop lays the loop out as contiguous contexts:
+//
+//	hdrStart: header block (evaluates continue condition into a slot)
+//	J:        conditional jump to exit when the condition is false
+//	J+1..:    body
+//	BJ:       unconditional jump back to hdrStart
+//	BJ+1:     exit
+func (s *scheduler) loop(r *cdfg.Region, start int) (int, error) {
+	hdrStart := start
+	s.safeFloor = hdrStart
+	// Copies of locals written anywhere in the loop are stale across
+	// iterations: drop them before scheduling the header.
+	s.purgeWrittenCopies(r)
+
+	hdrEnd, err := s.block(r.Header, hdrStart)
+	if err != nil {
+		return 0, err
+	}
+	if r.Header.Cond == nil {
+		return 0, fmt.Errorf("loop region %d has no condition", r.ID)
+	}
+	contSlot := s.condOut[r.Header.Cond]
+	contReady, ok := s.condReady[r.Header.Cond]
+	if contSlot == nil || !ok {
+		return 0, fmt.Errorf("loop region %d: condition slot not computed", r.ID)
+	}
+	j := maxInt(hdrEnd-1, contReady)
+	j = maxInt(j, hdrStart)
+	for s.sch.CCU[j] != nil {
+		j++
+	}
+	exitJump := &CCUOp{Cycle: j, Slot: contSlot, Invert: true} // jump when NOT continue
+	contSlot.Uses = append(contSlot.Uses, j)
+	s.sch.CCU[j] = exitJump
+
+	bodyStart := j + 1
+	s.safeFloor = bodyStart
+	bodyEnd, err := s.region(r.Body, bodyStart)
+	if err != nil {
+		return 0, err
+	}
+	bj := maxInt(bodyEnd-1, bodyStart)
+	for s.sch.CCU[bj] != nil {
+		bj++
+	}
+	s.sch.CCU[bj] = &CCUOp{Cycle: bj, Uncond: true, Target: hdrStart}
+	exit := bj + 1
+	exitJump.Target = exit
+
+	s.sch.LoopRanges = append(s.sch.LoopRanges, [2]int{hdrStart, bj})
+	// Copies created in the body may not have executed (zero iterations)
+	// or may be stale; drop them. Header copies survive: the header runs
+	// at least once and runs last.
+	s.purgeCopiesFrom(bodyStart)
+	s.safeFloor = exit
+	return exit, nil
+}
+
+// branchedIf lays a conditional containing loops out with CCNT jumps:
+//
+//	condStart: condition block
+//	J:         jump to elseStart (or end) when the condition is false
+//	then...    (ends with a jump over the else arm when one exists)
+//	else...
+func (s *scheduler) branchedIf(r *cdfg.Region, start int) (int, error) {
+	s.safeFloor = start
+	condEnd, err := s.block(r.CondBlock, start)
+	if err != nil {
+		return 0, err
+	}
+	if r.CondBlock.Cond == nil {
+		return 0, fmt.Errorf("if region %d has no condition", r.ID)
+	}
+	slot := s.condOut[r.CondBlock.Cond]
+	ready, ok := s.condReady[r.CondBlock.Cond]
+	if slot == nil || !ok {
+		return 0, fmt.Errorf("if region %d: condition slot not computed", r.ID)
+	}
+	j := maxInt(condEnd-1, ready)
+	j = maxInt(j, start)
+	for s.sch.CCU[j] != nil {
+		j++
+	}
+	condJump := &CCUOp{Cycle: j, Slot: slot, Invert: true}
+	slot.Uses = append(slot.Uses, j)
+	s.sch.CCU[j] = condJump
+
+	thenStart := j + 1
+	s.safeFloor = thenStart
+	thenEnd, err := s.region(r.Then, thenStart)
+	if err != nil {
+		return 0, err
+	}
+	// Copies and constants materialized in the then arm only exist at run
+	// time when the branch went that way: they must be invisible to the
+	// else arm and to everything after the conditional.
+	s.purgeCopiesFrom(thenStart)
+	end := thenEnd
+	if r.Else != nil {
+		j2 := maxInt(thenEnd-1, thenStart)
+		for s.sch.CCU[j2] != nil {
+			j2++
+		}
+		skipElse := &CCUOp{Cycle: j2, Uncond: true}
+		s.sch.CCU[j2] = skipElse
+		elseStart := j2 + 1
+		condJump.Target = elseStart
+		s.safeFloor = elseStart
+		elseEnd, err := s.region(r.Else, elseStart)
+		if err != nil {
+			return 0, err
+		}
+		end = maxInt(elseEnd, elseStart)
+		skipElse.Target = end
+		s.purgeCopiesFrom(elseStart)
+	} else {
+		condJump.Target = maxInt(thenEnd, thenStart)
+		end = condJump.Target
+	}
+	s.sch.CondRanges = append(s.sch.CondRanges, [2]int{thenStart, end - 1})
+	s.safeFloor = end
+	return end, nil
+}
+
+// purgeWrittenCopies invalidates copies of every local that is written
+// anywhere inside region r (loop-carried staleness).
+func (s *scheduler) purgeWrittenCopies(r *cdfg.Region) {
+	written := map[string]bool{}
+	var scan func(q *cdfg.Region)
+	scanBlock := func(b *cdfg.Block) {
+		for _, n := range b.Nodes {
+			if n.Kind == cdfg.KPWrite {
+				written[n.Local] = true
+			}
+		}
+	}
+	scan = func(q *cdfg.Region) {
+		if q == nil {
+			return
+		}
+		switch q.Kind {
+		case cdfg.RBlock:
+			scanBlock(q.Block)
+		case cdfg.RSeq:
+			for _, c := range q.Children {
+				scan(c)
+			}
+		case cdfg.RLoop:
+			scanBlock(q.Header)
+			scan(q.Body)
+		case cdfg.RIf:
+			scanBlock(q.CondBlock)
+			scan(q.Then)
+			scan(q.Else)
+		}
+	}
+	scan(r)
+	for name := range written {
+		delete(s.copies, name)
+		s.fusedProd[name] = nil
+	}
+}
+
+// purgeCopiesFrom drops every copy (local, constant or node copy) defined at
+// or after the given cycle.
+func (s *scheduler) purgeCopiesFrom(cycle int) {
+	for name, m := range s.copies {
+		for pe, v := range m {
+			if v.Def >= cycle {
+				delete(m, pe)
+			}
+		}
+		if len(m) == 0 {
+			delete(s.copies, name)
+		}
+	}
+	for c, m := range s.constCp {
+		for pe, v := range m {
+			if v.Def >= cycle {
+				delete(m, pe)
+			}
+		}
+		if len(m) == 0 {
+			delete(s.constCp, c)
+		}
+	}
+	for n, m := range s.nodeCp {
+		for pe, v := range m {
+			if v.Def >= cycle {
+				delete(m, pe)
+			}
+		}
+		if len(m) == 0 {
+			delete(s.nodeCp, n)
+		}
+	}
+}
+
+// --- resource helpers ---
+
+func (s *scheduler) ensureCycle(pe, cycle int) {
+	for len(s.busy[pe]) <= cycle {
+		s.busy[pe] = append(s.busy[pe], false)
+	}
+}
+
+func (s *scheduler) peFree(pe, from, dur int) bool {
+	for c := from; c < from+dur; c++ {
+		s.ensureCycle(pe, c)
+		if s.busy[pe][c] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *scheduler) markBusy(pe, from, dur int) {
+	for c := from; c < from+dur; c++ {
+		s.ensureCycle(pe, c)
+		s.busy[pe][c] = true
+	}
+}
+
+// earliestFree returns the first cycle >= from where pe is free for dur
+// cycles.
+func (s *scheduler) earliestFree(pe, from, dur int) int {
+	c := from
+	for !s.peFree(pe, c, dur) {
+		c++
+	}
+	return c
+}
+
+// outlAvailable reports whether pe's routing output can carry v at cycle.
+func (s *scheduler) outlAvailable(pe, cycle int, v *Value) bool {
+	cur, used := s.outl[pe][cycle]
+	return !used || cur == v
+}
+
+func (s *scheduler) reserveOutl(pe, cycle int, v *Value) {
+	s.outl[pe][cycle] = v
+}
+
+func (s *scheduler) newValue(pe, def int) *Value {
+	v := &Value{ID: len(s.sch.Values), PE: pe, Def: def, Addr: -1}
+	s.sch.Values = append(s.sch.Values, v)
+	return v
+}
+
+func (s *scheduler) newSlot() *Slot {
+	sl := &Slot{ID: len(s.sch.Slots), Phys: -1}
+	s.sch.Slots = append(s.sch.Slots, sl)
+	return sl
+}
+
+// homeValue returns (creating on demand) the home slot of a local on the
+// given preferred PE. Once assigned, the home never moves (§V-D: "a write
+// must ultimately be done on its assigned PE").
+func (s *scheduler) homeValue(name string, preferPE int) *Value {
+	if v, ok := s.sch.Homes[name]; ok {
+		return v
+	}
+	v := s.newValue(preferPE, -1)
+	v.Local = name
+	v.IsHome = true
+	v.Pinned = true
+	s.sch.Homes[name] = v
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

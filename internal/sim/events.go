@@ -1,0 +1,60 @@
+package sim
+
+// EventKind classifies observable machine events for tracing.
+type EventKind int
+
+// Machine events.
+const (
+	// EvRFWrite: a register-file write committed (PE, Addr, Value).
+	EvRFWrite EventKind = iota
+	// EvRFSquash: a predicated commit was squashed (PE, Addr).
+	EvRFSquash
+	// EvCondWrite: the C-Box wrote a condition slot (Addr, Value 0/1).
+	EvCondWrite
+	// EvJumpTaken: the CCU took a jump (Value = target).
+	EvJumpTaken
+	// EvDMALoad: a DMA load completed (PE, Addr, Value).
+	EvDMALoad
+	// EvDMAStore: a DMA store completed (Value; Addr = heap index).
+	EvDMAStore
+	// EvHalt: the halt context locked the CCNT.
+	EvHalt
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvRFWrite:
+		return "rf-write"
+	case EvRFSquash:
+		return "rf-squash"
+	case EvCondWrite:
+		return "cond-write"
+	case EvJumpTaken:
+		return "jump"
+	case EvDMALoad:
+		return "dma-load"
+	case EvDMAStore:
+		return "dma-store"
+	case EvHalt:
+		return "halt"
+	}
+	return "?"
+}
+
+// Event is one observable state change during simulation. The Probe hook on
+// Machine receives every event; package trace converts the stream into a
+// VCD waveform.
+type Event struct {
+	Cycle int64
+	CCNT  int
+	Kind  EventKind
+	PE    int
+	Addr  int
+	Value int32
+}
+
+func (m *Machine) emit(ev Event) {
+	if m.Probe != nil {
+		m.Probe(ev)
+	}
+}

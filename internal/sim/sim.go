@@ -1,0 +1,398 @@
+// Package sim is a cycle-accurate behavioural simulator for generated CGRA
+// context streams. It mirrors the execution semantics fixed in DESIGN.md §5:
+// one global CCNT addressing every context memory, per-PE ALUs with
+// register files, neighbour routing through outl, a C-Box consuming one
+// status per cycle and driving predication (outPE) and branch selection
+// (outctrl), DMA to the host heap, and predicated squashing of commits.
+//
+// The simulator is the ground truth for the reproduction: every kernel's
+// CGRA run is checked against the IR interpreter's results.
+package sim
+
+import (
+	"fmt"
+
+	"cgra/internal/arch"
+	"cgra/internal/ctxgen"
+	"cgra/internal/ir"
+	"cgra/internal/sched"
+)
+
+// Result reports one CGRA run (the paper's "invocation": receive live-ins,
+// run, send live-outs, §IV-A3).
+type Result struct {
+	// RunCycles is the number of context cycles executed.
+	RunCycles int64
+	// TransferCycles is the invocation overhead: 2 cycles per live-in and
+	// per live-out local variable.
+	TransferCycles int64
+	// LiveOuts holds the final values of live-out locals.
+	LiveOuts map[string]int32
+	// Energy accumulates the per-op energy of executed operations
+	// (arbitrary units from the composition description).
+	Energy float64
+}
+
+// TotalCycles is the full invocation cost.
+func (r *Result) TotalCycles() int64 { return r.RunCycles + r.TransferCycles }
+
+// Machine executes one program.
+type Machine struct {
+	prog *ctxgen.Program
+	// MaxCycles bounds the run (default 500M).
+	MaxCycles int64
+	// Trace, when non-nil, receives one line per cycle (debugging).
+	Trace func(cycle int64, ccnt int)
+	// Probe, when non-nil, receives every observable state change (RF
+	// writes, squashes, condition writes, jumps, DMA); see Event.
+	Probe func(Event)
+}
+
+// New creates a machine for a program.
+func New(prog *ctxgen.Program) *Machine { return &Machine{prog: prog} }
+
+type pendingWrite struct {
+	cycle   int64 // end of this absolute cycle
+	pe      int
+	addr    int
+	value   int32
+	squash  bool
+	isDMA   bool
+	dmaLoad bool
+	array   string
+	index   int32
+}
+
+// Run executes the program with the given live-in arguments against host
+// memory and returns the live-outs and cycle counts.
+func (m *Machine) Run(args map[string]int32, host *ir.Host) (*Result, error) {
+	prog := m.prog
+	s := prog.Sched
+	comp := s.Comp
+	g := s.Graph
+	limit := m.MaxCycles
+	if limit == 0 {
+		limit = 500_000_000
+	}
+
+	// Register files and condition memory.
+	rf := make([][]int32, comp.NumPEs())
+	for i, pe := range comp.PEs {
+		rf[i] = make([]int32, pe.RegfileSize)
+	}
+	condMem := make([]bool, comp.CBoxSlots)
+
+	// Invocation: transfer live-ins into their home RF slots (2 cycles
+	// per variable via the token network, §IV-A3).
+	liveIns := g.LiveIns()
+	for _, name := range liveIns {
+		v, ok := args[name]
+		if !ok {
+			return nil, fmt.Errorf("sim: missing live-in %q", name)
+		}
+		home := s.Homes[name]
+		if home == nil {
+			return nil, fmt.Errorf("sim: no home for live-in %q", name)
+		}
+		rf[home.PE][home.Addr] = v
+	}
+
+	// busyUntil[pe] is the absolute cycle after which the PE accepts a
+	// new context (multi-cycle ops stall context decoding per PE; the
+	// scheduler guarantees NOPs there, so this only guards consistency).
+	res := &Result{LiveOuts: map[string]int32{}}
+	var pending []pendingWrite
+	statuses := make([]bool, comp.NumPEs())
+	statusValid := make([]bool, comp.NumPEs())
+	// Pending status bits from multi-cycle compares (none in the standard
+	// compositions, but the model allows them).
+	type pendingStatus struct {
+		cycle int64
+		pe    int
+		val   bool
+	}
+	var pendStatus []pendingStatus
+
+	ccnt := 0
+	var cycle int64
+	for {
+		if cycle >= limit {
+			return nil, fmt.Errorf("sim: cycle limit %d exceeded (ccnt=%d)", limit, ccnt)
+		}
+		if ccnt < 0 || ccnt >= prog.NumCtx {
+			return nil, fmt.Errorf("sim: CCNT %d out of range", ccnt)
+		}
+		if m.Trace != nil {
+			m.Trace(cycle, ccnt)
+		}
+		cbox := prog.CBox[ccnt]
+		ccu := prog.CCU[ccnt]
+
+		// Phase 1: routing outputs present RF values (state before
+		// this cycle's writes).
+		outl := make([]int32, comp.NumPEs())
+		outlValid := make([]bool, comp.NumPEs())
+		for pe := range comp.PEs {
+			ctx := prog.PE[pe][ccnt]
+			if ctx.OutlEnable {
+				outl[pe] = rf[pe][ctx.OutlAddr]
+				outlValid[pe] = true
+			}
+		}
+
+		// Phase 2: C-Box combinational outputs from current memory.
+		outPE := false
+		if cbox.OutPEEnable {
+			outPE = condMem[cbox.OutPEAddr]
+		}
+		outCtrl := false
+		if cbox.OutCtrlEnable {
+			outCtrl = condMem[cbox.OutCtrlAddr] != cbox.OutCtrlInv
+		}
+
+		// Phase 3: PEs issue operations.
+		for pe := range comp.PEs {
+			ctx := prog.PE[pe][ccnt]
+			if ctx.Op == arch.NOP {
+				continue
+			}
+			fetch := func(mode ctxgen.SrcMode, addr, input int) (int32, error) {
+				switch mode {
+				case ctxgen.SrcReg:
+					return rf[pe][addr], nil
+				case ctxgen.SrcRoute:
+					src := comp.PEs[pe].Inputs[input]
+					if !outlValid[src] {
+						return 0, fmt.Errorf("sim: PE %d reads idle outl of PE %d at ctx %d", pe, src, ccnt)
+					}
+					return outl[src], nil
+				default:
+					return 0, nil
+				}
+			}
+			a, err := fetch(ctx.AMode, ctx.AAddr, ctx.AInput)
+			if err != nil {
+				return nil, err
+			}
+			b, err := fetch(ctx.BMode, ctx.BAddr, ctx.BInput)
+			if err != nil {
+				return nil, err
+			}
+			dur := comp.PEs[pe].Duration(ctx.Op)
+			finish := cycle + int64(dur) - 1
+			squash := ctx.Predicated && !outPE
+			res.Energy += comp.PEs[pe].Energy(ctx.Op)
+
+			switch {
+			case ctx.Op.IsCompare():
+				val, err := evalCompare(ctx.Op, a, b)
+				if err != nil {
+					return nil, err
+				}
+				pendStatus = append(pendStatus, pendingStatus{cycle: finish, pe: pe, val: val})
+			case ctx.Op == arch.LOAD:
+				if !squash {
+					arr := g.Arrays[ctx.Array]
+					pending = append(pending, pendingWrite{
+						cycle: finish, pe: pe, addr: ctx.WriteAddr,
+						isDMA: true, dmaLoad: true, array: arr, index: a,
+					})
+				}
+			case ctx.Op == arch.STORE:
+				if !squash {
+					arr := g.Arrays[ctx.Array]
+					pending = append(pending, pendingWrite{
+						cycle: finish, pe: pe,
+						isDMA: true, array: arr, index: a, value: b,
+					})
+				}
+			default:
+				val, err := evalALU(ctx.Op, a, b, ctx.Imm)
+				if err != nil {
+					return nil, fmt.Errorf("sim: pe %d ctx %d: %v", pe, ccnt, err)
+				}
+				if ctx.WriteEnable {
+					pending = append(pending, pendingWrite{
+						cycle: finish, pe: pe, addr: ctx.WriteAddr,
+						value: val, squash: squash,
+					})
+				}
+			}
+		}
+
+		// Phase 4: C-Box consumes a status / recombines, writing at end
+		// of cycle.
+		var condWrite *struct {
+			addr int
+			val  bool
+		}
+		if cbox.Consume || cbox.Recombine {
+			var in bool
+			if cbox.Consume {
+				// The status must arrive exactly this cycle.
+				arrived := false
+				for i := range pendStatus {
+					ps := &pendStatus[i]
+					if ps.cycle == cycle && ps.pe == cbox.StatusPE {
+						statuses[ps.pe] = ps.val
+						statusValid[ps.pe] = true
+						arrived = true
+					}
+				}
+				if !arrived || !statusValid[cbox.StatusPE] {
+					return nil, fmt.Errorf("sim: ctx %d consumes missing status of PE %d", ccnt, cbox.StatusPE)
+				}
+				in = statuses[cbox.StatusPE]
+			} else if cbox.HasA {
+				in = condMem[cbox.AAddr] != cbox.AInv
+			}
+			out := in
+			switch cbox.Logic {
+			case sched.CBAnd:
+				if cbox.Consume && cbox.HasA {
+					out = in && (condMem[cbox.AAddr] != cbox.AInv)
+				} else if cbox.Recombine && cbox.HasB {
+					out = in && (condMem[cbox.BAddr] != cbox.BInv)
+				}
+			case sched.CBOr:
+				if cbox.Consume && cbox.HasA {
+					out = in || (condMem[cbox.AAddr] != cbox.AInv)
+				} else if cbox.Recombine && cbox.HasB {
+					out = in || (condMem[cbox.BAddr] != cbox.BInv)
+				}
+			}
+			condWrite = &struct {
+				addr int
+				val  bool
+			}{cbox.WriteAddr, out}
+		}
+
+		// Phase 5: end-of-cycle commits (RF writes, DMA completions).
+		kept := pending[:0]
+		for _, pw := range pending {
+			if pw.cycle != cycle {
+				kept = append(kept, pw)
+				continue
+			}
+			if pw.isDMA {
+				if pw.dmaLoad {
+					v, err := host.Load(pw.array, pw.index)
+					if err != nil {
+						return nil, fmt.Errorf("sim: %v", err)
+					}
+					rf[pw.pe][pw.addr] = v
+					m.emit(Event{Cycle: cycle, CCNT: ccnt, Kind: EvDMALoad, PE: pw.pe, Addr: pw.addr, Value: v})
+				} else {
+					if err := host.Store(pw.array, pw.index, pw.value); err != nil {
+						return nil, fmt.Errorf("sim: %v", err)
+					}
+					m.emit(Event{Cycle: cycle, CCNT: ccnt, Kind: EvDMAStore, PE: pw.pe, Addr: int(pw.index), Value: pw.value})
+				}
+			} else if !pw.squash {
+				rf[pw.pe][pw.addr] = pw.value
+				m.emit(Event{Cycle: cycle, CCNT: ccnt, Kind: EvRFWrite, PE: pw.pe, Addr: pw.addr, Value: pw.value})
+			} else {
+				m.emit(Event{Cycle: cycle, CCNT: ccnt, Kind: EvRFSquash, PE: pw.pe, Addr: pw.addr})
+			}
+		}
+		pending = kept
+		// Drop consumed/expired statuses.
+		keptStatus := pendStatus[:0]
+		for _, ps := range pendStatus {
+			if ps.cycle > cycle {
+				keptStatus = append(keptStatus, ps)
+			}
+		}
+		pendStatus = keptStatus
+		if condWrite != nil {
+			condMem[condWrite.addr] = condWrite.val
+			v := int32(0)
+			if condWrite.val {
+				v = 1
+			}
+			m.emit(Event{Cycle: cycle, CCNT: ccnt, Kind: EvCondWrite, Addr: condWrite.addr, Value: v})
+		}
+
+		// Phase 6: next CCNT.
+		next := ccnt + 1
+		switch ccu.Mode {
+		case ctxgen.CCUJump:
+			if ccu.Target == ccnt {
+				// Halt context: lock and finish the run.
+				m.emit(Event{Cycle: cycle, CCNT: ccnt, Kind: EvHalt})
+				cycle++
+				res.RunCycles = cycle
+				goto done
+			}
+			next = ccu.Target
+			m.emit(Event{Cycle: cycle, CCNT: ccnt, Kind: EvJumpTaken, Value: int32(ccu.Target)})
+		case ctxgen.CCUCondJump:
+			if outCtrl {
+				next = ccu.Target
+				m.emit(Event{Cycle: cycle, CCNT: ccnt, Kind: EvJumpTaken, Value: int32(ccu.Target)})
+			}
+		}
+		ccnt = next
+		cycle++
+	}
+done:
+	res.TransferCycles = int64(2 * (len(liveIns) + len(g.LiveOuts())))
+	for _, name := range g.LiveOuts() {
+		home := s.Homes[name]
+		if home == nil {
+			return nil, fmt.Errorf("sim: no home for live-out %q", name)
+		}
+		res.LiveOuts[name] = rf[home.PE][home.Addr]
+	}
+	return res, nil
+}
+
+func evalALU(op arch.OpCode, a, b, imm int32) (int32, error) {
+	switch op {
+	case arch.MOVE:
+		return a, nil
+	case arch.CONST:
+		return imm, nil
+	case arch.IADD:
+		return a + b, nil
+	case arch.ISUB:
+		return a - b, nil
+	case arch.IMUL:
+		return a * b, nil
+	case arch.IAND:
+		return a & b, nil
+	case arch.IOR:
+		return a | b, nil
+	case arch.IXOR:
+		return a ^ b, nil
+	case arch.ISHL:
+		return a << (uint32(b) & 31), nil
+	case arch.ISHR:
+		return a >> (uint32(b) & 31), nil
+	case arch.IUSHR:
+		return int32(uint32(a) >> (uint32(b) & 31)), nil
+	case arch.INEG:
+		return -a, nil
+	case arch.INOT:
+		return ^a, nil
+	}
+	return 0, fmt.Errorf("unknown ALU op %v", op)
+}
+
+func evalCompare(op arch.OpCode, a, b int32) (bool, error) {
+	switch op {
+	case arch.IFLT:
+		return a < b, nil
+	case arch.IFLE:
+		return a <= b, nil
+	case arch.IFGT:
+		return a > b, nil
+	case arch.IFGE:
+		return a >= b, nil
+	case arch.IFEQ:
+		return a == b, nil
+	case arch.IFNE:
+		return a != b, nil
+	}
+	return false, fmt.Errorf("unknown compare %v", op)
+}

@@ -1,0 +1,175 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"cgra/internal/arch"
+)
+
+// paperTableII holds the published synthesis results for the homogeneous
+// meshes (Table II): frequency, LUT logic %, LUT mem %, DSP %, BRAM %.
+var paperTableII = map[int][5]float64{
+	4:  {103.6, 1.01, 0.61, 0.33, 0.34},
+	6:  {99.5, 1.49, 0.81, 0.50, 0.48},
+	8:  {98.0, 1.89, 1.01, 0.67, 0.61},
+	9:  {93.6, 2.22, 1.11, 0.75, 0.68},
+	12: {88.1, 2.80, 1.41, 1.00, 0.88},
+	16: {86.9, 3.61, 1.82, 1.33, 1.16},
+}
+
+func within(got, want, tolFrac float64) bool {
+	if want == 0 {
+		return got == 0
+	}
+	return math.Abs(got-want)/want <= tolFrac
+}
+
+func TestEstimateMatchesTableII(t *testing.T) {
+	for n, want := range paperTableII {
+		c, err := arch.HomogeneousMesh(n, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := Estimate(c)
+		if !within(r.FreqMHz, want[0], 0.06) {
+			t.Errorf("%d PEs: freq %.1f, paper %.1f (>6%% off)", n, r.FreqMHz, want[0])
+		}
+		if !within(r.LUTLogicPct, want[1], 0.10) {
+			t.Errorf("%d PEs: LUT logic %.2f, paper %.2f", n, r.LUTLogicPct, want[1])
+		}
+		if !within(r.LUTMemPct, want[2], 0.10) {
+			t.Errorf("%d PEs: LUT mem %.2f, paper %.2f", n, r.LUTMemPct, want[2])
+		}
+		if !within(r.DSPPct, want[3], 0.02) {
+			t.Errorf("%d PEs: DSP %.2f, paper %.2f", n, r.DSPPct, want[3])
+		}
+		if !within(r.BRAMPct, want[4], 0.02) {
+			t.Errorf("%d PEs: BRAM %.2f, paper %.2f", n, r.BRAMPct, want[4])
+		}
+	}
+}
+
+func TestUtilizationLinearInPEs(t *testing.T) {
+	// The paper: "utilization increases with the number of PEs
+	// approximately in a linear fashion."
+	var prev float64
+	for _, n := range []int{4, 6, 8, 9, 12, 16} {
+		c, err := arch.HomogeneousMesh(n, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := Estimate(c)
+		if r.LUTLogicPct <= prev {
+			t.Errorf("LUT logic not increasing at %d PEs", n)
+		}
+		prev = r.LUTLogicPct
+	}
+}
+
+func TestFrequencyDecreasesWithPEs(t *testing.T) {
+	var prev = math.Inf(1)
+	for _, n := range []int{4, 6, 8, 9, 12, 16} {
+		c, err := arch.HomogeneousMesh(n, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := Estimate(c)
+		if r.FreqMHz >= prev {
+			t.Errorf("frequency not decreasing at %d PEs (%.1f >= %.1f)", n, r.FreqMHz, prev)
+		}
+		prev = r.FreqMHz
+	}
+}
+
+func TestInhomogeneousFSavesDSPs(t *testing.T) {
+	d, err := arch.IrregularComposition("D", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := arch.IrregularComposition("F", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, rf := Estimate(d), Estimate(f)
+	// Paper: "the utilization of DSPs decreases by 75 %" (0.67 → 0.17).
+	ratio := rf.DSPPct / rd.DSPPct
+	if math.Abs(ratio-0.25) > 0.01 {
+		t.Errorf("F/D DSP ratio = %.2f, want 0.25", ratio)
+	}
+	if rf.LUTLogicPct >= rd.LUTLogicPct {
+		t.Error("F should also use slightly fewer LUTs (fewer multiplier wrappers)")
+	}
+}
+
+func TestSingleCycleMultiplierSlower(t *testing.T) {
+	// Table III vs Table II: single-cycle multipliers close timing worse.
+	paperIII := map[int]float64{4: 86.9, 6: 84.0, 8: 81.3, 9: 79.7, 12: 79.0, 16: 76.3}
+	for n, want := range paperIII {
+		c2, err := arch.HomogeneousMesh(n, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c1, err := arch.HomogeneousMesh(n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, r1 := Estimate(c2), Estimate(c1)
+		if r1.FreqMHz >= r2.FreqMHz {
+			t.Errorf("%d PEs: single-cycle (%.1f) not slower than block (%.1f)", n, r1.FreqMHz, r2.FreqMHz)
+		}
+		if !within(r1.FreqMHz, want, 0.06) {
+			t.Errorf("%d PEs single-cycle: freq %.1f, paper %.1f", n, r1.FreqMHz, want)
+		}
+	}
+}
+
+func TestSmallRFIsFaster(t *testing.T) {
+	// Paper §VI-B: a 4-PE composition with 32 RF entries clocks 7.2 %
+	// higher (111.1 vs 103.6 MHz).
+	big, err := arch.Mesh(arch.MeshOptions{Rows: 2, Cols: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := arch.Mesh(arch.MeshOptions{Rows: 2, Cols: 2, RFSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, rs := Estimate(big), Estimate(small)
+	if rs.FreqMHz <= rb.FreqMHz {
+		t.Errorf("RF32 (%.1f) not faster than RF128 (%.1f)", rs.FreqMHz, rb.FreqMHz)
+	}
+	gain := rs.FreqMHz / rb.FreqMHz
+	if gain < 1.02 || gain > 1.12 {
+		t.Errorf("RF32 speedup %.3f outside the plausible band around the paper's 1.072", gain)
+	}
+}
+
+func TestExecutionTimeMS(t *testing.T) {
+	c, err := arch.HomogeneousMesh(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Estimate(c)
+	ms := r.ExecutionTimeMS(152_300) // Table II's 4-PE cycle count
+	// Paper Table IV: 1.48 ms for the dual-cycle 4-PE point.
+	if !within(ms, 1.48, 0.06) {
+		t.Errorf("execution time %.2f ms, paper 1.48 ms", ms)
+	}
+}
+
+func TestIrregularFrequenciesPlausible(t *testing.T) {
+	// Paper Table II, compositions A-F: 94.8, 93.6, 100.4, 96.0, 94.3,
+	// 93.5 MHz. Our deterministic model cannot reproduce place-and-route
+	// noise, but every estimate must stay in the published band.
+	all, err := arch.IrregularCompositions(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range all {
+		r := Estimate(c)
+		if r.FreqMHz < 85 || r.FreqMHz > 106 {
+			t.Errorf("%s: freq %.1f outside the plausible 85-106 MHz band", c.Name, r.FreqMHz)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package system closes the loop of the paper's Fig. 1: a host processor
+// (the AMIDAR cost model) executes kernels under profiling; when a
+// sequence's accumulated weight crosses the synthesis threshold, the tool
+// flow maps it onto the CGRA — method inlining included — the "bytecode is
+// patched", and every subsequent invocation transparently forwards to the
+// accelerator ("Each time the AMIDAR processor enters one of these code
+// sequences, the processor forwards the execution to the CGRA", §III).
+// This is the online-synthesis model of the authors' prior work ([1], [18])
+// that the paper's tool set plugs into.
+package system
+
+import (
+	"fmt"
+	"sort"
+
+	"cgra/internal/amidar"
+	"cgra/internal/arch"
+	"cgra/internal/ir"
+	"cgra/internal/opt"
+	"cgra/internal/pipeline"
+)
+
+// Result reports one invocation through the system.
+type Result struct {
+	LiveOuts map[string]int32
+	Cycles   int64
+	// OnCGRA reports whether this invocation ran on the accelerator.
+	OnCGRA bool
+	// Synthesized reports whether this invocation triggered synthesis.
+	Synthesized bool
+}
+
+// Stats accumulates system-level counters.
+type Stats struct {
+	Invocations    int64
+	AMIDARRuns     int64
+	CGRARuns       int64
+	AMIDARCycles   int64
+	CGRACycles     int64
+	SynthesizedSeq []string
+}
+
+// TotalCycles is the cycles actually spent (host + accelerator).
+func (s *Stats) TotalCycles() int64 { return s.AMIDARCycles + s.CGRACycles }
+
+// System is one host processor with an attached CGRA.
+type System struct {
+	Comp *arch.Composition
+	Opts pipeline.Options
+	// Threshold is the accumulated host-cycle weight that triggers
+	// synthesis of a sequence.
+	Threshold int64
+	// Cost prices host execution (default: the calibrated model).
+	Cost amidar.CostModel
+
+	kernels  map[string]*ir.Kernel
+	compiled map[string]*pipeline.Compiled
+	weights  map[string]int64
+	stats    Stats
+}
+
+// New builds a system around a composition.
+func New(comp *arch.Composition, opts pipeline.Options, threshold int64) *System {
+	return &System{
+		Comp:      comp,
+		Opts:      opts,
+		Threshold: threshold,
+		Cost:      amidar.DefaultCostModel(),
+		kernels:   map[string]*ir.Kernel{},
+		compiled:  map[string]*pipeline.Compiled{},
+		weights:   map[string]int64{},
+	}
+}
+
+// Register makes a kernel invocable; registered kernels also serve as the
+// call library for each other (resolved by inlining at synthesis time).
+func (s *System) Register(k *ir.Kernel) error {
+	if _, dup := s.kernels[k.Name]; dup {
+		return fmt.Errorf("system: kernel %q already registered", k.Name)
+	}
+	s.kernels[k.Name] = k
+	return nil
+}
+
+// Invoke executes one kernel invocation: on the CGRA when the sequence has
+// been synthesized, otherwise on the host — synthesizing afterwards when
+// the profile weight crosses the threshold.
+func (s *System) Invoke(name string, args map[string]int32, host *ir.Host) (*Result, error) {
+	k := s.kernels[name]
+	if k == nil {
+		return nil, fmt.Errorf("system: unknown kernel %q", name)
+	}
+	s.stats.Invocations++
+
+	if c := s.compiled[name]; c != nil {
+		res, err := c.Run(args, host)
+		if err != nil {
+			return nil, fmt.Errorf("system: CGRA run of %q: %v", name, err)
+		}
+		s.stats.CGRARuns++
+		s.stats.CGRACycles += res.TotalCycles()
+		return &Result{LiveOuts: res.LiveOuts, Cycles: res.TotalCycles(), OnCGRA: true}, nil
+	}
+
+	// Host execution; the profiler sees its cycle weight (§III: the
+	// hardware profiler detects frequently executed sequences).
+	base, err := amidar.ExecuteProgram(k, s.kernels, s.Cost, args, host)
+	if err != nil {
+		return nil, fmt.Errorf("system: AMIDAR run of %q: %v", name, err)
+	}
+	s.stats.AMIDARRuns++
+	s.stats.AMIDARCycles += base.Cycles
+	s.weights[name] += base.Cycles
+	result := &Result{LiveOuts: base.LiveOuts, Cycles: base.Cycles}
+
+	if s.weights[name] >= s.Threshold {
+		if err := s.synthesize(name); err != nil {
+			return nil, err
+		}
+		result.Synthesized = true
+	}
+	return result, nil
+}
+
+// synthesize runs the tool flow for the kernel (inlining its calls against
+// the registered library) and patches the dispatch table.
+func (s *System) synthesize(name string) error {
+	prog := &ir.Program{Kernels: s.kernels, Entry: name}
+	flat, err := opt.Inline(prog)
+	if err != nil {
+		return fmt.Errorf("system: inline %q: %v", name, err)
+	}
+	c, err := pipeline.Compile(flat, s.Comp, s.Opts)
+	if err != nil {
+		return fmt.Errorf("system: synthesize %q: %v", name, err)
+	}
+	s.compiled[name] = c
+	s.stats.SynthesizedSeq = append(s.stats.SynthesizedSeq, name)
+	return nil
+}
+
+// Stats returns the accumulated counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// Synthesized reports whether the named kernel runs on the CGRA.
+func (s *System) Synthesized(name string) bool { return s.compiled[name] != nil }
+
+// Profile lists the host-cycle weights observed so far, heaviest first.
+func (s *System) Profile() []struct {
+	Name   string
+	Cycles int64
+} {
+	type row struct {
+		Name   string
+		Cycles int64
+	}
+	var rows []row
+	for name, w := range s.weights {
+		rows = append(rows, row{name, w})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Cycles != rows[j].Cycles {
+			return rows[i].Cycles > rows[j].Cycles
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	out := make([]struct {
+		Name   string
+		Cycles int64
+	}, len(rows))
+	for i, r := range rows {
+		out[i] = struct {
+			Name   string
+			Cycles int64
+		}{r.Name, r.Cycles}
+	}
+	return out
+}

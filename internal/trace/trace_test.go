@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"cgra/internal/arch"
+	"cgra/internal/ir"
+	"cgra/internal/irtext"
+	"cgra/internal/pipeline"
+	"cgra/internal/sim"
+)
+
+func record(t *testing.T, src string, args map[string]int32, arrays map[string][]int32) *Recorder {
+	t.Helper()
+	k := irtext.MustParse(src)
+	comp, err := arch.HomogeneousMesh(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := pipeline.Compile(k, comp, pipeline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := ir.NewHost()
+	for name, a := range arrays {
+		host.Arrays[name] = append([]int32(nil), a...)
+	}
+	m := sim.New(c.Program)
+	r := NewRecorder()
+	r.Attach(m)
+	if _, err := m.Run(args, host); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+const loopSrc = `
+kernel k(array a, in n, inout s) {
+	s = 0;
+	i = 0;
+	while (i < n) {
+		v = a[i];
+		if (v > 2) { s = s + v; }
+		i = i + 1;
+	}
+}`
+
+func TestRecorderCapturesEvents(t *testing.T) {
+	r := record(t, loopSrc, map[string]int32{"n": 4, "s": 0},
+		map[string][]int32{"a": {1, 5, 2, 9}})
+	sum := r.Summary()
+	if sum[sim.EvRFWrite] == 0 {
+		t.Error("no RF writes recorded")
+	}
+	if sum[sim.EvRFSquash] == 0 {
+		t.Error("no squashes recorded (two elements fail the guard)")
+	}
+	if sum[sim.EvCondWrite] == 0 {
+		t.Error("no condition writes recorded")
+	}
+	if sum[sim.EvJumpTaken] == 0 {
+		t.Error("no jumps recorded (loop must iterate)")
+	}
+	if sum[sim.EvDMALoad] != 4 {
+		t.Errorf("DMA loads = %d, want 4", sum[sim.EvDMALoad])
+	}
+	if sum[sim.EvHalt] != 1 {
+		t.Errorf("halts = %d, want 1", sum[sim.EvHalt])
+	}
+}
+
+func TestWriteVCD(t *testing.T) {
+	r := record(t, loopSrc, map[string]int32{"n": 3, "s": 0},
+		map[string][]int32{"a": {4, 1, 7}})
+	var b strings.Builder
+	if err := r.WriteVCD(&b, "cgra"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"$timescale", "$scope module cgra", "$var wire 16", "ccnt",
+		"$enddefinitions", "#0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q", want)
+		}
+	}
+	// Signal identifiers must be unique.
+	ids := map[string]bool{}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "$var") {
+			parts := strings.Fields(line)
+			id := parts[3]
+			if ids[id] {
+				t.Errorf("duplicate VCD id %q", id)
+			}
+			ids[id] = true
+		}
+	}
+	if len(ids) < 3 {
+		t.Errorf("only %d signals", len(ids))
+	}
+}
+
+func TestSquashedCommitLeavesNoWrite(t *testing.T) {
+	// With the guard always false, the guarded add must never commit to
+	// s's home slot after initialization.
+	r := record(t, loopSrc, map[string]int32{"n": 3, "s": 0},
+		map[string][]int32{"a": {0, 1, 2}})
+	sum := r.Summary()
+	if sum[sim.EvRFSquash] < 3 {
+		t.Errorf("squashes = %d, want >= 3 (one per squashed element)", sum[sim.EvRFSquash])
+	}
+}

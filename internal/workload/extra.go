@@ -1,0 +1,186 @@
+package workload
+
+import "cgra/internal/ir"
+
+// This file adds workloads beyond the first seven: bit manipulation, CRC,
+// a rank filter and a scan — common embedded kernels with the control-flow
+// patterns the scheduler targets.
+
+// BitCount counts set bits of every element with a data-dependent while
+// loop (trip count depends on the value).
+func BitCount() *Workload {
+	k := mustKernel(`
+kernel bitcount(array a, array cnt, in n) {
+	i = 0;
+	while (i < n) {
+		v = a[i];
+		c = 0;
+		while (v != 0) {
+			c = c + (v & 1);
+			v = v >>> 1;
+		}
+		cnt[i] = c;
+		i = i + 1;
+	}
+}`)
+	return &Workload{
+		Name:        "bitcount",
+		Kernel:      k,
+		DefaultSize: 24,
+		Args:        func(size int) map[string]int32 { return map[string]int32{"n": int32(size)} },
+		Host: func(size int) *ir.Host {
+			h := ir.NewHost()
+			h.Arrays["a"] = seqData(size, func(i int) int32 { return int32(i*2654435761 + 12345) })
+			h.Arrays["cnt"] = make([]int32, size)
+			return h
+		},
+		Reference: func(size int, args map[string]int32, host *ir.Host) map[string]int32 {
+			a, cnt := host.Arrays["a"], host.Arrays["cnt"]
+			for i := 0; i < size; i++ {
+				v := uint32(a[i])
+				c := int32(0)
+				for v != 0 {
+					c += int32(v & 1)
+					v >>= 1
+				}
+				cnt[i] = c
+			}
+			return map[string]int32{}
+		},
+	}
+}
+
+// CRC8 computes a bitwise CRC-8 (poly 0x07) over a byte stream: an inner
+// 8-iteration loop with a data-dependent conditional XOR every round.
+func CRC8() *Workload {
+	k := mustKernel(`
+kernel crc8(array data, in n, inout crc) {
+	crc = 0;
+	i = 0;
+	while (i < n) {
+		crc = crc ^ (data[i] & 255);
+		b = 0;
+		while (b < 8) {
+			if ((crc & 128) != 0) {
+				crc = ((crc << 1) ^ 7) & 255;
+			} else {
+				crc = (crc << 1) & 255;
+			}
+			b = b + 1;
+		}
+		i = i + 1;
+	}
+}`)
+	return &Workload{
+		Name:        "crc8",
+		Kernel:      k,
+		DefaultSize: 24,
+		Args: func(size int) map[string]int32 {
+			return map[string]int32{"n": int32(size), "crc": 0}
+		},
+		Host: func(size int) *ir.Host {
+			h := ir.NewHost()
+			h.Arrays["data"] = seqData(size, func(i int) int32 { return int32((i*37 + 11) % 256) })
+			return h
+		},
+		Reference: func(size int, args map[string]int32, host *ir.Host) map[string]int32 {
+			data := host.Arrays["data"]
+			crc := int32(0)
+			for i := 0; i < size; i++ {
+				crc ^= data[i] & 255
+				for b := 0; b < 8; b++ {
+					if crc&128 != 0 {
+						crc = ((crc << 1) ^ 7) & 255
+					} else {
+						crc = (crc << 1) & 255
+					}
+				}
+			}
+			return map[string]int32{"crc": crc}
+		},
+	}
+}
+
+// Median3 applies a 3-tap median filter: pure conditional sorting network
+// in the loop body (heavy predication).
+func Median3() *Workload {
+	k := mustKernel(`
+kernel median3(array x, array y, in n) {
+	i = 1;
+	while (i < n - 1) {
+		a = x[i - 1];
+		b = x[i];
+		c = x[i + 1];
+		if (a > b) { t = a; a = b; b = t; }
+		if (b > c) { t = b; b = c; c = t; }
+		if (a > b) { t = a; a = b; b = t; }
+		y[i] = b;
+		i = i + 1;
+	}
+}`)
+	return &Workload{
+		Name:        "median3",
+		Kernel:      k,
+		DefaultSize: 48,
+		Args:        func(size int) map[string]int32 { return map[string]int32{"n": int32(size)} },
+		Host: func(size int) *ir.Host {
+			h := ir.NewHost()
+			h.Arrays["x"] = seqData(size, func(i int) int32 { return int32((i*97 + 13) % 201) })
+			h.Arrays["y"] = make([]int32, size)
+			return h
+		},
+		Reference: func(size int, args map[string]int32, host *ir.Host) map[string]int32 {
+			x, y := host.Arrays["x"], host.Arrays["y"]
+			for i := 1; i < size-1; i++ {
+				a, b, c := x[i-1], x[i], x[i+1]
+				if a > b {
+					a, b = b, a
+				}
+				if b > c {
+					b, c = c, b
+				}
+				if a > b {
+					a, b = b, a
+				}
+				y[i] = b
+			}
+			return map[string]int32{}
+		},
+	}
+}
+
+// PrefixSum computes an exclusive scan: a serial dependence chain through
+// memory, the opposite extreme from the parallel kernels.
+func PrefixSum() *Workload {
+	k := mustKernel(`
+kernel prefix(array a, array out, in n) {
+	acc = 0;
+	i = 0;
+	while (i < n) {
+		out[i] = acc;
+		acc = acc + a[i];
+		i = i + 1;
+	}
+}`)
+	return &Workload{
+		Name:        "prefix",
+		Kernel:      k,
+		DefaultSize: 48,
+		Args:        func(size int) map[string]int32 { return map[string]int32{"n": int32(size)} },
+		Host: func(size int) *ir.Host {
+			h := ir.NewHost()
+			h.Arrays["a"] = seqData(size, func(i int) int32 { return int32(i%17) - 8 })
+			h.Arrays["out"] = make([]int32, size)
+			return h
+		},
+		Reference: func(size int, args map[string]int32, host *ir.Host) map[string]int32 {
+			a, out := host.Arrays["a"], host.Arrays["out"]
+			acc := int32(0)
+			for i := 0; i < size; i++ {
+				out[i] = acc
+				acc += a[i]
+			}
+			return map[string]int32{}
+		},
+	}
+}

@@ -1,0 +1,351 @@
+// Package workload provides a library of kernels beyond the paper's ADPCM
+// decoder, each exercising scheduler features (nested loops, data-dependent
+// trip counts, conditional stores, inhomogeneity pressure on multipliers)
+// with a Go reference implementation for differential testing.
+package workload
+
+import (
+	"fmt"
+
+	"cgra/internal/ir"
+	"cgra/internal/irtext"
+)
+
+// Workload bundles a kernel with its inputs and a reference implementation.
+type Workload struct {
+	Name   string
+	Kernel *ir.Kernel
+	// Args returns the scalar arguments for a given problem size.
+	Args func(size int) map[string]int32
+	// Host builds the heap for a given problem size.
+	Host func(size int) *ir.Host
+	// Reference computes the expected live-outs and heap in place.
+	Reference func(size int, args map[string]int32, host *ir.Host) map[string]int32
+	// DefaultSize is the size used by examples and benches.
+	DefaultSize int
+}
+
+// All returns every registered workload, in a stable order.
+func All() []*Workload {
+	return []*Workload{
+		FIR(),
+		MatMul(),
+		BubbleSort(),
+		Sobel1D(),
+		DotProduct(),
+		Histogram(),
+		GCD(),
+		BitCount(),
+		CRC8(),
+		Median3(),
+		PrefixSum(),
+	}
+}
+
+func mustKernel(src string) *ir.Kernel { return irtext.MustParse(src) }
+
+// ByName returns the named workload.
+func ByName(name string) (*Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown kernel %q", name)
+}
+
+func seqData(n int, f func(i int) int32) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = f(i)
+	}
+	return out
+}
+
+// FIR is a 4-tap finite impulse response filter: a nested dot product per
+// output sample.
+func FIR() *Workload {
+	k := irtext.MustParse(`
+kernel fir(array x, array h, array y, in n, in taps) {
+	i = 0;
+	while (i < n) {
+		acc = 0;
+		j = 0;
+		while (j < taps) {
+			acc = acc + x[i + j] * h[j];
+			j = j + 1;
+		}
+		y[i] = acc >> 8;
+		i = i + 1;
+	}
+}`)
+	const taps = 4
+	return &Workload{
+		Name:        "fir",
+		Kernel:      k,
+		DefaultSize: 64,
+		Args: func(size int) map[string]int32 {
+			return map[string]int32{"n": int32(size), "taps": taps}
+		},
+		Host: func(size int) *ir.Host {
+			h := ir.NewHost()
+			h.Arrays["x"] = seqData(size+taps, func(i int) int32 { return int32((i*37)%256) - 128 })
+			h.Arrays["h"] = []int32{64, 128, 128, 64}
+			h.Arrays["y"] = make([]int32, size)
+			return h
+		},
+		Reference: func(size int, args map[string]int32, host *ir.Host) map[string]int32 {
+			x, hh, y := host.Arrays["x"], host.Arrays["h"], host.Arrays["y"]
+			for i := 0; i < size; i++ {
+				var acc int32
+				for j := 0; j < taps; j++ {
+					acc += x[i+j] * hh[j]
+				}
+				y[i] = acc >> 8
+			}
+			return map[string]int32{}
+		},
+	}
+}
+
+// MatMul multiplies two size×size matrices: triple loop nesting.
+func MatMul() *Workload {
+	k := irtext.MustParse(`
+kernel matmul(array a, array b, array c, in n) {
+	i = 0;
+	while (i < n) {
+		j = 0;
+		while (j < n) {
+			acc = 0;
+			l = 0;
+			while (l < n) {
+				acc = acc + a[i * n + l] * b[l * n + j];
+				l = l + 1;
+			}
+			c[i * n + j] = acc;
+			j = j + 1;
+		}
+		i = i + 1;
+	}
+}`)
+	return &Workload{
+		Name:        "matmul",
+		Kernel:      k,
+		DefaultSize: 6,
+		Args:        func(size int) map[string]int32 { return map[string]int32{"n": int32(size)} },
+		Host: func(size int) *ir.Host {
+			h := ir.NewHost()
+			h.Arrays["a"] = seqData(size*size, func(i int) int32 { return int32(i%7) - 3 })
+			h.Arrays["b"] = seqData(size*size, func(i int) int32 { return int32(i%5) - 2 })
+			h.Arrays["c"] = make([]int32, size*size)
+			return h
+		},
+		Reference: func(size int, args map[string]int32, host *ir.Host) map[string]int32 {
+			a, b, c := host.Arrays["a"], host.Arrays["b"], host.Arrays["c"]
+			n := size
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					var acc int32
+					for l := 0; l < n; l++ {
+						acc += a[i*n+l] * b[l*n+j]
+					}
+					c[i*n+j] = acc
+				}
+			}
+			return map[string]int32{}
+		},
+	}
+}
+
+// BubbleSort sorts in place: nested loops with a data-dependent conditional
+// swap in the inner body.
+func BubbleSort() *Workload {
+	k := irtext.MustParse(`
+kernel bsort(array a, in n) {
+	i = 0;
+	while (i < n - 1) {
+		j = 0;
+		while (j < n - 1 - i) {
+			x = a[j];
+			y = a[j + 1];
+			if (x > y) {
+				a[j] = y;
+				a[j + 1] = x;
+			}
+			j = j + 1;
+		}
+		i = i + 1;
+	}
+}`)
+	return &Workload{
+		Name:        "bsort",
+		Kernel:      k,
+		DefaultSize: 24,
+		Args:        func(size int) map[string]int32 { return map[string]int32{"n": int32(size)} },
+		Host: func(size int) *ir.Host {
+			h := ir.NewHost()
+			h.Arrays["a"] = seqData(size, func(i int) int32 { return int32((i*131 + 17) % 97) })
+			return h
+		},
+		Reference: func(size int, args map[string]int32, host *ir.Host) map[string]int32 {
+			a := host.Arrays["a"]
+			for i := 0; i < size-1; i++ {
+				for j := 0; j < size-1-i; j++ {
+					if a[j] > a[j+1] {
+						a[j], a[j+1] = a[j+1], a[j]
+					}
+				}
+			}
+			return map[string]int32{}
+		},
+	}
+}
+
+// Sobel1D applies a 1-D edge filter with magnitude clamping: conditional
+// code in the loop body.
+func Sobel1D() *Workload {
+	k := irtext.MustParse(`
+kernel sobel(array img, array edge, in n) {
+	i = 1;
+	while (i < n - 1) {
+		g = img[i + 1] - img[i - 1];
+		if (g < 0) { g = 0 - g; }
+		if (g > 255) { g = 255; }
+		edge[i] = g;
+		i = i + 1;
+	}
+}`)
+	return &Workload{
+		Name:        "sobel",
+		Kernel:      k,
+		DefaultSize: 96,
+		Args:        func(size int) map[string]int32 { return map[string]int32{"n": int32(size)} },
+		Host: func(size int) *ir.Host {
+			h := ir.NewHost()
+			h.Arrays["img"] = seqData(size, func(i int) int32 { return int32((i * i) % 391) })
+			h.Arrays["edge"] = make([]int32, size)
+			return h
+		},
+		Reference: func(size int, args map[string]int32, host *ir.Host) map[string]int32 {
+			img, edge := host.Arrays["img"], host.Arrays["edge"]
+			for i := 1; i < size-1; i++ {
+				g := img[i+1] - img[i-1]
+				if g < 0 {
+					g = -g
+				}
+				if g > 255 {
+					g = 255
+				}
+				edge[i] = g
+			}
+			return map[string]int32{}
+		},
+	}
+}
+
+// DotProduct is the quickstart kernel: a single loop with a multiplier on
+// the critical path.
+func DotProduct() *Workload {
+	k := irtext.MustParse(`
+kernel dot(array a, array b, in n, inout s) {
+	s = 0;
+	i = 0;
+	while (i < n) {
+		s = s + a[i] * b[i];
+		i = i + 1;
+	}
+}`)
+	return &Workload{
+		Name:        "dot",
+		Kernel:      k,
+		DefaultSize: 64,
+		Args: func(size int) map[string]int32 {
+			return map[string]int32{"n": int32(size), "s": 0}
+		},
+		Host: func(size int) *ir.Host {
+			h := ir.NewHost()
+			h.Arrays["a"] = seqData(size, func(i int) int32 { return int32(i%13) - 6 })
+			h.Arrays["b"] = seqData(size, func(i int) int32 { return int32(i%11) - 5 })
+			return h
+		},
+		Reference: func(size int, args map[string]int32, host *ir.Host) map[string]int32 {
+			a, b := host.Arrays["a"], host.Arrays["b"]
+			var s int32
+			for i := 0; i < size; i++ {
+				s += a[i] * b[i]
+			}
+			return map[string]int32{"s": s}
+		},
+	}
+}
+
+// Histogram bins values with a conditional range check: data-dependent
+// stores through computed addresses.
+func Histogram() *Workload {
+	k := irtext.MustParse(`
+kernel hist(array data, array bins, in n, in nbins) {
+	i = 0;
+	while (i < n) {
+		v = data[i] >> 4;
+		if (v >= 0 && v < nbins) {
+			bins[v] = bins[v] + 1;
+		}
+		i = i + 1;
+	}
+}`)
+	const nbins = 16
+	return &Workload{
+		Name:        "hist",
+		Kernel:      k,
+		DefaultSize: 64,
+		Args: func(size int) map[string]int32 {
+			return map[string]int32{"n": int32(size), "nbins": nbins}
+		},
+		Host: func(size int) *ir.Host {
+			h := ir.NewHost()
+			h.Arrays["data"] = seqData(size, func(i int) int32 { return int32((i*73)%300) - 10 })
+			h.Arrays["bins"] = make([]int32, nbins)
+			return h
+		},
+		Reference: func(size int, args map[string]int32, host *ir.Host) map[string]int32 {
+			data, bins := host.Arrays["data"], host.Arrays["bins"]
+			for i := 0; i < size; i++ {
+				v := data[i] >> 4
+				if v >= 0 && v < nbins {
+					bins[v]++
+				}
+			}
+			return map[string]int32{}
+		},
+	}
+}
+
+// GCD runs Euclid by subtraction: a purely data-dependent loop trip count.
+func GCD() *Workload {
+	k := irtext.MustParse(`
+kernel gcd(inout a, inout b) {
+	while (b != 0) {
+		if (a > b) { a = a - b; } else { b = b - a; }
+	}
+}`)
+	return &Workload{
+		Name:        "gcd",
+		Kernel:      k,
+		DefaultSize: 0,
+		Args: func(size int) map[string]int32 {
+			return map[string]int32{"a": 1071, "b": 462}
+		},
+		Host: func(size int) *ir.Host { return ir.NewHost() },
+		Reference: func(size int, args map[string]int32, host *ir.Host) map[string]int32 {
+			a, b := args["a"], args["b"]
+			for b != 0 {
+				if a > b {
+					a -= b
+				} else {
+					b -= a
+				}
+			}
+			return map[string]int32{"a": a, "b": b}
+		},
+	}
+}

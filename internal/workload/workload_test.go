@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"testing"
+
+	"cgra/internal/arch"
+	"cgra/internal/ir"
+	"cgra/internal/pipeline"
+)
+
+// TestReferencesMatchInterpreter cross-checks every workload's Go reference
+// against the IR interpreter.
+func TestReferencesMatchInterpreter(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			size := w.DefaultSize
+			args := w.Args(size)
+			hostK := w.Host(size)
+			hostR := hostK.Clone()
+
+			interp := &ir.Interp{}
+			gotOuts, err := interp.Run(w.Kernel, args, hostK)
+			if err != nil {
+				t.Fatalf("interpret: %v", err)
+			}
+			wantOuts := w.Reference(size, w.Args(size), hostR)
+			for name, want := range wantOuts {
+				if gotOuts[name] != want {
+					t.Errorf("live-out %s: interpreter %d != reference %d", name, gotOuts[name], want)
+				}
+			}
+			if !hostK.Equal(hostR) {
+				t.Error("heap contents differ between interpreter and reference")
+			}
+		})
+	}
+}
+
+// TestWorkloadsOnCGRA runs every workload through the full tool flow on a
+// 9-PE mesh and the sparse irregular composition B, comparing the simulator
+// against the interpreter.
+func TestWorkloadsOnCGRA(t *testing.T) {
+	mesh9, err := arch.HomogeneousMesh(9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := arch.IrregularComposition("B", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, comp := range []*arch.Composition{mesh9, b} {
+		for _, w := range All() {
+			w, comp := w, comp
+			t.Run(comp.Name+"/"+w.Name, func(t *testing.T) {
+				size := w.DefaultSize
+				if w.Name == "matmul" && comp.Name == "8 PEs B" {
+					size = 4 // keep the ring composition's runtime down
+				}
+				c, err := pipeline.Compile(w.Kernel, comp, pipeline.Options{})
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				res, err := pipeline.CheckAgainstInterpreter(w.Kernel, c, w.Args(size), w.Host(size))
+				if err != nil {
+					t.Fatalf("differential check: %v", err)
+				}
+				t.Logf("%s on %s: %d contexts, %d cycles",
+					w.Name, comp.Name, c.UsedContexts(), res.Sim.RunCycles)
+			})
+		}
+	}
+}
+
+// TestWorkloadsWithDefaults exercises the optimizing configuration.
+func TestWorkloadsWithDefaults(t *testing.T) {
+	comp, err := arch.HomogeneousMesh(12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			c, err := pipeline.Compile(w.Kernel, comp, pipeline.Defaults())
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if _, err := pipeline.CheckAgainstInterpreter(w.Kernel, c, w.Args(w.DefaultSize), w.Host(w.DefaultSize)); err != nil {
+				t.Fatalf("differential check: %v", err)
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("fir")
+	if err != nil || w.Name != "fir" {
+		t.Errorf("ByName(fir): %v", err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
