@@ -16,10 +16,12 @@ import (
 	"strings"
 
 	"cgra/internal/arch"
+	"cgra/internal/fault"
 	"cgra/internal/ir"
 	"cgra/internal/irtext"
 	"cgra/internal/pipeline"
 	"cgra/internal/sim"
+	"cgra/internal/system"
 	"cgra/internal/trace"
 )
 
@@ -35,10 +37,14 @@ func main() {
 	unroll := flag.Int("unroll", 2, "inner-loop unroll factor (1 = off)")
 	verify := flag.Bool("verify", true, "cross-check against the reference interpreter")
 	vcdPath := flag.String("vcd", "", "write a VCD waveform of the run to this file")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault plan")
+	maxCycles := flag.Int64("max-cycles", 0, "watchdog cycle budget per CGRA run (0 = default)")
 	var args argList
 	var arrays argList
+	var faultSpecs argList
 	flag.Var(&args, "arg", "scalar argument name=value (repeatable)")
 	flag.Var(&arrays, "array", "array argument name=v0,v1,... or name=zeros:N (repeatable)")
+	flag.Var(&faultSpecs, "fault", "inject a fault: pe:N, link:SRC-DST or bit:N (repeatable)")
 	flag.Parse()
 
 	if *kernelPath == "" {
@@ -82,11 +88,18 @@ func main() {
 		host.Arrays[name] = data
 	}
 
-	c, err := pipeline.Compile(k, comp, pipeline.Options{UnrollFactor: *unroll, CSE: true, ConstFold: true})
+	opts := pipeline.Options{UnrollFactor: *unroll, CSE: true, ConstFold: true}
+	if len(faultSpecs) > 0 {
+		if err := runResilient(k, comp, opts, scalars, host, faultSpecs, *faultSeed, *maxCycles); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	c, err := pipeline.Compile(k, comp, opts)
 	if err != nil {
 		fatal(err)
 	}
-	if *verify && *vcdPath == "" {
+	if *verify && *vcdPath == "" && *maxCycles == 0 {
 		res, err := pipeline.CheckAgainstInterpreter(k, c, scalars, host)
 		if err != nil {
 			fatal(fmt.Errorf("differential check failed: %v", err))
@@ -95,6 +108,9 @@ func main() {
 		return
 	}
 	m := sim.New(c.Program)
+	if *maxCycles > 0 {
+		m.MaxCycles = *maxCycles
+	}
 	var rec *trace.Recorder
 	if *vcdPath != "" {
 		rec = trace.NewRecorder()
@@ -120,9 +136,90 @@ func main() {
 	report(c.UsedContexts(), res.RunCycles, res.TransferCycles, res.Energy, res.LiveOuts, host)
 }
 
+// runResilient executes the kernel under an armed fault plan through the
+// full online-synthesis system: the kernel is synthesized onto the CGRA,
+// the faults corrupt the run, and the system must detect, recover (degraded
+// re-synthesis or host fallback) and still deliver the fault-free result.
+func runResilient(k *ir.Kernel, comp *arch.Composition, opts pipeline.Options,
+	scalars map[string]int32, host *ir.Host, specs []string, seed, maxCycles int64) error {
+	faults, err := fault.ParseSpecs(specs)
+	if err != nil {
+		return err
+	}
+
+	// Fault-free golden reference, computed up front on untouched clones.
+	refHost := host.Clone()
+	refArgs := make(map[string]int32, len(scalars))
+	for n, v := range scalars {
+		refArgs[n] = v
+	}
+	refOuts, err := (&ir.Interp{}).Run(k, refArgs, refHost)
+	if err != nil {
+		return fmt.Errorf("reference interpreter: %v", err)
+	}
+
+	s := system.New(comp, opts, 1)
+	if maxCycles > 0 {
+		s.Policy.WatchdogCycles = maxCycles
+	}
+	if err := s.Register(k); err != nil {
+		return err
+	}
+	if err := s.Synthesize(k.Name); err != nil {
+		return fmt.Errorf("synthesis onto %s: %v", comp.Name, err)
+	}
+	if err := s.InjectFaults(fault.Plan{Seed: seed, Faults: faults}); err != nil {
+		return err
+	}
+	for _, f := range faults {
+		fmt.Printf("armed fault: %s (seed %d)\n", f, seed)
+	}
+
+	res, err := s.Invoke(k.Name, scalars, host)
+	if err != nil {
+		return fmt.Errorf("invocation did not survive the fault plan: %v", err)
+	}
+
+	// The system's own cross-check already gates what it commits, but the
+	// acceptance bar is explicit: live-outs and heap must match the
+	// fault-free reference exactly.
+	for name, want := range refOuts {
+		if got := res.LiveOuts[name]; got != want {
+			return fmt.Errorf("live-out %q: %d != fault-free reference %d", name, got, want)
+		}
+	}
+	if !host.Equal(refHost) {
+		return fmt.Errorf("heap diverged from the fault-free reference")
+	}
+
+	st := s.Stats()
+	switch {
+	case st.FaultsInjected == 0:
+		fmt.Println("fault stayed latent: the schedule never exercised the faulty hardware")
+	case !res.Recovered:
+		fmt.Println("fault injected but masked by the dataflow; no corruption reached a live-out")
+	case res.OnCGRA && s.DegradedComposition() != nil:
+		fmt.Printf("recovered: re-synthesized onto degraded composition (PEs masked: %v)\n", s.MaskedPEs())
+	case res.OnCGRA:
+		fmt.Println("recovered: re-execution on the full array succeeded (transient fault)")
+	default:
+		fmt.Println("recovered: fell back to AMIDAR host execution")
+	}
+	fmt.Printf("faults: injected %d, detected %d, re-syntheses %d, host fallbacks %d\n",
+		st.FaultsInjected, st.FaultsDetected, st.Resyntheses, st.Fallbacks)
+	fmt.Println("live-outs verified against the fault-free reference")
+	fmt.Printf("cycles: %d (final run on CGRA: %v)\n", res.Cycles, res.OnCGRA)
+	printValues(res.LiveOuts, host)
+	return nil
+}
+
 func report(ctx int, run, xfer int64, energy float64, outs map[string]int32, host *ir.Host) {
 	fmt.Printf("contexts: %d, run cycles: %d, transfer cycles: %d, energy: %.1f\n",
 		ctx, run, xfer, energy)
+	printValues(outs, host)
+}
+
+func printValues(outs map[string]int32, host *ir.Host) {
 	var names []string
 	for name := range outs {
 		names = append(names, name)

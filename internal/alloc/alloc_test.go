@@ -6,13 +6,14 @@ import (
 
 	"cgra/internal/arch"
 	"cgra/internal/cdfg"
+	"cgra/internal/ir"
 	"cgra/internal/irtext"
 	"cgra/internal/sched"
 )
 
 func scheduleKernel(t *testing.T, src string, comp *arch.Composition) *sched.Schedule {
 	t.Helper()
-	k := irtext.MustParse(src)
+	k := mustParse(t, src)
 	g, err := cdfg.Build(k, cdfg.BuildOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -120,7 +121,7 @@ func TestAllocateRejectsTinyRF(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	k := irtext.MustParse(`
+	k := mustParse(t, `
 kernel k(in a, in b, in c, in d, inout r) {
 	r = (a + b) * (c + d) + (a - b) * (c - d) + a * d;
 }`)
@@ -235,4 +236,13 @@ kernel k(array a, in n, inout s) {
 			t.Errorf("%s: C-Box overflow", comp.Name)
 		}
 	}
+}
+
+func mustParse(t testing.TB, src string) *ir.Kernel {
+	t.Helper()
+	k, err := irtext.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
 }

@@ -35,7 +35,7 @@ func TestADPCMCalibration(t *testing.T) {
 }
 
 func TestExecuteReturnsLiveOuts(t *testing.T) {
-	k := irtext.MustParse(`kernel k(in x, inout r) { r = x * 2; }`)
+	k := mustParse(t, `kernel k(in x, inout r) { r = x * 2; }`)
 	res, err := Execute(k, DefaultCostModel(), map[string]int32{"x": 21, "r": 0}, ir.NewHost())
 	if err != nil {
 		t.Fatal(err)
@@ -51,7 +51,7 @@ func TestExecuteReturnsLiveOuts(t *testing.T) {
 func TestProfilerFlagsHotKernels(t *testing.T) {
 	p := NewProfiler(5000)
 	hot := workload.DotProduct()
-	cold := irtext.MustParse(`kernel tiny(in x, inout r) { r = x + 1; }`)
+	cold := mustParse(t, `kernel tiny(in x, inout r) { r = x + 1; }`)
 
 	// The dot product runs many times; the tiny kernel once.
 	for i := 0; i < 20; i++ {
@@ -118,4 +118,13 @@ kernel double(inout x) { x = x * 2; }`)
 	if cm.Cycles(&res.Stats) <= cm.Cycles(&ir.OpStats{Mul: res.Stats.Mul, LocalWr: res.Stats.LocalWr, LocalRd: res.Stats.LocalRd}) {
 		t.Error("call overhead not priced")
 	}
+}
+
+func mustParse(t testing.TB, src string) *ir.Kernel {
+	t.Helper()
+	k, err := irtext.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
 }

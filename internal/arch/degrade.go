@@ -1,0 +1,92 @@
+package arch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Degraded couples a masked composition with the index mappings between its
+// renumbered PEs and the physical PEs of the original array. The recovery
+// layer schedules onto Comp while the fault injector keeps naming physical
+// PEs; PhysOf translates between the two.
+type Degraded struct {
+	// Comp is the degraded composition (dead PEs removed, dead links cut,
+	// remaining PEs renumbered densely).
+	Comp *Composition
+	// PhysOf[logical] is the physical index of logical PE `logical`.
+	PhysOf []int
+	// LogOf[physical] is the logical index of physical PE `physical`,
+	// or -1 when the PE is masked out.
+	LogOf []int
+}
+
+// Degrade masks failed hardware out of a composition: every PE in deadPEs
+// disappears (with all its links), and every directed link in deadLinks is
+// cut. The surviving PEs are renumbered densely so the scheduler, router
+// and context generator see an ordinary (smaller, more irregular)
+// composition; Floyd all-pairs routing is recomputed from scratch by the
+// scheduler on the result.
+//
+// Degrade fails when the remaining array is no longer a usable CGRA (no
+// PEs, no DMA access to the host heap, broken Validate invariants); the
+// caller then falls back to host execution. Connectivity of the survivors
+// is not checked here — the scheduler rejects disconnected compositions
+// with its own error, which the recovery loop treats the same way.
+func Degrade(c *Composition, deadPEs map[int]bool, deadLinks map[[2]int]bool) (*Degraded, error) {
+	for pe := range deadPEs {
+		if pe < 0 || pe >= len(c.PEs) {
+			return nil, fmt.Errorf("arch: degrade %s: dead PE %d out of range", c.Name, pe)
+		}
+	}
+	for l := range deadLinks {
+		if l[0] < 0 || l[0] >= len(c.PEs) || l[1] < 0 || l[1] >= len(c.PEs) {
+			return nil, fmt.Errorf("arch: degrade %s: dead link %d-%d out of range", c.Name, l[0], l[1])
+		}
+	}
+	d := &Degraded{
+		Comp: &Composition{
+			Name:        c.Name + " (degraded)",
+			ContextSize: c.ContextSize,
+			CBoxSlots:   c.CBoxSlots,
+		},
+		LogOf: make([]int, len(c.PEs)),
+	}
+	for i := range d.LogOf {
+		d.LogOf[i] = -1
+	}
+	for _, pe := range c.PEs {
+		if deadPEs[pe.Index] {
+			continue
+		}
+		d.LogOf[pe.Index] = len(d.PhysOf)
+		d.PhysOf = append(d.PhysOf, pe.Index)
+	}
+	if len(d.PhysOf) == 0 {
+		return nil, fmt.Errorf("arch: degrade %s: no PEs survive", c.Name)
+	}
+	for logical, physical := range d.PhysOf {
+		old := c.PEs[physical]
+		pe := &PE{
+			Name:        old.Name,
+			Index:       logical,
+			RegfileSize: old.RegfileSize,
+			HasDMA:      old.HasDMA,
+			Ops:         make(map[OpCode]OpInfo, len(old.Ops)),
+		}
+		for op, info := range old.Ops {
+			pe.Ops[op] = info
+		}
+		for _, src := range old.Inputs {
+			if deadPEs[src] || deadLinks[[2]int{src, physical}] {
+				continue
+			}
+			pe.Inputs = append(pe.Inputs, d.LogOf[src])
+		}
+		sort.Ints(pe.Inputs)
+		d.Comp.PEs = append(d.Comp.PEs, pe)
+	}
+	if err := d.Comp.Validate(); err != nil {
+		return nil, fmt.Errorf("arch: degrade: %v", err)
+	}
+	return d, nil
+}

@@ -1,0 +1,80 @@
+package arch
+
+import "testing"
+
+func TestDegradeMasksPE(t *testing.T) {
+	c, err := HomogeneousMesh(9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Degrade(c, map[int]bool{3: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Comp.NumPEs(); got != 8 {
+		t.Fatalf("degraded composition has %d PEs, want 8", got)
+	}
+	if err := d.Comp.Validate(); err != nil {
+		t.Fatalf("degraded composition invalid: %v", err)
+	}
+	if d.LogOf[3] != -1 {
+		t.Errorf("dead PE still mapped: LogOf[3] = %d", d.LogOf[3])
+	}
+	for logical, physical := range d.PhysOf {
+		if physical == 3 {
+			t.Fatal("dead PE survives in PhysOf")
+		}
+		if d.LogOf[physical] != logical {
+			t.Errorf("mapping mismatch: PhysOf[%d]=%d but LogOf[%d]=%d",
+				logical, physical, physical, d.LogOf[physical])
+		}
+	}
+	// No surviving PE may list the dead PE (or itself after renumbering).
+	for _, pe := range d.Comp.PEs {
+		for _, src := range pe.Inputs {
+			if src < 0 || src >= d.Comp.NumPEs() {
+				t.Errorf("PE %d input %d out of degraded range", pe.Index, src)
+			}
+		}
+	}
+}
+
+func TestDegradeCutsLink(t *testing.T) {
+	c, err := HomogeneousMesh(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Physical link 0→1 (PE 1 reads PE 0).
+	if !c.PEs[1].CanReadFrom(0) {
+		t.Fatal("test premise: mesh PE 1 reads PE 0")
+	}
+	d, err := Degrade(c, nil, map[[2]int]bool{{0, 1}: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Comp.PEs[1].CanReadFrom(0) {
+		t.Error("cut link survived degradation")
+	}
+	// The reverse direction is a separate physical link and must survive.
+	if !d.Comp.PEs[0].CanReadFrom(1) {
+		t.Error("reverse link was cut too")
+	}
+}
+
+func TestDegradeRejectsUnusableArray(t *testing.T) {
+	c, err := HomogeneousMesh(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mesh 4 has DMA on PEs 0 and 3; killing both leaves no heap access.
+	if _, err := Degrade(c, map[int]bool{0: true, 3: true}, nil); err == nil {
+		t.Error("array without DMA PEs accepted")
+	}
+	all := map[int]bool{0: true, 1: true, 2: true, 3: true}
+	if _, err := Degrade(c, all, nil); err == nil {
+		t.Error("empty array accepted")
+	}
+	if _, err := Degrade(c, map[int]bool{9: true}, nil); err == nil {
+		t.Error("out-of-range dead PE accepted")
+	}
+}

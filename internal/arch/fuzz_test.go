@@ -1,0 +1,37 @@
+package arch
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParseComposition feeds arbitrary documents through the composition
+// parser. The parser must reject garbage with an error — never panic — and
+// any accepted composition must satisfy its own Validate contract. Seeded
+// from the real documents under compositions/.
+func FuzzParseComposition(f *testing.F) {
+	for _, name := range []string{"cgra4.json", "PE_mem.json", "PE_no_mem.json"} {
+		data, err := os.ReadFile(filepath.Join("..", "..", "compositions", name))
+		if err != nil {
+			f.Fatalf("seed corpus: %v", err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"name":"x","Number_of_PEs":1,"PEs":{"0":{"Regfile_size":1}},"Context_memory_length":1,"CBox_slots":1}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	lib, err := LoadPELibrary(filepath.Join("..", "..", "compositions"))
+	if err != nil {
+		f.Fatalf("seed library: %v", err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ParseComposition(data, lib)
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("parser accepted a composition its own Validate rejects: %v", err)
+		}
+	})
+}

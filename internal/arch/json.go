@@ -1,6 +1,7 @@
 package arch
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -77,8 +78,8 @@ func parsePEDoc(raw json.RawMessage) (*peDoc, error) {
 			doc.Ops[op] = OpInfo{Energy: od.Energy, Duration: od.Duration}
 		}
 	}
-	if doc.RegfileSize == 0 {
-		return nil, fmt.Errorf("PE %q: missing Regfile_size", doc.Name)
+	if doc.RegfileSize <= 0 {
+		return nil, fmt.Errorf("PE %q: missing or non-positive Regfile_size", doc.Name)
 	}
 	return doc, nil
 }
@@ -92,10 +93,62 @@ type compDoc struct {
 	CBoxSlots           int                        `json:"CBox_slots"`
 }
 
+// checkDuplicateKeys walks a document and rejects any object holding the
+// same key twice. encoding/json silently keeps the last duplicate, which
+// would let a malformed document replace a PE or interconnect entry without
+// any diagnostic.
+func checkDuplicateKeys(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	return walkDupKeys(dec, "document")
+}
+
+func walkDupKeys(dec *json.Decoder, path string) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	d, ok := tok.(json.Delim)
+	if !ok {
+		return nil
+	}
+	switch d {
+	case '{':
+		seen := map[string]bool{}
+		for dec.More() {
+			keyTok, err := dec.Token()
+			if err != nil {
+				return err
+			}
+			key, _ := keyTok.(string)
+			if seen[key] {
+				return fmt.Errorf("duplicate key %q in %s", key, path)
+			}
+			seen[key] = true
+			if err := walkDupKeys(dec, path+"."+key); err != nil {
+				return err
+			}
+		}
+		_, err = dec.Token() // closing '}'
+		return err
+	case '[':
+		for dec.More() {
+			if err := walkDupKeys(dec, path+"[]"); err != nil {
+				return err
+			}
+		}
+		_, err = dec.Token() // closing ']'
+		return err
+	}
+	return nil
+}
+
 // ParseComposition parses a JSON composition document. String-valued PE
 // entries are resolved against library (name → PE description JSON);
 // library may be nil when all PEs are inline.
 func ParseComposition(data []byte, library map[string]json.RawMessage) (*Composition, error) {
+	if err := checkDuplicateKeys(data); err != nil {
+		return nil, fmt.Errorf("composition: %v", err)
+	}
 	var doc compDoc
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return nil, fmt.Errorf("composition: %v", err)
@@ -106,6 +159,14 @@ func ParseComposition(data []byte, library map[string]json.RawMessage) (*Composi
 	if len(doc.PEs) != doc.NumberOfPEs {
 		return nil, fmt.Errorf("composition %q: Number_of_PEs is %d but %d PE entries given",
 			doc.Name, doc.NumberOfPEs, len(doc.PEs))
+	}
+	if doc.ContextMemoryLength <= 0 {
+		return nil, fmt.Errorf("composition %q: Context_memory_length must be positive (got %d)",
+			doc.Name, doc.ContextMemoryLength)
+	}
+	if doc.CBoxSlots <= 0 {
+		return nil, fmt.Errorf("composition %q: CBox_slots must be positive (got %d)",
+			doc.Name, doc.CBoxSlots)
 	}
 	c := &Composition{
 		Name:        doc.Name,
@@ -145,6 +206,12 @@ func ParseComposition(data []byte, library map[string]json.RawMessage) (*Composi
 		idx, err := strconv.Atoi(key)
 		if err != nil || idx < 0 || idx >= doc.NumberOfPEs {
 			return nil, fmt.Errorf("composition %q: interconnect references bad PE %q", doc.Name, key)
+		}
+		for _, src := range srcs {
+			if src < 0 || src >= doc.NumberOfPEs {
+				return nil, fmt.Errorf("composition %q: interconnect edge %d <- %d references unknown PE %d",
+					doc.Name, idx, src, src)
+			}
 		}
 		c.PEs[idx].Inputs = append([]int(nil), srcs...)
 		sort.Ints(c.PEs[idx].Inputs)

@@ -1,0 +1,113 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+// inlinePE is a minimal valid inline PE description for the table tests.
+const inlinePE = `{"name": "P", "Regfile_size": 8, "DMA": true,
+	"IADD": {"energy": 1.0, "duration": 1},
+	"IFLT": {"energy": 1.1, "duration": 1},
+	"LOAD": {"energy": 2.5, "duration": 2},
+	"STORE": {"energy": 2.5, "duration": 2}}`
+
+func compDocJSON(mutate func(s string) string) string {
+	doc := `{
+  "name": "T",
+  "Number_of_PEs": 2,
+  "PEs": {"0": ` + inlinePE + `, "1": ` + inlinePE + `},
+  "Interconnect": {"0": [1], "1": [0]},
+  "Context_memory_length": 16,
+  "CBox_slots": 4
+}`
+	if mutate != nil {
+		return mutate(doc)
+	}
+	return doc
+}
+
+func TestParseCompositionRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		doc     string
+		wantErr string
+	}{
+		{
+			name:    "duplicate PE entry",
+			doc:     compDocJSON(func(s string) string { return strings.Replace(s, `"1": `+inlinePE, `"0": `+inlinePE, 1) }),
+			wantErr: "duplicate key",
+		},
+		{
+			name: "duplicate interconnect entry",
+			doc: compDocJSON(func(s string) string {
+				return strings.Replace(s, `"Interconnect": {"0": [1], "1": [0]}`, `"Interconnect": {"0": [1], "0": [0]}`, 1)
+			}),
+			wantErr: "duplicate key",
+		},
+		{
+			name: "interconnect references unknown PE",
+			doc: compDocJSON(func(s string) string {
+				return strings.Replace(s, `"0": [1]`, `"0": [7]`, 1)
+			}),
+			wantErr: "unknown PE",
+		},
+		{
+			name: "interconnect entry for unknown PE",
+			doc: compDocJSON(func(s string) string {
+				return strings.Replace(s, `"1": [0]`, `"9": [0]`, 1)
+			}),
+			wantErr: "bad PE",
+		},
+		{
+			name: "non-positive context memory",
+			doc: compDocJSON(func(s string) string {
+				return strings.Replace(s, `"Context_memory_length": 16`, `"Context_memory_length": 0`, 1)
+			}),
+			wantErr: "Context_memory_length must be positive",
+		},
+		{
+			name: "negative context memory",
+			doc: compDocJSON(func(s string) string {
+				return strings.Replace(s, `"Context_memory_length": 16`, `"Context_memory_length": -3`, 1)
+			}),
+			wantErr: "Context_memory_length must be positive",
+		},
+		{
+			name: "non-positive condition memory",
+			doc: compDocJSON(func(s string) string {
+				return strings.Replace(s, `"CBox_slots": 4`, `"CBox_slots": 0`, 1)
+			}),
+			wantErr: "CBox_slots must be positive",
+		},
+		{
+			name: "non-positive Regfile_size",
+			doc: compDocJSON(func(s string) string {
+				return strings.Replace(s, `"Regfile_size": 8`, `"Regfile_size": -1`, 1)
+			}),
+			wantErr: "Regfile_size",
+		},
+		{
+			name: "PE count mismatch",
+			doc: compDocJSON(func(s string) string {
+				return strings.Replace(s, `"Number_of_PEs": 2`, `"Number_of_PEs": 3`, 1)
+			}),
+			wantErr: "Number_of_PEs",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseComposition([]byte(c.doc), nil)
+			if err == nil {
+				t.Fatalf("malformed document accepted:\n%s", c.doc)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+	// The unmutated document must stay valid, or the table proves nothing.
+	if _, err := ParseComposition([]byte(compDocJSON(nil)), nil); err != nil {
+		t.Fatalf("baseline document rejected: %v", err)
+	}
+}

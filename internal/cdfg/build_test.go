@@ -11,7 +11,7 @@ import (
 
 func build(t *testing.T, src string) *Graph {
 	t.Helper()
-	k := irtext.MustParse(src)
+	k := mustParse(t, src)
 	g, err := Build(k, BuildOptions{})
 	if err != nil {
 		t.Fatalf("build: %v", err)
@@ -219,7 +219,7 @@ kernel k(in n, in c, inout s) {
 }
 
 func TestBuildBranchAllIfsOption(t *testing.T) {
-	k := irtext.MustParse(`kernel k(in x, inout r) { if (x > 0) { r = 1; } else { r = 2; } }`)
+	k := mustParse(t, `kernel k(in x, inout r) { if (x > 0) { r = 1; } else { r = 2; } }`)
 	g, err := Build(k, BuildOptions{BranchAllIfs: true})
 	if err != nil {
 		t.Fatal(err)
@@ -514,4 +514,13 @@ func TestBuildValidateFails(t *testing.T) {
 	if _, err := Build(k, BuildOptions{}); err == nil {
 		t.Error("expected validation error")
 	}
+}
+
+func mustParse(t testing.TB, src string) *ir.Kernel {
+	t.Helper()
+	k, err := irtext.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
 }

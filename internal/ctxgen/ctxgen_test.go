@@ -5,13 +5,14 @@ import (
 
 	"cgra/internal/arch"
 	"cgra/internal/cdfg"
+	"cgra/internal/ir"
 	"cgra/internal/irtext"
 	"cgra/internal/sched"
 )
 
 func generate(t *testing.T, src string, comp *arch.Composition) *Program {
 	t.Helper()
-	k := irtext.MustParse(src)
+	k := mustParse(t, src)
 	g, err := cdfg.Build(k, cdfg.BuildOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -188,7 +189,7 @@ func TestGenerateBitMaskMinimization(t *testing.T) {
 func TestGenerateRejectsOverlongSchedule(t *testing.T) {
 	comp := mesh(t, 4)
 	comp.ContextSize = 4 // absurdly small
-	k := irtext.MustParse(loopSrc)
+	k := mustParse(t, loopSrc)
 	g, err := cdfg.Build(k, cdfg.BuildOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -273,4 +274,13 @@ func TestBitstreamDump(t *testing.T) {
 			break
 		}
 	}
+}
+
+func mustParse(t testing.TB, src string) *ir.Kernel {
+	t.Helper()
+	k, err := irtext.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
 }

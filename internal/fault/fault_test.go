@@ -1,0 +1,163 @@
+package fault
+
+import "testing"
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Fault
+		ok   bool
+	}{
+		{"pe:3", Fault{Kind: PermanentPE, PE: 3}, true},
+		{" pe:0 ", Fault{Kind: PermanentPE, PE: 0}, true},
+		{"link:0-2", Fault{Kind: BrokenLink, Src: 0, Dst: 2}, true},
+		{"bit:1", Fault{Kind: TransientBit, PE: 1}, true},
+		{"pe", Fault{}, false},
+		{"pe:-1", Fault{}, false},
+		{"pe:x", Fault{}, false},
+		{"link:3", Fault{}, false},
+		{"link:1-1", Fault{}, false},
+		{"link:a-b", Fault{}, false},
+		{"mem:3", Fault{}, false},
+		{"", Fault{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseSpec(%q) error = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	for _, s := range []string{"pe:3", "link:0-2", "bit:1"} {
+		f, err := ParseSpec(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.String() != s {
+			t.Errorf("round trip %q -> %q", s, f.String())
+		}
+	}
+}
+
+func TestInjectorRangeCheck(t *testing.T) {
+	_, err := NewInjector(Plan{Faults: []Fault{{Kind: PermanentPE, PE: 9}}}, 4)
+	if err == nil {
+		t.Error("PE index beyond composition accepted")
+	}
+	_, err = NewInjector(Plan{Faults: []Fault{{Kind: BrokenLink, Src: 0, Dst: 9}}}, 4)
+	if err == nil {
+		t.Error("link endpoint beyond composition accepted")
+	}
+}
+
+// corruptionTrace applies a fixed call pattern and records the outputs, so
+// two injectors with equal seeds can be compared.
+func corruptionTrace(in *Injector) []int32 {
+	in.BeginRun()
+	var out []int32
+	for cycle := int64(0); cycle < 128; cycle++ {
+		v, _ := in.CorruptALU(2, cycle, int32(cycle))
+		out = append(out, v)
+		w, _ := in.CorruptWrite(1, cycle, int32(cycle))
+		out = append(out, w)
+		r, _ := in.CorruptRoute(0, 1, cycle, int32(cycle))
+		out = append(out, r)
+	}
+	return out
+}
+
+func TestDeterminism(t *testing.T) {
+	plan := Plan{Seed: 7, Faults: []Fault{
+		{Kind: PermanentPE, PE: 2},
+		{Kind: TransientBit, PE: 1},
+		{Kind: BrokenLink, Src: 0, Dst: 1},
+	}}
+	a, err := NewInjector(plan, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewInjector(plan, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, tb := corruptionTrace(a), corruptionTrace(b)
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("same seed diverged at step %d: %d != %d", i, ta[i], tb[i])
+		}
+	}
+	if a.Injections() == 0 {
+		t.Error("plan never injected within the window")
+	}
+	plan.Seed = 8
+	c, err := NewInjector(plan, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := corruptionTrace(c)
+	same := true
+	for i := range ta {
+		if ta[i] != tc[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical corruption traces")
+	}
+}
+
+func TestPermanentPersistsAcrossRuns(t *testing.T) {
+	in, err := NewInjector(Plan{Seed: 1, Window: 8, Faults: []Fault{{Kind: PermanentPE, PE: 0}}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.BeginRun()
+	in.CorruptALU(0, 100, 5) // well past any activation in window 8
+	in.BeginRun()
+	// Second run: active from cycle 0.
+	v, applied := in.CorruptALU(0, 0, 5)
+	if !applied || v == 5 {
+		t.Errorf("permanent fault inactive at cycle 0 of run 2 (v=%d applied=%v)", v, applied)
+	}
+}
+
+func TestTransientFiresOnce(t *testing.T) {
+	in, err := NewInjector(Plan{Seed: 3, Window: 4, Faults: []Fault{{Kind: TransientBit, PE: 1}}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.BeginRun()
+	fired := 0
+	for cycle := int64(0); cycle < 64; cycle++ {
+		if _, applied := in.CorruptWrite(1, cycle, 0); applied {
+			fired++
+		}
+	}
+	if fired != 1 {
+		t.Errorf("transient fired %d times, want 1", fired)
+	}
+	if got := in.Manifested(); len(got) != 1 || got[0].Kind != TransientBit {
+		t.Errorf("Manifested = %v", got)
+	}
+	if got := in.ManifestedPermanent(); len(got) != 0 {
+		t.Errorf("transient reported as permanent: %v", got)
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	in.BeginRun()
+	if v, applied := in.CorruptALU(0, 0, 42); applied || v != 42 {
+		t.Error("nil injector corrupted a value")
+	}
+	if in.Injections() != 0 || in.Manifested() != nil {
+		t.Error("nil injector reported activity")
+	}
+}

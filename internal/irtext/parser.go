@@ -74,14 +74,6 @@ func ParseProgram(src string) (*ir.Program, error) {
 	return prog, nil
 }
 
-// MustParse is Parse that panics on error; for tests and static kernels.
-func MustParse(src string) *ir.Kernel {
-	k, err := Parse(src)
-	if err != nil {
-		panic(err)
-	}
-	return k
-}
 
 type parser struct {
 	toks []token

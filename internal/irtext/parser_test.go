@@ -18,6 +18,15 @@ func TestParseMinimal(t *testing.T) {
 	}
 }
 
+func mustParse(t testing.TB, src string) *ir.Kernel {
+	t.Helper()
+	k, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
 func run(t *testing.T, k *ir.Kernel, args map[string]int32, arrays map[string][]int32) map[string]int32 {
 	t.Helper()
 	host := ir.NewHost()
@@ -190,18 +199,19 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
-func TestMustParsePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("MustParse did not panic on bad input")
+func TestParseNeverPanics(t *testing.T) {
+	// The parser's contract is error-returning: malformed input must come
+	// back as an error, never a panic (there is no Must variant anymore).
+	for _, src := range []string{"not a kernel", "", "kernel", "kernel k(", "kernel k(in x) {"} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted malformed input", src)
 		}
-	}()
-	MustParse("not a kernel")
+	}
 }
 
 func TestParseMatchesBuilder(t *testing.T) {
 	// The same kernel through both front ends must behave identically.
-	parsed := MustParse(`
+	parsed := mustParse(t, `
 kernel dot(array a, array b, in n, inout s) {
 	s = 0;
 	for (i = 0; i < n; i = i + 1) {

@@ -26,7 +26,7 @@ func TestPrintParseRoundTripFixed(t *testing.T) {
 		}`,
 	}
 	for _, src := range srcs {
-		k1 := MustParse(src)
+		k1 := mustParse(t, src)
 		printed := Print(k1)
 		k2, err := Parse(printed)
 		if err != nil {
@@ -87,7 +87,7 @@ func TestPrintNegativeConstants(t *testing.T) {
 }
 
 func TestPrintPrecedenceMinimalParens(t *testing.T) {
-	k := MustParse(`kernel k(in a, in b, in c, inout r) { r = a + b * c; }`)
+	k := mustParse(t, `kernel k(in a, in b, in c, inout r) { r = a + b * c; }`)
 	printed := Print(k)
 	if strings.Contains(printed, "(") && strings.Contains(printed, "b * c)") {
 		t.Errorf("unnecessary parentheses: %s", printed)

@@ -40,7 +40,7 @@ func assertEquivalent(t *testing.T, orig, xform *ir.Kernel, args map[string]int3
 }
 
 func TestFoldConstantsBasic(t *testing.T) {
-	k := irtext.MustParse(`kernel k(inout r) { r = 2 + 3 * 4 - (1 << 2); }`)
+	k := mustParse(t, `kernel k(inout r) { r = 2 + 3 * 4 - (1 << 2); }`)
 	folded := FoldConstants(k)
 	a, ok := folded.Body[0].(*ir.Assign)
 	if !ok {
@@ -68,7 +68,7 @@ func TestFoldIdentities(t *testing.T) {
 		{`kernel k(in x, inout r) { r = x >> 0; }`, "x"},
 	}
 	for _, c := range cases {
-		k := FoldConstants(irtext.MustParse(c.src))
+		k := FoldConstants(mustParse(t, c.src))
 		a := k.Body[0].(*ir.Assign)
 		if got := a.Value.String(); got != c.want {
 			t.Errorf("%s: folded to %s, want %s", c.src, got, c.want)
@@ -81,7 +81,7 @@ func TestFoldPreservesSemantics(t *testing.T) {
 kernel k(in x, in y, inout r) {
 	r = (x + 0) * (3 * 4) + (y & 0) + (1 << 3) + x * 1;
 }`
-	k := irtext.MustParse(src)
+	k := mustParse(t, src)
 	f := FoldConstants(k)
 	prop := func(x, y int32) bool {
 		o1, _ := run(t, k, map[string]int32{"x": x, "y": y, "r": 0}, nil)
@@ -95,7 +95,7 @@ kernel k(in x, in y, inout r) {
 
 func TestFoldLogicalShortCircuitKept(t *testing.T) {
 	// Constant folding must not change logical semantics.
-	k := irtext.MustParse(`kernel k(inout r) { r = 1 && 0; d = 1 || 0; r = r + d; }`)
+	k := mustParse(t, `kernel k(inout r) { r = 1 && 0; d = 1 || 0; r = r + d; }`)
 	f := FoldConstants(k)
 	o, _ := run(t, f, map[string]int32{"r": 0}, nil)
 	if o["r"] != 1 {
@@ -110,7 +110,7 @@ kernel sum(in n, inout s) {
 	i = 0;
 	while (i < n) { s = s + i; i = i + 1; }
 }`
-	k := irtext.MustParse(src)
+	k := mustParse(t, src)
 	for _, factor := range []int{2, 3, 4} {
 		u := Unroll(k, factor)
 		for n := int32(0); n <= 11; n++ {
@@ -134,7 +134,7 @@ kernel k(in n, inout s) {
 		i = i + 1;
 	}
 }`
-	k := irtext.MustParse(src)
+	k := mustParse(t, src)
 	u := Unroll(k, 2)
 	// The outer while must NOT contain a guarded copy of itself: its body
 	// should hold exactly the inner loop handling plus i update.
@@ -188,7 +188,7 @@ kernel collatz(inout x, inout steps) {
 		steps = steps + 1;
 	}
 }`
-	k := irtext.MustParse(src)
+	k := mustParse(t, src)
 	u := Unroll(k, 2)
 	for _, x := range []int32{1, 2, 3, 7, 27} {
 		o1, _ := run(t, k, map[string]int32{"x": x, "steps": 0}, nil)
@@ -206,7 +206,7 @@ kernel k(in a, in b, inout r) {
 	y = a * b;
 	r = x + y;
 }`
-	k := irtext.MustParse(src)
+	k := mustParse(t, src)
 	c := CSE(k)
 	// The second assignment must become y = x.
 	a2 := c.Body[1].(*ir.Assign)
@@ -224,7 +224,7 @@ kernel k(in a, inout b, inout r) {
 	y = a + b;
 	r = x + y;
 }`
-	k := irtext.MustParse(src)
+	k := mustParse(t, src)
 	c := CSE(k)
 	// y must stay a recomputation: b changed in between.
 	a3 := c.Body[2].(*ir.Assign)
@@ -243,7 +243,7 @@ kernel k(array m, inout r) {
 	y = m[0];
 	r = x + y;
 }`
-	k := irtext.MustParse(src)
+	k := mustParse(t, src)
 	c := CSE(k)
 	assertEquivalent(t, k, c, map[string]int32{"r": 0}, map[string][]int32{"m": {5}})
 }
@@ -256,7 +256,7 @@ kernel k(in a, in c, inout r) {
 	y = a * a;
 	r = x + y;
 }`
-	k := irtext.MustParse(src)
+	k := mustParse(t, src)
 	c := CSE(k)
 	for _, cv := range []int32{0, 1} {
 		assertEquivalent(t, k, c, map[string]int32{"a": 5, "c": cv, "r": 0}, nil)
@@ -277,13 +277,13 @@ kernel k(in a, in n, inout r) {
 	y = a * a;
 	r = x + y;
 }`
-	k := irtext.MustParse(src)
+	k := mustParse(t, src)
 	c := CSE(k)
 	assertEquivalent(t, k, c, map[string]int32{"a": 3, "n": 4, "r": 0}, nil)
 }
 
 func TestApplyValidates(t *testing.T) {
-	k := irtext.MustParse(`kernel k(in a, inout r) { r = a * 2 + a * 2; }`)
+	k := mustParse(t, `kernel k(in a, inout r) { r = a * 2 + a * 2; }`)
 	out, err := Apply(k, Options{UnrollFactor: 2, CSE: true, ConstFold: true})
 	if err != nil {
 		t.Fatalf("apply: %v", err)
@@ -303,7 +303,7 @@ kernel mix(array a, in n, inout s) {
 		i = i + 1;
 	}
 }`
-	k := irtext.MustParse(src)
+	k := mustParse(t, src)
 	out, err := Apply(k, Options{UnrollFactor: 3, CSE: true, ConstFold: true})
 	if err != nil {
 		t.Fatal(err)
@@ -321,4 +321,13 @@ kernel mix(array a, in n, inout s) {
 	if err := quick.Check(prop, nil); err != nil {
 		t.Error(err)
 	}
+}
+
+func mustParse(t testing.TB, src string) *ir.Kernel {
+	t.Helper()
+	k, err := irtext.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
 }

@@ -67,8 +67,17 @@ func CompileProgram(prog *ir.Program, comp *arch.Composition, o Options) (*Compi
 	return Compile(flat, comp, o)
 }
 
-// Compile runs the full flow.
-func Compile(k *ir.Kernel, comp *arch.Composition, o Options) (*Compiled, error) {
+// Compile runs the full flow. Internal invariant violations in the
+// scheduler (which panic, because they indicate bugs rather than bad input)
+// are recovered here so that callers — in particular the online-synthesis
+// recovery loop, which compiles onto degraded compositions — always get an
+// error, never a crash.
+func Compile(k *ir.Kernel, comp *arch.Composition, o Options) (c *Compiled, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c, err = nil, fmt.Errorf("pipeline: internal error compiling kernel: %v", r)
+		}
+	}()
 	optimized, err := opt.Apply(k, opt.Options{
 		UnrollFactor: o.UnrollFactor,
 		CSE:          o.CSE,

@@ -13,7 +13,7 @@ import (
 func check(t *testing.T, src string, comp *arch.Composition, o Options,
 	args map[string]int32, arrays map[string][]int32) *CheckResult {
 	t.Helper()
-	k := irtext.MustParse(src)
+	k := mustParse(t, src)
 	c, err := Compile(k, comp, o)
 	if err != nil {
 		t.Fatalf("compile: %v", err)
@@ -322,4 +322,25 @@ kernel abs(inout x) {
 	if ref["s"] != res.LiveOuts["s"] {
 		t.Errorf("CGRA %d != reference %d", res.LiveOuts["s"], ref["s"])
 	}
+}
+
+// TestCompileRecoversPanic: internal panics anywhere in the pipeline must
+// surface as errors, never crash the caller. A nil kernel trips one early.
+func TestCompileRecoversPanic(t *testing.T) {
+	c, err := Compile(nil, mesh(t, 4), Options{})
+	if err == nil {
+		t.Fatalf("Compile(nil, ...) succeeded: %+v", c)
+	}
+	if c != nil {
+		t.Errorf("Compile returned both a result and an error")
+	}
+}
+
+func mustParse(t testing.TB, src string) *ir.Kernel {
+	t.Helper()
+	k, err := irtext.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
 }

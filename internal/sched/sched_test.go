@@ -5,12 +5,13 @@ import (
 
 	"cgra/internal/arch"
 	"cgra/internal/cdfg"
+	"cgra/internal/ir"
 	"cgra/internal/irtext"
 )
 
 func compile(t *testing.T, src string) *cdfg.Graph {
 	t.Helper()
-	k := irtext.MustParse(src)
+	k := mustParse(t, src)
 	g, err := cdfg.Build(k, cdfg.BuildOptions{})
 	if err != nil {
 		t.Fatalf("cdfg: %v", err)
@@ -360,4 +361,13 @@ kernel k(array a, in n, inout s) {
 	if s.Length > s.Comp.ContextSize {
 		t.Errorf("schedule needs %d contexts, memory holds %d", s.Length, s.Comp.ContextSize)
 	}
+}
+
+func mustParse(t testing.TB, src string) *ir.Kernel {
+	t.Helper()
+	k, err := irtext.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
 }

@@ -19,6 +19,8 @@ const (
 	EvDMAStore
 	// EvHalt: the halt context locked the CCNT.
 	EvHalt
+	// EvFault: an injected fault corrupted machine state (PE, Value).
+	EvFault
 )
 
 func (k EventKind) String() string {
@@ -37,6 +39,8 @@ func (k EventKind) String() string {
 		return "dma-store"
 	case EvHalt:
 		return "halt"
+	case EvFault:
+		return "fault"
 	}
 	return "?"
 }

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"cgra/internal/fault"
+	"cgra/internal/ir"
+)
+
+// runWithFault executes the dot-product kernel with one armed fault and
+// reports the outcome: the live-out value (when the run completed) and the
+// error (when detection tripped inside the machine).
+func runWithFault(t *testing.T, f fault.Fault, seed int64) (int32, int64, error) {
+	t.Helper()
+	_, p := compile(t, `
+kernel dot(array a, array b, in n, inout s) {
+	s = 0;
+	i = 0;
+	while (i < n) { s = s + a[i] * b[i]; i = i + 1; }
+}`, mesh(t, 4))
+	inj, err := fault.NewInjector(fault.Plan{Seed: seed, Faults: []fault.Fault{f}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(p)
+	m.Inject = inj
+	m.MaxCycles = 200_000
+	host := ir.NewHost()
+	host.Arrays["a"] = []int32{1, 2, 3, 4}
+	host.Arrays["b"] = []int32{4, 3, 2, 1}
+	res, err := m.Run(map[string]int32{"n": 4, "s": 0}, host)
+	if err != nil {
+		return 0, inj.Injections(), err
+	}
+	return res.LiveOuts["s"], inj.Injections(), nil
+}
+
+func TestPermanentPEFaultManifests(t *testing.T) {
+	const want = 1*4 + 2*3 + 3*2 + 4*1
+	manifested := false
+	for pe := 0; pe < 4; pe++ {
+		s, injected, err := runWithFault(t, fault.Fault{Kind: fault.PermanentPE, PE: pe}, 1)
+		if injected > 0 && (err != nil || s != want) {
+			manifested = true
+		}
+		if injected == 0 && err == nil && s != want {
+			t.Errorf("pe:%d corrupted the result without injecting", pe)
+		}
+	}
+	if !manifested {
+		t.Error("no permanent PE fault ever corrupted the run")
+	}
+}
+
+func TestFaultDeterminism(t *testing.T) {
+	f := fault.Fault{Kind: fault.PermanentPE, PE: 0}
+	s1, n1, err1 := runWithFault(t, f, 7)
+	s2, n2, err2 := runWithFault(t, f, 7)
+	if s1 != s2 || n1 != n2 || (err1 == nil) != (err2 == nil) {
+		t.Errorf("same seed diverged: (%d,%d,%v) vs (%d,%d,%v)", s1, n1, err1, s2, n2, err2)
+	}
+}
+
+func TestTransientBitInjectsOnce(t *testing.T) {
+	for pe := 0; pe < 4; pe++ {
+		_, injected, _ := runWithFault(t, fault.Fault{Kind: fault.TransientBit, PE: pe}, 3)
+		if injected > 1 {
+			t.Errorf("transient on pe %d injected %d times, want at most 1", pe, injected)
+		}
+	}
+}
+
+func TestWatchdogErrorType(t *testing.T) {
+	_, p := compile(t, `
+kernel k(inout r) {
+	r = 0;
+	i = 0;
+	while (i < 1) { r = r + 1; }
+}`, mesh(t, 4))
+	m := New(p)
+	m.MaxCycles = 1000
+	_, err := m.Run(map[string]int32{"r": 0}, ir.NewHost())
+	var wd *WatchdogError
+	if !errors.As(err, &wd) {
+		t.Fatalf("expected WatchdogError, got %v", err)
+	}
+	if wd.Limit != 1000 {
+		t.Errorf("watchdog limit = %d, want 1000", wd.Limit)
+	}
+}

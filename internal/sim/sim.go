@@ -14,9 +14,24 @@ import (
 
 	"cgra/internal/arch"
 	"cgra/internal/ctxgen"
+	"cgra/internal/fault"
 	"cgra/internal/ir"
 	"cgra/internal/sched"
 )
+
+// WatchdogError reports that a run exceeded its cycle budget. The recovery
+// layer treats it as a detected fault (a corrupted condition can trap a
+// schedule in an infinite loop), distinct from structural simulator errors.
+type WatchdogError struct {
+	// Limit is the exhausted cycle budget.
+	Limit int64
+	// CCNT is the context counter at expiry.
+	CCNT int
+}
+
+func (e *WatchdogError) Error() string {
+	return fmt.Sprintf("sim: watchdog: cycle budget %d exhausted (ccnt=%d)", e.Limit, e.CCNT)
+}
 
 // Result reports one CGRA run (the paper's "invocation": receive live-ins,
 // run, send live-outs, §IV-A3).
@@ -46,6 +61,14 @@ type Machine struct {
 	// Probe, when non-nil, receives every observable state change (RF
 	// writes, squashes, condition writes, jumps, DMA); see Event.
 	Probe func(Event)
+	// Inject, when non-nil, corrupts machine state per its armed fault
+	// plan (see package fault).
+	Inject *fault.Injector
+	// PhysPE maps this program's logical PE indices to the physical PE
+	// identities the injector's faults name. Degraded compositions are
+	// renumbered, so the mapping keeps faults pinned to the physical
+	// hardware; nil means identity (undegraded composition).
+	PhysPE []int
 }
 
 // New creates a machine for a program.
@@ -73,6 +96,14 @@ func (m *Machine) Run(args map[string]int32, host *ir.Host) (*Result, error) {
 	limit := m.MaxCycles
 	if limit == 0 {
 		limit = 500_000_000
+	}
+	m.Inject.BeginRun()
+	// phys maps a logical PE index to the physical identity faults name.
+	phys := func(pe int) int {
+		if m.PhysPE == nil {
+			return pe
+		}
+		return m.PhysPE[pe]
 	}
 
 	// Register files and condition memory.
@@ -117,7 +148,7 @@ func (m *Machine) Run(args map[string]int32, host *ir.Host) (*Result, error) {
 	var cycle int64
 	for {
 		if cycle >= limit {
-			return nil, fmt.Errorf("sim: cycle limit %d exceeded (ccnt=%d)", limit, ccnt)
+			return nil, &WatchdogError{Limit: limit, CCNT: ccnt}
 		}
 		if ccnt < 0 || ccnt >= prog.NumCtx {
 			return nil, fmt.Errorf("sim: CCNT %d out of range", ccnt)
@@ -165,7 +196,12 @@ func (m *Machine) Run(args map[string]int32, host *ir.Host) (*Result, error) {
 					if !outlValid[src] {
 						return 0, fmt.Errorf("sim: PE %d reads idle outl of PE %d at ctx %d", pe, src, ccnt)
 					}
-					return outl[src], nil
+					v := outl[src]
+					if cv, hit := m.Inject.CorruptRoute(phys(src), phys(pe), cycle, v); hit {
+						m.emit(Event{Cycle: cycle, CCNT: ccnt, Kind: EvFault, PE: pe, Value: cv})
+						v = cv
+					}
+					return v, nil
 				default:
 					return 0, nil
 				}
@@ -189,6 +225,10 @@ func (m *Machine) Run(args map[string]int32, host *ir.Host) (*Result, error) {
 				if err != nil {
 					return nil, err
 				}
+				if cv, hit := m.Inject.CorruptStatus(phys(pe), cycle, val); hit {
+					m.emit(Event{Cycle: cycle, CCNT: ccnt, Kind: EvFault, PE: pe})
+					val = cv
+				}
 				pendStatus = append(pendStatus, pendingStatus{cycle: finish, pe: pe, val: val})
 			case ctx.Op == arch.LOAD:
 				if !squash {
@@ -200,6 +240,10 @@ func (m *Machine) Run(args map[string]int32, host *ir.Host) (*Result, error) {
 				}
 			case ctx.Op == arch.STORE:
 				if !squash {
+					if cv, hit := m.Inject.CorruptALU(phys(pe), cycle, b); hit {
+						m.emit(Event{Cycle: cycle, CCNT: ccnt, Kind: EvFault, PE: pe, Value: cv})
+						b = cv
+					}
 					arr := g.Arrays[ctx.Array]
 					pending = append(pending, pendingWrite{
 						cycle: finish, pe: pe,
@@ -210,6 +254,10 @@ func (m *Machine) Run(args map[string]int32, host *ir.Host) (*Result, error) {
 				val, err := evalALU(ctx.Op, a, b, ctx.Imm)
 				if err != nil {
 					return nil, fmt.Errorf("sim: pe %d ctx %d: %v", pe, ccnt, err)
+				}
+				if cv, hit := m.Inject.CorruptALU(phys(pe), cycle, val); hit {
+					m.emit(Event{Cycle: cycle, CCNT: ccnt, Kind: EvFault, PE: pe, Value: cv})
+					val = cv
 				}
 				if ctx.WriteEnable {
 					pending = append(pending, pendingWrite{
@@ -280,6 +328,10 @@ func (m *Machine) Run(args map[string]int32, host *ir.Host) (*Result, error) {
 					if err != nil {
 						return nil, fmt.Errorf("sim: %v", err)
 					}
+					if cv, hit := m.Inject.CorruptALU(phys(pw.pe), cycle, v); hit {
+						m.emit(Event{Cycle: cycle, CCNT: ccnt, Kind: EvFault, PE: pw.pe, Value: cv})
+						v = cv
+					}
 					rf[pw.pe][pw.addr] = v
 					m.emit(Event{Cycle: cycle, CCNT: ccnt, Kind: EvDMALoad, PE: pw.pe, Addr: pw.addr, Value: v})
 				} else {
@@ -289,6 +341,10 @@ func (m *Machine) Run(args map[string]int32, host *ir.Host) (*Result, error) {
 					m.emit(Event{Cycle: cycle, CCNT: ccnt, Kind: EvDMAStore, PE: pw.pe, Addr: int(pw.index), Value: pw.value})
 				}
 			} else if !pw.squash {
+				if cv, hit := m.Inject.CorruptWrite(phys(pw.pe), cycle, pw.value); hit {
+					m.emit(Event{Cycle: cycle, CCNT: ccnt, Kind: EvFault, PE: pw.pe, Addr: pw.addr, Value: cv})
+					pw.value = cv
+				}
 				rf[pw.pe][pw.addr] = pw.value
 				m.emit(Event{Cycle: cycle, CCNT: ccnt, Kind: EvRFWrite, PE: pw.pe, Addr: pw.addr, Value: pw.value})
 			} else {

@@ -14,7 +14,7 @@ import (
 
 func compile(t *testing.T, src string, comp *arch.Composition) (*ir.Kernel, *ctxgen.Program) {
 	t.Helper()
-	k := irtext.MustParse(src)
+	k := mustParse(t, src)
 	g, err := cdfg.Build(k, cdfg.BuildOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -218,4 +218,13 @@ func TestTransferCyclesMatchProtocol(t *testing.T) {
 	if res.TransferCycles != 2*(4+1) {
 		t.Errorf("transfer cycles = %d, want 10", res.TransferCycles)
 	}
+}
+
+func mustParse(t testing.TB, src string) *ir.Kernel {
+	t.Helper()
+	k, err := irtext.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
 }

@@ -15,9 +15,11 @@ import (
 
 	"cgra/internal/amidar"
 	"cgra/internal/arch"
+	"cgra/internal/fault"
 	"cgra/internal/ir"
 	"cgra/internal/opt"
 	"cgra/internal/pipeline"
+	"cgra/internal/sim"
 )
 
 // Result reports one invocation through the system.
@@ -28,6 +30,10 @@ type Result struct {
 	OnCGRA bool
 	// Synthesized reports whether this invocation triggered synthesis.
 	Synthesized bool
+	// Recovered reports that a fault was detected during this invocation
+	// and the reported result comes from a recovery path (a re-execution,
+	// a degraded-array re-synthesis, or the host fallback).
+	Recovered bool
 }
 
 // Stats accumulates system-level counters.
@@ -38,10 +44,50 @@ type Stats struct {
 	AMIDARCycles   int64
 	CGRACycles     int64
 	SynthesizedSeq []string
+	// FaultsInjected counts corruption events the armed fault plan applied.
+	FaultsInjected int64
+	// FaultsDetected counts CGRA runs rejected by the watchdog, the
+	// simulator or the live-out/heap cross-check.
+	FaultsDetected int64
+	// Resyntheses counts successful re-compilations onto a degraded
+	// composition.
+	Resyntheses int64
+	// Fallbacks counts invocations that completed on the AMIDAR host after
+	// a detected fault.
+	Fallbacks int64
 }
 
 // TotalCycles is the cycles actually spent (host + accelerator).
 func (s *Stats) TotalCycles() int64 { return s.AMIDARCycles + s.CGRACycles }
+
+// ResiliencePolicy tunes fault detection and recovery.
+type ResiliencePolicy struct {
+	// MaxRetries caps the CGRA re-execution attempts per invocation after
+	// a detected fault; the host fallback runs when they are exhausted.
+	MaxRetries int
+	// CompileBudget caps the scheduler's cycle horizon per synthesis
+	// attempt, so a pathological degraded composition cannot stall the
+	// system inside the compiler (0 = the scheduler default).
+	CompileBudget int
+	// WatchdogCycles is the simulator cycle budget per CGRA run; a
+	// corrupted condition can trap a schedule in an infinite loop, and the
+	// watchdog converts that into a detected fault (0 = 10M cycles).
+	WatchdogCycles int64
+	// CrossCheck verifies every CGRA run's live-outs and heap effects
+	// against the reference interpreter. It is forced on while a fault
+	// plan is armed; enabling it without faults turns the system into a
+	// self-checking (lock-step) configuration.
+	CrossCheck bool
+}
+
+// DefaultResiliencePolicy returns the production defaults.
+func DefaultResiliencePolicy() ResiliencePolicy {
+	return ResiliencePolicy{
+		MaxRetries:     3,
+		CompileBudget:  100_000,
+		WatchdogCycles: 10_000_000,
+	}
+}
 
 // System is one host processor with an attached CGRA.
 type System struct {
@@ -52,11 +98,31 @@ type System struct {
 	Threshold int64
 	// Cost prices host execution (default: the calibrated model).
 	Cost amidar.CostModel
+	// Policy tunes fault detection and recovery.
+	Policy ResiliencePolicy
 
 	kernels  map[string]*ir.Kernel
 	compiled map[string]*pipeline.Compiled
-	weights  map[string]int64
+	// reference holds the inlined kernel each compiled entry was built
+	// from; the cross-check interprets it as the golden model.
+	reference map[string]*ir.Kernel
+	weights   map[string]int64
+	// hostOnly marks kernels the degraded array can no longer map; they
+	// execute on the host permanently.
+	hostOnly map[string]bool
 	stats    Stats
+
+	// inj is the armed fault plan (nil = fault-free hardware).
+	inj *fault.Injector
+	// target is the composition synthesis currently aims at: Comp, or the
+	// degraded composition once permanent faults were masked.
+	target *arch.Composition
+	// phys maps the target's logical PE indices to physical PEs of Comp
+	// (nil = identity, i.e. target == Comp).
+	phys []int
+	// deadPEs / deadLinks accumulate masked hardware, in physical indices.
+	deadPEs   map[int]bool
+	deadLinks map[[2]int]bool
 }
 
 // New builds a system around a composition.
@@ -66,10 +132,47 @@ func New(comp *arch.Composition, opts pipeline.Options, threshold int64) *System
 		Opts:      opts,
 		Threshold: threshold,
 		Cost:      amidar.DefaultCostModel(),
+		Policy:    DefaultResiliencePolicy(),
 		kernels:   map[string]*ir.Kernel{},
 		compiled:  map[string]*pipeline.Compiled{},
+		reference: map[string]*ir.Kernel{},
 		weights:   map[string]int64{},
+		hostOnly:  map[string]bool{},
+		target:    comp,
+		deadPEs:   map[int]bool{},
+		deadLinks: map[[2]int]bool{},
 	}
+}
+
+// InjectFaults arms a deterministic fault plan against the system's CGRA.
+// Must be called before the affected invocations; the plan stays armed for
+// the system's lifetime.
+func (s *System) InjectFaults(plan fault.Plan) error {
+	inj, err := fault.NewInjector(plan, s.Comp.NumPEs())
+	if err != nil {
+		return fmt.Errorf("system: %v", err)
+	}
+	s.inj = inj
+	return nil
+}
+
+// DegradedComposition returns the composition synthesis currently targets
+// when hardware has been masked, or nil while the full array is in use.
+func (s *System) DegradedComposition() *arch.Composition {
+	if s.target == s.Comp {
+		return nil
+	}
+	return s.target
+}
+
+// MaskedPEs returns the physical indices of PEs masked by degradation.
+func (s *System) MaskedPEs() []int {
+	var out []int
+	for pe := range s.deadPEs {
+		out = append(out, pe)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Register makes a kernel invocable; registered kernels also serve as the
@@ -84,7 +187,10 @@ func (s *System) Register(k *ir.Kernel) error {
 
 // Invoke executes one kernel invocation: on the CGRA when the sequence has
 // been synthesized, otherwise on the host — synthesizing afterwards when
-// the profile weight crosses the threshold.
+// the profile weight crosses the threshold. Detected accelerator faults
+// are recovered transparently (retry, degraded re-synthesis, host
+// fallback); Invoke returns an error only for caller mistakes (unknown
+// kernel, bad arguments) or host-side failures.
 func (s *System) Invoke(name string, args map[string]int32, host *ir.Host) (*Result, error) {
 	k := s.kernels[name]
 	if k == nil {
@@ -93,54 +199,213 @@ func (s *System) Invoke(name string, args map[string]int32, host *ir.Host) (*Res
 	s.stats.Invocations++
 
 	if c := s.compiled[name]; c != nil {
-		res, err := c.Run(args, host)
-		if err != nil {
-			return nil, fmt.Errorf("system: CGRA run of %q: %v", name, err)
+		res, err := s.runAccelerated(name, c, args, host)
+		if err == nil {
+			return res, nil
 		}
-		s.stats.CGRARuns++
-		s.stats.CGRACycles += res.TotalCycles()
-		return &Result{LiveOuts: res.LiveOuts, Cycles: res.TotalCycles(), OnCGRA: true}, nil
+		s.stats.FaultsDetected++
+		return s.recoverInvocation(name, args, host)
 	}
+	return s.runHost(name, k, args, host, !s.hostOnly[name])
+}
 
-	// Host execution; the profiler sees its cycle weight (§III: the
-	// hardware profiler detects frequently executed sequences).
+// runHost executes on the AMIDAR host; when profile is true the profiler
+// accumulates the kernel's weight and may trigger synthesis.
+func (s *System) runHost(name string, k *ir.Kernel, args map[string]int32, host *ir.Host, profile bool) (*Result, error) {
 	base, err := amidar.ExecuteProgram(k, s.kernels, s.Cost, args, host)
 	if err != nil {
 		return nil, fmt.Errorf("system: AMIDAR run of %q: %v", name, err)
 	}
 	s.stats.AMIDARRuns++
 	s.stats.AMIDARCycles += base.Cycles
-	s.weights[name] += base.Cycles
 	result := &Result{LiveOuts: base.LiveOuts, Cycles: base.Cycles}
-
+	if !profile {
+		return result, nil
+	}
+	s.weights[name] += base.Cycles
 	if s.weights[name] >= s.Threshold {
+		// A kernel the (possibly degraded) array cannot map stays on the
+		// host permanently — graceful degradation, not an error.
 		if err := s.synthesize(name); err != nil {
-			return nil, err
+			s.hostOnly[name] = true
+			s.stats.Fallbacks++
+			return result, nil
 		}
 		result.Synthesized = true
 	}
 	return result, nil
 }
 
+// runAccelerated performs one CGRA run with the watchdog and (when armed
+// or configured) the reference cross-check. The caller's heap is only
+// mutated when the run is accepted, so a rejected run leaves clean state
+// for the retry.
+func (s *System) runAccelerated(name string, c *pipeline.Compiled, args map[string]int32, host *ir.Host) (*Result, error) {
+	m := sim.New(c.Program)
+	m.Inject = s.inj
+	m.PhysPE = s.phys
+	m.MaxCycles = s.Policy.WatchdogCycles
+	if m.MaxCycles == 0 {
+		m.MaxCycles = 10_000_000
+	}
+	scratch := host.Clone()
+	res, err := m.Run(args, scratch)
+	if err != nil {
+		return nil, fmt.Errorf("system: CGRA run of %q: %v", name, err)
+	}
+	if s.Policy.CrossCheck || s.inj != nil {
+		ref := s.reference[name]
+		if ref == nil {
+			ref = s.kernels[name]
+		}
+		refHost := host.Clone()
+		refOuts, err := (&ir.Interp{}).Run(ref, args, refHost)
+		if err != nil {
+			return nil, fmt.Errorf("system: cross-check reference of %q: %v", name, err)
+		}
+		for out, want := range refOuts {
+			if got := res.LiveOuts[out]; got != want {
+				return nil, fmt.Errorf("system: cross-check of %q: live-out %s = %d, reference %d", name, out, got, want)
+			}
+		}
+		if !scratch.Equal(refHost) {
+			return nil, fmt.Errorf("system: cross-check of %q: heap contents diverge from reference", name)
+		}
+	}
+	// Accept: commit the scratch heap into the caller's.
+	for arr, data := range scratch.Arrays {
+		copy(host.Arrays[arr], data)
+	}
+	s.stats.CGRARuns++
+	s.stats.CGRACycles += res.TotalCycles()
+	return &Result{LiveOuts: res.LiveOuts, Cycles: res.TotalCycles(), OnCGRA: true}, nil
+}
+
+// recoverInvocation drives the recovery policy after a detected fault:
+// mask newly diagnosed permanent faults and re-synthesize onto the
+// degraded composition, re-execute up to the retry cap, and finally fall
+// back to host execution.
+func (s *System) recoverInvocation(name string, args map[string]int32, host *ir.Host) (*Result, error) {
+	for attempt := 0; attempt < s.Policy.MaxRetries; attempt++ {
+		if perm := s.newPermanentFaults(); len(perm) > 0 {
+			if !s.degrade(perm) || s.resynthesize(name) != nil {
+				// The surviving array is unusable or cannot map the
+				// kernel: permanent host fallback.
+				delete(s.compiled, name)
+				s.hostOnly[name] = true
+				break
+			}
+		}
+		c := s.compiled[name]
+		if c == nil {
+			break
+		}
+		res, err := s.runAccelerated(name, c, args, host)
+		if err == nil {
+			res.Recovered = true
+			return res, nil
+		}
+		s.stats.FaultsDetected++
+	}
+	s.stats.Fallbacks++
+	res, err := s.runHost(name, s.kernels[name], args, host, false)
+	if err != nil {
+		return nil, err
+	}
+	res.Recovered = true
+	return res, nil
+}
+
+// newPermanentFaults lists manifested permanent faults not yet masked.
+func (s *System) newPermanentFaults() []fault.Fault {
+	var out []fault.Fault
+	for _, f := range s.inj.ManifestedPermanent() {
+		switch f.Kind {
+		case fault.PermanentPE:
+			if !s.deadPEs[f.PE] {
+				out = append(out, f)
+			}
+		case fault.BrokenLink:
+			if !s.deadLinks[[2]int{f.Src, f.Dst}] {
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+// degrade masks the given faults out of the array and recomputes the
+// synthesis target (all-pairs routing is rebuilt by the scheduler on the
+// new composition). Returns false when the surviving array is unusable.
+func (s *System) degrade(faults []fault.Fault) bool {
+	for _, f := range faults {
+		switch f.Kind {
+		case fault.PermanentPE:
+			s.deadPEs[f.PE] = true
+		case fault.BrokenLink:
+			s.deadLinks[[2]int{f.Src, f.Dst}] = true
+		}
+	}
+	d, err := arch.Degrade(s.Comp, s.deadPEs, s.deadLinks)
+	if err != nil {
+		return false
+	}
+	s.target = d.Comp
+	s.phys = d.PhysOf
+	// Every compiled kernel targeted the old array; drop the dispatch
+	// entries so the profiler re-synthesizes them onto the degraded one.
+	s.compiled = map[string]*pipeline.Compiled{}
+	return true
+}
+
+// resynthesize recompiles one kernel onto the current (degraded) target.
+func (s *System) resynthesize(name string) error {
+	if err := s.synthesize(name); err != nil {
+		return err
+	}
+	s.stats.Resyntheses++
+	return nil
+}
+
 // synthesize runs the tool flow for the kernel (inlining its calls against
-// the registered library) and patches the dispatch table.
+// the registered library) and patches the dispatch table. The compile
+// budget caps the scheduler's cycle horizon per attempt.
 func (s *System) synthesize(name string) error {
 	prog := &ir.Program{Kernels: s.kernels, Entry: name}
 	flat, err := opt.Inline(prog)
 	if err != nil {
 		return fmt.Errorf("system: inline %q: %v", name, err)
 	}
-	c, err := pipeline.Compile(flat, s.Comp, s.Opts)
+	opts := s.Opts
+	if s.Policy.CompileBudget > 0 {
+		opts.Sched.MaxCycles = s.Policy.CompileBudget
+	}
+	c, err := pipeline.Compile(flat, s.target, opts)
 	if err != nil {
 		return fmt.Errorf("system: synthesize %q: %v", name, err)
 	}
 	s.compiled[name] = c
+	s.reference[name] = flat
 	s.stats.SynthesizedSeq = append(s.stats.SynthesizedSeq, name)
 	return nil
 }
 
+// Synthesize forces immediate synthesis of a registered kernel, bypassing
+// the profiling threshold (used by tools that want the accelerated path
+// from the first invocation).
+func (s *System) Synthesize(name string) error {
+	if s.kernels[name] == nil {
+		return fmt.Errorf("system: unknown kernel %q", name)
+	}
+	return s.synthesize(name)
+}
+
 // Stats returns the accumulated counters.
-func (s *System) Stats() Stats { return s.stats }
+func (s *System) Stats() Stats {
+	st := s.stats
+	st.FaultsInjected = s.inj.Injections()
+	return st
+}
 
 // Synthesized reports whether the named kernel runs on the CGRA.
 func (s *System) Synthesized(name string) bool { return s.compiled[name] != nil }

@@ -34,7 +34,7 @@ func dotHost() *ir.Host {
 
 func TestOnlineSynthesisTransition(t *testing.T) {
 	s := newSystem(t, 15_000) // a few host runs before synthesis
-	if err := s.Register(irtext.MustParse(dotSrc)); err != nil {
+	if err := s.Register(mustParse(t, dotSrc)); err != nil {
 		t.Fatal(err)
 	}
 	args := map[string]int32{"n": 8, "s": 0}
@@ -87,7 +87,7 @@ func TestOnlineSynthesisTransition(t *testing.T) {
 
 func TestColdKernelStaysOnHost(t *testing.T) {
 	s := newSystem(t, 1_000_000)
-	if err := s.Register(irtext.MustParse(`kernel tiny(inout r) { r = r + 1; }`)); err != nil {
+	if err := s.Register(mustParse(t, `kernel tiny(inout r) { r = r + 1; }`)); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
@@ -151,10 +151,10 @@ kernel abs(inout x) { if (x < 0) { x = 0 - x; } }`)
 
 func TestProfileOrdering(t *testing.T) {
 	s := newSystem(t, 1_000_000_000)
-	if err := s.Register(irtext.MustParse(dotSrc)); err != nil {
+	if err := s.Register(mustParse(t, dotSrc)); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Register(irtext.MustParse(`kernel tiny(inout r) { r = r + 1; }`)); err != nil {
+	if err := s.Register(mustParse(t, `kernel tiny(inout r) { r = r + 1; }`)); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
@@ -176,10 +176,19 @@ func TestUnknownKernel(t *testing.T) {
 	if _, err := s.Invoke("nope", nil, ir.NewHost()); err == nil {
 		t.Error("unknown kernel accepted")
 	}
-	if err := s.Register(irtext.MustParse(`kernel k(inout r) { r = 1; }`)); err != nil {
+	if err := s.Register(mustParse(t, `kernel k(inout r) { r = 1; }`)); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Register(irtext.MustParse(`kernel k(inout r) { r = 2; }`)); err == nil {
+	if err := s.Register(mustParse(t, `kernel k(inout r) { r = 2; }`)); err == nil {
 		t.Error("duplicate registration accepted")
 	}
+}
+
+func mustParse(t testing.TB, src string) *ir.Kernel {
+	t.Helper()
+	k, err := irtext.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
 }

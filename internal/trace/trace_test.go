@@ -13,7 +13,7 @@ import (
 
 func record(t *testing.T, src string, args map[string]int32, arrays map[string][]int32) *Recorder {
 	t.Helper()
-	k := irtext.MustParse(src)
+	k := mustParse(t, src)
 	comp, err := arch.HomogeneousMesh(4, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -112,4 +112,13 @@ func TestSquashedCommitLeavesNoWrite(t *testing.T) {
 	if sum[sim.EvRFSquash] < 3 {
 		t.Errorf("squashes = %d, want >= 3 (one per squashed element)", sum[sim.EvRFSquash])
 	}
+}
+
+func mustParse(t testing.TB, src string) *ir.Kernel {
+	t.Helper()
+	k, err := irtext.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
 }

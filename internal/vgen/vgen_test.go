@@ -7,6 +7,7 @@ import (
 
 	"cgra/internal/arch"
 	"cgra/internal/ctxgen"
+	"cgra/internal/ir"
 	"cgra/internal/irtext"
 	"cgra/internal/pipeline"
 )
@@ -104,7 +105,7 @@ func TestGenerateWithMinimizedWidths(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	k := irtext.MustParse(`
+	k := mustParse(t, `
 kernel k(array a, in n, inout s) {
 	s = 0;
 	i = 0;
@@ -175,4 +176,13 @@ func TestGenerateRejectsInvalid(t *testing.T) {
 	if _, err := Generate(c, Options{}); err == nil {
 		t.Error("invalid composition accepted")
 	}
+}
+
+func mustParse(t testing.TB, src string) *ir.Kernel {
+	t.Helper()
+	k, err := irtext.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
 }

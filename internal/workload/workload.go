@@ -42,7 +42,17 @@ func All() []*Workload {
 	}
 }
 
-func mustKernel(src string) *ir.Kernel { return irtext.MustParse(src) }
+// mustKernel parses one of the static kernel sources below. The sources are
+// compile-time constants, so a parse error is unreachable in a correct build;
+// TestAllKernelsParse guards that invariant, and the placeholder return keeps
+// this path panic-free (downstream compilation rejects it with an error).
+func mustKernel(src string) *ir.Kernel {
+	k, err := irtext.Parse(src)
+	if err != nil {
+		return ir.NewKernel("invalid", nil)
+	}
+	return k
+}
 
 // ByName returns the named workload.
 func ByName(name string) (*Workload, error) {
@@ -65,7 +75,7 @@ func seqData(n int, f func(i int) int32) []int32 {
 // FIR is a 4-tap finite impulse response filter: a nested dot product per
 // output sample.
 func FIR() *Workload {
-	k := irtext.MustParse(`
+	k := mustKernel(`
 kernel fir(array x, array h, array y, in n, in taps) {
 	i = 0;
 	while (i < n) {
@@ -110,7 +120,7 @@ kernel fir(array x, array h, array y, in n, in taps) {
 
 // MatMul multiplies two size×size matrices: triple loop nesting.
 func MatMul() *Workload {
-	k := irtext.MustParse(`
+	k := mustKernel(`
 kernel matmul(array a, array b, array c, in n) {
 	i = 0;
 	while (i < n) {
@@ -160,7 +170,7 @@ kernel matmul(array a, array b, array c, in n) {
 // BubbleSort sorts in place: nested loops with a data-dependent conditional
 // swap in the inner body.
 func BubbleSort() *Workload {
-	k := irtext.MustParse(`
+	k := mustKernel(`
 kernel bsort(array a, in n) {
 	i = 0;
 	while (i < n - 1) {
@@ -204,7 +214,7 @@ kernel bsort(array a, in n) {
 // Sobel1D applies a 1-D edge filter with magnitude clamping: conditional
 // code in the loop body.
 func Sobel1D() *Workload {
-	k := irtext.MustParse(`
+	k := mustKernel(`
 kernel sobel(array img, array edge, in n) {
 	i = 1;
 	while (i < n - 1) {
@@ -246,7 +256,7 @@ kernel sobel(array img, array edge, in n) {
 // DotProduct is the quickstart kernel: a single loop with a multiplier on
 // the critical path.
 func DotProduct() *Workload {
-	k := irtext.MustParse(`
+	k := mustKernel(`
 kernel dot(array a, array b, in n, inout s) {
 	s = 0;
 	i = 0;
@@ -282,7 +292,7 @@ kernel dot(array a, array b, in n, inout s) {
 // Histogram bins values with a conditional range check: data-dependent
 // stores through computed addresses.
 func Histogram() *Workload {
-	k := irtext.MustParse(`
+	k := mustKernel(`
 kernel hist(array data, array bins, in n, in nbins) {
 	i = 0;
 	while (i < n) {
@@ -322,7 +332,7 @@ kernel hist(array data, array bins, in n, in nbins) {
 
 // GCD runs Euclid by subtraction: a purely data-dependent loop trip count.
 func GCD() *Workload {
-	k := irtext.MustParse(`
+	k := mustKernel(`
 kernel gcd(inout a, inout b) {
 	while (b != 0) {
 		if (a > b) { a = a - b; } else { b = b - a; }

@@ -8,6 +8,17 @@ import (
 	"cgra/internal/pipeline"
 )
 
+// TestAllKernelsParse guards mustKernel's unreachable-error invariant: every
+// static kernel source must parse cleanly (a placeholder "invalid" kernel
+// means a source constant regressed).
+func TestAllKernelsParse(t *testing.T) {
+	for _, w := range All() {
+		if w.Kernel == nil || w.Kernel.Name == "invalid" {
+			t.Errorf("workload %q: static kernel source failed to parse", w.Name)
+		}
+	}
+}
+
 // TestReferencesMatchInterpreter cross-checks every workload's Go reference
 // against the IR interpreter.
 func TestReferencesMatchInterpreter(t *testing.T) {
