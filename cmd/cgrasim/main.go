@@ -5,24 +5,40 @@
 //
 //	cgrasim -kernel dot.k -comp "9 PEs" -arg n=8 -arg s=0 \
 //	        -array a=1,2,3,4,5,6,7,8 -array b=8,7,6,5,4,3,2,1
+//
+// Built-in inputs replace -kernel: -workload adpcm decodes the paper's
+// ADPCM input vector; -workload fir (or any name from the workload
+// library) runs that kernel at its default size.
+//
+// Observability: -metrics FILE dumps compile-phase timings, scheduler
+// statistics and simulator performance counters (Prometheus text by
+// default, -metrics-format json for JSON); -explain prints why the
+// scheduler rejected placements; -serve :6060 exposes /metrics and
+// net/http/pprof for the duration of the process.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 
+	"cgra/internal/adpcm"
 	"cgra/internal/arch"
 	"cgra/internal/fault"
 	"cgra/internal/ir"
 	"cgra/internal/irtext"
+	"cgra/internal/obs"
 	"cgra/internal/pipeline"
+	"cgra/internal/sched"
 	"cgra/internal/sim"
 	"cgra/internal/system"
 	"cgra/internal/trace"
+	"cgra/internal/workload"
 )
 
 type argList []string
@@ -31,7 +47,8 @@ func (a *argList) String() string     { return strings.Join(*a, ",") }
 func (a *argList) Set(s string) error { *a = append(*a, s); return nil }
 
 func main() {
-	kernelPath := flag.String("kernel", "", "kernel source file (required)")
+	kernelPath := flag.String("kernel", "", "kernel source file (or use -workload)")
+	workloadName := flag.String("workload", "", "built-in input: adpcm or a workload-library name (fir, matmul, ...)")
 	compName := flag.String("comp", "9 PEs", "evaluated composition name")
 	jsonPath := flag.String("json", "", "JSON composition description (overrides -comp)")
 	unroll := flag.Int("unroll", 2, "inner-loop unroll factor (1 = off)")
@@ -39,6 +56,10 @@ func main() {
 	vcdPath := flag.String("vcd", "", "write a VCD waveform of the run to this file")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault plan")
 	maxCycles := flag.Int64("max-cycles", 0, "watchdog cycle budget per CGRA run (0 = default)")
+	metricsPath := flag.String("metrics", "", "write compile + simulation metrics to this file")
+	metricsFormat := flag.String("metrics-format", "prom", "metrics file format: prom or json")
+	explain := flag.Bool("explain", false, "print the scheduler's candidate-rejection summary")
+	serveAddr := flag.String("serve", "", "serve /metrics and net/http/pprof on this address (e.g. :6060)")
 	var args argList
 	var arrays argList
 	var faultSpecs argList
@@ -47,23 +68,36 @@ func main() {
 	flag.Var(&faultSpecs, "fault", "inject a fault: pe:N, link:SRC-DST or bit:N (repeatable)")
 	flag.Parse()
 
-	if *kernelPath == "" {
+	if *metricsFormat != "prom" && *metricsFormat != "json" {
+		fatal(fmt.Errorf("unknown -metrics-format %q (want prom or json)", *metricsFormat))
+	}
+	var k *ir.Kernel
+	scalars := map[string]int32{}
+	host := ir.NewHost()
+	switch {
+	case *workloadName != "":
+		var err error
+		k, scalars, host, err = loadWorkload(*workloadName)
+		if err != nil {
+			fatal(err)
+		}
+	case *kernelPath != "":
+		src, err := os.ReadFile(*kernelPath)
+		if err != nil {
+			fatal(err)
+		}
+		k, err = irtext.Parse(string(src))
+		if err != nil {
+			fatal(err)
+		}
+	default:
 		flag.Usage()
 		os.Exit(2)
-	}
-	src, err := os.ReadFile(*kernelPath)
-	if err != nil {
-		fatal(err)
-	}
-	k, err := irtext.Parse(string(src))
-	if err != nil {
-		fatal(err)
 	}
 	comp, err := loadComposition(*jsonPath, *compName)
 	if err != nil {
 		fatal(err)
 	}
-	scalars := map[string]int32{}
 	for _, a := range args {
 		name, val, err := splitArg(a)
 		if err != nil {
@@ -75,7 +109,6 @@ func main() {
 		}
 		scalars[name] = int32(v)
 	}
-	host := ir.NewHost()
 	for _, a := range arrays {
 		name, val, err := splitArg(a)
 		if err != nil {
@@ -88,7 +121,16 @@ func main() {
 		host.Arrays[name] = data
 	}
 
-	opts := pipeline.Options{UnrollFactor: *unroll, CSE: true, ConstFold: true}
+	reg := obs.NewRegistry()
+	if *serveAddr != "" {
+		go serveMetrics(*serveAddr, reg)
+	}
+	opts := pipeline.Options{UnrollFactor: *unroll, CSE: true, ConstFold: true, Obs: reg}
+	var explainLog *sched.ExplainLog
+	if *explain {
+		explainLog = sched.NewExplainLog()
+		opts.Sched.Explain = explainLog
+	}
 	if len(faultSpecs) > 0 {
 		if err := runResilient(k, comp, opts, scalars, host, faultSpecs, *faultSeed, *maxCycles); err != nil {
 			fatal(err)
@@ -99,7 +141,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *verify && *vcdPath == "" && *maxCycles == 0 {
+	if explainLog != nil {
+		explainLog.WriteSummary(os.Stdout, 20)
+		explainLog.Export(reg)
+	}
+	metricsWanted := *metricsPath != "" || *serveAddr != ""
+	if *verify && *vcdPath == "" && *maxCycles == 0 && !metricsWanted {
 		res, err := pipeline.CheckAgainstInterpreter(k, c, scalars, host)
 		if err != nil {
 			fatal(fmt.Errorf("differential check failed: %v", err))
@@ -107,9 +154,21 @@ func main() {
 		report(c.UsedContexts(), res.Sim.RunCycles, res.Sim.TransferCycles, res.Sim.Energy, res.Sim.LiveOuts, host)
 		return
 	}
+	var refHost *ir.Host
+	refArgs := map[string]int32{}
+	if *verify {
+		refHost = host.Clone()
+		for n, v := range scalars {
+			refArgs[n] = v
+		}
+	}
 	m := sim.New(c.Program)
 	if *maxCycles > 0 {
 		m.MaxCycles = *maxCycles
+	}
+	var ctrs *sim.Counters
+	if metricsWanted {
+		ctrs = sim.AttachCounters(m)
 	}
 	var rec *trace.Recorder
 	if *vcdPath != "" {
@@ -119,6 +178,14 @@ func main() {
 	res, err := m.Run(scalars, host)
 	if err != nil {
 		fatal(err)
+	}
+	if ctrs != nil {
+		ctrs.Flush(reg)
+	}
+	if refHost != nil {
+		if err := verifyAgainstInterpreter(k, res, refArgs, refHost, host); err != nil {
+			fatal(fmt.Errorf("differential check failed: %v", err))
+		}
 	}
 	if rec != nil {
 		f, err := os.Create(*vcdPath)
@@ -134,6 +201,78 @@ func main() {
 		fmt.Printf("wrote waveform to %s\n", *vcdPath)
 	}
 	report(c.UsedContexts(), res.RunCycles, res.TransferCycles, res.Energy, res.LiveOuts, host)
+	if *metricsPath != "" {
+		if err := writeMetrics(*metricsPath, *metricsFormat, reg); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote metrics to %s\n", *metricsPath)
+	}
+	if *serveAddr != "" {
+		fmt.Printf("serving /metrics and /debug/pprof on %s (interrupt to exit)\n", *serveAddr)
+		select {}
+	}
+}
+
+// loadWorkload resolves a built-in input: the ADPCM decode of the paper's
+// experiments, or a workload-library entry at its default size.
+func loadWorkload(name string) (*ir.Kernel, map[string]int32, *ir.Host, error) {
+	if name == "adpcm" {
+		samples := adpcm.GenerateSamples(adpcm.NumSamples)
+		var enc adpcm.State
+		codes, err := adpcm.Encode(samples, &enc)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return adpcm.Kernel(), adpcm.Args(adpcm.NumSamples, adpcm.State{}),
+			adpcm.NewHost(codes, adpcm.NumSamples), nil
+	}
+	w, err := workload.ByName(name)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return w.Kernel, w.Args(w.DefaultSize), w.Host(w.DefaultSize), nil
+}
+
+// verifyAgainstInterpreter replays the original kernel on the reference
+// interpreter with pristine inputs and compares live-outs and heap.
+func verifyAgainstInterpreter(k *ir.Kernel, res *sim.Result,
+	args map[string]int32, refHost, simHost *ir.Host) error {
+	refOuts, err := (&ir.Interp{}).Run(k, args, refHost)
+	if err != nil {
+		return fmt.Errorf("interpreter: %v", err)
+	}
+	for name, want := range refOuts {
+		got, ok := res.LiveOuts[name]
+		if !ok {
+			return fmt.Errorf("live-out %q missing from CGRA run", name)
+		}
+		if got != want {
+			return fmt.Errorf("live-out %q: CGRA %d != reference %d", name, got, want)
+		}
+	}
+	if !simHost.Equal(refHost) {
+		return fmt.Errorf("heap contents differ from reference")
+	}
+	return nil
+}
+
+// serveMetrics exposes the registry and the pprof handlers.
+func serveMetrics(addr string, reg *obs.Registry) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		fmt.Fprintln(os.Stderr, "cgrasim: serve:", err)
+	}
+}
+
+// writeMetrics dumps the registry to a file in the chosen format.
+func writeMetrics(path, format string, reg *obs.Registry) error {
+	return reg.WriteFile(path, format)
 }
 
 // runResilient executes the kernel under an armed fault plan through the

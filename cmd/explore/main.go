@@ -15,6 +15,7 @@ import (
 
 	"cgra/internal/arch"
 	"cgra/internal/explore"
+	"cgra/internal/obs"
 	"cgra/internal/workload"
 )
 
@@ -24,7 +25,12 @@ func main() {
 	area := flag.Float64("area", 0.1, "area weight in the objective")
 	names := flag.String("workloads", "dot,sobel,gcd", "comma-separated workload names")
 	emitJSON := flag.Bool("emit-json", false, "print the best composition as JSON")
+	metricsPath := flag.String("metrics", "", "write per-candidate metric snapshots to this file")
+	metricsFormat := flag.String("metrics-format", "prom", "metrics file format: prom or json")
 	flag.Parse()
+	if *metricsFormat != "prom" && *metricsFormat != "json" {
+		fatal(fmt.Errorf("unknown -metrics-format %q (want prom or json)", *metricsFormat))
+	}
 
 	start, err := arch.ByName(*startName)
 	if err != nil {
@@ -42,6 +48,9 @@ func main() {
 		Workloads: ws,
 		Objective: explore.DefaultObjective(*area),
 		MaxIters:  *iters,
+	}
+	if *metricsPath != "" {
+		e.Obs = obs.NewRegistry()
 	}
 	best, trail, err := e.Run(start)
 	if err != nil {
@@ -63,6 +72,12 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(string(data))
+	}
+	if *metricsPath != "" {
+		if err := e.Obs.WriteFile(*metricsPath, *metricsFormat); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote candidate metrics to %s\n", *metricsPath)
 	}
 }
 

@@ -30,13 +30,17 @@ func main() {
 	mul := flag.Bool("mul", false, "print the multiplier-latency experiment (FIR)")
 	ablations := flag.Bool("ablations", false, "print the ablation studies")
 	compositions := flag.Bool("compositions", false, "print the evaluated compositions (Fig. 13/14)")
+	benchJSON := flag.String("bench-json", "", "write per-workload compile+sim timings to this JSON file (use BENCH_pipeline.json)")
 	flag.Parse()
 
-	all := *table == 0 && *figure == 0 && !*speedup && !*ablations && !*compositions && !*energy && !*mul
+	all := *table == 0 && *figure == 0 && !*speedup && !*ablations && !*compositions && !*energy && !*mul && *benchJSON == ""
 
 	s, err := exper.NewSetup()
 	if err != nil {
 		fatal(err)
+	}
+	if *benchJSON != "" {
+		writeBench(s, *benchJSON)
 	}
 	if all || *table == 1 {
 		printTableI(s)
@@ -76,6 +80,27 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "tables:", err)
 	os.Exit(1)
+}
+
+// writeBench runs the per-workload compile+simulate benchmark and writes
+// the timings as JSON (the CI bench-smoke artifact).
+func writeBench(s *exper.Setup, path string) {
+	b, err := exper.Bench(s)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	err = b.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d workload benchmarks to %s\n", len(b.Workloads), path)
 }
 
 func i64(v int64) string { return strconv.FormatInt(v, 10) }

@@ -11,6 +11,7 @@ import (
 
 	"cgra/internal/alloc"
 	"cgra/internal/arch"
+	"cgra/internal/obs"
 	"cgra/internal/sched"
 )
 
@@ -143,10 +144,23 @@ func (p *Program) TotalContextBits() int {
 // Generate allocates the schedule (left-edge RF and condition-memory
 // assignment) and emits the context streams.
 func Generate(s *sched.Schedule) (*Program, error) {
+	return GenerateSpan(s, nil)
+}
+
+// GenerateSpan is Generate with phase instrumentation: the RF/C-Box
+// allocation and the context encoding are recorded as children of span
+// (nil span = no instrumentation).
+func GenerateSpan(s *sched.Schedule, span *obs.Span) (*Program, error) {
+	as := span.StartChild("alloc")
 	res, err := alloc.Allocate(s)
+	as.Finish()
 	if err != nil {
 		return nil, fmt.Errorf("ctxgen: %v", err)
 	}
+	as.Set("max_rf", int64(res.MaxRF()))
+	as.Set("cbox_slots", int64(res.CBoxUsage))
+	es := span.StartChild("encode")
+	defer es.Finish()
 	n := s.Length
 	if n > s.Comp.ContextSize {
 		return nil, fmt.Errorf("ctxgen: schedule needs %d contexts, memory holds %d",
@@ -255,6 +269,8 @@ func Generate(s *sched.Schedule) (*Program, error) {
 		ctx.OutCtrlInv = j.Invert
 	}
 	p.computeFormats(res)
+	es.Set("contexts", int64(n))
+	es.Set("context_bits", int64(p.TotalContextBits()))
 	return p, nil
 }
 

@@ -1,0 +1,110 @@
+package exper
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"cgra/internal/adpcm"
+	"cgra/internal/arch"
+	"cgra/internal/ir"
+	"cgra/internal/obs"
+	"cgra/internal/pipeline"
+	"cgra/internal/workload"
+)
+
+// BenchEntry is one workload's measured compile and simulation cost on the
+// benchmark composition. Compile time is broken down per pipeline phase
+// from the compile span tree.
+type BenchEntry struct {
+	Name           string             `json:"name"`
+	Size           int                `json:"size"`
+	CompileSeconds float64            `json:"compile_seconds"`
+	PhaseSeconds   map[string]float64 `json:"compile_phase_seconds"`
+	SimSeconds     float64            `json:"sim_seconds"`
+	Cycles         int64              `json:"cycles"`
+	RunCycles      int64              `json:"run_cycles"`
+	Contexts       int                `json:"contexts"`
+	MaxRF          int                `json:"max_rf"`
+}
+
+// BenchResult is the document written by `tables -bench-json`.
+type BenchResult struct {
+	Composition string       `json:"composition"`
+	Workloads   []BenchEntry `json:"workloads"`
+}
+
+// Bench compiles and simulates every library workload plus the paper's
+// ADPCM decode on the "9 PEs" reference composition, timing compilation
+// (per phase, from the span tree) and simulation separately. Every run is
+// checked against the reference interpreter, so a bench pass doubles as a
+// correctness sweep.
+func Bench(s *Setup) (*BenchResult, error) {
+	comp, err := arch.ByName("9 PEs")
+	if err != nil {
+		return nil, err
+	}
+	out := &BenchResult{Composition: comp.Name}
+	for _, w := range workload.All() {
+		e, err := benchOne(w.Name, w.DefaultSize, comp,
+			w.Kernel, w.Args(w.DefaultSize), w.Host(w.DefaultSize))
+		if err != nil {
+			return nil, err
+		}
+		out.Workloads = append(out.Workloads, *e)
+	}
+	// The ADPCM decoder rides on the shared Setup so the bench input
+	// matches the rest of the evaluation.
+	e, err := benchOne("adpcm", s.N, comp,
+		adpcm.Kernel(), adpcm.Args(s.N, adpcm.State{}), adpcm.NewHost(s.Codes, s.N))
+	if err != nil {
+		return nil, err
+	}
+	out.Workloads = append(out.Workloads, *e)
+	return out, nil
+}
+
+func benchOne(name string, size int, comp *arch.Composition,
+	k *ir.Kernel, args map[string]int32, host *ir.Host) (*BenchEntry, error) {
+	opts := Options()
+	start := time.Now()
+	c, err := pipeline.Compile(k, comp, opts)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: %v", name, err)
+	}
+	compileTime := time.Since(start)
+
+	start = time.Now()
+	res, err := pipeline.CheckAgainstInterpreter(k, c, args, host)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: %v", name, err)
+	}
+	simTime := time.Since(start)
+
+	phases := map[string]float64{}
+	c.Trace.Walk(func(path string, sp *obs.Span) {
+		if path == c.Trace.Name {
+			return // the root is already CompileSeconds
+		}
+		phases[path[len(c.Trace.Name)+1:]] = sp.Duration().Seconds()
+	})
+	return &BenchEntry{
+		Name:           name,
+		Size:           size,
+		CompileSeconds: compileTime.Seconds(),
+		PhaseSeconds:   phases,
+		SimSeconds:     simTime.Seconds(),
+		Cycles:         res.Sim.TotalCycles(),
+		RunCycles:      res.Sim.RunCycles,
+		Contexts:       c.UsedContexts(),
+		MaxRF:          c.MaxRFEntries(),
+	}, nil
+}
+
+// WriteJSON renders the bench result as an indented JSON document.
+func (b *BenchResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

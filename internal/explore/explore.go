@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"cgra/internal/arch"
+	"cgra/internal/obs"
 	"cgra/internal/pipeline"
 	"cgra/internal/synth"
 	"cgra/internal/workload"
@@ -61,6 +62,10 @@ type Explorer struct {
 	MaxIters int
 	// MaxMovesPerIter bounds the neighbourhood size (default 24).
 	MaxMovesPerIter int
+	// Obs, when non-nil, receives a metric snapshot for every evaluated
+	// candidate (cycles, score, area) labelled by composition name, plus
+	// search-level counters.
+	Obs *obs.Registry
 }
 
 func (e *Explorer) defaults() {
@@ -94,17 +99,27 @@ func (e *Explorer) Run(start *arch.Composition) (*Candidate, []*Candidate, error
 		for _, mv := range e.moves(cur.Comp) {
 			cand, err := e.evaluate(mv.comp, mv.desc)
 			if err != nil {
+				if e.Obs != nil {
+					e.Obs.Counter("cgra_explore_infeasible_total").Add(1)
+				}
 				continue // infeasible neighbour (disconnected, capacity, ...)
 			}
 			if cand.Score < best.Score {
 				best = cand
 			}
 		}
+		if e.Obs != nil {
+			e.Obs.Counter("cgra_explore_iterations_total").Add(1)
+		}
 		if best == cur {
 			break // local optimum
 		}
 		cur = best
 		trail = append(trail, cur)
+	}
+	if e.Obs != nil {
+		e.Obs.Gauge("cgra_explore_best_cycles").SetInt(cur.Cycles)
+		e.Obs.Gauge("cgra_explore_best_score").Set(cur.Score)
 	}
 	return cur, trail, nil
 }
@@ -131,13 +146,34 @@ func (e *Explorer) evaluate(comp *arch.Composition, move string) (*Candidate, er
 		total += res.Sim.TotalCycles()
 	}
 	rep := synth.Estimate(comp)
-	return &Candidate{
+	cand := &Candidate{
 		Comp:   comp,
 		Cycles: total,
 		Report: rep,
 		Score:  e.Objective(total, rep),
 		Move:   move,
-	}, nil
+	}
+	e.export(cand)
+	return cand, nil
+}
+
+// export records one evaluated candidate into the registry: a snapshot of
+// its cycle count, objective score and area estimate, labelled by
+// composition name so a scrape shows the whole evaluated neighbourhood.
+func (e *Explorer) export(c *Candidate) {
+	if e.Obs == nil {
+		return
+	}
+	e.Obs.Help("cgra_explore_candidate_cycles", "summed workload cycles of an evaluated composition")
+	e.Obs.Help("cgra_explore_candidate_score", "objective score of an evaluated composition (lower is better)")
+	e.Obs.Help("cgra_explore_candidate_area_pct", "estimated FPGA resource usage of an evaluated composition")
+	e.Obs.Counter("cgra_explore_candidates_total").Add(1)
+	name := obs.L("comp", c.Comp.Name)
+	e.Obs.Gauge("cgra_explore_candidate_cycles", name).SetInt(c.Cycles)
+	e.Obs.Gauge("cgra_explore_candidate_score", name).Set(c.Score)
+	e.Obs.Gauge("cgra_explore_candidate_area_pct", name, obs.L("resource", "lut")).Set(c.Report.LUTLogicPct)
+	e.Obs.Gauge("cgra_explore_candidate_area_pct", name, obs.L("resource", "dsp")).Set(c.Report.DSPPct)
+	e.Obs.Gauge("cgra_explore_candidate_area_pct", name, obs.L("resource", "bram")).Set(c.Report.BRAMPct)
 }
 
 type move struct {

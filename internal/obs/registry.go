@@ -1,0 +1,459 @@
+// Package obs is the repository's observability layer: a dependency-light
+// metrics registry (counters, gauges, fixed-bucket histograms) exportable
+// as Prometheus text exposition or JSON, plus hierarchical timed spans for
+// compile-phase tracing (span.go).
+//
+// Everything is safe for concurrent use: counter and gauge updates are
+// lock-free atomics, histogram observations take a per-series mutex, and
+// series creation takes the registry mutex. A scrape (WritePrometheus,
+// WriteJSON, ServeHTTP) therefore never blocks behind a hot update path.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension (e.g. {Key: "pe", Value: "3"}).
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for building a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// LInt builds a Label with an integer value.
+func LInt(key string, value int) Label { return Label{Key: key, Value: strconv.Itoa(value)} }
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n (negative deltas are ignored: counters
+// only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// SetInt stores an integer value.
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// Add increments the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// SetMax raises the gauge to v when v exceeds the current value
+// (high-water-mark semantics).
+func (g *Gauge) SetMax(v float64) {
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution metric. Buckets are upper
+// bounds; an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64
+	buckets []uint64 // len(bounds)+1, last is +Inf
+	sum     float64
+	count   uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i]++
+	h.sum += v
+	h.count++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// snapshot returns cumulative bucket counts, sum and count.
+func (h *Histogram) snapshot() ([]uint64, float64, uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := make([]uint64, len(h.buckets))
+	var running uint64
+	for i, b := range h.buckets {
+		running += b
+		cum[i] = running
+	}
+	return cum, h.sum, h.count
+}
+
+// DefTimeBuckets are the default duration buckets, in seconds.
+var DefTimeBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one (name, labels) time series.
+type series struct {
+	labels []Label
+	ctr    *Counter
+	gauge  *Gauge
+	hist   *Histogram
+}
+
+// family groups every series sharing a metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	bounds []float64
+	series map[string]*series
+	order  []string // insertion-ordered series keys
+}
+
+// Registry holds metric families. The zero value is not usable; create
+// with NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Help attaches a help string to a metric family (shown as # HELP).
+func (r *Registry) Help(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f := r.families[name]; f != nil {
+		f.help = help
+	}
+}
+
+func labelKey(labels []Label) string {
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Key)
+		b.WriteByte('\x00')
+		b.WriteString(l.Value)
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+func (r *Registry) getSeries(name string, kind metricKind, bounds []float64, labels []Label) *series {
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	key := labelKey(sorted)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, kind: kind, bounds: bounds, series: map[string]*series{}}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %v, requested as %v", name, f.kind, kind))
+	}
+	s := f.series[key]
+	if s == nil {
+		s = &series{labels: sorted}
+		switch kind {
+		case kindCounter:
+			s.ctr = &Counter{}
+		case kindGauge:
+			s.gauge = &Gauge{}
+		case kindHistogram:
+			b := f.bounds
+			s.hist = &Histogram{bounds: b, buckets: make([]uint64, len(b)+1)}
+		}
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// Counter returns (creating on first use) the counter with the given name
+// and labels.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	return r.getSeries(name, kindCounter, nil, labels).ctr
+}
+
+// Gauge returns (creating on first use) the gauge with the given name and
+// labels.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	return r.getSeries(name, kindGauge, nil, labels).gauge
+}
+
+// Histogram returns (creating on first use) the histogram with the given
+// name, bucket upper bounds and labels. The bounds of the first call for a
+// name win; they must be sorted ascending.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefTimeBuckets
+	}
+	return r.getSeries(name, kindHistogram, bounds, labels).hist
+}
+
+// escapeLabel escapes a label value for the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = l.Key + `="` + escapeLabel(l.Value) + `"`
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// snapshotFamilies copies the family/series structure under the registry
+// lock so exposition can format without holding it.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, 0, len(r.order))
+	names := append([]string(nil), r.order...)
+	sort.Strings(names)
+	for _, name := range names {
+		f := r.families[name]
+		cp := &family{name: f.name, help: f.help, kind: f.kind, bounds: f.bounds,
+			series: f.series, order: append([]string(nil), f.order...)}
+		out = append(out, cp)
+	}
+	return out
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4), deterministically ordered by metric name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.snapshotFamilies() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, key := range f.order {
+			s := f.series[key]
+			switch f.kind {
+			case kindCounter:
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, formatLabels(s.labels), s.ctr.Value()); err != nil {
+					return err
+				}
+			case kindGauge:
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, formatLabels(s.labels), formatFloat(s.gauge.Value())); err != nil {
+					return err
+				}
+			case kindHistogram:
+				cum, sum, count := s.hist.snapshot()
+				for i, bound := range f.bounds {
+					le := L("le", formatFloat(bound))
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, formatLabels(s.labels, le), cum[i]); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, formatLabels(s.labels, L("le", "+Inf")), cum[len(cum)-1]); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, formatLabels(s.labels), formatFloat(sum)); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, formatLabels(s.labels), count); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// HistogramBucket is one cumulative bucket of a JSON histogram snapshot.
+type HistogramBucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// MetricPoint is one series in a JSON snapshot.
+type MetricPoint struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value holds the counter or gauge value (absent for histograms).
+	Value *float64 `json:"value,omitempty"`
+	// Histogram payload.
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+	Sum     *float64          `json:"sum,omitempty"`
+	Count   *uint64           `json:"count,omitempty"`
+}
+
+// Snapshot returns every series as a MetricPoint, deterministically
+// ordered by metric name then insertion order.
+func (r *Registry) Snapshot() []MetricPoint {
+	var out []MetricPoint
+	for _, f := range r.snapshotFamilies() {
+		for _, key := range f.order {
+			s := f.series[key]
+			p := MetricPoint{Name: f.name, Kind: f.kind.String()}
+			if len(s.labels) > 0 {
+				p.Labels = map[string]string{}
+				for _, l := range s.labels {
+					p.Labels[l.Key] = l.Value
+				}
+			}
+			switch f.kind {
+			case kindCounter:
+				v := float64(s.ctr.Value())
+				p.Value = &v
+			case kindGauge:
+				v := s.gauge.Value()
+				p.Value = &v
+			case kindHistogram:
+				cum, sum, count := s.hist.snapshot()
+				// The implicit +Inf bucket is omitted: encoding/json cannot
+				// encode Inf, and its cumulative count equals Count.
+				for i, bound := range f.bounds {
+					p.Buckets = append(p.Buckets, HistogramBucket{LE: bound, Count: cum[i]})
+				}
+				p.Sum = &sum
+				p.Count = &count
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// WriteJSON renders the registry as a JSON document {"metrics": [...]}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Metrics []MetricPoint `json:"metrics"`
+	}{r.Snapshot()})
+}
+
+// WriteFile dumps the registry to a file: JSON when format is "json",
+// Prometheus text otherwise.
+func (r *Registry) WriteFile(path, format string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if format == "json" {
+		err = r.WriteJSON(f)
+	} else {
+		err = r.WritePrometheus(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ServeHTTP exposes the registry as a scrape endpoint: Prometheus text by
+// default, JSON with ?format=json.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = r.WritePrometheus(w)
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", L("kind", "a"))
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	// Same name+labels returns the same series.
+	if r.Counter("requests_total", L("kind", "a")) != c {
+		t.Error("counter identity not stable across lookups")
+	}
+	g := r.Gauge("depth")
+	g.Set(2.5)
+	g.Add(0.5)
+	if got := g.Value(); got != 3 {
+		t.Errorf("gauge = %v, want 3", got)
+	}
+	g.SetMax(1) // below current: no-op
+	if got := g.Value(); got != 3 {
+		t.Errorf("gauge after SetMax(1) = %v, want 3", got)
+	}
+	g.SetMax(10)
+	if got := g.Value(); got != 10 {
+		t.Errorf("gauge after SetMax(10) = %v, want 10", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	cum, sum, count := h.snapshot()
+	if count != 5 || sum != 106 {
+		t.Errorf("count=%d sum=%v, want 5, 106", count, sum)
+	}
+	// le=1: 0.5 and 1 (le is inclusive); le=2: +1.5; le=5: +3; +Inf: +100.
+	want := []uint64{2, 3, 4, 5}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Errorf("cumulative bucket %d = %d, want %d", i, cum[i], w)
+		}
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cgra_runs_total", L("comp", `9 "PEs"`)).Add(3)
+	r.Help("cgra_runs_total", "number of CGRA runs")
+	r.Gauge("cgra_util", L("pe", "0")).Set(0.25)
+	r.Histogram("cgra_lat_seconds", []float64{0.1, 1}).Observe(0.05)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP cgra_runs_total number of CGRA runs",
+		"# TYPE cgra_runs_total counter",
+		`cgra_runs_total{comp="9 \"PEs\""} 3`,
+		"# TYPE cgra_util gauge",
+		`cgra_util{pe="0"} 0.25`,
+		"# TYPE cgra_lat_seconds histogram",
+		`cgra_lat_seconds_bucket{le="0.1"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, `cgra_lat_seconds_bucket{le="+Inf"} 1`) {
+		t.Errorf("exposition missing +Inf bucket in:\n%s", out)
+	}
+	if !strings.Contains(out, "cgra_lat_seconds_count 1") {
+		t.Errorf("exposition missing histogram count in:\n%s", out)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(7)
+	r.Gauge("b", L("pe", "1")).Set(1.5)
+	r.Histogram("h", []float64{1}).Observe(2)
+
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []MetricPoint `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if len(doc.Metrics) != 3 {
+		t.Fatalf("got %d metrics, want 3", len(doc.Metrics))
+	}
+	byName := map[string]MetricPoint{}
+	for _, m := range doc.Metrics {
+		byName[m.Name] = m
+	}
+	if v := byName["a_total"].Value; v == nil || *v != 7 {
+		t.Errorf("a_total = %v", v)
+	}
+	if byName["b"].Labels["pe"] != "1" {
+		t.Errorf("b labels = %v", byName["b"].Labels)
+	}
+	h := byName["h"]
+	if h.Count == nil || *h.Count != 1 || len(h.Buckets) != 1 {
+		t.Errorf("h = %+v", h)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c_total", LInt("w", i%2)).Inc()
+				r.Gauge("g").SetMax(float64(j))
+				r.Histogram("h", []float64{100, 500}).Observe(float64(j))
+			}
+		}(i)
+	}
+	// Concurrent scrapes must not race with updates.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var b strings.Builder
+			_ = r.WritePrometheus(&b)
+			_ = r.WriteJSON(&b)
+		}()
+	}
+	wg.Wait()
+	total := r.Counter("c_total", LInt("w", 0)).Value() + r.Counter("c_total", LInt("w", 1)).Value()
+	if total != 8000 {
+		t.Errorf("counter total = %d, want 8000", total)
+	}
+	if h := r.Histogram("h", nil); h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	if got := formatFloat(math.Inf(1)); got != "+Inf" {
+		t.Errorf("formatFloat(+Inf) = %q", got)
+	}
+	if got := formatFloat(0.25); got != "0.25" {
+		t.Errorf("formatFloat(0.25) = %q", got)
+	}
+}

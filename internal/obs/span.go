@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// SpanMetric is one size/count annotation on a span (e.g. nodes: 172).
+type SpanMetric struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Span is one timed phase of a larger operation. Spans form a tree: the
+// compile pipeline opens a root span and each phase (unroll, CSE, CDFG
+// build, schedule, route, alloc, ctxgen) becomes a child. A span carries
+// wall time plus integer metrics describing the phase's output sizes.
+//
+// Spans are safe for concurrent use, although phases of one compilation
+// normally run sequentially. Every method is safe on a nil *Span (no-op /
+// zero result), so instrumented code can thread an optional span without
+// branching: a nil root simply produces nil children.
+type Span struct {
+	Name string
+
+	mu       sync.Mutex
+	start    time.Time
+	dur      time.Duration
+	done     bool
+	metrics  []SpanMetric
+	children []*Span
+}
+
+// StartSpan opens a root span.
+func StartSpan(name string) *Span {
+	return &Span{Name: name, start: time.Now()}
+}
+
+// StartChild opens a child span under s (nil on a nil receiver).
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := StartSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Finish stops the clock. Finishing twice keeps the first duration.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.done {
+		s.dur = time.Since(s.start)
+		s.done = true
+	}
+}
+
+// Duration returns the span's wall time (time since start while running).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.done {
+		return time.Since(s.start)
+	}
+	return s.dur
+}
+
+// Set records (or overwrites) an integer metric on the span.
+func (s *Span) Set(name string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.metrics {
+		if s.metrics[i].Name == name {
+			s.metrics[i].Value = v
+			return
+		}
+	}
+	s.metrics = append(s.metrics, SpanMetric{Name: name, Value: v})
+}
+
+// Metrics returns a copy of the span's metrics, in insertion order.
+func (s *Span) Metrics() []SpanMetric {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]SpanMetric(nil), s.metrics...)
+}
+
+// Children returns a copy of the child list, in start order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Timed runs fn inside a child span and returns the child (finished).
+// On a nil receiver fn still runs, with a nil span.
+func (s *Span) Timed(name string, fn func(*Span)) *Span {
+	c := s.StartChild(name)
+	defer c.Finish()
+	fn(c)
+	return c
+}
+
+// Walk visits the span and every descendant depth-first. The path is the
+// slash-joined chain of names from (and including) the root.
+func (s *Span) Walk(fn func(path string, sp *Span)) {
+	if s == nil {
+		return
+	}
+	s.walk(s.Name, fn)
+}
+
+func (s *Span) walk(path string, fn func(string, *Span)) {
+	fn(path, s)
+	for _, c := range s.Children() {
+		c.walk(path+"/"+c.Name, fn)
+	}
+}
+
+// WriteText renders the span tree as an indented report:
+//
+//	compile                       3.1ms
+//	  unroll                      0.2ms  stmts=41
+//	  cdfg                        0.4ms  nodes=172 blocks=12
+func (s *Span) WriteText(w io.Writer) {
+	if s == nil {
+		return
+	}
+	s.writeText(w, 0)
+}
+
+func (s *Span) writeText(w io.Writer, depth int) {
+	indent := ""
+	for i := 0; i < depth; i++ {
+		indent += "  "
+	}
+	line := fmt.Sprintf("%s%-*s %10.3fms", indent, 28-2*depth, s.Name,
+		float64(s.Duration().Microseconds())/1000)
+	for _, m := range s.Metrics() {
+		line += fmt.Sprintf("  %s=%d", m.Name, m.Value)
+	}
+	fmt.Fprintln(w, line)
+	for _, c := range s.Children() {
+		c.writeText(w, depth+1)
+	}
+}
+
+// Export writes the span tree into a registry: for every span a
+// `<prefix>_phase_seconds{phase="<path>"}` gauge, and for every span
+// metric a `<prefix>_phase_metric{phase="<path>",metric="<name>"}` gauge.
+// The path omits the root span's name (the root exports as phase "total").
+func (s *Span) Export(reg *Registry, prefix string) {
+	if s == nil || reg == nil {
+		return
+	}
+	secs := prefix + "_phase_seconds"
+	sizes := prefix + "_phase_metric"
+	reg.Help(secs, "wall time of one pipeline phase, in seconds")
+	s.Walk(func(path string, sp *Span) {
+		phase := "total"
+		if path != s.Name {
+			phase = path[len(s.Name)+1:]
+		}
+		reg.Gauge(secs, L("phase", phase)).Set(sp.Duration().Seconds())
+		for _, m := range sp.Metrics() {
+			reg.Gauge(sizes, L("phase", phase), L("metric", m.Name)).SetInt(m.Value)
+		}
+	})
+}

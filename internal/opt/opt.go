@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"cgra/internal/ir"
+	"cgra/internal/obs"
 )
 
 // Options selects the passes to run.
@@ -26,22 +27,65 @@ type Options struct {
 	ConstFold bool
 }
 
-// Apply runs the selected passes and returns a new kernel.
-func Apply(k *ir.Kernel, o Options) (*ir.Kernel, error) {
-	out := k
+// Phase is one optimization pass of the flow.
+type Phase struct {
+	Name string
+	Run  func(*ir.Kernel) *ir.Kernel
+}
+
+// Phases lists the passes Apply runs for the given options, in order.
+func Phases(o Options) []Phase {
+	var out []Phase
 	if o.ConstFold {
-		out = FoldConstants(out)
+		out = append(out, Phase{"constfold", FoldConstants})
 	}
 	if o.UnrollFactor > 1 {
-		out = Unroll(out, o.UnrollFactor)
+		out = append(out, Phase{"unroll", func(k *ir.Kernel) *ir.Kernel {
+			return Unroll(k, o.UnrollFactor)
+		}})
 	}
 	if o.CSE {
-		out = CSE(out)
+		out = append(out, Phase{"cse", CSE})
+	}
+	return out
+}
+
+// Apply runs the selected passes and returns a new kernel.
+func Apply(k *ir.Kernel, o Options) (*ir.Kernel, error) {
+	return ApplySpan(k, o, nil)
+}
+
+// ApplySpan runs the selected passes, recording each pass as a child of
+// span (nil span = no instrumentation).
+func ApplySpan(k *ir.Kernel, o Options, span *obs.Span) (*ir.Kernel, error) {
+	out := k
+	for _, p := range Phases(o) {
+		sp := span.StartChild(p.Name)
+		out = p.Run(out)
+		sp.Set("stmts", int64(countStmts(out.Body)))
+		sp.Finish()
 	}
 	if err := ir.Validate(out); err != nil {
 		return nil, fmt.Errorf("opt: transformed kernel invalid: %v", err)
 	}
 	return out, nil
+}
+
+// countStmts counts statements recursively (a phase-output size metric).
+func countStmts(stmts []ir.Stmt) int {
+	n := 0
+	for _, s := range stmts {
+		n++
+		switch s := s.(type) {
+		case *ir.If:
+			n += countStmts(s.Then) + countStmts(s.Else)
+		case *ir.While:
+			n += countStmts(s.Body)
+		case *ir.For:
+			n += countStmts(s.Body)
+		}
+	}
+	return n
 }
 
 // --- constant folding ---

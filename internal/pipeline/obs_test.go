@@ -1,0 +1,117 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"cgra/internal/obs"
+	"cgra/internal/sched"
+)
+
+// TestCompileSpans checks that every phase of the flow reports a span and
+// that the Obs registry export contains the per-phase duration gauges.
+func TestCompileSpans(t *testing.T) {
+	k := mustParse(t, `
+kernel tri(in n, inout s) {
+	s = 0;
+	i = 0;
+	while (i < n) { i = i + 1; s = s + i; }
+}`)
+	reg := obs.NewRegistry()
+	c, err := Compile(k, mesh(t, 4), Options{UnrollFactor: 2, CSE: true, ConstFold: true, Obs: reg})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if c.Trace == nil {
+		t.Fatal("Compiled.Trace is nil")
+	}
+	paths := map[string]bool{}
+	c.Trace.Walk(func(path string, sp *obs.Span) { paths[path] = true })
+	for _, want := range []string{
+		"compile",
+		"compile/constfold",
+		"compile/unroll",
+		"compile/cse",
+		"compile/cdfg",
+		"compile/sched",
+		"compile/sched/place",
+		"compile/sched/verify",
+		"compile/ctxgen",
+		"compile/ctxgen/alloc",
+		"compile/ctxgen/encode",
+	} {
+		if !paths[want] {
+			t.Errorf("span path %q missing (have %v)", want, paths)
+		}
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`cgra_compile_phase_seconds{phase="total"}`,
+		`cgra_compile_phase_seconds{phase="sched/place"}`,
+		`cgra_compile_phase_metric{metric="contexts",phase="sched"}`,
+		`cgra_compile_phase_metric{metric="nodes",phase="cdfg"}`,
+		`cgra_compile_phase_metric{metric="max_rf",phase="ctxgen/alloc"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus export missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCompileNilObs checks that compilation without a registry still
+// produces a usable span tree and no metrics side effects.
+func TestCompileNilObs(t *testing.T) {
+	k := mustParse(t, `kernel k(in x, inout r) { r = x + 1; }`)
+	c, err := Compile(k, mesh(t, 4), Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if c.Trace == nil || c.Trace.Duration() <= 0 {
+		t.Fatal("expected a finished root span")
+	}
+}
+
+// TestCompileExplainLog checks that an attached explain log records
+// classified rejections for a congested composition.
+func TestCompileExplainLog(t *testing.T) {
+	k := mustParse(t, `
+kernel conv(in a, in b, in c, inout r) {
+	r = 0;
+	i = 0;
+	while (i < 8) {
+		r = r + a*b + b*c + a*c + (a-b)*(b-c);
+		i = i + 1;
+	}
+}`)
+	log := sched.NewExplainLog()
+	o := Options{UnrollFactor: 2, CSE: true, ConstFold: true}
+	o.Sched.Explain = log
+	if _, err := Compile(k, mesh(t, 4), o); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if log.Total() == 0 {
+		t.Fatal("expected at least one rejection on a 4-PE mesh")
+	}
+	for cause := range log.Counts() {
+		switch cause {
+		case sched.RejectPEBusy, sched.RejectRouting, sched.RejectCBoxSaturation,
+			sched.RejectPredication, sched.RejectLoopIncompatibility,
+			sched.RejectWARHazard, sched.RejectNoSupportingPE:
+		default:
+			t.Errorf("unknown cause %q", cause)
+		}
+	}
+	reg := obs.NewRegistry()
+	log.Export(reg)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "cgra_sched_rejections_total{cause=") {
+		t.Errorf("export missing rejection counters:\n%s", sb.String())
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"cgra/internal/cdfg"
 	"cgra/internal/ctxgen"
 	"cgra/internal/ir"
+	"cgra/internal/obs"
 	"cgra/internal/opt"
 	"cgra/internal/sched"
 	"cgra/internal/sim"
@@ -35,6 +36,10 @@ type Options struct {
 	Build cdfg.BuildOptions
 	// Sched tunes the scheduler.
 	Sched sched.Options
+	// Obs, when non-nil, receives compile-phase wall times and size
+	// metrics (as cgra_compile_phase_* gauges) after every Compile call.
+	// Independently of Obs, Compiled.Trace carries the raw span tree.
+	Obs *obs.Registry
 }
 
 // Defaults returns the configuration used for the paper's evaluation:
@@ -54,6 +59,9 @@ type Compiled struct {
 	Schedule *sched.Schedule
 	// Program holds the generated contexts and allocation results.
 	Program *ctxgen.Program
+	// Trace is the compile-phase span tree (timings and size metrics per
+	// phase). Always populated, even without an Options.Obs registry.
+	Trace *obs.Span
 }
 
 // CompileProgram inlines every kernel call of the program's entry kernel
@@ -78,27 +86,44 @@ func Compile(k *ir.Kernel, comp *arch.Composition, o Options) (c *Compiled, err 
 			c, err = nil, fmt.Errorf("pipeline: internal error compiling kernel: %v", r)
 		}
 	}()
-	optimized, err := opt.Apply(k, opt.Options{
+	root := obs.StartSpan("compile")
+	defer func() {
+		root.Finish()
+		if o.Obs != nil {
+			root.Export(o.Obs, "cgra_compile")
+		}
+	}()
+	optimized, err := opt.ApplySpan(k, opt.Options{
 		UnrollFactor: o.UnrollFactor,
 		CSE:          o.CSE,
 		ConstFold:    o.ConstFold,
-	})
+	}, root)
 	if err != nil {
 		return nil, err
 	}
+	cs := root.StartChild("cdfg")
 	g, err := cdfg.Build(optimized, o.Build)
+	cs.Finish()
 	if err != nil {
 		return nil, err
 	}
-	s, err := sched.Run(g, comp, o.Sched)
+	gst := g.Stats()
+	cs.Set("nodes", int64(gst.Nodes))
+	cs.Set("blocks", int64(gst.Blocks))
+	so := o.Sched
+	so.Span = root.StartChild("sched")
+	s, err := sched.Run(g, comp, so)
+	so.Span.Finish()
 	if err != nil {
 		return nil, err
 	}
-	prog, err := ctxgen.Generate(s)
+	gs := root.StartChild("ctxgen")
+	prog, err := ctxgen.GenerateSpan(s, gs)
+	gs.Finish()
 	if err != nil {
 		return nil, err
 	}
-	return &Compiled{Kernel: optimized, Graph: g, Schedule: s, Program: prog}, nil
+	return &Compiled{Kernel: optimized, Graph: g, Schedule: s, Program: prog, Trace: root}, nil
 }
 
 // Run executes the compiled kernel on the CGRA simulator.

@@ -283,6 +283,15 @@ func (s *scheduler) stallReason(n *cdfg.Node, t int, bs *blockState) string {
 	return "resources"
 }
 
+// reject records one scheduling rejection in the opt-in explain log. The
+// node-name formatting only runs when a log is attached.
+func (s *scheduler) reject(n *cdfg.Node, t int, cause RejectCause) {
+	if s.opts.Explain == nil {
+		return
+	}
+	s.opts.Explain.Add(t, n.String(), cause)
+}
+
 // schedOp tries to schedule a KOp node at cycle t; false means "try again
 // later" (resources or operands unavailable; provisioning may have been
 // started).
@@ -294,16 +303,19 @@ func (s *scheduler) schedOp(n *cdfg.Node, t int, bs *blockState) (bool, error) {
 	if n.IsDMA() && n.Pred != nil {
 		slot, ok := s.predSlotReady(n.Pred, t)
 		if !ok || !s.predGateOK(t, slot) {
+			s.reject(n, t, RejectPredication)
 			return false, nil
 		}
 		predSlot = slot
 	}
 	pes := s.candidatePEs(n, op)
 	if len(pes) == 0 {
+		s.reject(n, t, RejectNoSupportingPE)
 		return false, fmt.Errorf("no PE supports %v (node %s)", op, n)
 	}
 	// Pass 1: a PE where all operands are accessible right now.
 	sawFree := false
+	cboxBlocked, loopBlocked := false, false
 	for _, p := range pes {
 		dur := s.comp.PEs[p].Duration(op)
 		if !s.peFree(p, t, dur) {
@@ -316,15 +328,29 @@ func (s *scheduler) schedOp(n *cdfg.Node, t int, bs *blockState) (bool, error) {
 		if n.IsCompare() && role != nil {
 			finish := t + dur - 1
 			if s.cboxBusy[finish] || !s.cmpStoredReady(role, finish) {
+				cboxBlocked = true
 				continue
 			}
 		}
 		srcs, ok := s.argsAccessible(n, p, t)
 		if !ok {
+			if s.constBlockedBySafeFloor(n, p, t) {
+				loopBlocked = true
+			}
 			continue
 		}
 		s.emitNode(n, p, t, dur, srcs, predSlot, bs)
 		return true, nil
+	}
+	switch {
+	case !sawFree:
+		s.reject(n, t, RejectPEBusy)
+	case cboxBlocked:
+		s.reject(n, t, RejectCBoxSaturation)
+	case loopBlocked:
+		s.reject(n, t, RejectLoopIncompatibility)
+	default:
+		s.reject(n, t, RejectRouting)
 	}
 	// Pass 2: provision operands toward the most attractive compatible PE
 	// and delay the node (§V-F plan-candidate: values are copied, before
@@ -342,6 +368,32 @@ func (s *scheduler) schedOp(n *cdfg.Node, t int, bs *blockState) (bool, error) {
 		}
 	}
 	return false, nil
+}
+
+// constBlockedBySafeFloor reports whether an operand of n is a constant
+// that could not be materialized on p solely because no free cycle exists
+// between the current region's safe floor and t — the signature of a loop
+// or branch boundary blocking placement (explain-log classification only).
+func (s *scheduler) constBlockedBySafeFloor(n *cdfg.Node, p, t int) bool {
+	if s.opts.Explain == nil {
+		return false
+	}
+	for _, a := range n.Args {
+		if a.Kind != cdfg.FromConst || !s.comp.PEs[p].Supports(arch.CONST) {
+			continue
+		}
+		reachable := false
+		for _, v := range s.sourcesOf(a) {
+			if v.Def < t && s.rt.Dist(v.PE, p) <= 1 {
+				reachable = true
+				break
+			}
+		}
+		if !reachable && s.earliestFree(p, s.safeFloor, 1) >= t {
+			return true
+		}
+	}
+	return false
 }
 
 // emitNode finalizes the placement of a KOp node.
@@ -457,15 +509,18 @@ func (s *scheduler) schedPWrite(n *cdfg.Node, t int) (bool, error) {
 	}
 	dur := s.comp.PEs[p].Duration(code)
 	if !s.peFree(p, t, dur) {
+		s.reject(n, t, RejectPEBusy)
 		return false, nil
 	}
 	if !s.consumersIssuedBy(n.Local, t, n) {
+		s.reject(n, t, RejectWARHazard)
 		return false, nil
 	}
 	var predSlot *Slot
 	if n.Pred != nil {
 		slot, ready := s.predSlotReady(n.Pred, t)
 		if !ready || !s.predGateOK(t, slot) {
+			s.reject(n, t, RejectPredication)
 			return false, nil
 		}
 		predSlot = slot
@@ -474,6 +529,7 @@ func (s *scheduler) schedPWrite(n *cdfg.Node, t int) (bool, error) {
 	if code == arch.MOVE {
 		src, ok := s.operandAccessible(arg, p, t)
 		if !ok {
+			s.reject(n, t, RejectRouting)
 			s.provisionOperand(arg, p, false)
 			return false, nil
 		}

@@ -1,0 +1,186 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"cgra/internal/obs"
+)
+
+// RejectCause classifies why the scheduler could not place a candidate
+// node at a (cycle, PE) it considered. The causes make inhomogeneity and
+// irregularity bottlenecks visible: a composition whose log is dominated
+// by cbox-saturation needs condition-memory ports, one dominated by
+// routing needs links, one dominated by loop-incompatibility is fighting
+// the contiguous-context loop layout (§V-B).
+type RejectCause string
+
+// Rejection causes.
+const (
+	// RejectNoSupportingPE: no PE of the composition implements the
+	// operation (a hard inhomogeneity limit; compilation fails).
+	RejectNoSupportingPE RejectCause = "no-supporting-pe"
+	// RejectPEBusy: every compatible PE is occupied at the candidate
+	// cycle (resource pressure).
+	RejectPEBusy RejectCause = "pe-busy"
+	// RejectRouting: a compatible PE was free but an operand could not be
+	// read there (distance > 1, routing-output conflict, or a copy is
+	// still in flight).
+	RejectRouting RejectCause = "routing"
+	// RejectCBoxSaturation: the C-Box could not accept the compare's
+	// status bit in its arrival cycle, or the stored partial condition
+	// was not ready (§IV-A2: one incoming status per cycle).
+	RejectCBoxSaturation RejectCause = "cbox-saturation"
+	// RejectPredication: the node's predicate slot was not computed yet,
+	// or the per-cycle predication read port was taken.
+	RejectPredication RejectCause = "predication"
+	// RejectLoopIncompatibility: the placement was blocked by a loop or
+	// branch boundary — the value would have to materialize before the
+	// current region's safe floor, i.e. inside contexts that re-execute
+	// or execute conditionally.
+	RejectLoopIncompatibility RejectCause = "loop-incompatibility"
+	// RejectWARHazard: an earlier value in the target home slot still has
+	// pending consumers; overwriting now would feed them the wrong value.
+	RejectWARHazard RejectCause = "war-hazard"
+)
+
+// Rejection is one recorded scheduling rejection.
+type Rejection struct {
+	// Cycle is the time step at which placement was attempted.
+	Cycle int
+	// Node describes the CDFG node (operation and id).
+	Node string
+	// Cause classifies the rejection.
+	Cause RejectCause
+}
+
+// ExplainLog records scheduling rejections for post-mortem analysis. It is
+// opt-in via Options.Explain; a nil log costs nothing. The log keeps every
+// per-cause count and up to MaxEntries individual rejections.
+//
+// Safe for concurrent use (one scheduler run is single-threaded, but
+// explore-style drivers may schedule several candidates in parallel
+// against one shared log).
+type ExplainLog struct {
+	// MaxEntries caps the retained individual rejections (the counts are
+	// always exact). 0 means the default of 10000.
+	MaxEntries int
+
+	mu      sync.Mutex
+	entries []Rejection
+	counts  map[RejectCause]int64
+	dropped int64
+}
+
+// NewExplainLog creates an empty log with the default entry cap.
+func NewExplainLog() *ExplainLog { return &ExplainLog{} }
+
+// Add records one rejection. Safe on a nil receiver (no-op), so scheduler
+// code records unconditionally.
+func (l *ExplainLog) Add(cycle int, node string, cause RejectCause) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.counts == nil {
+		l.counts = map[RejectCause]int64{}
+	}
+	l.counts[cause]++
+	cap := l.MaxEntries
+	if cap == 0 {
+		cap = 10000
+	}
+	if len(l.entries) < cap {
+		l.entries = append(l.entries, Rejection{Cycle: cycle, Node: node, Cause: cause})
+	} else {
+		l.dropped++
+	}
+}
+
+// Entries returns the retained rejections, in record order.
+func (l *ExplainLog) Entries() []Rejection {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Rejection(nil), l.entries...)
+}
+
+// Counts returns the exact per-cause totals.
+func (l *ExplainLog) Counts() map[RejectCause]int64 {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[RejectCause]int64, len(l.counts))
+	for k, v := range l.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Total returns the total number of recorded rejections.
+func (l *ExplainLog) Total() int64 {
+	var t int64
+	for _, v := range l.Counts() {
+		t += v
+	}
+	return t
+}
+
+// WriteSummary prints the per-cause totals (descending) and the first
+// retained rejections.
+func (l *ExplainLog) WriteSummary(w io.Writer, maxEntries int) {
+	if l == nil {
+		return
+	}
+	counts := l.Counts()
+	type row struct {
+		cause RejectCause
+		n     int64
+	}
+	var rows []row
+	for c, n := range counts {
+		rows = append(rows, row{c, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].cause < rows[j].cause
+	})
+	fmt.Fprintf(w, "scheduler rejections: %d total\n", l.Total())
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-22s %d\n", r.cause, r.n)
+	}
+	entries := l.Entries()
+	if maxEntries > 0 && len(entries) > maxEntries {
+		entries = entries[:maxEntries]
+	}
+	for _, e := range entries {
+		fmt.Fprintf(w, "  cycle %-5d %-28s %s\n", e.Cycle, e.Node, e.Cause)
+	}
+	l.mu.Lock()
+	dropped := l.dropped
+	l.mu.Unlock()
+	if dropped > 0 {
+		fmt.Fprintf(w, "  (%d further rejections not retained)\n", dropped)
+	}
+}
+
+// Export writes the per-cause totals into a registry as
+// cgra_sched_rejections_total{cause=...} counters.
+func (l *ExplainLog) Export(reg *obs.Registry) {
+	if l == nil || reg == nil {
+		return
+	}
+	reg.Help("cgra_sched_rejections_total", "scheduler candidate rejections by cause")
+	for cause, n := range l.Counts() {
+		reg.Counter("cgra_sched_rejections_total", obs.L("cause", string(cause))).Add(n)
+	}
+}

@@ -58,8 +58,10 @@ func Run(g *cdfg.Graph, comp *arch.Composition, opts Options) (*Schedule, error)
 		s.outl[i] = map[int]*Value{}
 	}
 	s.precomputeConsumers()
+	place := opts.Span.StartChild("place")
 	end, err := s.region(g.Root, 0)
 	if err != nil {
+		place.Finish()
 		return nil, err
 	}
 	// Give every untouched live-in/live-out local a home so the
@@ -88,9 +90,18 @@ func Run(g *cdfg.Graph, comp *arch.Composition, opts Options) (*Schedule, error)
 	sort.SliceStable(s.sch.CBox, func(i, j int) bool {
 		return s.sch.CBox[i].Cycle < s.sch.CBox[j].Cycle
 	})
-	if err := Verify(s.sch); err != nil {
+	place.Finish()
+	vs := opts.Span.StartChild("verify")
+	err = Verify(s.sch)
+	vs.Finish()
+	if err != nil {
 		return nil, fmt.Errorf("sched: internal verification failed: %v", err)
 	}
+	opts.Span.Set("nodes", int64(s.sch.Stats.Nodes))
+	opts.Span.Set("copies", int64(s.sch.Stats.CopiesInserted))
+	opts.Span.Set("consts", int64(s.sch.Stats.ConstsMaterialized))
+	opts.Span.Set("cbox_ops", int64(s.sch.Stats.CBoxOps))
+	opts.Span.Set("contexts", int64(s.sch.Length))
 	return s.sch, nil
 }
 

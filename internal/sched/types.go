@@ -26,6 +26,7 @@ import (
 
 	"cgra/internal/arch"
 	"cgra/internal/cdfg"
+	"cgra/internal/obs"
 )
 
 // SrcKind distinguishes operand fetch paths inside a PE.
@@ -331,4 +332,10 @@ type Options struct {
 	NoFusing bool
 	// MaxCycles aborts pathological schedules (default 100000).
 	MaxCycles int
+	// Span, when non-nil, receives scheduling sub-phase timings (place,
+	// verify) and result-size metrics as children/metrics.
+	Span *obs.Span
+	// Explain, when non-nil, records every candidate rejection the list
+	// scheduler makes, classified by cause.
+	Explain *ExplainLog
 }

@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"cgra/internal/ir"
+	"cgra/internal/obs"
+)
+
+func TestCountersStraightLine(t *testing.T) {
+	_, p := compile(t, `kernel k(in x, in y, inout r) { r = (x + y) * (x - y); }`, mesh(t, 4))
+	m := New(p)
+	c := AttachCounters(m)
+	if _, err := m.Run(map[string]int32{"x": 9, "y": 4, "r": 0}, ir.NewHost()); err != nil {
+		t.Fatal(err)
+	}
+	if c.Cycles() <= 0 {
+		t.Fatal("no cycles counted")
+	}
+	reg := obs.NewRegistry()
+	c.Flush(reg)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"cgra_sim_cycles_total ",
+		`cgra_sim_pe_issue_total{pe="0"}`,
+		`cgra_sim_pe_utilization{pe="0"}`,
+		`cgra_sim_rf_highwater{pe="0"}`,
+		"cgra_sim_cbox_writes_total ",
+		`cgra_sim_dma_total{dir="load"}`,
+		"cgra_sim_watchdog_utilization ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q:\n%s", want, out)
+		}
+	}
+	// The kernel issues at least 3 real ops (add, sub, mul; the write into
+	// r fuses into the multiply).
+	total := int64(0)
+	for _, mp := range reg.Snapshot() {
+		if mp.Name == "cgra_sim_pe_issue_total" && mp.Value != nil {
+			total += int64(*mp.Value)
+		}
+	}
+	if total < 3 {
+		t.Errorf("counted %d issues, want >= 3", total)
+	}
+}
+
+func TestCountersDMAAndLinks(t *testing.T) {
+	src := `
+kernel scale(in n, array a) {
+	i = 0;
+	while (i < n) { a[i] = a[i] * 2; i = i + 1; }
+}`
+	_, p := compile(t, src, mesh(t, 4))
+	m := New(p)
+	c := AttachCounters(m)
+	host := ir.NewHost()
+	host.Arrays["a"] = []int32{1, 2, 3, 4}
+	if _, err := m.Run(map[string]int32{"n": 4}, host); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	c.Flush(reg)
+	var loads, stores, links, jumps float64
+	for _, mp := range reg.Snapshot() {
+		if mp.Value == nil {
+			continue
+		}
+		switch mp.Name {
+		case "cgra_sim_dma_total":
+			if mp.Labels["dir"] == "load" {
+				loads = *mp.Value
+			} else {
+				stores = *mp.Value
+			}
+		case "cgra_sim_link_words_total":
+			links += *mp.Value
+		case "cgra_sim_jumps_total":
+			jumps = *mp.Value
+		}
+	}
+	if loads != 4 || stores != 4 {
+		t.Errorf("dma loads=%v stores=%v, want 4/4", loads, stores)
+	}
+	if links == 0 {
+		t.Error("no routed-link traffic counted")
+	}
+	if jumps < 4 {
+		t.Errorf("jumps = %v, want >= 4 (loop back-edges)", jumps)
+	}
+}
+
+// TestCountersChainHooks checks that attaching counters preserves an
+// already-installed probe.
+func TestCountersChainHooks(t *testing.T) {
+	_, p := compile(t, `kernel k(in x, inout r) { r = x + 1; }`, mesh(t, 4))
+	m := New(p)
+	var seen int
+	m.Probe = func(ev Event) { seen++ }
+	c := AttachCounters(m)
+	if _, err := m.Run(map[string]int32{"x": 1, "r": 0}, ir.NewHost()); err != nil {
+		t.Fatal(err)
+	}
+	if seen == 0 {
+		t.Error("chained probe not called")
+	}
+	if c.Cycles() == 0 {
+		t.Error("counters not fed")
+	}
+}
+
+// TestCountersFlushResets checks per-run tallies reset while registry
+// counters accumulate across runs.
+func TestCountersFlushResets(t *testing.T) {
+	_, p := compile(t, `kernel k(in x, inout r) { r = x + 1; }`, mesh(t, 4))
+	m := New(p)
+	c := AttachCounters(m)
+	reg := obs.NewRegistry()
+	if _, err := m.Run(map[string]int32{"x": 1, "r": 0}, ir.NewHost()); err != nil {
+		t.Fatal(err)
+	}
+	c.Flush(reg)
+	var first float64
+	for _, mp := range reg.Snapshot() {
+		if mp.Name == "cgra_sim_cycles_total" && mp.Value != nil {
+			first = *mp.Value
+		}
+	}
+	if first <= 0 {
+		t.Fatal("no cycles exported")
+	}
+	if _, err := m.Run(map[string]int32{"x": 2, "r": 0}, ir.NewHost()); err != nil {
+		t.Fatal(err)
+	}
+	c.Flush(reg)
+	for _, mp := range reg.Snapshot() {
+		if mp.Name == "cgra_sim_cycles_total" && mp.Value != nil && *mp.Value != 2*first {
+			t.Errorf("cycles after two runs = %v, want %v", *mp.Value, 2*first)
+		}
+	}
+}

@@ -21,6 +21,11 @@ const (
 	EvHalt
 	// EvFault: an injected fault corrupted machine state (PE, Value).
 	EvFault
+	// EvIssue: a PE issued a non-NOP operation (PE, Value = opcode).
+	EvIssue
+	// EvRouteRead: a PE read a neighbour's routing output (PE = reader,
+	// Addr = source PE, Value = routed word).
+	EvRouteRead
 )
 
 func (k EventKind) String() string {
@@ -41,6 +46,10 @@ func (k EventKind) String() string {
 		return "halt"
 	case EvFault:
 		return "fault"
+	case EvIssue:
+		return "issue"
+	case EvRouteRead:
+		return "route-read"
 	}
 	return "?"
 }

@@ -187,6 +187,7 @@ func (m *Machine) Run(args map[string]int32, host *ir.Host) (*Result, error) {
 			if ctx.Op == arch.NOP {
 				continue
 			}
+			m.emit(Event{Cycle: cycle, CCNT: ccnt, Kind: EvIssue, PE: pe, Value: int32(ctx.Op)})
 			fetch := func(mode ctxgen.SrcMode, addr, input int) (int32, error) {
 				switch mode {
 				case ctxgen.SrcReg:
@@ -201,6 +202,7 @@ func (m *Machine) Run(args map[string]int32, host *ir.Host) (*Result, error) {
 						m.emit(Event{Cycle: cycle, CCNT: ccnt, Kind: EvFault, PE: pe, Value: cv})
 						v = cv
 					}
+					m.emit(Event{Cycle: cycle, CCNT: ccnt, Kind: EvRouteRead, PE: pe, Addr: src, Value: v})
 					return v, nil
 				default:
 					return 0, nil

@@ -12,11 +12,13 @@ package system
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"cgra/internal/amidar"
 	"cgra/internal/arch"
 	"cgra/internal/fault"
 	"cgra/internal/ir"
+	"cgra/internal/obs"
 	"cgra/internal/opt"
 	"cgra/internal/pipeline"
 	"cgra/internal/sim"
@@ -36,7 +38,9 @@ type Result struct {
 	Recovered bool
 }
 
-// Stats accumulates system-level counters.
+// Stats is a point-in-time snapshot of the system-level counters. The
+// authoritative state lives in the system's metrics registry (see
+// System.Metrics); Stats remains the convenient struct view.
 type Stats struct {
 	Invocations    int64
 	AMIDARRuns     int64
@@ -101,6 +105,13 @@ type System struct {
 	// Policy tunes fault detection and recovery.
 	Policy ResiliencePolicy
 
+	// mu serializes invocations and guards every map below. Invocations
+	// must serialize anyway: the fault injector and the dispatch table
+	// mutate during runs. Metric reads (Stats, Metrics) do NOT take mu —
+	// the registry counters are atomic, so scrapes never block behind a
+	// running invocation.
+	mu sync.Mutex
+
 	kernels  map[string]*ir.Kernel
 	compiled map[string]*pipeline.Compiled
 	// reference holds the inlined kernel each compiled entry was built
@@ -110,7 +121,14 @@ type System struct {
 	// hostOnly marks kernels the degraded array can no longer map; they
 	// execute on the host permanently.
 	hostOnly map[string]bool
-	stats    Stats
+
+	// reg holds the authoritative counters plus compile-phase metrics of
+	// every synthesis run.
+	reg *obs.Registry
+	ctr sysCounters
+	// seqMu guards synthSeq so Stats can snapshot it without taking mu.
+	seqMu    sync.Mutex
+	synthSeq []string
 
 	// inj is the armed fault plan (nil = fault-free hardware).
 	inj *fault.Injector
@@ -125,9 +143,23 @@ type System struct {
 	deadLinks map[[2]int]bool
 }
 
+// sysCounters holds the registry handles behind Stats, resolved once at
+// construction.
+type sysCounters struct {
+	invocations    *obs.Counter
+	amidarRuns     *obs.Counter
+	cgraRuns       *obs.Counter
+	amidarCycles   *obs.Counter
+	cgraCycles     *obs.Counter
+	faultsDetected *obs.Counter
+	resyntheses    *obs.Counter
+	fallbacks      *obs.Counter
+	faultsInjected *obs.Gauge
+}
+
 // New builds a system around a composition.
 func New(comp *arch.Composition, opts pipeline.Options, threshold int64) *System {
-	return &System{
+	s := &System{
 		Comp:      comp,
 		Opts:      opts,
 		Threshold: threshold,
@@ -138,11 +170,35 @@ func New(comp *arch.Composition, opts pipeline.Options, threshold int64) *System
 		reference: map[string]*ir.Kernel{},
 		weights:   map[string]int64{},
 		hostOnly:  map[string]bool{},
+		reg:       obs.NewRegistry(),
 		target:    comp,
 		deadPEs:   map[int]bool{},
 		deadLinks: map[[2]int]bool{},
 	}
+	s.reg.Help("cgra_system_invocations_total", "kernel invocations through the system")
+	s.reg.Help("cgra_system_runs_total", "executions by engine (amidar host or cgra)")
+	s.reg.Help("cgra_system_cycles_total", "cycles spent by engine (amidar host or cgra)")
+	s.reg.Help("cgra_system_faults_detected_total", "CGRA runs rejected by watchdog, simulator or cross-check")
+	s.reg.Help("cgra_system_resyntheses_total", "successful re-compilations onto a degraded composition")
+	s.reg.Help("cgra_system_fallbacks_total", "invocations completed on the host after a detected fault")
+	s.ctr = sysCounters{
+		invocations:    s.reg.Counter("cgra_system_invocations_total"),
+		amidarRuns:     s.reg.Counter("cgra_system_runs_total", obs.L("engine", "amidar")),
+		cgraRuns:       s.reg.Counter("cgra_system_runs_total", obs.L("engine", "cgra")),
+		amidarCycles:   s.reg.Counter("cgra_system_cycles_total", obs.L("engine", "amidar")),
+		cgraCycles:     s.reg.Counter("cgra_system_cycles_total", obs.L("engine", "cgra")),
+		faultsDetected: s.reg.Counter("cgra_system_faults_detected_total"),
+		resyntheses:    s.reg.Counter("cgra_system_resyntheses_total"),
+		fallbacks:      s.reg.Counter("cgra_system_fallbacks_total"),
+		faultsInjected: s.reg.Gauge("cgra_system_faults_injected"),
+	}
+	return s
 }
+
+// Metrics returns the system's registry: invocation counters, per-engine
+// cycles, fault/recovery counters, and the compile-phase metrics of the
+// most recent synthesis. Safe to scrape concurrently with invocations.
+func (s *System) Metrics() *obs.Registry { return s.reg }
 
 // InjectFaults arms a deterministic fault plan against the system's CGRA.
 // Must be called before the affected invocations; the plan stays armed for
@@ -152,13 +208,17 @@ func (s *System) InjectFaults(plan fault.Plan) error {
 	if err != nil {
 		return fmt.Errorf("system: %v", err)
 	}
+	s.mu.Lock()
 	s.inj = inj
+	s.mu.Unlock()
 	return nil
 }
 
 // DegradedComposition returns the composition synthesis currently targets
 // when hardware has been masked, or nil while the full array is in use.
 func (s *System) DegradedComposition() *arch.Composition {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.target == s.Comp {
 		return nil
 	}
@@ -167,6 +227,8 @@ func (s *System) DegradedComposition() *arch.Composition {
 
 // MaskedPEs returns the physical indices of PEs masked by degradation.
 func (s *System) MaskedPEs() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var out []int
 	for pe := range s.deadPEs {
 		out = append(out, pe)
@@ -178,6 +240,8 @@ func (s *System) MaskedPEs() []int {
 // Register makes a kernel invocable; registered kernels also serve as the
 // call library for each other (resolved by inlining at synthesis time).
 func (s *System) Register(k *ir.Kernel) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, dup := s.kernels[k.Name]; dup {
 		return fmt.Errorf("system: kernel %q already registered", k.Name)
 	}
@@ -191,19 +255,26 @@ func (s *System) Register(k *ir.Kernel) error {
 // are recovered transparently (retry, degraded re-synthesis, host
 // fallback); Invoke returns an error only for caller mistakes (unknown
 // kernel, bad arguments) or host-side failures.
+//
+// Invoke is safe for concurrent use; invocations serialize on the system
+// lock (the fault injector, the profiler and the dispatch table all
+// mutate during a run).
 func (s *System) Invoke(name string, args map[string]int32, host *ir.Host) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer func() { s.ctr.faultsInjected.SetInt(s.inj.Injections()) }()
 	k := s.kernels[name]
 	if k == nil {
 		return nil, fmt.Errorf("system: unknown kernel %q", name)
 	}
-	s.stats.Invocations++
+	s.ctr.invocations.Add(1)
 
 	if c := s.compiled[name]; c != nil {
 		res, err := s.runAccelerated(name, c, args, host)
 		if err == nil {
 			return res, nil
 		}
-		s.stats.FaultsDetected++
+		s.ctr.faultsDetected.Add(1)
 		return s.recoverInvocation(name, args, host)
 	}
 	return s.runHost(name, k, args, host, !s.hostOnly[name])
@@ -216,8 +287,8 @@ func (s *System) runHost(name string, k *ir.Kernel, args map[string]int32, host 
 	if err != nil {
 		return nil, fmt.Errorf("system: AMIDAR run of %q: %v", name, err)
 	}
-	s.stats.AMIDARRuns++
-	s.stats.AMIDARCycles += base.Cycles
+	s.ctr.amidarRuns.Add(1)
+	s.ctr.amidarCycles.Add(base.Cycles)
 	result := &Result{LiveOuts: base.LiveOuts, Cycles: base.Cycles}
 	if !profile {
 		return result, nil
@@ -228,7 +299,7 @@ func (s *System) runHost(name string, k *ir.Kernel, args map[string]int32, host 
 		// host permanently — graceful degradation, not an error.
 		if err := s.synthesize(name); err != nil {
 			s.hostOnly[name] = true
-			s.stats.Fallbacks++
+			s.ctr.fallbacks.Add(1)
 			return result, nil
 		}
 		result.Synthesized = true
@@ -276,8 +347,8 @@ func (s *System) runAccelerated(name string, c *pipeline.Compiled, args map[stri
 	for arr, data := range scratch.Arrays {
 		copy(host.Arrays[arr], data)
 	}
-	s.stats.CGRARuns++
-	s.stats.CGRACycles += res.TotalCycles()
+	s.ctr.cgraRuns.Add(1)
+	s.ctr.cgraCycles.Add(res.TotalCycles())
 	return &Result{LiveOuts: res.LiveOuts, Cycles: res.TotalCycles(), OnCGRA: true}, nil
 }
 
@@ -305,9 +376,9 @@ func (s *System) recoverInvocation(name string, args map[string]int32, host *ir.
 			res.Recovered = true
 			return res, nil
 		}
-		s.stats.FaultsDetected++
+		s.ctr.faultsDetected.Add(1)
 	}
-	s.stats.Fallbacks++
+	s.ctr.fallbacks.Add(1)
 	res, err := s.runHost(name, s.kernels[name], args, host, false)
 	if err != nil {
 		return nil, err
@@ -363,7 +434,7 @@ func (s *System) resynthesize(name string) error {
 	if err := s.synthesize(name); err != nil {
 		return err
 	}
-	s.stats.Resyntheses++
+	s.ctr.resyntheses.Add(1)
 	return nil
 }
 
@@ -380,13 +451,17 @@ func (s *System) synthesize(name string) error {
 	if s.Policy.CompileBudget > 0 {
 		opts.Sched.MaxCycles = s.Policy.CompileBudget
 	}
+	// Compile-phase timings and sizes land in the system registry.
+	opts.Obs = s.reg
 	c, err := pipeline.Compile(flat, s.target, opts)
 	if err != nil {
 		return fmt.Errorf("system: synthesize %q: %v", name, err)
 	}
 	s.compiled[name] = c
 	s.reference[name] = flat
-	s.stats.SynthesizedSeq = append(s.stats.SynthesizedSeq, name)
+	s.seqMu.Lock()
+	s.synthSeq = append(s.synthSeq, name)
+	s.seqMu.Unlock()
 	return nil
 }
 
@@ -394,27 +469,49 @@ func (s *System) synthesize(name string) error {
 // the profiling threshold (used by tools that want the accelerated path
 // from the first invocation).
 func (s *System) Synthesize(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.kernels[name] == nil {
 		return fmt.Errorf("system: unknown kernel %q", name)
 	}
 	return s.synthesize(name)
 }
 
-// Stats returns the accumulated counters.
+// Stats returns a snapshot of the accumulated counters. It reads atomic
+// registry counters and never blocks behind a running invocation, so it is
+// safe to call from a monitoring goroutine.
 func (s *System) Stats() Stats {
-	st := s.stats
-	st.FaultsInjected = s.inj.Injections()
-	return st
+	s.seqMu.Lock()
+	seq := append([]string(nil), s.synthSeq...)
+	s.seqMu.Unlock()
+	return Stats{
+		Invocations:    s.ctr.invocations.Value(),
+		AMIDARRuns:     s.ctr.amidarRuns.Value(),
+		CGRARuns:       s.ctr.cgraRuns.Value(),
+		AMIDARCycles:   s.ctr.amidarCycles.Value(),
+		CGRACycles:     s.ctr.cgraCycles.Value(),
+		SynthesizedSeq: seq,
+		FaultsInjected: int64(s.ctr.faultsInjected.Value()),
+		FaultsDetected: s.ctr.faultsDetected.Value(),
+		Resyntheses:    s.ctr.resyntheses.Value(),
+		Fallbacks:      s.ctr.fallbacks.Value(),
+	}
 }
 
 // Synthesized reports whether the named kernel runs on the CGRA.
-func (s *System) Synthesized(name string) bool { return s.compiled[name] != nil }
+func (s *System) Synthesized(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compiled[name] != nil
+}
 
 // Profile lists the host-cycle weights observed so far, heaviest first.
 func (s *System) Profile() []struct {
 	Name   string
 	Cycles int64
 } {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	type row struct {
 		Name   string
 		Cycles int64

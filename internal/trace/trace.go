@@ -41,13 +41,21 @@ func (r *Recorder) Record(ev sim.Event) { r.events = append(r.events, ev) }
 // Events returns the recorded events.
 func (r *Recorder) Events() []sim.Event { return r.events }
 
-// vcdID produces a short printable identifier for signal n.
+// vcdID produces a short printable identifier for signal n, using the
+// standard bijective numeration over the printable id alphabet (the same
+// scheme Verilog simulators use): 0 → "!", 57 → "Z", 58 → "!!", … Every
+// string over the alphabet names exactly one n, so ids never collide and
+// no id is skipped.
 func vcdID(n int) string {
 	const chars = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
-	if n < len(chars) {
-		return string(chars[n])
+	id := ""
+	for {
+		id += string(chars[n%len(chars)])
+		n = n/len(chars) - 1
+		if n < 0 {
+			return id
+		}
 	}
-	return string(chars[n%len(chars)]) + vcdID(n/len(chars)-0)
 }
 
 type signal struct {

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -111,6 +112,107 @@ func TestSquashedCommitLeavesNoWrite(t *testing.T) {
 	sum := r.Summary()
 	if sum[sim.EvRFSquash] < 3 {
 		t.Errorf("squashes = %d, want >= 3 (one per squashed element)", sum[sim.EvRFSquash])
+	}
+}
+
+func TestVCDIDsUnique(t *testing.T) {
+	// The first 10k ids must be pairwise distinct and follow the standard
+	// bijective numeration: 0 is the first single-char id, 58 the first
+	// two-char id, and every id is over the printable VCD alphabet.
+	const alphabet = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	seen := map[string]int{}
+	for n := 0; n < 10_000; n++ {
+		id := vcdID(n)
+		if id == "" {
+			t.Fatalf("vcdID(%d) is empty", n)
+		}
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("vcdID collision: %d and %d both map to %q", prev, n, id)
+		}
+		seen[id] = n
+		for i := 0; i < len(id); i++ {
+			if !strings.ContainsRune(alphabet, rune(id[i])) {
+				t.Fatalf("vcdID(%d) = %q contains byte %q outside the alphabet", n, id, id[i])
+			}
+		}
+	}
+	// Bijective numeration anchors: the alphabet has 58 symbols, so ids
+	// 0..57 are single characters and 58 starts the two-char range.
+	if got := vcdID(0); got != "!" {
+		t.Errorf("vcdID(0) = %q, want %q", got, "!")
+	}
+	if got := vcdID(57); got != "Z" {
+		t.Errorf("vcdID(57) = %q, want %q", got, "Z")
+	}
+	if got := vcdID(58); got != "!!" {
+		t.Errorf("vcdID(58) = %q, want %q", got, "!!")
+	}
+	if got := len(vcdID(58*58 + 58)); got != 3 {
+		t.Errorf("vcdID(58^2+58) has %d chars, want 3 (first three-char id)", got)
+	}
+}
+
+func TestSummaryCounts(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 3; i++ {
+		r.Record(sim.Event{Kind: sim.EvRFWrite, Cycle: int64(i)})
+	}
+	r.Record(sim.Event{Kind: sim.EvDMAStore, Cycle: 3})
+	r.Record(sim.Event{Kind: sim.EvHalt, Cycle: 4})
+	sum := r.Summary()
+	if sum[sim.EvRFWrite] != 3 || sum[sim.EvDMAStore] != 1 || sum[sim.EvHalt] != 1 {
+		t.Errorf("summary = %v, want 3 rf-writes / 1 dma-store / 1 halt", sum)
+	}
+	if len(sum) != 3 {
+		t.Errorf("summary has %d kinds, want 3", len(sum))
+	}
+}
+
+const dmaSrc = `
+kernel k(array a, in n) {
+	i = 0;
+	while (i < n) {
+		a[i] = a[i] + 10;
+		i = i + 1;
+	}
+}`
+
+func TestWriteVCDDMAEvents(t *testing.T) {
+	r := record(t, dmaSrc, map[string]int32{"n": 3},
+		map[string][]int32{"a": {1, 2, 3}})
+	sum := r.Summary()
+	if sum[sim.EvDMALoad] != 3 || sum[sim.EvDMAStore] != 3 {
+		t.Fatalf("loads=%d stores=%d, want 3/3", sum[sim.EvDMALoad], sum[sim.EvDMAStore])
+	}
+	var b strings.Builder
+	if err := r.WriteVCD(&b, "cgra"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Stores strobe the dma_store signal; its id is "\"" (second signal).
+	if !strings.Contains(out, "dma_store") {
+		t.Fatal("VCD missing the dma_store signal declaration")
+	}
+	var dmaID string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "$var") && strings.Contains(line, "dma_store") {
+			dmaID = strings.Fields(line)[3]
+		}
+	}
+	if dmaID == "" {
+		t.Fatal("dma_store id not found")
+	}
+	// a[i]+10 over {1,2,3} stores 11, 12, 13.
+	for _, v := range []uint32{11, 12, 13} {
+		want := "b" + strconv.FormatUint(uint64(v), 2) + " " + dmaID
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing store value line %q", want)
+		}
+	}
+	// Loads land in register files: each loaded value appears as an RF
+	// signal change on the DMA PE.
+	if !strings.Contains(out, "pe") {
+		t.Error("VCD has no per-PE RF signals despite DMA loads")
 	}
 }
 
