@@ -26,6 +26,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"cgra/internal/adpcm"
 	"cgra/internal/arch"
@@ -56,6 +59,12 @@ func main() {
 	vcdPath := flag.String("vcd", "", "write a VCD waveform of the run to this file")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault plan")
 	maxCycles := flag.Int64("max-cycles", 0, "watchdog cycle budget per CGRA run (0 = default)")
+	compileDeadline := flag.Duration("compile-deadline", 0, "wall-clock deadline per synthesis attempt (0 = policy default, 10s)")
+	synthWorkers := flag.Int("synth-workers", 0, "background synthesis worker pool size (0 = default, 2)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive failures that trip a kernel's circuit breaker (0 = default, 5)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker cool-down before a half-open probe (0 = default, 250ms)")
+	soak := flag.Int("soak", 0, "drive N concurrent invocation streams through the online-synthesis system")
+	soakIters := flag.Int("soak-iters", 50, "invocations per soak stream")
 	metricsPath := flag.String("metrics", "", "write compile + simulation metrics to this file")
 	metricsFormat := flag.String("metrics-format", "prom", "metrics file format: prom or json")
 	explain := flag.Bool("explain", false, "print the scheduler's candidate-rejection summary")
@@ -122,17 +131,43 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
-	if *serveAddr != "" {
-		go serveMetrics(*serveAddr, reg)
-	}
 	opts := pipeline.Options{UnrollFactor: *unroll, CSE: true, ConstFold: true, Obs: reg}
 	var explainLog *sched.ExplainLog
 	if *explain {
 		explainLog = sched.NewExplainLog()
 		opts.Sched.Explain = explainLog
 	}
+	// tunePolicy applies the service knobs to an online-synthesis system.
+	tunePolicy := func(s *system.System) {
+		if *maxCycles > 0 {
+			s.Policy.WatchdogCycles = *maxCycles
+		}
+		if *compileDeadline > 0 {
+			s.Policy.CompileDeadline = *compileDeadline
+		}
+		if *synthWorkers > 0 {
+			s.Policy.SynthWorkers = *synthWorkers
+		}
+		if *breakerThreshold > 0 {
+			s.Policy.BreakerThreshold = *breakerThreshold
+		}
+		if *breakerCooldown > 0 {
+			s.Policy.BreakerCooldown = *breakerCooldown
+		}
+	}
+	if *soak > 0 {
+		err := runSoak(k, comp, opts, scalars, host, faultSpecs, *faultSeed,
+			*soak, *soakIters, tunePolicy, explainLog, *serveAddr, *metricsPath, *metricsFormat)
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *serveAddr != "" {
+		go serveMetrics(*serveAddr, reg)
+	}
 	if len(faultSpecs) > 0 {
-		if err := runResilient(k, comp, opts, scalars, host, faultSpecs, *faultSeed, *maxCycles); err != nil {
+		if err := runResilient(k, comp, opts, scalars, host, faultSpecs, *faultSeed, tunePolicy); err != nil {
 			fatal(err)
 		}
 		return
@@ -280,7 +315,8 @@ func writeMetrics(path, format string, reg *obs.Registry) error {
 // the faults corrupt the run, and the system must detect, recover (degraded
 // re-synthesis or host fallback) and still deliver the fault-free result.
 func runResilient(k *ir.Kernel, comp *arch.Composition, opts pipeline.Options,
-	scalars map[string]int32, host *ir.Host, specs []string, seed, maxCycles int64) error {
+	scalars map[string]int32, host *ir.Host, specs []string, seed int64,
+	tunePolicy func(*system.System)) error {
 	faults, err := fault.ParseSpecs(specs)
 	if err != nil {
 		return err
@@ -298,9 +334,8 @@ func runResilient(k *ir.Kernel, comp *arch.Composition, opts pipeline.Options,
 	}
 
 	s := system.New(comp, opts, 1)
-	if maxCycles > 0 {
-		s.Policy.WatchdogCycles = maxCycles
-	}
+	defer s.Close()
+	tunePolicy(s)
 	if err := s.Register(k); err != nil {
 		return err
 	}
@@ -349,6 +384,113 @@ func runResilient(k *ir.Kernel, comp *arch.Composition, opts pipeline.Options,
 	fmt.Println("live-outs verified against the fault-free reference")
 	fmt.Printf("cycles: %d (final run on CGRA: %v)\n", res.Cycles, res.OnCGRA)
 	printValues(res.LiveOuts, host)
+	return nil
+}
+
+// runSoak drives N concurrent invocation streams of the kernel through
+// the online-synthesis system: every stream starts on the AMIDAR host,
+// background synthesis moves the kernel to the CGRA mid-soak, and — when
+// -fault specs are armed — detection, recovery, degradation and the
+// circuit breaker all exercise under load. Every result is checked against
+// the fault-free reference; any mismatch or invocation error fails the
+// run.
+func runSoak(k *ir.Kernel, comp *arch.Composition, opts pipeline.Options,
+	scalars map[string]int32, host *ir.Host, specs []string, seed int64,
+	streams, iters int, tunePolicy func(*system.System),
+	explainLog *sched.ExplainLog, serveAddr, metricsPath, metricsFormat string) error {
+
+	// Fault-free golden reference: expected live-outs and post-run heap.
+	refHost := host.Clone()
+	refArgs := make(map[string]int32, len(scalars))
+	for n, v := range scalars {
+		refArgs[n] = v
+	}
+	refOuts, err := (&ir.Interp{}).Run(k, refArgs, refHost)
+	if err != nil {
+		return fmt.Errorf("reference interpreter: %v", err)
+	}
+
+	s := system.New(comp, opts, 1)
+	defer s.Close()
+	tunePolicy(s)
+	if err := s.Register(k); err != nil {
+		return err
+	}
+	if len(specs) > 0 {
+		faults, err := fault.ParseSpecs(specs)
+		if err != nil {
+			return err
+		}
+		if err := s.InjectFaults(fault.Plan{Seed: seed, Faults: faults}); err != nil {
+			return err
+		}
+		for _, f := range faults {
+			fmt.Printf("armed fault: %s (seed %d)\n", f, seed)
+		}
+	}
+	if serveAddr != "" {
+		go serveMetrics(serveAddr, s.Metrics())
+		fmt.Printf("serving /metrics and /debug/pprof on %s\n", serveAddr)
+	}
+
+	var wg sync.WaitGroup
+	var failures, mismatches atomic.Int64
+	start := time.Now()
+	for w := 0; w < streams; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				h := host.Clone()
+				res, err := s.Invoke(k.Name, scalars, h)
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				ok := h.Equal(refHost)
+				for name, want := range refOuts {
+					if res.LiveOuts[name] != want {
+						ok = false
+					}
+				}
+				if !ok {
+					mismatches.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s.Quiesce()
+	elapsed := time.Since(start)
+
+	st := s.Stats()
+	fmt.Printf("soak: %d streams × %d invocations of %s in %v\n",
+		streams, iters, k.Name, elapsed.Round(time.Millisecond))
+	fmt.Printf("  runs: %d host, %d CGRA (cycles: %d host, %d CGRA)\n",
+		st.AMIDARRuns, st.CGRARuns, st.AMIDARCycles, st.CGRACycles)
+	fmt.Printf("  synthesis: %d landed, %d shed, %d deadline hits; recovery retries %d\n",
+		len(st.SynthesizedSeq), st.SynthSheds, st.DeadlineHits, st.Retries)
+	fmt.Printf("  faults: injected %d, detected %d, re-syntheses %d, host fallbacks %d\n",
+		st.FaultsInjected, st.FaultsDetected, st.Resyntheses, st.Fallbacks)
+	fmt.Printf("  breaker[%s]: %s\n", k.Name, s.BreakerState(k.Name))
+	if masked := s.MaskedPEs(); len(masked) > 0 {
+		fmt.Printf("  degraded composition active, PEs masked: %v\n", masked)
+	}
+	if explainLog != nil {
+		explainLog.WriteSummary(os.Stdout, 10)
+		explainLog.Export(s.Metrics())
+	}
+	if metricsPath != "" {
+		if err := s.Metrics().WriteFile(metricsPath, metricsFormat); err != nil {
+			return err
+		}
+		fmt.Printf("wrote metrics to %s\n", metricsPath)
+	}
+	if failures.Load() > 0 || mismatches.Load() > 0 {
+		return fmt.Errorf("soak failed: %d invocation errors, %d result mismatches",
+			failures.Load(), mismatches.Load())
+	}
+	fmt.Println("  every result matched the fault-free reference")
 	return nil
 }
 

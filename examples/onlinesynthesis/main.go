@@ -23,6 +23,7 @@ func main() {
 		log.Fatal(err)
 	}
 	sys := system.New(comp, pipeline.Defaults(), 40_000)
+	defer sys.Close()
 
 	// Two kernels; the hot one calls a helper (inlined at synthesis).
 	prog, err := irtext.ParseProgram(`
@@ -71,7 +72,10 @@ kernel sat(inout v) {
 		}
 		note := ""
 		if res.Synthesized {
-			note = "  <- profiler threshold crossed: sequence synthesized and patched"
+			note = "  <- profiler threshold crossed: background synthesis enqueued"
+			// Synthesis runs concurrently with host execution; wait here so
+			// the next invocations demonstrate the accelerated path.
+			sys.Quiesce()
 		}
 		fmt.Printf("%10d  %-6s  %6d%s\n", i, engine, res.Cycles, note)
 	}

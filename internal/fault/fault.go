@@ -25,6 +25,7 @@ import (
 	"math/rand"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Kind classifies a fault.
@@ -145,7 +146,15 @@ type armed struct {
 
 // Injector applies a plan during simulation. All methods are deterministic:
 // the random parameters are drawn once in NewInjector.
+//
+// An Injector is safe for concurrent use: one armed plan may be shared by
+// several simulator runs executing in parallel (the online-synthesis system
+// invokes kernels concurrently). Determinism then holds per run — which
+// faults are active at which cycle — while the cross-run bookkeeping
+// (injection counts, manifestation flags, spent transients) is serialized
+// by an internal mutex.
 type Injector struct {
+	mu     sync.Mutex
 	faults []*armed
 	runs   int64 // completed+current BeginRun calls
 	count  int64 // corruption events applied
@@ -187,7 +196,9 @@ func (in *Injector) BeginRun() {
 	if in == nil {
 		return
 	}
+	in.mu.Lock()
 	in.runs++
+	in.mu.Unlock()
 }
 
 // active reports whether a permanent fault has struck by the given cycle of
@@ -211,6 +222,8 @@ func (in *Injector) CorruptALU(pe int, cycle int64, v int32) (int32, bool) {
 	if in == nil {
 		return v, false
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	out, applied := v, false
 	for _, a := range in.faults {
 		if a.Kind == PermanentPE && a.PE == pe && in.active(a, cycle) {
@@ -227,6 +240,8 @@ func (in *Injector) CorruptStatus(pe int, cycle int64, s bool) (bool, bool) {
 	if in == nil {
 		return s, false
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	out, applied := s, false
 	for _, a := range in.faults {
 		if a.Kind == PermanentPE && a.PE == pe && in.active(a, cycle) {
@@ -243,6 +258,8 @@ func (in *Injector) CorruptRoute(src, dst int, cycle int64, v int32) (int32, boo
 	if in == nil {
 		return v, false
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	out, applied := v, false
 	for _, a := range in.faults {
 		if a.Kind == BrokenLink && a.Src == src && a.Dst == dst && in.active(a, cycle) {
@@ -261,6 +278,8 @@ func (in *Injector) CorruptWrite(pe int, cycle int64, v int32) (int32, bool) {
 	if in == nil {
 		return v, false
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	out, applied := v, false
 	for _, a := range in.faults {
 		if a.Kind != TransientBit || a.PE != pe || a.fired {
@@ -281,6 +300,8 @@ func (in *Injector) Injections() int64 {
 	if in == nil {
 		return 0
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	return in.count
 }
 
@@ -289,6 +310,8 @@ func (in *Injector) Manifested() []Fault {
 	if in == nil {
 		return nil
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	var out []Fault
 	for _, a := range in.faults {
 		if a.manifested {

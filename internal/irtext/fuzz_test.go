@@ -1,0 +1,52 @@
+package irtext
+
+import (
+	"testing"
+)
+
+// FuzzParseKernel feeds arbitrary text through the kernel parser. The
+// parser must reject garbage with an error — never panic, never loop —
+// and any accepted kernel must survive the Print/Parse round trip with
+// Print as a fixpoint (the same contract the printer tests establish for
+// well-formed sources). Mirrors arch.FuzzParseComposition.
+func FuzzParseKernel(f *testing.F) {
+	for _, seed := range []string{
+		`kernel k(inout r) { r = 1 + 2 * 3; }`,
+		`kernel dot(array a, array b, in n, inout s) {
+			s = 0;
+			i = 0;
+			while (i < n) { s = s + a[i] * b[i]; i = i + 1; }
+		}`,
+		`kernel k(array a, in n, inout s) {
+			for (i = 0; i < n; i = i + 1) {
+				if (a[i] > 0 && s < 100) { s = s + a[i]; } else { s = s - 1; }
+			}
+		}`,
+		`kernel k(in x, inout r) { r = -x + ~x + !x; }`,
+		`kernel k(in x, inout r) { r = x << 2 >> 1 >>> 3; }`,
+		`kernel k(inout r) { abs(r); }`,
+		`kernel k(array a, inout r) { a[r + 1] = a[0]; break; }`,
+		`kernel k(`,
+		`kernel k() {}`,
+		`kernel 0(in`,
+		`// comment only`,
+		`kernel k(inout r) { r = 0x7fffffff + 1; }`,
+		``,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		k, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := Print(k)
+		k2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form of an accepted kernel does not re-parse: %v\ninput: %q\nprinted:\n%s", err, src, printed)
+		}
+		if again := Print(k2); again != printed {
+			t.Errorf("print is not a fixpoint:\n%s\nvs\n%s", printed, again)
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"cgra/internal/arch"
+	"cgra/internal/irtext"
+)
+
+// bigKernelSrc builds a straight-line-heavy loop kernel whose scheduling
+// takes on the order of a second at high unroll factors — long enough
+// that a short deadline must interrupt the scheduler mid-flight.
+func bigKernelSrc(stmts int) string {
+	var b strings.Builder
+	b.WriteString("kernel big(array a, array b, in n, inout s) {\n s = 0; i = 0;\n while (i < n) {\n")
+	b.WriteString("  v0 = a[i] + b[i];\n")
+	for j := 1; j <= stmts; j++ {
+		fmt.Fprintf(&b, "  v%d = (v%d * %d + a[i]) ^ (v%d >> %d);\n", j, j-1, j+3, j-1, j%7+1)
+	}
+	fmt.Fprintf(&b, "  s = s + v%d;\n  i = i + 1;\n }\n}\n", stmts)
+	return b.String()
+}
+
+// TestCompileDeadlineInterruptsScheduler is the acceptance scenario: a
+// compile that runs for ~1.5s unbounded must, under a 50ms deadline,
+// return promptly with a context error — never a partial schedule.
+func TestCompileDeadlineInterruptsScheduler(t *testing.T) {
+	k, err := irtext.Parse(bigKernelSrc(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := arch.HomogeneousMesh(9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Defaults()
+	o.UnrollFactor = 8
+
+	const deadline = 50 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	start := time.Now()
+	c, err := CompileCtx(ctx, k, comp, o)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Skip("machine fast enough to finish the reference compile under 50ms")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error does not carry the deadline cause: %v", err)
+	}
+	if c != nil {
+		t.Fatal("partial Compiled returned alongside the deadline error")
+	}
+	// The scheduler checks the context every time step; allow generous
+	// slack for slow CI, but nothing near the unbounded ~1.5s.
+	if elapsed > 10*deadline {
+		t.Errorf("compile returned %v after a %v deadline", elapsed, deadline)
+	}
+}
+
+// TestCompileCancelledUpfront: an already-cancelled context must abort
+// before any compilation work happens.
+func TestCompileCancelledUpfront(t *testing.T) {
+	k, err := irtext.Parse(`kernel k(inout r) { r = r + 1; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := arch.HomogeneousMesh(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CompileCtx(ctx, k, comp, Defaults()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}

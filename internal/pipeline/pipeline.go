@@ -11,6 +11,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"cgra/internal/arch"
@@ -68,11 +69,24 @@ type Compiled struct {
 // (the paper's optional "method inlining" step, Fig. 1) and compiles the
 // result.
 func CompileProgram(prog *ir.Program, comp *arch.Composition, o Options) (*Compiled, error) {
+	return CompileProgramCtx(context.Background(), prog, comp, o)
+}
+
+// CompileProgramCtx is CompileProgram honoring a context. The panic guard
+// covers the whole flow — inliner included — so an invariant violation in
+// any phase reaches callers (in particular the online-synthesis recovery
+// loop) as an error, never a crash.
+func CompileProgramCtx(ctx context.Context, prog *ir.Program, comp *arch.Composition, o Options) (c *Compiled, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c, err = nil, fmt.Errorf("pipeline: internal error compiling program: %v", r)
+		}
+	}()
 	flat, err := opt.Inline(prog)
 	if err != nil {
 		return nil, err
 	}
-	return Compile(flat, comp, o)
+	return CompileCtx(ctx, flat, comp, o)
 }
 
 // Compile runs the full flow. Internal invariant violations in the
@@ -80,7 +94,16 @@ func CompileProgram(prog *ir.Program, comp *arch.Composition, o Options) (*Compi
 // are recovered here so that callers — in particular the online-synthesis
 // recovery loop, which compiles onto degraded compositions — always get an
 // error, never a crash.
-func Compile(k *ir.Kernel, comp *arch.Composition, o Options) (c *Compiled, err error) {
+func Compile(k *ir.Kernel, comp *arch.Composition, o Options) (*Compiled, error) {
+	return CompileCtx(context.Background(), k, comp, o)
+}
+
+// CompileCtx is Compile with deadline and cancellation support: the context
+// is checked between phases and cooperatively inside the scheduler's
+// candidate loop, so a compile against a generous deadline returns shortly
+// after the deadline expires with an error satisfying
+// errors.Is(err, ctx.Err()) — never with a partial schedule.
+func CompileCtx(ctx context.Context, k *ir.Kernel, comp *arch.Composition, o Options) (c *Compiled, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			c, err = nil, fmt.Errorf("pipeline: internal error compiling kernel: %v", r)
@@ -93,6 +116,9 @@ func Compile(k *ir.Kernel, comp *arch.Composition, o Options) (c *Compiled, err 
 			root.Export(o.Obs, "cgra_compile")
 		}
 	}()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pipeline: compile cancelled: %w", err)
+	}
 	optimized, err := opt.ApplySpan(k, opt.Options{
 		UnrollFactor: o.UnrollFactor,
 		CSE:          o.CSE,
@@ -100,6 +126,9 @@ func Compile(k *ir.Kernel, comp *arch.Composition, o Options) (c *Compiled, err 
 	}, root)
 	if err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pipeline: compile cancelled after opt: %w", err)
 	}
 	cs := root.StartChild("cdfg")
 	g, err := cdfg.Build(optimized, o.Build)
@@ -112,10 +141,13 @@ func Compile(k *ir.Kernel, comp *arch.Composition, o Options) (c *Compiled, err 
 	cs.Set("blocks", int64(gst.Blocks))
 	so := o.Sched
 	so.Span = root.StartChild("sched")
-	s, err := sched.Run(g, comp, so)
+	s, err := sched.RunCtx(ctx, g, comp, so)
 	so.Span.Finish()
 	if err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pipeline: compile cancelled after sched: %w", err)
 	}
 	gs := root.StartChild("ctxgen")
 	prog, err := ctxgen.GenerateSpan(s, gs)
@@ -129,6 +161,12 @@ func Compile(k *ir.Kernel, comp *arch.Composition, o Options) (c *Compiled, err 
 // Run executes the compiled kernel on the CGRA simulator.
 func (c *Compiled) Run(args map[string]int32, host *ir.Host) (*sim.Result, error) {
 	return sim.New(c.Program).Run(args, host)
+}
+
+// RunCtx executes the compiled kernel on the CGRA simulator with
+// cooperative cancellation (see sim.Machine.RunCtx).
+func (c *Compiled) RunCtx(ctx context.Context, args map[string]int32, host *ir.Host) (*sim.Result, error) {
+	return sim.New(c.Program).RunCtx(ctx, args, host)
 }
 
 // UsedContexts returns the number of contexts the schedule occupies

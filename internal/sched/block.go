@@ -83,6 +83,11 @@ func (s *scheduler) block(blk *cdfg.Block, start int) (int, error) {
 	t := start
 	remaining := len(blk.Nodes)
 	for remaining > 0 {
+		// Cooperative cancellation: one check per time step bounds the
+		// reaction time to a deadline by a single candidate sweep.
+		if err := s.ctx.Err(); err != nil {
+			return 0, fmt.Errorf("sched: scheduling cancelled at cycle %d: %w", t, err)
+		}
 		if t-start > s.opts.MaxCycles {
 			var stuck []string
 			for n := range bs.unscheduled {

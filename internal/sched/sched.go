@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -12,6 +13,14 @@ import (
 // Run schedules graph g onto composition comp and returns the complete
 // schedule (contexts are generated from it by package ctxgen).
 func Run(g *cdfg.Graph, comp *arch.Composition, opts Options) (*Schedule, error) {
+	return RunCtx(context.Background(), g, comp, opts)
+}
+
+// RunCtx is Run with cooperative cancellation: the list scheduler checks
+// the context once per time step of its candidate loop and aborts with the
+// context's error (wrapped, so errors.Is works). A cancelled run returns no
+// schedule — never a partial one.
+func RunCtx(ctx context.Context, g *cdfg.Graph, comp *arch.Composition, opts Options) (*Schedule, error) {
 	if err := comp.Validate(); err != nil {
 		return nil, fmt.Errorf("sched: %v", err)
 	}
@@ -23,6 +32,7 @@ func Run(g *cdfg.Graph, comp *arch.Composition, opts Options) (*Schedule, error)
 		opts.MaxCycles = 100000
 	}
 	s := &scheduler{
+		ctx:  ctx,
 		comp: comp,
 		g:    g,
 		rt:   rt,
@@ -127,6 +137,9 @@ type pendingComb struct {
 }
 
 type scheduler struct {
+	// ctx carries the caller's deadline; the block scheduler polls it once
+	// per time step.
+	ctx  context.Context
 	comp *arch.Composition
 	g    *cdfg.Graph
 	rt   *route.Table

@@ -10,6 +10,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"cgra/internal/arch"
@@ -89,6 +90,21 @@ type pendingWrite struct {
 // Run executes the program with the given live-in arguments against host
 // memory and returns the live-outs and cycle counts.
 func (m *Machine) Run(args map[string]int32, host *ir.Host) (*Result, error) {
+	return m.RunCtx(context.Background(), args, host)
+}
+
+// ctxCheckInterval is how many simulated cycles pass between cooperative
+// cancellation checks in RunCtx. Checking ctx.Err() costs a few ns, so the
+// interval keeps the overhead invisible while still bounding the reaction
+// time to a cancellation at well under a millisecond of wall time.
+const ctxCheckInterval = 8192
+
+// RunCtx is Run with cooperative cancellation: the machine checks the
+// context every few thousand simulated cycles and aborts the run with the
+// context's error (wrapped, so errors.Is works) when it is cancelled or
+// past its deadline. The host heap may hold partial DMA effects after a
+// cancelled run; callers that need clean state must run against a clone.
+func (m *Machine) RunCtx(ctx context.Context, args map[string]int32, host *ir.Host) (*Result, error) {
 	prog := m.prog
 	s := prog.Sched
 	comp := s.Comp
@@ -149,6 +165,11 @@ func (m *Machine) Run(args map[string]int32, host *ir.Host) (*Result, error) {
 	for {
 		if cycle >= limit {
 			return nil, &WatchdogError{Limit: limit, CCNT: ccnt}
+		}
+		if cycle%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sim: run cancelled at cycle %d: %w", cycle, err)
+			}
 		}
 		if ccnt < 0 || ccnt >= prog.NumCtx {
 			return nil, fmt.Errorf("sim: CCNT %d out of range", ccnt)

@@ -1,0 +1,128 @@
+package system
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit-breaker automaton.
+type breakerState int32
+
+// Breaker states. The numeric values are exported verbatim through the
+// cgra_breaker_state gauge.
+const (
+	brClosed   breakerState = 0 // normal operation, accelerated path allowed
+	brOpen     breakerState = 1 // tripped: kernel executes host-only
+	brHalfOpen breakerState = 2 // cool-down elapsed: one probe in flight
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case brClosed:
+		return "closed"
+	case brOpen:
+		return "open"
+	case brHalfOpen:
+		return "half_open"
+	}
+	return "unknown"
+}
+
+// breaker is one kernel's circuit breaker. Repeated synthesis failures or
+// fault detections trip it to open; while open, every invocation of the
+// kernel is shed to the AMIDAR host without touching the accelerator or
+// the synthesis queue. After the cool-down one probe (an accelerated run
+// or a synthesis attempt) is let through: success closes the breaker,
+// failure re-opens it for another cool-down.
+type breaker struct {
+	mu       sync.Mutex
+	state    breakerState
+	failures int // consecutive failures while closed
+	openedAt time.Time
+	probing  bool
+	// notify reports state transitions (metrics); called with the
+	// breaker's lock held, so it must not call back into the breaker.
+	notify func(to breakerState)
+}
+
+func (b *breaker) set(to breakerState) {
+	if b.state == to {
+		return
+	}
+	b.state = to
+	if b.notify != nil {
+		b.notify(to)
+	}
+}
+
+// allow reports whether the accelerated path (or a synthesis attempt) may
+// proceed now. In the open state it transitions to half-open once the
+// cool-down elapsed and admits the caller as the probe; in half-open only
+// one probe is admitted at a time.
+func (b *breaker) allow(now time.Time, cooldown time.Duration) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brClosed:
+		return true
+	case brOpen:
+		if now.Sub(b.openedAt) < cooldown {
+			return false
+		}
+		b.set(brHalfOpen)
+		b.probing = true
+		return true
+	case brHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return true
+}
+
+// cancelProbe releases an admitted probe that never ran (e.g. the
+// synthesis queue was full), so the next caller can claim it.
+func (b *breaker) cancelProbe() {
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// success records a successful accelerated run or synthesis: the breaker
+// closes and the failure streak resets.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.failures = 0
+	b.probing = false
+	b.set(brClosed)
+	b.mu.Unlock()
+}
+
+// failure records one fault detection or synthesis failure. A half-open
+// probe failure re-opens immediately; a closed breaker opens once the
+// streak reaches threshold.
+func (b *breaker) failure(now time.Time, threshold int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	b.probing = false
+	switch b.state {
+	case brHalfOpen:
+		b.openedAt = now
+		b.set(brOpen)
+	case brClosed:
+		if b.failures >= threshold {
+			b.openedAt = now
+			b.set(brOpen)
+		}
+	}
+}
+
+// current returns the breaker's state.
+func (b *breaker) current() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,96 @@
+package system
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerAutomaton drives the three-state automaton with synthetic
+// clocks: closed → open after the configured failure streak, shed while
+// the cool-down runs, half-open with exactly one admitted probe after it,
+// re-open on probe failure, closed on probe success.
+func TestBreakerAutomaton(t *testing.T) {
+	var transitions []breakerState
+	b := &breaker{notify: func(to breakerState) { transitions = append(transitions, to) }}
+	t0 := time.Unix(0, 0)
+	const cooldown = time.Second
+	const threshold = 3
+
+	// Below the failure threshold the breaker stays closed.
+	for i := 0; i < threshold-1; i++ {
+		if !b.allow(t0, cooldown) {
+			t.Fatalf("failure %d: breaker not closed", i)
+		}
+		b.failure(t0, threshold)
+	}
+	if got := b.current(); got != brClosed {
+		t.Fatalf("state after %d failures = %v, want closed", threshold-1, got)
+	}
+	// The threshold-th failure trips it.
+	b.failure(t0, threshold)
+	if got := b.current(); got != brOpen {
+		t.Fatalf("state after %d failures = %v, want open", threshold, got)
+	}
+	// Open: everything is shed until the cool-down elapses.
+	if b.allow(t0.Add(cooldown/2), cooldown) {
+		t.Fatal("open breaker admitted a caller inside the cool-down")
+	}
+	// Cool-down over: exactly one probe is admitted.
+	probeTime := t0.Add(cooldown + time.Millisecond)
+	if !b.allow(probeTime, cooldown) {
+		t.Fatal("half-open breaker rejected the probe")
+	}
+	if got := b.current(); got != brHalfOpen {
+		t.Fatalf("state during probe = %v, want half_open", got)
+	}
+	if b.allow(probeTime, cooldown) {
+		t.Fatal("second concurrent probe admitted")
+	}
+	// Probe failure re-opens for another full cool-down.
+	b.failure(probeTime, threshold)
+	if got := b.current(); got != brOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	if b.allow(probeTime.Add(cooldown/2), cooldown) {
+		t.Fatal("re-opened breaker admitted a caller inside the new cool-down")
+	}
+	// Second probe succeeds: the breaker closes and the streak resets.
+	retry := probeTime.Add(cooldown + time.Millisecond)
+	if !b.allow(retry, cooldown) {
+		t.Fatal("second probe rejected")
+	}
+	b.success()
+	if got := b.current(); got != brClosed {
+		t.Fatalf("state after successful probe = %v, want closed", got)
+	}
+	if !b.allow(retry, cooldown) {
+		t.Fatal("closed breaker rejected a caller")
+	}
+
+	want := []breakerState{brOpen, brHalfOpen, brOpen, brHalfOpen, brClosed}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %v, want %v", i, transitions[i], want[i])
+		}
+	}
+}
+
+// TestBreakerProbeCancel: a probe slot released via cancelProbe (e.g. the
+// synthesis queue was full) must be claimable by the next caller.
+func TestBreakerProbeCancel(t *testing.T) {
+	b := &breaker{}
+	t0 := time.Unix(0, 0)
+	const cooldown = time.Second
+	b.failure(t0, 1) // threshold 1: open immediately
+	later := t0.Add(cooldown + time.Millisecond)
+	if !b.allow(later, cooldown) {
+		t.Fatal("probe rejected after cool-down")
+	}
+	b.cancelProbe()
+	if !b.allow(later, cooldown) {
+		t.Fatal("released probe slot not claimable")
+	}
+}

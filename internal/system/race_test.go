@@ -74,8 +74,18 @@ func TestConcurrentInvocations(t *testing.T) {
 	if st.AMIDARRuns+st.CGRARuns < st.Invocations {
 		t.Errorf("runs (%d host + %d cgra) < invocations %d", st.AMIDARRuns, st.CGRARuns, st.Invocations)
 	}
+	// The workers may all have finished before the background compile
+	// landed; wait for it, then verify the accelerated path serves.
+	s.Quiesce()
 	if !s.Synthesized("dot") {
 		t.Error("dot never synthesized despite crossing the threshold")
+	}
+	res, err := s.Invoke("dot", args, dotHost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OnCGRA {
+		t.Error("post-synthesis invocation did not run on the CGRA")
 	}
 	// The synthesis run must have exported compile-phase metrics.
 	var sb strings.Builder

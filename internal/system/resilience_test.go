@@ -14,6 +14,10 @@ func invokeDot(t *testing.T, s *System, i int) *Result {
 	if err != nil {
 		t.Fatalf("invocation %d: %v", i, err)
 	}
+	if res.Synthesized {
+		// Wait for the background compile so later invocations hit the CGRA.
+		s.Quiesce()
+	}
 	if res.LiveOuts["s"] != want {
 		t.Fatalf("invocation %d: s = %d, want %d (onCGRA=%v recovered=%v)",
 			i, res.LiveOuts["s"], want, res.OnCGRA, res.Recovered)

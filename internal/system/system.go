@@ -7,12 +7,31 @@
 // sequences, the processor forwards the execution to the CGRA", §III).
 // This is the online-synthesis model of the authors' prior work ([1], [18])
 // that the paper's tool set plugs into.
+//
+// The system is a concurrent, deadline-aware service. Synthesis runs in a
+// bounded background worker pool (one in-flight compile per kernel, each
+// attempt under a compile deadline); the triggering invocation — and every
+// concurrent arrival — keeps executing on the AMIDAR host until the
+// accelerator version lands, exactly the paper's model of a host that
+// never stalls on the tool flow. The hot dispatch path is lock-free: the
+// kernel table, the compiled-kernel map and the synthesis target live in
+// an immutable snapshot behind an atomic pointer, so invocations of
+// different (and identical) kernels proceed in parallel. A per-kernel
+// circuit breaker sheds repeatedly failing kernels to host-only execution
+// with a half-open probe after a cool-down, and the recovery loop paces
+// its re-execution attempts with exponential backoff plus jitter.
 package system
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"maps"
+	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"cgra/internal/amidar"
 	"cgra/internal/arch"
@@ -30,7 +49,9 @@ type Result struct {
 	Cycles   int64
 	// OnCGRA reports whether this invocation ran on the accelerator.
 	OnCGRA bool
-	// Synthesized reports whether this invocation triggered synthesis.
+	// Synthesized reports whether this invocation crossed the profiling
+	// threshold and enqueued background synthesis of the sequence. The
+	// compiled version lands asynchronously; Quiesce waits for it.
 	Synthesized bool
 	// Recovered reports that a fault was detected during this invocation
 	// and the reported result comes from a recovery path (a re-execution,
@@ -59,12 +80,23 @@ type Stats struct {
 	// Fallbacks counts invocations that completed on the AMIDAR host after
 	// a detected fault.
 	Fallbacks int64
+	// SynthSheds counts synthesis requests dropped because the bounded
+	// queue was full (admission control).
+	SynthSheds int64
+	// Retries counts accelerated re-execution attempts of the recovery
+	// loop (each paced by exponential backoff + jitter).
+	Retries int64
+	// DeadlineHits counts synthesis attempts aborted by the compile
+	// deadline.
+	DeadlineHits int64
 }
 
 // TotalCycles is the cycles actually spent (host + accelerator).
 func (s *Stats) TotalCycles() int64 { return s.AMIDARCycles + s.CGRACycles }
 
-// ResiliencePolicy tunes fault detection and recovery.
+// ResiliencePolicy tunes fault detection, recovery and the service-level
+// admission control. Configure it before the first invocation; the fields
+// are read concurrently afterwards.
 type ResiliencePolicy struct {
 	// MaxRetries caps the CGRA re-execution attempts per invocation after
 	// a detected fault; the host fallback runs when they are exhausted.
@@ -73,10 +105,38 @@ type ResiliencePolicy struct {
 	// attempt, so a pathological degraded composition cannot stall the
 	// system inside the compiler (0 = the scheduler default).
 	CompileBudget int
-	// WatchdogCycles is the simulator cycle budget per CGRA run; a
-	// corrupted condition can trap a schedule in an infinite loop, and the
-	// watchdog converts that into a detected fault (0 = 10M cycles).
+	// CompileDeadline bounds the wall time of one synthesis attempt; an
+	// expired deadline cancels the compile cooperatively (the scheduler
+	// checks it every time step) and counts as a synthesis failure
+	// (0 = 10s).
+	CompileDeadline time.Duration
+	// SynthWorkers sizes the background synthesis worker pool (0 = 2).
+	SynthWorkers int
+	// SynthQueue bounds the synthesis queue; requests beyond it are shed
+	// and re-admitted by a later profiled host run (0 = 16).
+	SynthQueue int
+	// WatchdogCycles is the hard upper bound on the simulator cycle budget
+	// per CGRA run (0 = 10M cycles). Kernels with a host profile get a far
+	// tighter per-kernel budget (see WatchdogFactor).
 	WatchdogCycles int64
+	// WatchdogFactor derives the per-kernel cycle budget from the profiled
+	// AMIDAR cost: budget = factor × max observed host cycles, clamped to
+	// [50k, WatchdogCycles]. The accelerator is profitable only well below
+	// host cost, so a run exceeding this is livelocked (0 = 16).
+	WatchdogFactor int64
+	// RetryBackoff is the base delay between recovery re-executions; it
+	// doubles per attempt with jitter, clamped to RetryBackoffMax
+	// (0 = 200µs).
+	RetryBackoff time.Duration
+	// RetryBackoffMax clamps the exponential backoff (0 = 20ms).
+	RetryBackoffMax time.Duration
+	// BreakerThreshold is the consecutive-failure count (synthesis
+	// failures or fault detections) that trips a kernel's circuit breaker
+	// to host-only execution (0 = 5).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before a
+	// half-open probe is admitted (0 = 250ms).
+	BreakerCooldown time.Duration
 	// CrossCheck verifies every CGRA run's live-outs and heap effects
 	// against the reference interpreter. It is forced on while a fault
 	// plan is armed; enabling it without faults turns the system into a
@@ -87,13 +147,67 @@ type ResiliencePolicy struct {
 // DefaultResiliencePolicy returns the production defaults.
 func DefaultResiliencePolicy() ResiliencePolicy {
 	return ResiliencePolicy{
-		MaxRetries:     3,
-		CompileBudget:  100_000,
-		WatchdogCycles: 10_000_000,
+		MaxRetries:       3,
+		CompileBudget:    100_000,
+		CompileDeadline:  10 * time.Second,
+		SynthWorkers:     2,
+		SynthQueue:       16,
+		WatchdogCycles:   10_000_000,
+		WatchdogFactor:   16,
+		RetryBackoff:     200 * time.Microsecond,
+		RetryBackoffMax:  20 * time.Millisecond,
+		BreakerThreshold: 5,
+		BreakerCooldown:  250 * time.Millisecond,
 	}
 }
 
-// System is one host processor with an attached CGRA.
+// entry is one compiled kernel as installed in the dispatch snapshot. It
+// pins everything an accelerated run needs, so a run started on a stale
+// snapshot stays internally consistent even while the array degrades.
+type entry struct {
+	c *pipeline.Compiled
+	// ref is the inlined kernel the entry was built from; the cross-check
+	// interprets it as the golden model.
+	ref *ir.Kernel
+	// phys maps the entry's logical PE indices to physical PEs (nil =
+	// identity, i.e. compiled for the undegraded array).
+	phys []int
+	// maxCycles is the per-kernel watchdog budget (see WatchdogFactor).
+	maxCycles int64
+	// br is the kernel's circuit breaker (shared across entries).
+	br *breaker
+}
+
+// sysState is the immutable dispatch snapshot behind the atomic pointer.
+// Readers Load it once and work on a consistent view; writers clone,
+// mutate and swap under the system lock.
+type sysState struct {
+	// gen counts degradations; a synthesis job compiled against an older
+	// generation is stale and discarded instead of installed.
+	gen      uint64
+	kernels  map[string]*ir.Kernel
+	compiled map[string]*entry
+	// target is the composition synthesis currently aims at: the full
+	// array, or the degraded composition once permanent faults were
+	// masked.
+	target *arch.Composition
+	// phys maps the target's logical PE indices to physical PEs (nil =
+	// identity).
+	phys []int
+}
+
+func (st *sysState) clone() *sysState {
+	return &sysState{
+		gen:      st.gen,
+		kernels:  maps.Clone(st.kernels),
+		compiled: maps.Clone(st.compiled),
+		target:   st.target,
+		phys:     st.phys,
+	}
+}
+
+// System is one host processor with an attached CGRA, serving concurrent
+// invocations.
 type System struct {
 	Comp *arch.Composition
 	Opts pipeline.Options
@@ -102,25 +216,42 @@ type System struct {
 	Threshold int64
 	// Cost prices host execution (default: the calibrated model).
 	Cost amidar.CostModel
-	// Policy tunes fault detection and recovery.
+	// Policy tunes fault detection, recovery and admission control.
 	Policy ResiliencePolicy
 
-	// mu serializes invocations and guards every map below. Invocations
-	// must serialize anyway: the fault injector and the dispatch table
-	// mutate during runs. Metric reads (Stats, Metrics) do NOT take mu —
-	// the registry counters are atomic, so scrapes never block behind a
-	// running invocation.
-	mu sync.Mutex
+	// state is the lock-free dispatch snapshot consulted by every
+	// invocation.
+	state atomic.Pointer[sysState]
+	// inj is the armed fault plan (nil pointer = fault-free hardware).
+	inj atomic.Pointer[fault.Injector]
 
-	kernels  map[string]*ir.Kernel
-	compiled map[string]*pipeline.Compiled
-	// reference holds the inlined kernel each compiled entry was built
-	// from; the cross-check interprets it as the golden model.
-	reference map[string]*ir.Kernel
-	weights   map[string]int64
-	// hostOnly marks kernels the degraded array can no longer map; they
-	// execute on the host permanently.
+	// mu guards the profiling and recovery bookkeeping below plus every
+	// state-snapshot swap. The hot dispatch path (already-synthesized
+	// kernel, no fault) never takes it.
+	mu      sync.Mutex
+	weights map[string]int64
+	// hostRuns / hostMaxCycles profile the AMIDAR cost per kernel; the
+	// per-kernel watchdog budget derives from them.
+	hostRuns      map[string]int64
+	hostMaxCycles map[string]int64
+	// hostOnly marks kernels the (degraded) array can definitively not
+	// map; they execute on the host permanently. Transient failures go
+	// through the circuit breaker instead.
 	hostOnly map[string]bool
+	// pendingSynth implements singleflight: at most one queued or running
+	// synthesis job per kernel.
+	pendingSynth map[string]bool
+	breakers     map[string]*breaker
+	// deadPEs / deadLinks accumulate masked hardware, in physical indices.
+	deadPEs   map[int]bool
+	deadLinks map[[2]int]bool
+
+	// Synthesis worker pool (see synth.go).
+	poolOnce sync.Once
+	queue    chan synthJob
+	stop     chan struct{}
+	jobs     sync.WaitGroup
+	closed   atomic.Bool
 
 	// reg holds the authoritative counters plus compile-phase metrics of
 	// every synthesis run.
@@ -129,18 +260,6 @@ type System struct {
 	// seqMu guards synthSeq so Stats can snapshot it without taking mu.
 	seqMu    sync.Mutex
 	synthSeq []string
-
-	// inj is the armed fault plan (nil = fault-free hardware).
-	inj *fault.Injector
-	// target is the composition synthesis currently aims at: Comp, or the
-	// degraded composition once permanent faults were masked.
-	target *arch.Composition
-	// phys maps the target's logical PE indices to physical PEs of Comp
-	// (nil = identity, i.e. target == Comp).
-	phys []int
-	// deadPEs / deadLinks accumulate masked hardware, in physical indices.
-	deadPEs   map[int]bool
-	deadLinks map[[2]int]bool
 }
 
 // sysCounters holds the registry handles behind Stats, resolved once at
@@ -155,32 +274,49 @@ type sysCounters struct {
 	resyntheses    *obs.Counter
 	fallbacks      *obs.Counter
 	faultsInjected *obs.Gauge
+	queueDepth     *obs.Gauge
+	sheds          *obs.Counter
+	retries        *obs.Counter
+	deadlineHits   *obs.Counter
 }
 
 // New builds a system around a composition.
 func New(comp *arch.Composition, opts pipeline.Options, threshold int64) *System {
 	s := &System{
-		Comp:      comp,
-		Opts:      opts,
-		Threshold: threshold,
-		Cost:      amidar.DefaultCostModel(),
-		Policy:    DefaultResiliencePolicy(),
-		kernels:   map[string]*ir.Kernel{},
-		compiled:  map[string]*pipeline.Compiled{},
-		reference: map[string]*ir.Kernel{},
-		weights:   map[string]int64{},
-		hostOnly:  map[string]bool{},
-		reg:       obs.NewRegistry(),
-		target:    comp,
-		deadPEs:   map[int]bool{},
-		deadLinks: map[[2]int]bool{},
+		Comp:          comp,
+		Opts:          opts,
+		Threshold:     threshold,
+		Cost:          amidar.DefaultCostModel(),
+		Policy:        DefaultResiliencePolicy(),
+		weights:       map[string]int64{},
+		hostRuns:      map[string]int64{},
+		hostMaxCycles: map[string]int64{},
+		hostOnly:      map[string]bool{},
+		pendingSynth:  map[string]bool{},
+		breakers:      map[string]*breaker{},
+		deadPEs:       map[int]bool{},
+		deadLinks:     map[[2]int]bool{},
+		stop:          make(chan struct{}),
+		reg:           obs.NewRegistry(),
 	}
+	s.state.Store(&sysState{
+		kernels:  map[string]*ir.Kernel{},
+		compiled: map[string]*entry{},
+		target:   comp,
+	})
 	s.reg.Help("cgra_system_invocations_total", "kernel invocations through the system")
 	s.reg.Help("cgra_system_runs_total", "executions by engine (amidar host or cgra)")
 	s.reg.Help("cgra_system_cycles_total", "cycles spent by engine (amidar host or cgra)")
 	s.reg.Help("cgra_system_faults_detected_total", "CGRA runs rejected by watchdog, simulator or cross-check")
 	s.reg.Help("cgra_system_resyntheses_total", "successful re-compilations onto a degraded composition")
 	s.reg.Help("cgra_system_fallbacks_total", "invocations completed on the host after a detected fault")
+	s.reg.Help("cgra_synth_queue_depth", "synthesis jobs currently queued")
+	s.reg.Help("cgra_synth_shed_total", "synthesis requests dropped by the bounded queue")
+	s.reg.Help("cgra_synth_jobs_total", "completed synthesis jobs by result (ok, error, deadline, stale)")
+	s.reg.Help("cgra_recovery_retries_total", "accelerated re-execution attempts of the recovery loop")
+	s.reg.Help("cgra_compile_deadline_hits_total", "synthesis attempts aborted by the compile deadline")
+	s.reg.Help("cgra_breaker_state", "per-kernel circuit breaker state (0 closed, 1 open, 2 half-open)")
+	s.reg.Help("cgra_breaker_transitions_total", "circuit breaker transitions by kernel and target state")
 	s.ctr = sysCounters{
 		invocations:    s.reg.Counter("cgra_system_invocations_total"),
 		amidarRuns:     s.reg.Counter("cgra_system_runs_total", obs.L("engine", "amidar")),
@@ -191,13 +327,18 @@ func New(comp *arch.Composition, opts pipeline.Options, threshold int64) *System
 		resyntheses:    s.reg.Counter("cgra_system_resyntheses_total"),
 		fallbacks:      s.reg.Counter("cgra_system_fallbacks_total"),
 		faultsInjected: s.reg.Gauge("cgra_system_faults_injected"),
+		queueDepth:     s.reg.Gauge("cgra_synth_queue_depth"),
+		sheds:          s.reg.Counter("cgra_synth_shed_total"),
+		retries:        s.reg.Counter("cgra_recovery_retries_total"),
+		deadlineHits:   s.reg.Counter("cgra_compile_deadline_hits_total"),
 	}
 	return s
 }
 
 // Metrics returns the system's registry: invocation counters, per-engine
-// cycles, fault/recovery counters, and the compile-phase metrics of the
-// most recent synthesis. Safe to scrape concurrently with invocations.
+// cycles, fault/recovery counters, queue and breaker gauges, and the
+// compile-phase metrics of the most recent synthesis. Safe to scrape
+// concurrently with invocations.
 func (s *System) Metrics() *obs.Registry { return s.reg }
 
 // InjectFaults arms a deterministic fault plan against the system's CGRA.
@@ -208,21 +349,18 @@ func (s *System) InjectFaults(plan fault.Plan) error {
 	if err != nil {
 		return fmt.Errorf("system: %v", err)
 	}
-	s.mu.Lock()
-	s.inj = inj
-	s.mu.Unlock()
+	s.inj.Store(inj)
 	return nil
 }
 
 // DegradedComposition returns the composition synthesis currently targets
 // when hardware has been masked, or nil while the full array is in use.
 func (s *System) DegradedComposition() *arch.Composition {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.target == s.Comp {
+	st := s.state.Load()
+	if st.target == s.Comp {
 		return nil
 	}
-	return s.target
+	return st.target
 }
 
 // MaskedPEs returns the physical indices of PEs masked by degradation.
@@ -242,67 +380,151 @@ func (s *System) MaskedPEs() []int {
 func (s *System) Register(k *ir.Kernel) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, dup := s.kernels[k.Name]; dup {
+	st := s.state.Load()
+	if _, dup := st.kernels[k.Name]; dup {
 		return fmt.Errorf("system: kernel %q already registered", k.Name)
 	}
-	s.kernels[k.Name] = k
+	ns := st.clone()
+	ns.kernels[k.Name] = k
+	s.state.Store(ns)
 	return nil
 }
 
-// Invoke executes one kernel invocation: on the CGRA when the sequence has
-// been synthesized, otherwise on the host — synthesizing afterwards when
-// the profile weight crosses the threshold. Detected accelerator faults
-// are recovered transparently (retry, degraded re-synthesis, host
-// fallback); Invoke returns an error only for caller mistakes (unknown
-// kernel, bad arguments) or host-side failures.
-//
-// Invoke is safe for concurrent use; invocations serialize on the system
-// lock (the fault injector, the profiler and the dispatch table all
-// mutate during a run).
+// Invoke executes one kernel invocation with no caller deadline.
 func (s *System) Invoke(name string, args map[string]int32, host *ir.Host) (*Result, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	defer func() { s.ctr.faultsInjected.SetInt(s.inj.Injections()) }()
-	k := s.kernels[name]
+	return s.InvokeCtx(context.Background(), name, args, host)
+}
+
+// InvokeCtx executes one kernel invocation: on the CGRA when the sequence
+// has been synthesized, otherwise on the host — enqueuing background
+// synthesis when the profile weight crosses the threshold. Detected
+// accelerator faults are recovered transparently (retries with backoff,
+// degraded re-synthesis, host fallback); InvokeCtx returns an error only
+// for caller mistakes (unknown kernel, bad arguments), host-side failures,
+// or a cancelled context.
+//
+// InvokeCtx is safe for concurrent use and the hot path (synthesized
+// kernel, fault-free hardware) is lock-free; invocations of different
+// kernels — and of the same kernel — proceed in parallel. The host heap
+// passed in must not be shared between concurrent invocations.
+func (s *System) InvokeCtx(ctx context.Context, name string, args map[string]int32, host *ir.Host) (*Result, error) {
+	st := s.state.Load()
+	k := st.kernels[name]
 	if k == nil {
 		return nil, fmt.Errorf("system: unknown kernel %q", name)
 	}
 	s.ctr.invocations.Add(1)
+	defer func() { s.ctr.faultsInjected.SetInt(s.inj.Load().Injections()) }()
 
-	if c := s.compiled[name]; c != nil {
-		res, err := s.runAccelerated(name, c, args, host)
+	if ent := st.compiled[name]; ent != nil {
+		if !ent.br.allow(time.Now(), s.breakerCooldown()) {
+			// Breaker open: shed to the host without profiling (the kernel
+			// is already synthesized; re-synthesis is not what it needs).
+			return s.runHost(ctx, name, k, args, host, false)
+		}
+		res, err := s.runAccelerated(ctx, name, ent, args, host)
 		if err == nil {
+			ent.br.success()
 			return res, nil
 		}
+		if ctx.Err() != nil {
+			// Caller cancellation is not a hardware fault; surface it.
+			return nil, err
+		}
 		s.ctr.faultsDetected.Add(1)
-		return s.recoverInvocation(name, args, host)
+		ent.br.failure(time.Now(), s.breakerThreshold())
+		return s.recoverInvocation(ctx, name, args, host)
 	}
-	return s.runHost(name, k, args, host, !s.hostOnly[name])
+	return s.runHost(ctx, name, k, args, host, !s.isHostOnly(name))
+}
+
+func (s *System) isHostOnly(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hostOnly[name]
+}
+
+func (s *System) breakerCooldown() time.Duration {
+	if d := s.Policy.BreakerCooldown; d > 0 {
+		return d
+	}
+	return 250 * time.Millisecond
+}
+
+func (s *System) breakerThreshold() int {
+	if n := s.Policy.BreakerThreshold; n > 0 {
+		return n
+	}
+	return 5
+}
+
+// breakerFor returns (creating on demand) the named kernel's breaker.
+func (s *System) breakerFor(name string) *breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.breakerForLocked(name)
+}
+
+func (s *System) breakerForLocked(name string) *breaker {
+	b := s.breakers[name]
+	if b == nil {
+		stateG := s.reg.Gauge("cgra_breaker_state", obs.L("kernel", name))
+		stateG.SetInt(int64(brClosed))
+		b = &breaker{notify: func(to breakerState) {
+			stateG.SetInt(int64(to))
+			s.reg.Counter("cgra_breaker_transitions_total",
+				obs.L("kernel", name), obs.L("to", to.String())).Inc()
+		}}
+		s.breakers[name] = b
+	}
+	return b
+}
+
+// BreakerState reports the named kernel's circuit-breaker state:
+// "closed", "open" or "half_open".
+func (s *System) BreakerState(name string) string {
+	return s.breakerFor(name).current().String()
 }
 
 // runHost executes on the AMIDAR host; when profile is true the profiler
-// accumulates the kernel's weight and may trigger synthesis.
-func (s *System) runHost(name string, k *ir.Kernel, args map[string]int32, host *ir.Host, profile bool) (*Result, error) {
-	base, err := amidar.ExecuteProgram(k, s.kernels, s.Cost, args, host)
+// accumulates the kernel's weight and may enqueue background synthesis.
+func (s *System) runHost(ctx context.Context, name string, k *ir.Kernel, args map[string]int32, host *ir.Host, profile bool) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("system: invocation of %q cancelled: %w", name, err)
+	}
+	st := s.state.Load()
+	base, err := amidar.ExecuteProgram(k, st.kernels, s.Cost, args, host)
 	if err != nil {
 		return nil, fmt.Errorf("system: AMIDAR run of %q: %v", name, err)
 	}
 	s.ctr.amidarRuns.Add(1)
 	s.ctr.amidarCycles.Add(base.Cycles)
 	result := &Result{LiveOuts: base.LiveOuts, Cycles: base.Cycles}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hostRuns[name]++
+	if base.Cycles > s.hostMaxCycles[name] {
+		s.hostMaxCycles[name] = base.Cycles
+	}
 	if !profile {
 		return result, nil
 	}
 	s.weights[name] += base.Cycles
-	if s.weights[name] >= s.Threshold {
-		// A kernel the (possibly degraded) array cannot map stays on the
-		// host permanently — graceful degradation, not an error.
-		if err := s.synthesize(name); err != nil {
-			s.hostOnly[name] = true
-			s.ctr.fallbacks.Add(1)
-			return result, nil
-		}
+	if s.weights[name] < s.Threshold || s.hostOnly[name] || s.pendingSynth[name] {
+		return result, nil
+	}
+	if cur := s.state.Load(); cur.compiled[name] != nil {
+		return result, nil
+	}
+	br := s.breakerForLocked(name)
+	if !br.allow(time.Now(), s.breakerCooldown()) {
+		return result, nil
+	}
+	if s.enqueueSynthLocked(name) {
 		result.Synthesized = true
+	} else {
+		br.cancelProbe()
 	}
 	return result, nil
 }
@@ -311,23 +533,24 @@ func (s *System) runHost(name string, k *ir.Kernel, args map[string]int32, host 
 // or configured) the reference cross-check. The caller's heap is only
 // mutated when the run is accepted, so a rejected run leaves clean state
 // for the retry.
-func (s *System) runAccelerated(name string, c *pipeline.Compiled, args map[string]int32, host *ir.Host) (*Result, error) {
-	m := sim.New(c.Program)
-	m.Inject = s.inj
-	m.PhysPE = s.phys
-	m.MaxCycles = s.Policy.WatchdogCycles
+func (s *System) runAccelerated(ctx context.Context, name string, ent *entry, args map[string]int32, host *ir.Host) (*Result, error) {
+	inj := s.inj.Load()
+	m := sim.New(ent.c.Program)
+	m.Inject = inj
+	m.PhysPE = ent.phys
+	m.MaxCycles = ent.maxCycles
 	if m.MaxCycles == 0 {
-		m.MaxCycles = 10_000_000
+		m.MaxCycles = s.watchdogCap()
 	}
 	scratch := host.Clone()
-	res, err := m.Run(args, scratch)
+	res, err := m.RunCtx(ctx, args, scratch)
 	if err != nil {
-		return nil, fmt.Errorf("system: CGRA run of %q: %v", name, err)
+		return nil, fmt.Errorf("system: CGRA run of %q: %w", name, err)
 	}
-	if s.Policy.CrossCheck || s.inj != nil {
-		ref := s.reference[name]
+	if s.Policy.CrossCheck || inj != nil {
+		ref := ent.ref
 		if ref == nil {
-			ref = s.kernels[name]
+			ref = s.state.Load().kernels[name]
 		}
 		refHost := host.Clone()
 		refOuts, err := (&ir.Interp{}).Run(ref, args, refHost)
@@ -352,34 +575,105 @@ func (s *System) runAccelerated(name string, c *pipeline.Compiled, args map[stri
 	return &Result{LiveOuts: res.LiveOuts, Cycles: res.TotalCycles(), OnCGRA: true}, nil
 }
 
+func (s *System) watchdogCap() int64 {
+	if c := s.Policy.WatchdogCycles; c > 0 {
+		return c
+	}
+	return 10_000_000
+}
+
+// cycleBudgetLocked derives the per-kernel watchdog budget from the AMIDAR
+// host-cycle profile: WatchdogFactor × the largest observed host run,
+// clamped to [50k, WatchdogCycles]. The accelerator is only deployed when
+// it beats the host by a wide margin, so a CGRA run burning a multiple of
+// the host cost is livelocked and the watchdog converts it into a detected
+// fault quickly — instead of burning the global 10M-cycle default.
+func (s *System) cycleBudgetLocked(name string) int64 {
+	cap := s.watchdogCap()
+	est := s.hostMaxCycles[name]
+	if est <= 0 {
+		return cap
+	}
+	factor := s.Policy.WatchdogFactor
+	if factor <= 0 {
+		factor = 16
+	}
+	budget := factor * est
+	const floor = 50_000
+	if budget < floor {
+		budget = floor
+	}
+	if budget > cap {
+		budget = cap
+	}
+	return budget
+}
+
 // recoverInvocation drives the recovery policy after a detected fault:
 // mask newly diagnosed permanent faults and re-synthesize onto the
-// degraded composition, re-execute up to the retry cap, and finally fall
-// back to host execution.
-func (s *System) recoverInvocation(name string, args map[string]int32, host *ir.Host) (*Result, error) {
+// degraded composition, re-execute up to the retry cap — each attempt
+// paced by exponential backoff with jitter — and finally fall back to host
+// execution.
+func (s *System) recoverInvocation(ctx context.Context, name string, args map[string]int32, host *ir.Host) (*Result, error) {
+	br := s.breakerFor(name)
+	backoff := s.Policy.RetryBackoff
+	if backoff <= 0 {
+		backoff = 200 * time.Microsecond
+	}
+	maxBackoff := s.Policy.RetryBackoffMax
+	if maxBackoff <= 0 {
+		maxBackoff = 20 * time.Millisecond
+	}
 	for attempt := 0; attempt < s.Policy.MaxRetries; attempt++ {
-		if perm := s.newPermanentFaults(); len(perm) > 0 {
-			if !s.degrade(perm) || s.resynthesize(name) != nil {
-				// The surviving array is unusable or cannot map the
-				// kernel: permanent host fallback.
-				delete(s.compiled, name)
+		if sleepCtx(ctx, jitter(backoff)) != nil {
+			break
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+		s.mu.Lock()
+		if perm := s.newPermanentFaultsLocked(); len(perm) > 0 {
+			if !s.degradeLocked(perm) {
+				// The surviving array is unusable: permanent host fallback.
+				s.dropCompiledLocked(name)
 				s.hostOnly[name] = true
+				s.mu.Unlock()
+				break
+			}
+			if err := s.resynthesizeLocked(ctx, name); err != nil {
+				// The degraded array cannot map the kernel: permanent host
+				// fallback — unless the compile merely hit its deadline, in
+				// which case a later profiled run may retry synthesis.
+				if !errIsDeadline(err) {
+					s.hostOnly[name] = true
+				}
+				s.mu.Unlock()
 				break
 			}
 		}
-		c := s.compiled[name]
-		if c == nil {
+		ent := s.state.Load().compiled[name]
+		s.mu.Unlock()
+		if ent == nil {
 			break
 		}
-		res, err := s.runAccelerated(name, c, args, host)
+		if !br.allow(time.Now(), s.breakerCooldown()) {
+			break
+		}
+		s.ctr.retries.Add(1)
+		res, err := s.runAccelerated(ctx, name, ent, args, host)
 		if err == nil {
+			br.success()
 			res.Recovered = true
 			return res, nil
 		}
+		if ctx.Err() != nil {
+			break
+		}
 		s.ctr.faultsDetected.Add(1)
+		br.failure(time.Now(), s.breakerThreshold())
 	}
 	s.ctr.fallbacks.Add(1)
-	res, err := s.runHost(name, s.kernels[name], args, host, false)
+	res, err := s.runHost(ctx, name, s.state.Load().kernels[name], args, host, false)
 	if err != nil {
 		return nil, err
 	}
@@ -387,10 +681,36 @@ func (s *System) recoverInvocation(name string, args map[string]int32, host *ir.
 	return res, nil
 }
 
-// newPermanentFaults lists manifested permanent faults not yet masked.
-func (s *System) newPermanentFaults() []fault.Fault {
+// jitter spreads a backoff delay over [d/2, d) so concurrent recoveries
+// desynchronize instead of hammering the array in lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)))
+}
+
+// sleepCtx sleeps for d or until the context is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// newPermanentFaultsLocked lists manifested permanent faults not yet
+// masked.
+func (s *System) newPermanentFaultsLocked() []fault.Fault {
 	var out []fault.Fault
-	for _, f := range s.inj.ManifestedPermanent() {
+	for _, f := range s.inj.Load().ManifestedPermanent() {
 		switch f.Kind {
 		case fault.PermanentPE:
 			if !s.deadPEs[f.PE] {
@@ -405,10 +725,13 @@ func (s *System) newPermanentFaults() []fault.Fault {
 	return out
 }
 
-// degrade masks the given faults out of the array and recomputes the
+// degradeLocked masks the given faults out of the array and recomputes the
 // synthesis target (all-pairs routing is rebuilt by the scheduler on the
-// new composition). Returns false when the surviving array is unusable.
-func (s *System) degrade(faults []fault.Fault) bool {
+// new composition). Every compiled kernel targeted the old array, so the
+// dispatch entries are dropped and the generation bumped: in-flight
+// synthesis jobs against the old target land stale and are discarded.
+// Returns false when the surviving array is unusable.
+func (s *System) degradeLocked(faults []fault.Fault) bool {
 	for _, f := range faults {
 		switch f.Kind {
 		case fault.PermanentPE:
@@ -421,31 +744,70 @@ func (s *System) degrade(faults []fault.Fault) bool {
 	if err != nil {
 		return false
 	}
-	s.target = d.Comp
-	s.phys = d.PhysOf
-	// Every compiled kernel targeted the old array; drop the dispatch
-	// entries so the profiler re-synthesizes them onto the degraded one.
-	s.compiled = map[string]*pipeline.Compiled{}
+	cur := s.state.Load()
+	s.state.Store(&sysState{
+		gen:      cur.gen + 1,
+		kernels:  cur.kernels,
+		compiled: map[string]*entry{},
+		target:   d.Comp,
+		phys:     d.PhysOf,
+	})
 	return true
 }
 
-// resynthesize recompiles one kernel onto the current (degraded) target.
-func (s *System) resynthesize(name string) error {
-	if err := s.synthesize(name); err != nil {
+func (s *System) dropCompiledLocked(name string) {
+	cur := s.state.Load()
+	if cur.compiled[name] == nil {
+		return
+	}
+	ns := cur.clone()
+	delete(ns.compiled, name)
+	s.state.Store(ns)
+}
+
+// resynthesizeLocked recompiles one kernel onto the current (degraded)
+// target, synchronously — degradation is a stop-the-world event and the
+// invocation being recovered needs the result. The compile still honors
+// the deadline.
+func (s *System) resynthesizeLocked(ctx context.Context, name string) error {
+	ent, err := s.compileKernel(s.compileCtx(ctx), name)
+	if err != nil {
 		return err
 	}
+	s.installLocked(name, ent)
 	s.ctr.resyntheses.Add(1)
 	return nil
 }
 
-// synthesize runs the tool flow for the kernel (inlining its calls against
-// the registered library) and patches the dispatch table. The compile
-// budget caps the scheduler's cycle horizon per attempt.
-func (s *System) synthesize(name string) error {
-	prog := &ir.Program{Kernels: s.kernels, Entry: name}
+// compileCtx derives the compile-deadline context for one synthesis
+// attempt. The returned cancel func is leaked deliberately: the deadline
+// firing is the only cancellation path and the timer is short-lived.
+func (s *System) compileCtx(parent context.Context) context.Context {
+	d := s.Policy.CompileDeadline
+	if d <= 0 {
+		d = 10 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(parent, d)
+	_ = cancel
+	return ctx
+}
+
+// compileKernel runs the tool flow for the kernel (inlining its calls
+// against the registered library) targeting the current snapshot's
+// composition. It takes no locks and is called from the worker pool and —
+// under the system lock — from the recovery path. A compiler panic is
+// converted into an error so a worker goroutine never dies.
+func (s *System) compileKernel(ctx context.Context, name string) (ent *entry, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ent, err = nil, fmt.Errorf("system: internal error synthesizing %q: %v", name, r)
+		}
+	}()
+	st := s.state.Load()
+	prog := &ir.Program{Kernels: st.kernels, Entry: name}
 	flat, err := opt.Inline(prog)
 	if err != nil {
-		return fmt.Errorf("system: inline %q: %v", name, err)
+		return nil, fmt.Errorf("system: inline %q: %v", name, err)
 	}
 	opts := s.Opts
 	if s.Policy.CompileBudget > 0 {
@@ -453,28 +815,42 @@ func (s *System) synthesize(name string) error {
 	}
 	// Compile-phase timings and sizes land in the system registry.
 	opts.Obs = s.reg
-	c, err := pipeline.Compile(flat, s.target, opts)
+	c, err := pipeline.CompileCtx(ctx, flat, st.target, opts)
 	if err != nil {
-		return fmt.Errorf("system: synthesize %q: %v", name, err)
+		return nil, fmt.Errorf("system: synthesize %q: %w", name, err)
 	}
-	s.compiled[name] = c
-	s.reference[name] = flat
+	return &entry{c: c, ref: flat, phys: st.phys}, nil
+}
+
+// installLocked patches the dispatch snapshot with a freshly compiled
+// kernel.
+func (s *System) installLocked(name string, ent *entry) {
+	ent.maxCycles = s.cycleBudgetLocked(name)
+	ent.br = s.breakerForLocked(name)
+	cur := s.state.Load()
+	ns := cur.clone()
+	ns.compiled[name] = ent
+	s.state.Store(ns)
 	s.seqMu.Lock()
 	s.synthSeq = append(s.synthSeq, name)
 	s.seqMu.Unlock()
-	return nil
 }
 
-// Synthesize forces immediate synthesis of a registered kernel, bypassing
-// the profiling threshold (used by tools that want the accelerated path
-// from the first invocation).
+// Synthesize forces immediate, synchronous synthesis of a registered
+// kernel, bypassing the profiling threshold (used by tools that want the
+// accelerated path from the first invocation).
 func (s *System) Synthesize(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.kernels[name] == nil {
+	if s.state.Load().kernels[name] == nil {
 		return fmt.Errorf("system: unknown kernel %q", name)
 	}
-	return s.synthesize(name)
+	ent, err := s.compileKernel(s.compileCtx(context.Background()), name)
+	if err != nil {
+		return err
+	}
+	s.installLocked(name, ent)
+	return nil
 }
 
 // Stats returns a snapshot of the accumulated counters. It reads atomic
@@ -495,14 +871,15 @@ func (s *System) Stats() Stats {
 		FaultsDetected: s.ctr.faultsDetected.Value(),
 		Resyntheses:    s.ctr.resyntheses.Value(),
 		Fallbacks:      s.ctr.fallbacks.Value(),
+		SynthSheds:     s.ctr.sheds.Value(),
+		Retries:        s.ctr.retries.Value(),
+		DeadlineHits:   s.ctr.deadlineHits.Value(),
 	}
 }
 
 // Synthesized reports whether the named kernel runs on the CGRA.
 func (s *System) Synthesized(name string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.compiled[name] != nil
+	return s.state.Load().compiled[name] != nil
 }
 
 // Profile lists the host-cycle weights observed so far, heaviest first.
@@ -537,4 +914,10 @@ func (s *System) Profile() []struct {
 		}{r.Name, r.Cycles}
 	}
 	return out
+}
+
+// errIsDeadline reports whether a synthesis error was a deadline or
+// cancellation abort rather than a genuine mapping failure.
+func errIsDeadline(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
 }

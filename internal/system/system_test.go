@@ -53,6 +53,9 @@ func TestOnlineSynthesisTransition(t *testing.T) {
 		}
 		if res.Synthesized {
 			sawSynthesis = true
+			// Synthesis runs in the background; wait for it to land so the
+			// remaining invocations exercise the accelerated path.
+			s.Quiesce()
 		}
 		if res.OnCGRA {
 			onCGRA++
@@ -137,6 +140,9 @@ kernel abs(inout x) { if (x < 0) { x = 0 - x; } }`)
 		if err != nil {
 			t.Fatalf("invocation %d: %v", i, err)
 		}
+		if res.Synthesized {
+			s.Quiesce()
+		}
 		results = append(results, res.LiveOuts["s"])
 	}
 	for i, r := range results {
@@ -182,6 +188,61 @@ func TestUnknownKernel(t *testing.T) {
 	if err := s.Register(mustParse(t, `kernel k(inout r) { r = 2; }`)); err == nil {
 		t.Error("duplicate registration accepted")
 	}
+}
+
+// TestPerKernelWatchdogBudget: a kernel that reached the CGRA through
+// profiling gets a watchdog budget derived from its observed AMIDAR cost —
+// far tighter than the global cap — while a force-synthesized kernel with
+// no profile keeps the cap.
+func TestPerKernelWatchdogBudget(t *testing.T) {
+	s := newSystem(t, 15_000)
+	defer s.Close()
+	if err := s.Register(mustParse(t, dotSrc)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		res, err := s.Invoke("dot", map[string]int32{"n": 8, "s": 0}, dotHost())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Synthesized {
+			s.Quiesce()
+		}
+	}
+	ent := s.state.Load().compiled["dot"]
+	if ent == nil {
+		t.Fatal("dot not synthesized")
+	}
+	cap := s.watchdogCap()
+	if ent.maxCycles <= 0 || ent.maxCycles >= cap {
+		t.Errorf("profiled budget = %d, want derived value below the %d cap", ent.maxCycles, cap)
+	}
+	s.mu.Lock()
+	factor := s.Policy.WatchdogFactor * s.hostMaxCycles["dot"]
+	s.mu.Unlock()
+	if want := max64(factor, 50_000); ent.maxCycles != want {
+		t.Errorf("budget = %d, want WatchdogFactor×hostMax clamped = %d", ent.maxCycles, want)
+	}
+
+	// No profile: the forced synthesis path keeps the global cap.
+	s2 := newSystem(t, 15_000)
+	defer s2.Close()
+	if err := s2.Register(mustParse(t, dotSrc)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Synthesize("dot"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.state.Load().compiled["dot"].maxCycles; got != s2.watchdogCap() {
+		t.Errorf("unprofiled budget = %d, want the %d cap", got, s2.watchdogCap())
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func mustParse(t testing.TB, src string) *ir.Kernel {
