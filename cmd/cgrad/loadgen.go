@@ -1,0 +1,258 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cgra/internal/adpcm"
+	"cgra/internal/ir"
+	"cgra/internal/irtext"
+	"cgra/internal/server"
+	"cgra/internal/workload"
+)
+
+type loadgenConfig struct {
+	Target     string
+	Clients    int
+	Iters      int
+	BenchJSON  string
+	ExpectWarm bool
+}
+
+// lgKernel is one kernel of the mixed load set with everything needed to
+// submit and reference-check it.
+type lgKernel struct {
+	name   string
+	source string
+	kernel *ir.Kernel
+	args   map[string]int32
+	arrays map[string][]int32
+}
+
+// benchKernel is the per-kernel compile record of the report.
+type benchKernel struct {
+	Name       string  `json:"name"`
+	ColdMS     float64 `json:"cold_ms"`
+	ColdSource string  `json:"cold_source"`
+	WarmMS     float64 `json:"warm_ms"`
+	WarmSource string  `json:"warm_source"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// benchReport is BENCH_server.json.
+type benchReport struct {
+	Target     string        `json:"target"`
+	Clients    int           `json:"clients"`
+	Iters      int           `json:"iters"`
+	Kernels    []benchKernel `json:"kernels"`
+	Runs       int64         `json:"runs"`
+	RunErrors  int64         `json:"run_errors"`
+	OnCGRA     int64         `json:"on_cgra"`
+	WallMS     float64       `json:"wall_ms"`
+	RunsPerSec float64       `json:"runs_per_sec"`
+}
+
+// loadSet builds the mixed kernel set: representative workloads from the
+// library plus the paper's adpcm decoder.
+func loadSet() ([]*lgKernel, error) {
+	var set []*lgKernel
+	for _, name := range []string{"gcd", "fir", "dot", "bitcount"} {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		set = append(set, &lgKernel{
+			name:   w.Kernel.Name,
+			source: irtext.Print(w.Kernel),
+			kernel: w.Kernel,
+			args:   w.Args(w.DefaultSize),
+			arrays: w.Host(w.DefaultSize).Arrays,
+		})
+	}
+	const n = 32
+	samples := adpcm.GenerateSamples(n)
+	var encSt adpcm.State
+	codes, err := adpcm.Encode(samples, &encSt)
+	if err != nil {
+		return nil, err
+	}
+	k := adpcm.Kernel()
+	set = append(set, &lgKernel{
+		name:   k.Name,
+		source: adpcm.KernelSource,
+		kernel: k,
+		args:   adpcm.Args(n, adpcm.State{}),
+		arrays: adpcm.NewHost(codes, n).Arrays,
+	})
+	return set, nil
+}
+
+func (k *lgKernel) freshArgs() map[string]int32 {
+	out := make(map[string]int32, len(k.args))
+	for n, v := range k.args {
+		out[n] = v
+	}
+	return out
+}
+
+func (k *lgKernel) freshArrays() map[string][]int32 {
+	out := make(map[string][]int32, len(k.arrays))
+	for n, a := range k.arrays {
+		out[n] = append([]int32(nil), a...)
+	}
+	return out
+}
+
+// check verifies a run response against the reference interpreter.
+func (k *lgKernel) check(resp *server.RunResponse) error {
+	host := ir.NewHost()
+	host.Arrays = k.freshArrays()
+	want, err := (&ir.Interp{}).Run(k.kernel, k.freshArgs(), host)
+	if err != nil {
+		return fmt.Errorf("%s: reference: %v", k.name, err)
+	}
+	for out, wv := range want {
+		if got := resp.LiveOuts[out]; got != wv {
+			return fmt.Errorf("%s: live-out %q: daemon %d, reference %d", k.name, out, got, wv)
+		}
+	}
+	for arr, wv := range host.Arrays {
+		got := resp.Arrays[arr]
+		if len(got) != len(wv) {
+			return fmt.Errorf("%s: array %q: daemon returned %d elements, reference %d", k.name, arr, len(got), len(wv))
+		}
+		for i := range wv {
+			if got[i] != wv[i] {
+				return fmt.Errorf("%s: array %q[%d]: daemon %d, reference %d", k.name, arr, i, got[i], wv[i])
+			}
+		}
+	}
+	return nil
+}
+
+func runLoadgen(cfg loadgenConfig) error {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 1
+	}
+	set, err := loadSet()
+	if err != nil {
+		return err
+	}
+	c := server.NewClient(cfg.Target)
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		return fmt.Errorf("daemon not healthy at %s: %v", cfg.Target, err)
+	}
+
+	// Phase 1+2: cold compile each kernel, then recompile warm. The
+	// server-reported elapsed time isolates compile cost from the network.
+	report := benchReport{Target: cfg.Target, Clients: cfg.Clients, Iters: cfg.Iters}
+	for _, k := range set {
+		cold, err := c.Compile(ctx, k.source, 0)
+		if err != nil {
+			return fmt.Errorf("compile %s: %v", k.name, err)
+		}
+		if cfg.ExpectWarm && !cold.Cached {
+			return fmt.Errorf("compile %s: expected warm cache, got fresh compile", k.name)
+		}
+		warm, err := c.Compile(ctx, k.source, 0)
+		if err != nil {
+			return fmt.Errorf("recompile %s: %v", k.name, err)
+		}
+		if !warm.Cached {
+			return fmt.Errorf("recompile %s: not served from cache", k.name)
+		}
+		bk := benchKernel{
+			Name:       k.name,
+			ColdMS:     cold.ElapsedMS,
+			ColdSource: cold.Source,
+			WarmMS:     warm.ElapsedMS,
+			WarmSource: warm.Source,
+		}
+		// A warm serve regularly completes under the 1 µs measurement
+		// resolution; floor the denominator so the ratio stays finite.
+		warmMS := warm.ElapsedMS
+		if warmMS < 0.001 {
+			warmMS = 0.001
+		}
+		bk.Speedup = cold.ElapsedMS / warmMS
+		report.Kernels = append(report.Kernels, bk)
+		fmt.Printf("cgrad: %-14s cold %8.3f ms (%s)  warm %8.3f ms (%s)  speedup %.0fx\n",
+			k.name, bk.ColdMS, bk.ColdSource, bk.WarmMS, bk.WarmSource, bk.Speedup)
+	}
+
+	// Phase 3: concurrent reference-checked runs over the mixed set.
+	var runs, runErrors, onCGRA atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Clients)
+	for g := 0; g < cfg.Clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < cfg.Iters; i++ {
+				k := set[(g+i)%len(set)]
+				resp, err := c.Run(ctx, k.name, k.freshArgs(), k.freshArrays())
+				runs.Add(1)
+				if err != nil {
+					runErrors.Add(1)
+					select {
+					case errCh <- fmt.Errorf("run %s: %v", k.name, err):
+					default:
+					}
+					continue
+				}
+				if resp.OnCGRA {
+					onCGRA.Add(1)
+				}
+				if err := k.check(resp); err != nil {
+					runErrors.Add(1)
+					select {
+					case errCh <- err:
+					default:
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	report.Runs = runs.Load()
+	report.RunErrors = runErrors.Load()
+	report.OnCGRA = onCGRA.Load()
+	report.WallMS = float64(wall.Microseconds()) / 1000
+	if wall > 0 {
+		report.RunsPerSec = float64(report.Runs) / wall.Seconds()
+	}
+	fmt.Printf("cgrad: %d runs (%d on CGRA, %d errors) in %.1f ms — %.0f runs/s\n",
+		report.Runs, report.OnCGRA, report.RunErrors, report.WallMS, report.RunsPerSec)
+
+	if cfg.BenchJSON != "" {
+		data, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.BenchJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("cgrad: report written to", cfg.BenchJSON)
+	}
+	if report.RunErrors > 0 {
+		select {
+		case err := <-errCh:
+			return fmt.Errorf("%d of %d runs failed; first failure: %v", report.RunErrors, report.Runs, err)
+		default:
+			return fmt.Errorf("%d of %d runs failed", report.RunErrors, report.Runs)
+		}
+	}
+	return nil
+}

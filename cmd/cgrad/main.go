@@ -1,0 +1,125 @@
+// Command cgrad is the networked compile-and-execute daemon: it serves the
+// online-synthesis system over an HTTP/JSON API, compiling submitted
+// kernels onto its CGRA composition through a persistent content-addressed
+// artifact cache and executing them on the cycle-accurate simulator.
+//
+// Daemon mode (default):
+//
+//	cgrad -addr :8080 -comp "9 PEs" -cache-dir /var/cache/cgrad
+//
+// Load-generator mode (-loadgen) drives a running daemon with N concurrent
+// clients over a mixed kernel set, reference-checks every result and writes
+// a benchmark report:
+//
+//	cgrad -loadgen -target http://127.0.0.1:8080 -clients 4 -iters 8 -bench-json BENCH_server.json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cgra/internal/arch"
+	"cgra/internal/pipeline"
+	"cgra/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		compName    = flag.String("comp", "9 PEs", "composition from the architecture library")
+		cacheDir    = flag.String("cache-dir", "", "persistent artifact cache directory (empty = memory-only)")
+		cacheMem    = flag.Int("cache-mem", 0, "in-memory cache entries (0 = default)")
+		maxInFlight = flag.Int("max-inflight", 0, "max concurrently served requests (0 = default)")
+		deadline    = flag.Duration("deadline", 0, "default per-request deadline (0 = 30s)")
+		unroll      = flag.Int("unroll", 2, "loop unroll factor")
+
+		loadgen    = flag.Bool("loadgen", false, "run as load generator against -target instead of serving")
+		target     = flag.String("target", "http://127.0.0.1:8080", "daemon base URL (loadgen mode)")
+		clients    = flag.Int("clients", 4, "concurrent clients (loadgen mode)")
+		iters      = flag.Int("iters", 8, "run iterations per client (loadgen mode)")
+		benchJSON  = flag.String("bench-json", "", "write the loadgen benchmark report to this file")
+		expectWarm = flag.Bool("expect-warm", false, "loadgen: fail unless every first compile is served from the cache")
+	)
+	flag.Parse()
+
+	if *loadgen {
+		if err := runLoadgen(loadgenConfig{
+			Target:     *target,
+			Clients:    *clients,
+			Iters:      *iters,
+			BenchJSON:  *benchJSON,
+			ExpectWarm: *expectWarm,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "cgrad:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	comp, err := arch.ByName(*compName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cgrad:", err)
+		os.Exit(1)
+	}
+	opts := pipeline.Defaults()
+	opts.UnrollFactor = *unroll
+	srv, err := server.New(server.Config{
+		Comp:            comp,
+		Opts:            opts,
+		CacheDir:        *cacheDir,
+		CacheMem:        *cacheMem,
+		MaxInFlight:     *maxInFlight,
+		DefaultDeadline: *deadline,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cgrad:", err)
+		os.Exit(1)
+	}
+
+	// Bind synchronously so a bad address fails loudly, before any client
+	// is told the daemon is up.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cgrad:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("cgrad: serving %q on %s (cache: %s)\n", *compName, ln.Addr(), cacheDirLabel(*cacheDir))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case s := <-sig:
+		fmt.Printf("cgrad: %v received, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "cgrad: shutdown:", err)
+			os.Exit(1)
+		}
+		if err := <-done; err != nil {
+			fmt.Fprintln(os.Stderr, "cgrad:", err)
+			os.Exit(1)
+		}
+		fmt.Println("cgrad: drained")
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cgrad:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func cacheDirLabel(dir string) string {
+	if dir == "" {
+		return "memory-only"
+	}
+	return dir
+}

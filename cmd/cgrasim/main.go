@@ -18,16 +18,21 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"cgra/internal/adpcm"
@@ -163,8 +168,14 @@ func main() {
 		}
 		return
 	}
+	var metricsSrv *http.Server
 	if *serveAddr != "" {
-		go serveMetrics(*serveAddr, reg)
+		srv, err := serveMetrics(*serveAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		metricsSrv = srv
+		defer shutdownMetrics(srv)
 	}
 	if len(faultSpecs) > 0 {
 		if err := runResilient(k, comp, opts, scalars, host, faultSpecs, *faultSeed, tunePolicy); err != nil {
@@ -242,9 +253,12 @@ func main() {
 		}
 		fmt.Printf("wrote metrics to %s\n", *metricsPath)
 	}
-	if *serveAddr != "" {
+	if metricsSrv != nil {
 		fmt.Printf("serving /metrics and /debug/pprof on %s (interrupt to exit)\n", *serveAddr)
-		select {}
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		// The deferred shutdownMetrics drains the server before exit.
 	}
 }
 
@@ -291,8 +305,11 @@ func verifyAgainstInterpreter(k *ir.Kernel, res *sim.Result,
 	return nil
 }
 
-// serveMetrics exposes the registry and the pprof handlers.
-func serveMetrics(addr string, reg *obs.Registry) {
+// serveMetrics exposes the registry and the pprof handlers. It binds
+// synchronously — a bad address fails here, not in a goroutine that
+// swallows the error — and returns the server so the caller can Shutdown
+// on exit.
+func serveMetrics(addr string, reg *obs.Registry) (*http.Server, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -300,9 +317,25 @@ func serveMetrics(addr string, reg *obs.Registry) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	if err := http.ListenAndServe(addr, mux); err != nil {
-		fmt.Fprintln(os.Stderr, "cgrasim: serve:", err)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cgrasim: serve: %v", err)
 	}
+	srv := &http.Server{Handler: mux}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "cgrasim: serve:", err)
+		}
+	}()
+	return srv, nil
+}
+
+// shutdownMetrics drains the metrics server; a scrape in flight gets a
+// short grace period.
+func shutdownMetrics(srv *http.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
 }
 
 // writeMetrics dumps the registry to a file in the chosen format.
@@ -429,7 +462,11 @@ func runSoak(k *ir.Kernel, comp *arch.Composition, opts pipeline.Options,
 		}
 	}
 	if serveAddr != "" {
-		go serveMetrics(serveAddr, s.Metrics())
+		srv, err := serveMetrics(serveAddr, s.Metrics())
+		if err != nil {
+			return err
+		}
+		defer shutdownMetrics(srv)
 		fmt.Printf("serving /metrics and /debug/pprof on %s\n", serveAddr)
 	}
 

@@ -1,0 +1,38 @@
+package arch
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+)
+
+// Digest returns a stable structural hash of the composition: the
+// hex-encoded SHA-256 of a canonical serialization of everything that
+// affects compilation and execution — PE count and order, register-file
+// sizes, DMA flags, the interconnect (input order matters: it selects mux
+// indices), per-op durations and energies, and the context / condition
+// memory sizing. Display names (Composition.Name, PE.Name) are excluded, so
+// renaming a composition does not invalidate cached artifacts.
+//
+// Per-PE operation sets are serialized in sorted opcode order, making the
+// digest independent of Go's randomized map iteration. Two structurally
+// equal compositions hash identically across runs and processes, which is
+// what the compiled-artifact cache keys on.
+func (c *Composition) Digest() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "comp ctx=%d cbox=%d pes=%d\n", c.ContextSize, c.CBoxSlots, len(c.PEs))
+	for _, pe := range c.PEs {
+		fmt.Fprintf(h, "pe %d rf=%d dma=%t in=%v\n", pe.Index, pe.RegfileSize, pe.HasDMA, pe.Inputs)
+		ops := make([]OpCode, 0, len(pe.Ops))
+		for op := range pe.Ops {
+			ops = append(ops, op)
+		}
+		sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+		for _, op := range ops {
+			info := pe.Ops[op]
+			fmt.Fprintf(h, "op %d dur=%d energy=%g\n", int(op), info.Duration, info.Energy)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

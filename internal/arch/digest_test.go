@@ -1,0 +1,108 @@
+package arch
+
+import "testing"
+
+// buildComp constructs a small inhomogeneous composition, inserting each
+// PE's op set in the given order. The op map content is identical across
+// orders, so the digest must be, too.
+func buildComp(opOrder []OpCode) *Composition {
+	c := &Composition{Name: "digest-test", ContextSize: 64, CBoxSlots: 8}
+	for i := 0; i < 4; i++ {
+		pe := &PE{
+			Name:        "PE",
+			Index:       i,
+			RegfileSize: 16,
+			Ops:         map[OpCode]OpInfo{},
+			Inputs:      []int{(i + 1) % 4, (i + 3) % 4},
+		}
+		for _, op := range opOrder {
+			pe.Ops[op] = OpInfo{Duration: 1 + int(op)%2, Energy: float64(op) * 0.25}
+		}
+		if i == 0 {
+			pe.HasDMA = true
+			pe.Ops[LOAD] = OpInfo{Duration: 2}
+			pe.Ops[STORE] = OpInfo{Duration: 2}
+		}
+		c.PEs = append(c.PEs, pe)
+	}
+	return c
+}
+
+func TestCompositionDigestMapOrderIndependent(t *testing.T) {
+	forward := []OpCode{IADD, ISUB, IMUL, IAND, IFLT, IFGE, MOVE, CONST}
+	reverse := make([]OpCode, len(forward))
+	for i, op := range forward {
+		reverse[len(forward)-1-i] = op
+	}
+	rotated := append(append([]OpCode(nil), forward[3:]...), forward[:3]...)
+
+	want := buildComp(forward).Digest()
+	if len(want) != 64 {
+		t.Fatalf("digest %q is not a sha256 hex string", want)
+	}
+	for name, order := range map[string][]OpCode{"reverse": reverse, "rotated": rotated} {
+		if got := buildComp(order).Digest(); got != want {
+			t.Errorf("insertion order %s changed the digest: %s != %s", name, got, want)
+		}
+	}
+	// Go randomizes map iteration per run of the range loop; hammering the
+	// digest repeatedly would catch any dependence on it.
+	c := buildComp(forward)
+	for i := 0; i < 100; i++ {
+		if got := c.Digest(); got != want {
+			t.Fatalf("digest unstable on iteration %d: %s != %s", i, got, want)
+		}
+	}
+}
+
+func TestCompositionDigestIgnoresNames(t *testing.T) {
+	a := buildComp([]OpCode{IADD, IMUL})
+	b := buildComp([]OpCode{IADD, IMUL})
+	b.Name = "renamed"
+	b.PEs[0].Name = "PE_mem_renamed"
+	if a.Digest() != b.Digest() {
+		t.Fatal("display names must not affect the structural digest")
+	}
+}
+
+func TestCompositionDigestDiscriminates(t *testing.T) {
+	base := buildComp([]OpCode{IADD, IMUL}).Digest()
+	for what, mutate := range map[string]func(*Composition){
+		"rf size":       func(c *Composition) { c.PEs[1].RegfileSize = 8 },
+		"context size":  func(c *Composition) { c.ContextSize = 128 },
+		"cbox slots":    func(c *Composition) { c.CBoxSlots = 4 },
+		"input order":   func(c *Composition) { in := c.PEs[2].Inputs; in[0], in[1] = in[1], in[0] },
+		"op duration":   func(c *Composition) { c.PEs[3].Ops[IMUL] = OpInfo{Duration: 5, Energy: c.PEs[3].Ops[IMUL].Energy} },
+		"op energy":     func(c *Composition) { c.PEs[3].Ops[IADD] = OpInfo{Duration: 1, Energy: 99} },
+		"extra op":      func(c *Composition) { c.PEs[1].Ops[IXOR] = OpInfo{Duration: 1} },
+		"dma flag":      func(c *Composition) { c.PEs[1].HasDMA = true },
+		"fewer PEs":     func(c *Composition) { c.PEs = c.PEs[:3] },
+		"library clone": func(c *Composition) { c.PEs[0].Ops[LOAD] = OpInfo{Duration: 3} },
+	} {
+		c := buildComp([]OpCode{IADD, IMUL})
+		mutate(c)
+		if c.Digest() == base {
+			t.Errorf("mutation %q did not change the digest", what)
+		}
+	}
+}
+
+func TestLibraryCompositionDigestsDistinct(t *testing.T) {
+	comps, err := HomogeneousMeshes(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]string{}
+	for _, c := range comps {
+		d := c.Digest()
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("compositions %q and %q share a digest", c.Name, prev)
+		}
+		seen[d] = c.Name
+		// Clone must hash identically: Clone is how degraded and explored
+		// variants start out.
+		if c.Clone().Digest() != d {
+			t.Fatalf("clone of %q hashes differently", c.Name)
+		}
+	}
+}

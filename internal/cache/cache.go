@@ -1,0 +1,270 @@
+// Package cache is a persistent, content-addressed store for compiled CGRA
+// artifacts. The key is the stable digest of (canonical kernel IR,
+// composition structure, pipeline options) computed by pipeline.Key; the
+// value is a serialized pipeline.Artifact — the packed context-memory
+// images, C-Box/branch tables and allocation metadata of one compile.
+//
+// The store is two-tiered. An in-memory LRU front holds decoded artifacts
+// for hot kernels; behind it an optional on-disk layer persists every entry
+// across process restarts, so a restarted daemon serves its kernels without
+// recompiling. Disk entries are written atomically (temp file + rename into
+// place), carry a versioned header and a SHA-256 payload checksum, and a
+// corrupt or truncated entry is quarantined on read — renamed aside and
+// reported as a miss, so the caller recompiles instead of crashing.
+//
+// All methods are safe for concurrent use.
+package cache
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"cgra/internal/obs"
+	"cgra/internal/pipeline"
+)
+
+// FormatVersion is the on-disk entry format version.
+const FormatVersion = 1
+
+// entryMagic opens every on-disk entry.
+var entryMagic = []byte("CGRART01")
+
+// headerSize is magic(8) + version(4) + checksum(32).
+const headerSize = 8 + 4 + sha256.Size
+
+// Hit sources reported by Get.
+const (
+	SourceMemory = "memory"
+	SourceDisk   = "disk"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Dir is the on-disk layer's directory ("" = memory-only). Created if
+	// missing.
+	Dir string
+	// MemEntries bounds the in-memory LRU front (0 = 128 entries).
+	MemEntries int
+	// Registry receives the cache metrics (nil = private registry).
+	Registry *obs.Registry
+}
+
+// Store is a two-tier content-addressed artifact cache.
+type Store struct {
+	dir string
+	cap int
+
+	mu  sync.Mutex
+	mem map[string]*list.Element
+	lru *list.List // front = most recent
+
+	hitsMem     *obs.Counter
+	hitsDisk    *obs.Counter
+	misses      *obs.Counter
+	evictions   *obs.Counter
+	quarantined *obs.Counter
+	puts        *obs.Counter
+	hitAge      *obs.Histogram
+}
+
+type memEntry struct {
+	key   string
+	art   *pipeline.Artifact
+	added time.Time
+}
+
+// hitAgeBuckets spans milliseconds to hours: artifact reuse ranges from
+// "compiled moments ago" to "persisted across restarts days ago".
+var hitAgeBuckets = []float64{0.001, 0.01, 0.1, 1, 10, 60, 600, 3600, 86400}
+
+// New opens (creating directories as needed) a store.
+func New(o Options) (*Store, error) {
+	reg := o.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	capEntries := o.MemEntries
+	if capEntries <= 0 {
+		capEntries = 128
+	}
+	if o.Dir != "" {
+		if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("cache: %v", err)
+		}
+	}
+	reg.Help("cgra_cache_hits_total", "artifact cache hits by tier (memory, disk)")
+	reg.Help("cgra_cache_misses_total", "artifact cache misses")
+	reg.Help("cgra_cache_evictions_total", "artifacts evicted from the in-memory LRU front")
+	reg.Help("cgra_cache_quarantined_total", "corrupt on-disk entries quarantined on read")
+	reg.Help("cgra_cache_puts_total", "artifacts stored")
+	reg.Help("cgra_cache_hit_age_seconds", "age of the served artifact at hit time")
+	return &Store{
+		dir:         o.Dir,
+		cap:         capEntries,
+		mem:         map[string]*list.Element{},
+		lru:         list.New(),
+		hitsMem:     reg.Counter("cgra_cache_hits_total", obs.L("tier", "memory")),
+		hitsDisk:    reg.Counter("cgra_cache_hits_total", obs.L("tier", "disk")),
+		misses:      reg.Counter("cgra_cache_misses_total"),
+		evictions:   reg.Counter("cgra_cache_evictions_total"),
+		quarantined: reg.Counter("cgra_cache_quarantined_total"),
+		puts:        reg.Counter("cgra_cache_puts_total"),
+		hitAge:      reg.Histogram("cgra_cache_hit_age_seconds", hitAgeBuckets),
+	}, nil
+}
+
+// Path returns the on-disk location of a key ("" for memory-only stores).
+func (s *Store) Path(key string) string {
+	if s.dir == "" {
+		return ""
+	}
+	return filepath.Join(s.dir, key+".art")
+}
+
+// Len returns the number of entries in the memory front.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.mem)
+}
+
+// Get returns the cached artifact for key and the tier that served it
+// (SourceMemory or SourceDisk). A disk hit is promoted into the memory
+// front. A corrupt disk entry is quarantined and reported as a miss.
+func (s *Store) Get(key string) (*pipeline.Artifact, string, bool) {
+	s.mu.Lock()
+	if el, ok := s.mem[key]; ok {
+		s.lru.MoveToFront(el)
+		ent := el.Value.(*memEntry)
+		age := time.Since(ent.added)
+		s.mu.Unlock()
+		s.hitsMem.Inc()
+		s.hitAge.Observe(age.Seconds())
+		return ent.art, SourceMemory, true
+	}
+	s.mu.Unlock()
+
+	if s.dir == "" {
+		s.misses.Inc()
+		return nil, "", false
+	}
+	path := s.Path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		s.misses.Inc()
+		return nil, "", false
+	}
+	art, err := decodeEntry(data)
+	if err != nil {
+		s.quarantine(path, err)
+		s.misses.Inc()
+		return nil, "", false
+	}
+	var age time.Duration
+	if fi, err := os.Stat(path); err == nil {
+		age = time.Since(fi.ModTime())
+	}
+	s.insertMem(key, art, time.Now().Add(-age))
+	s.hitsDisk.Inc()
+	s.hitAge.Observe(age.Seconds())
+	return art, SourceDisk, true
+}
+
+// Put stores an artifact under key in both tiers. The disk write is
+// atomic: a rename either installs the complete, checksummed entry or
+// nothing.
+func (s *Store) Put(key string, art *pipeline.Artifact) error {
+	var payload bytes.Buffer
+	if err := pipeline.EncodeArtifact(&payload, art); err != nil {
+		return fmt.Errorf("cache: encode %s: %v", key, err)
+	}
+	s.insertMem(key, art, time.Now())
+	s.puts.Inc()
+	if s.dir == "" {
+		return nil
+	}
+	data := encodeEntry(payload.Bytes())
+	tmp, err := os.CreateTemp(s.dir, key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("cache: %v", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: write %s: %v", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: close %s: %v", key, err)
+	}
+	if err := os.Rename(tmp.Name(), s.Path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: install %s: %v", key, err)
+	}
+	return nil
+}
+
+// insertMem adds (or refreshes) a memory-front entry, evicting from the LRU
+// tail past capacity.
+func (s *Store) insertMem(key string, art *pipeline.Artifact, added time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.mem[key]; ok {
+		el.Value.(*memEntry).art = art
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.mem[key] = s.lru.PushFront(&memEntry{key: key, art: art, added: added})
+	for s.lru.Len() > s.cap {
+		tail := s.lru.Back()
+		s.lru.Remove(tail)
+		delete(s.mem, tail.Value.(*memEntry).key)
+		s.evictions.Inc()
+	}
+}
+
+// quarantine moves a corrupt entry aside so the next Put can reinstall a
+// good one and the bad bytes stay available for diagnosis.
+func (s *Store) quarantine(path string, cause error) {
+	s.quarantined.Inc()
+	// Best effort: a failed rename (e.g. the file vanished) still counts
+	// as a miss and the caller recompiles.
+	_ = os.Rename(path, path+".quarantined")
+	_ = cause
+}
+
+// encodeEntry frames a gob payload with the magic, version and checksum.
+func encodeEntry(payload []byte) []byte {
+	out := make([]byte, 0, headerSize+len(payload))
+	out = append(out, entryMagic...)
+	out = binary.LittleEndian.AppendUint32(out, FormatVersion)
+	sum := sha256.Sum256(payload)
+	out = append(out, sum[:]...)
+	return append(out, payload...)
+}
+
+// decodeEntry verifies the frame and decodes the artifact.
+func decodeEntry(data []byte) (*pipeline.Artifact, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("cache: entry truncated (%d bytes)", len(data))
+	}
+	if !bytes.Equal(data[:8], entryMagic) {
+		return nil, fmt.Errorf("cache: bad entry magic %q", data[:8])
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != FormatVersion {
+		return nil, fmt.Errorf("cache: entry format version %d, want %d", v, FormatVersion)
+	}
+	payload := data[headerSize:]
+	want := data[12:headerSize]
+	if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], want) {
+		return nil, fmt.Errorf("cache: checksum mismatch")
+	}
+	return pipeline.DecodeArtifact(bytes.NewReader(payload))
+}

@@ -1,0 +1,148 @@
+package ctxgen
+
+// Binary serialization of context-memory images. This is the on-disk
+// artifact format of the compiled-kernel cache: a Bitstream written today
+// must decode bit-identically forever, so the layout is fixed, versioned
+// and pinned by a golden-file test (bitstream_test.go). Bump
+// BitstreamVersion — an explicit, reviewable diff — whenever the layout
+// changes.
+//
+// Layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       4     magic "CGBS"
+//	4       2     format version (currently 1)
+//	6       2     reserved (zero)
+//	8       4     word width in bits
+//	12      4     number of words (contexts)
+//	16      ...   words × ceil(width/64) uint64 chunks, LSB-first
+//
+// Bitstream also implements encoding/gob's GobEncoder/GobDecoder via this
+// codec, so any gob-encoded structure embedding bitstreams (the artifact
+// cache's value type) inherits the pinned format for its image payload.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// BitstreamVersion is the serialization format version written by Encode.
+const BitstreamVersion = 1
+
+var bitstreamMagic = [4]byte{'C', 'G', 'B', 'S'}
+
+// chunksPerWord is the number of 64-bit chunks backing one context word.
+func (b *Bitstream) chunksPerWord() int { return (b.Width + 63) / 64 }
+
+// Encode writes the bitstream in the fixed binary format.
+func (b *Bitstream) Encode(w io.Writer) error {
+	if b.Width <= 0 {
+		return fmt.Errorf("ctxgen: cannot encode bitstream with width %d", b.Width)
+	}
+	var hdr [16]byte
+	copy(hdr[0:4], bitstreamMagic[:])
+	binary.LittleEndian.PutUint16(hdr[4:6], BitstreamVersion)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(b.Width))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(b.Words)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	chunks := b.chunksPerWord()
+	buf := make([]byte, 8)
+	for i, word := range b.Words {
+		if len(word) != chunks {
+			return fmt.Errorf("ctxgen: word %d has %d chunks, width %d needs %d",
+				i, len(word), b.Width, chunks)
+		}
+		for _, c := range word {
+			binary.LittleEndian.PutUint64(buf, c)
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Sanity bounds for decoding: far beyond any real composition, tight
+// enough that corrupt headers cannot drive huge allocations.
+const (
+	maxBitstreamWidth = 1 << 20
+	maxBitstreamWords = 1 << 24
+)
+
+// DecodeBitstream reads one bitstream previously written by Encode. Corrupt
+// or truncated input yields an error, never a partially valid stream.
+func DecodeBitstream(r io.Reader) (*Bitstream, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("ctxgen: bitstream header: %w", err)
+	}
+	if !bytes.Equal(hdr[0:4], bitstreamMagic[:]) {
+		return nil, fmt.Errorf("ctxgen: bad bitstream magic %q", hdr[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != BitstreamVersion {
+		return nil, fmt.Errorf("ctxgen: bitstream format version %d, want %d", v, BitstreamVersion)
+	}
+	width := int(binary.LittleEndian.Uint32(hdr[8:12]))
+	words := int(binary.LittleEndian.Uint32(hdr[12:16]))
+	if width <= 0 || width > maxBitstreamWidth {
+		return nil, fmt.Errorf("ctxgen: implausible bitstream width %d", width)
+	}
+	if words < 0 || words > maxBitstreamWords {
+		return nil, fmt.Errorf("ctxgen: implausible bitstream word count %d", words)
+	}
+	b := &Bitstream{Width: width, Words: make([][]uint64, words)}
+	chunks := b.chunksPerWord()
+	buf := make([]byte, 8*chunks)
+	for i := range b.Words {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("ctxgen: bitstream word %d: %w", i, err)
+		}
+		word := make([]uint64, chunks)
+		for c := range word {
+			word[c] = binary.LittleEndian.Uint64(buf[8*c:])
+		}
+		b.Words[i] = word
+	}
+	return b, nil
+}
+
+// Equal reports whether two bitstreams are bit-identical.
+func (b *Bitstream) Equal(o *Bitstream) bool {
+	if b.Width != o.Width || len(b.Words) != len(o.Words) {
+		return false
+	}
+	for i := range b.Words {
+		if len(b.Words[i]) != len(o.Words[i]) {
+			return false
+		}
+		for c := range b.Words[i] {
+			if b.Words[i][c] != o.Words[i][c] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// GobEncode implements gob.GobEncoder using the pinned binary format.
+func (b *Bitstream) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := b.Encode(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (b *Bitstream) GobDecode(data []byte) error {
+	d, err := DecodeBitstream(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	*b = *d
+	return nil
+}

@@ -1,0 +1,145 @@
+package ctxgen
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cgra/internal/arch"
+	"cgra/internal/cdfg"
+	"cgra/internal/opt"
+	"cgra/internal/sched"
+	"cgra/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenStream is a fixed, hand-constructed bitstream: 3 words of 70 bits
+// (two 64-bit chunks per word) with a recognizable pattern. Changing the
+// binary layout changes its encoding — and the golden file diff makes the
+// format bump explicit.
+func goldenStream() *Bitstream {
+	return &Bitstream{
+		Width: 70,
+		Words: [][]uint64{
+			{0xDEADBEEF01234567, 0x2A},
+			{0x0000000000000000, 0x00},
+			{0xFFFFFFFFFFFFFFFF, 0x3F},
+		},
+	}
+}
+
+func TestBitstreamGoldenFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenStream().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "bitstream.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("encoding diverged from the pinned on-disk format:\n got %x\nwant %x\n"+
+			"(an intentional format change must bump BitstreamVersion and regenerate with -update)",
+			buf.Bytes(), want)
+	}
+	dec, err := DecodeBitstream(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("decode golden: %v", err)
+	}
+	if !dec.Equal(goldenStream()) {
+		t.Fatal("golden file decoded to different contents")
+	}
+}
+
+// TestBitstreamRoundTripCompiled packs a real compiled workload, encodes
+// and decodes every PE's image, and verifies both bit-identity and that the
+// decoded streams unpack into the original contexts.
+func TestBitstreamRoundTripCompiled(t *testing.T) {
+	w, err := workload.ByName("gcd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := arch.ByName("9 PEs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := opt.Apply(w.Kernel, opt.Options{UnrollFactor: 2, CSE: true, ConstFold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cdfg.Build(k, cdfg.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.Run(g, comp, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pe := 0; pe < comp.NumPEs(); pe++ {
+		bs, err := prog.PackPE(pe)
+		if err != nil {
+			t.Fatalf("pack PE %d: %v", pe, err)
+		}
+		var buf bytes.Buffer
+		if err := bs.Encode(&buf); err != nil {
+			t.Fatalf("encode PE %d: %v", pe, err)
+		}
+		dec, err := DecodeBitstream(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("decode PE %d: %v", pe, err)
+		}
+		if !dec.Equal(bs) {
+			t.Fatalf("PE %d round trip not bit-identical", pe)
+		}
+		ctxs, err := prog.UnpackPE(pe, dec)
+		if err != nil {
+			t.Fatalf("unpack PE %d: %v", pe, err)
+		}
+		for c, got := range ctxs {
+			if got != prog.PE[pe][c] {
+				t.Fatalf("PE %d ctx %d: decoded %+v != original %+v", pe, c, got, prog.PE[pe][c])
+			}
+		}
+	}
+}
+
+func TestBitstreamDecodeRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenStream().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	cases := map[string][]byte{
+		"empty":         {},
+		"short header":  full[:10],
+		"truncated":     full[:len(full)-5],
+		"bad magic":     append([]byte("XXXX"), full[4:]...),
+		"wrong version": append(append([]byte{}, full[:4]...), append([]byte{0xFF, 0x7F}, full[6:]...)...),
+	}
+	// Implausible width: patch width field to 2^30.
+	wide := append([]byte{}, full...)
+	wide[8], wide[9], wide[10], wide[11] = 0, 0, 0, 0x40
+	cases["implausible width"] = wide
+
+	for name, data := range cases {
+		if _, err := DecodeBitstream(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+}

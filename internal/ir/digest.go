@@ -1,0 +1,87 @@
+package ir
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+)
+
+// Digest returns a stable content hash of the kernel: the hex-encoded
+// SHA-256 of a canonical serialization of its name, parameter list and
+// statement tree. Structurally identical kernels always hash identically —
+// across processes, runs and architectures — so the digest is usable as a
+// cache key for compiled artifacts and for deduplication in exploration.
+//
+// The canonical form is tag-prefixed and fully parenthesized, so distinct
+// trees cannot collide by concatenation (e.g. `a=1; b=2` vs `a=12`).
+func (k *Kernel) Digest() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "kernel %q %d\n", k.Name, len(k.Params))
+	for _, p := range k.Params {
+		fmt.Fprintf(h, "param %q %d\n", p.Name, int(p.Kind))
+	}
+	digestStmts(h, k.Body)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func digestStmts(w io.Writer, stmts []Stmt) {
+	fmt.Fprintf(w, "block %d\n", len(stmts))
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *Assign:
+			fmt.Fprintf(w, "assign %q\n", s.Name)
+			digestExpr(w, s.Value)
+		case *Store:
+			fmt.Fprintf(w, "store %q\n", s.Array)
+			digestExpr(w, s.Index)
+			digestExpr(w, s.Value)
+		case *If:
+			io.WriteString(w, "if\n")
+			digestExpr(w, s.Cond)
+			digestStmts(w, s.Then)
+			digestStmts(w, s.Else)
+		case *While:
+			io.WriteString(w, "while\n")
+			digestExpr(w, s.Cond)
+			digestStmts(w, s.Body)
+		case *For:
+			io.WriteString(w, "for\n")
+			if s.Init != nil {
+				fmt.Fprintf(w, "init %q\n", s.Init.Name)
+				digestExpr(w, s.Init.Value)
+			}
+			digestExpr(w, s.Cond)
+			if s.Post != nil {
+				fmt.Fprintf(w, "post %q\n", s.Post.Name)
+				digestExpr(w, s.Post.Value)
+			}
+			digestStmts(w, s.Body)
+		default:
+			fmt.Fprintf(w, "stmt %T\n", s)
+		}
+	}
+}
+
+func digestExpr(w io.Writer, e Expr) {
+	switch e := e.(type) {
+	case *Const:
+		fmt.Fprintf(w, "const %d\n", e.Value)
+	case *VarRef:
+		fmt.Fprintf(w, "var %q\n", e.Name)
+	case *Load:
+		fmt.Fprintf(w, "load %q\n", e.Array)
+		digestExpr(w, e.Index)
+	case *Bin:
+		fmt.Fprintf(w, "bin %d\n", int(e.Op))
+		digestExpr(w, e.X)
+		digestExpr(w, e.Y)
+	case *Un:
+		fmt.Fprintf(w, "un %d\n", int(e.Op))
+		digestExpr(w, e.X)
+	case nil:
+		io.WriteString(w, "nil\n")
+	default:
+		fmt.Fprintf(w, "expr %T\n", e)
+	}
+}

@@ -310,8 +310,12 @@ func (r *Registry) snapshotFamilies() []*family {
 	sort.Strings(names)
 	for _, name := range names {
 		f := r.families[name]
+		sc := make(map[string]*series, len(f.series))
+		for k, s := range f.series {
+			sc[k] = s
+		}
 		cp := &family{name: f.name, help: f.help, kind: f.kind, bounds: f.bounds,
-			series: f.series, order: append([]string(nil), f.order...)}
+			series: sc, order: append([]string(nil), f.order...)}
 		out = append(out, cp)
 	}
 	return out

@@ -1,0 +1,155 @@
+package pipeline
+
+import (
+	"bytes"
+	"testing"
+
+	"cgra/internal/arch"
+	"cgra/internal/workload"
+)
+
+// TestArtifactRoundTrip compiles several workloads, serializes each to an
+// artifact, decodes and realizes it, and proves the realized program
+// produces exactly the results of the directly compiled one (which the
+// reference interpreter in turn validates).
+func TestArtifactRoundTrip(t *testing.T) {
+	comp, err := arch.ByName("9 PEs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"gcd", "dot", "bitcount"} {
+		w, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Compile(w.Kernel, comp, Defaults())
+		if err != nil {
+			t.Fatalf("%s: compile: %v", name, err)
+		}
+		art, err := c.Artifact()
+		if err != nil {
+			t.Fatalf("%s: artifact: %v", name, err)
+		}
+		var buf bytes.Buffer
+		if err := EncodeArtifact(&buf, art); err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		dec, err := DecodeArtifact(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		rc, err := dec.Realize()
+		if err != nil {
+			t.Fatalf("%s: realize: %v", name, err)
+		}
+		if rc.UsedContexts() != c.UsedContexts() {
+			t.Fatalf("%s: realized artifact uses %d contexts, original %d",
+				name, rc.UsedContexts(), c.UsedContexts())
+		}
+		if rc.MaxRFEntries() != c.MaxRFEntries() {
+			t.Fatalf("%s: realized artifact max RF %d, original %d",
+				name, rc.MaxRFEntries(), c.MaxRFEntries())
+		}
+		args := w.Args(w.DefaultSize)
+		direct, err := c.Run(args, w.Host(w.DefaultSize))
+		if err != nil {
+			t.Fatalf("%s: direct run: %v", name, err)
+		}
+		realizedHost := w.Host(w.DefaultSize)
+		realized, err := rc.Run(args, realizedHost)
+		if err != nil {
+			t.Fatalf("%s: realized run: %v", name, err)
+		}
+		if realized.RunCycles != direct.RunCycles || realized.TransferCycles != direct.TransferCycles {
+			t.Fatalf("%s: realized cycles (%d,%d) != direct (%d,%d)", name,
+				realized.RunCycles, realized.TransferCycles, direct.RunCycles, direct.TransferCycles)
+		}
+		for out, want := range direct.LiveOuts {
+			if got := realized.LiveOuts[out]; got != want {
+				t.Fatalf("%s: live-out %q: realized %d != direct %d", name, out, got, want)
+			}
+		}
+		// The realized run must survive the reference check, too.
+		if _, err := CheckAgainstInterpreter(w.Kernel, rc, w.Args(w.DefaultSize), w.Host(w.DefaultSize)); err != nil {
+			t.Fatalf("%s: realized artifact fails the correctness oracle: %v", name, err)
+		}
+	}
+}
+
+func TestArtifactRealizeRejectsSkew(t *testing.T) {
+	comp, err := arch.ByName("9 PEs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.ByName("gcd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(w.Kernel, comp, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := func() *Artifact {
+		a, err := c.Artifact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	for name, mutate := range map[string]func(*Artifact){
+		"future version":  func(a *Artifact) { a.Version = ArtifactVersion + 1 },
+		"nil composition": func(a *Artifact) { a.Comp = nil },
+		"missing stream":  func(a *Artifact) { a.Streams = a.Streams[:len(a.Streams)-1] },
+		"table mismatch":  func(a *Artifact) { a.CBox = a.CBox[:0] },
+		"home range":      func(a *Artifact) { a.Homes["bad"] = Home{PE: 999} },
+	} {
+		a := fresh()
+		mutate(a)
+		if _, err := a.Realize(); err == nil {
+			t.Errorf("%s: Realize accepted a damaged artifact", name)
+		}
+	}
+}
+
+func TestKeyStableAndDiscriminating(t *testing.T) {
+	comp, err := arch.ByName("9 PEs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := arch.ByName("16 PEs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.ByName("fir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := workload.ByName("gcd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Key(w.Kernel, comp, Defaults())
+	if base != Key(w.Kernel, comp, Defaults()) {
+		t.Fatal("key not stable across calls")
+	}
+	// Observability options must not influence the key.
+	o := Defaults()
+	o.Obs = nil
+	withObs := Defaults()
+	if Key(w.Kernel, comp, o) != Key(w.Kernel, comp, withObs) {
+		t.Fatal("Obs field leaked into the key")
+	}
+	distinct := map[string]string{
+		"other kernel": Key(w2.Kernel, comp, Defaults()),
+		"other comp":   Key(w.Kernel, other, Defaults()),
+		"no unroll":    Key(w.Kernel, comp, Options{UnrollFactor: 1, CSE: true, ConstFold: true}),
+		"no cse":       Key(w.Kernel, comp, Options{UnrollFactor: 2, ConstFold: true}),
+	}
+	seen := map[string]string{base: "base"}
+	for what, k := range distinct {
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%s collides with %s", what, prev)
+		}
+		seen[k] = what
+	}
+}

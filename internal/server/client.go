@@ -1,0 +1,116 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client talks to a cgrad daemon.
+type Client struct {
+	// Base is the daemon's base URL, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the transport (nil = http.DefaultClient).
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the daemon at base.
+func NewClient(base string) *Client { return &Client{Base: base} }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Compile submits kernel source; deadline 0 uses the server default.
+func (c *Client) Compile(ctx context.Context, source string, deadline time.Duration) (*CompileResponse, error) {
+	req := CompileRequest{Source: source, DeadlineMS: deadline.Milliseconds()}
+	var resp CompileResponse
+	if err := c.post(ctx, "/v1/compile", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Run invokes a compiled (or at least registered) kernel.
+func (c *Client) Run(ctx context.Context, kernel string, args map[string]int32, arrays map[string][]int32) (*RunResponse, error) {
+	req := RunRequest{Kernel: kernel, Args: args, Arrays: arrays}
+	var resp RunResponse
+	if err := c.post(ctx, "/v1/run", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Kernels lists the daemon's registered kernels.
+func (c *Client) Kernels(ctx context.Context) ([]string, error) {
+	var resp KernelsResponse
+	if err := c.get(ctx, "/v1/kernels", &resp); err != nil {
+		return nil, err
+	}
+	return resp.Kernels, nil
+}
+
+// Health reports nil when the daemon is serving (not draining).
+func (c *Client) Health(ctx context.Context) error {
+	return c.get(ctx, "/healthz", &struct {
+		Status string `json:"status"`
+	}{})
+}
+
+// APIError is a non-2xx response from the daemon.
+type APIError struct {
+	Code    int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("cgrad: HTTP %d: %s", e.Code, e.Message)
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e errorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return &APIError{Code: resp.StatusCode, Message: e.Error}
+		}
+		return &APIError{Code: resp.StatusCode, Message: string(data)}
+	}
+	return json.Unmarshal(data, out)
+}

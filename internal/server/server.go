@@ -1,0 +1,393 @@
+// Package server is the HTTP face of the online-synthesis system: a
+// compile-and-execute daemon ("cgrad") that accepts kernels in the textual
+// IR over a JSON API, synthesizes them onto its CGRA composition through
+// the persistent content-addressed artifact cache, and executes them on
+// the cycle-accurate simulator.
+//
+// The daemon is deadline-aware and overload-safe: every request carries an
+// optional deadline that becomes a context.Context, admission control
+// bounds the in-flight requests with a semaphore (excess load is shed with
+// 429), and shutdown drains in-flight requests before quiescing the
+// synthesis pool. All traffic is counted in the system's metrics registry
+// and exported on /metrics.
+//
+// Endpoints:
+//
+//	POST /v1/compile  {"source": "<ir text>", "deadline_ms": n}
+//	POST /v1/run      {"kernel": "name", "args": {...}, "arrays": {...}, "deadline_ms": n}
+//	GET  /v1/kernels
+//	GET  /metrics     (Prometheus text; ?format=json for JSON)
+//	GET  /healthz
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cgra/internal/arch"
+	"cgra/internal/cache"
+	"cgra/internal/ir"
+	"cgra/internal/irtext"
+	"cgra/internal/obs"
+	"cgra/internal/pipeline"
+	"cgra/internal/system"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Comp is the CGRA composition the daemon compiles for.
+	Comp *arch.Composition
+	// Opts are the pipeline options for every compile.
+	Opts pipeline.Options
+	// CacheDir is the persistent artifact cache directory ("" = memory-only
+	// cache).
+	CacheDir string
+	// CacheMem bounds the in-memory cache front (0 = default).
+	CacheMem int
+	// MaxInFlight bounds concurrently served requests; excess requests are
+	// shed with 429 (0 = 32).
+	MaxInFlight int
+	// DefaultDeadline applies to requests that carry none (0 = 30s).
+	DefaultDeadline time.Duration
+}
+
+// Server serves the compile-and-execute API over one system.System.
+type Server struct {
+	sys      *system.System
+	store    *cache.Store
+	reg      *obs.Registry
+	mux      *http.ServeMux
+	sem      chan struct{}
+	deadline time.Duration
+
+	// digests pins each registered kernel name to the digest of the source
+	// it was registered with, so a re-registration under the same name with
+	// different code is rejected (409) instead of silently serving stale
+	// compiled state.
+	mu      sync.Mutex
+	digests map[string]string
+
+	draining atomic.Bool
+	httpSrv  *http.Server
+
+	inflight *obs.Gauge
+	shed     *obs.Counter
+	latency  *obs.Histogram
+}
+
+// requestLatencyBuckets spans sub-millisecond cache hits to multi-second
+// cold compiles.
+var requestLatencyBuckets = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 30}
+
+// New builds a server (and its system + artifact cache) from a config.
+func New(cfg Config) (*Server, error) {
+	if cfg.Comp == nil {
+		return nil, fmt.Errorf("server: no composition")
+	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = 32
+	}
+	deadline := cfg.DefaultDeadline
+	if deadline <= 0 {
+		deadline = 30 * time.Second
+	}
+	// Threshold 1: a served daemon compiles on request (or first profiled
+	// run), it does not wait for a hot-loop profile.
+	sys := system.New(cfg.Comp, cfg.Opts, 1)
+	reg := sys.Metrics()
+	store, err := cache.New(cache.Options{Dir: cfg.CacheDir, MemEntries: cfg.CacheMem, Registry: reg})
+	if err != nil {
+		return nil, err
+	}
+	sys.Cache = store
+	reg.Help("cgra_server_requests_total", "API requests by endpoint and status code")
+	reg.Help("cgra_server_request_seconds", "API request latency")
+	reg.Help("cgra_server_inflight", "API requests currently being served")
+	reg.Help("cgra_server_shed_total", "API requests shed by admission control (429)")
+	s := &Server{
+		sys:      sys,
+		store:    store,
+		reg:      reg,
+		sem:      make(chan struct{}, maxInFlight),
+		deadline: deadline,
+		digests:  map[string]string{},
+		inflight: reg.Gauge("cgra_server_inflight"),
+		shed:     reg.Counter("cgra_server_shed_total"),
+		latency:  reg.Histogram("cgra_server_request_seconds", requestLatencyBuckets),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/compile", s.instrument("compile", s.handleCompile))
+	mux.HandleFunc("/v1/run", s.instrument("run", s.handleRun))
+	mux.HandleFunc("/v1/kernels", s.instrument("kernels", s.handleKernels))
+	mux.Handle("/metrics", reg)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux = mux
+	return s, nil
+}
+
+// System exposes the underlying system (tests and embedders).
+func (s *Server) System() *system.System { return s.sys }
+
+// Cache exposes the artifact cache.
+func (s *Server) Cache() *cache.Store { return s.store }
+
+// Metrics exposes the shared registry.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Handler returns the daemon's HTTP handler (for tests via httptest and for
+// embedding behind an existing server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on ln until Shutdown. It blocks; the returned
+// error is nil after a clean Shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	srv := &http.Server{Handler: s.mux}
+	s.httpSrv = srv
+	err := srv.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains the daemon: new requests are rejected (healthz reports
+// draining, admission returns 503), in-flight requests run to completion
+// within ctx, then the synthesis pool is quiesced and closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
+	}
+	s.sys.Quiesce()
+	s.sys.Close()
+	return err
+}
+
+// instrument wraps a handler with admission control, deadline propagation
+// and traffic metrics.
+func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		code := http.StatusOK
+		defer func() {
+			s.latency.Observe(time.Since(start).Seconds())
+			s.reg.Counter("cgra_server_requests_total",
+				obs.L("endpoint", endpoint), obs.L("code", strconv.Itoa(code))).Inc()
+		}()
+		if s.draining.Load() {
+			code = http.StatusServiceUnavailable
+			writeError(w, code, "draining")
+			return
+		}
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.shed.Inc()
+			code = http.StatusTooManyRequests
+			writeError(w, code, "overloaded")
+			return
+		}
+		s.inflight.Add(1)
+		defer func() { s.inflight.Add(-1); <-s.sem }()
+		code = h(w, r)
+	}
+}
+
+// requestCtx derives the per-request context from the deadline field (or
+// the server default).
+func (s *Server) requestCtx(r *http.Request, deadlineMS int64) (context.Context, context.CancelFunc) {
+	d := s.deadline
+	if deadlineMS > 0 {
+		d = time.Duration(deadlineMS) * time.Millisecond
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodPost {
+		return writeError(w, http.StatusMethodNotAllowed, "POST required")
+	}
+	var req CompileRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+	}
+	k, err := irtext.Parse(req.Source)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	ctx, cancel := s.requestCtx(r, req.DeadlineMS)
+	defer cancel()
+
+	// Register under the digest lock: the same source re-registers as a
+	// no-op, different source under a taken name conflicts.
+	s.mu.Lock()
+	digest := k.Digest()
+	if prev, ok := s.digests[k.Name]; ok {
+		if prev != digest {
+			s.mu.Unlock()
+			return writeError(w, http.StatusConflict,
+				fmt.Sprintf("kernel %q already registered with different source", k.Name))
+		}
+	} else {
+		if err := s.sys.Register(k); err != nil {
+			s.mu.Unlock()
+			return writeError(w, http.StatusConflict, err.Error())
+		}
+		s.digests[k.Name] = digest
+	}
+	s.mu.Unlock()
+
+	installed := s.sys.Synthesized(k.Name)
+	start := time.Now()
+	info, err := s.sys.SynthesizeCtx(ctx, k.Name)
+	if err != nil {
+		if errIsDeadline(err) {
+			return writeError(w, http.StatusGatewayTimeout, err.Error())
+		}
+		return writeError(w, http.StatusUnprocessableEntity, err.Error())
+	}
+	src := info.CacheSource
+	switch {
+	case installed:
+		src = "installed"
+	case src == "":
+		src = "compile"
+	}
+	return writeJSON(w, http.StatusOK, CompileResponse{
+		Kernel:    info.Kernel,
+		Key:       info.Key,
+		Contexts:  info.Contexts,
+		MaxRF:     info.MaxRF,
+		Cached:    src != "compile",
+		Source:    src,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodPost {
+		return writeError(w, http.StatusMethodNotAllowed, "POST required")
+	}
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+	}
+	if s.sys.Kernel(req.Kernel) == nil {
+		return writeError(w, http.StatusNotFound, fmt.Sprintf("unknown kernel %q", req.Kernel))
+	}
+	ctx, cancel := s.requestCtx(r, req.DeadlineMS)
+	defer cancel()
+	host := ir.NewHost()
+	for name, data := range req.Arrays {
+		host.Arrays[name] = append([]int32(nil), data...)
+	}
+	res, err := s.sys.InvokeCtx(ctx, req.Kernel, req.Args, host)
+	if err != nil {
+		if errIsDeadline(err) {
+			return writeError(w, http.StatusGatewayTimeout, err.Error())
+		}
+		return writeError(w, http.StatusUnprocessableEntity, err.Error())
+	}
+	return writeJSON(w, http.StatusOK, RunResponse{
+		LiveOuts: res.LiveOuts,
+		Arrays:   host.Arrays,
+		Cycles:   res.Cycles,
+		OnCGRA:   res.OnCGRA,
+	})
+}
+
+func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodGet {
+		return writeError(w, http.StatusMethodNotAllowed, "GET required")
+	}
+	names := s.sys.Kernels()
+	if names == nil {
+		names = []string{}
+	}
+	return writeJSON(w, http.StatusOK, KernelsResponse{Kernels: names})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+	return code
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) int {
+	return writeJSON(w, code, errorResponse{Error: msg})
+}
+
+func errIsDeadline(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+// CompileRequest is the body of POST /v1/compile.
+type CompileRequest struct {
+	// Source is the kernel in textual IR.
+	Source string `json:"source"`
+	// DeadlineMS bounds the request (compile included), in milliseconds.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// CompileResponse reports one compile.
+type CompileResponse struct {
+	Kernel   string `json:"kernel"`
+	Key      string `json:"key"`
+	Contexts int    `json:"contexts"`
+	MaxRF    int    `json:"max_rf"`
+	// Cached reports the compile was served without running the tool flow.
+	Cached bool `json:"cached"`
+	// Source is where the compiled kernel came from: "memory" or "disk"
+	// (cache tiers), "installed" (already synthesized in this daemon), or
+	// "compile" for a fresh run of the tool flow.
+	Source    string  `json:"source"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// RunRequest is the body of POST /v1/run.
+type RunRequest struct {
+	Kernel     string             `json:"kernel"`
+	Args       map[string]int32   `json:"args,omitempty"`
+	Arrays     map[string][]int32 `json:"arrays,omitempty"`
+	DeadlineMS int64              `json:"deadline_ms,omitempty"`
+}
+
+// RunResponse reports one execution.
+type RunResponse struct {
+	LiveOuts map[string]int32   `json:"live_outs"`
+	// Arrays returns the heap state after the run (DMA write-back included).
+	Arrays map[string][]int32 `json:"arrays,omitempty"`
+	Cycles int64              `json:"cycles"`
+	OnCGRA bool               `json:"on_cgra"`
+}
+
+// KernelsResponse lists the registered kernels.
+type KernelsResponse struct {
+	Kernels []string `json:"kernels"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,354 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httptrace"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cgra/internal/adpcm"
+	"cgra/internal/arch"
+	"cgra/internal/cache"
+	"cgra/internal/irtext"
+	"cgra/internal/obs"
+	"cgra/internal/pipeline"
+	"cgra/internal/workload"
+)
+
+func testConfig(t *testing.T, cacheDir string) Config {
+	t.Helper()
+	comp, err := arch.ByName("9 PEs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{Comp: comp, Opts: pipeline.Defaults(), CacheDir: cacheDir}
+}
+
+func newTestServer(t *testing.T, cacheDir string) (*Server, *Client, func()) {
+	t.Helper()
+	s, err := New(testConfig(t, cacheDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	cleanup := func() {
+		ts.Close()
+		if err := s.Shutdown(context.Background()); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}
+	return s, NewClient(ts.URL), cleanup
+}
+
+func compileWorkload(t *testing.T, c *Client, name string) *CompileResponse {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Compile(context.Background(), irtext.Print(w.Kernel), 0)
+	if err != nil {
+		t.Fatalf("compile %s: %v", name, err)
+	}
+	return resp
+}
+
+func runWorkload(t *testing.T, c *Client, name string) *RunResponse {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := w.Host(w.DefaultSize)
+	resp, err := c.Run(context.Background(), w.Kernel.Name, w.Args(w.DefaultSize), host.Arrays)
+	if err != nil {
+		t.Fatalf("run %s: %v", name, err)
+	}
+	// Check live-outs and heap effects against the workload reference.
+	refHost := w.Host(w.DefaultSize)
+	want := w.Reference(w.DefaultSize, w.Args(w.DefaultSize), refHost)
+	for out, wv := range want {
+		if got := resp.LiveOuts[out]; got != wv {
+			t.Fatalf("%s live-out %q: got %d, want %d", name, out, got, wv)
+		}
+	}
+	for arr, wv := range refHost.Arrays {
+		got := resp.Arrays[arr]
+		if len(got) != len(wv) {
+			t.Fatalf("%s array %q: got %d elements, want %d", name, arr, len(got), len(wv))
+		}
+		for i := range wv {
+			if got[i] != wv[i] {
+				t.Fatalf("%s array %q[%d]: got %d, want %d", name, arr, i, got[i], wv[i])
+			}
+		}
+	}
+	return resp
+}
+
+func TestCompileAndRunOverHTTP(t *testing.T) {
+	_, c, cleanup := newTestServer(t, t.TempDir())
+	defer cleanup()
+
+	resp := compileWorkload(t, c, "gcd")
+	if resp.Cached || resp.Source != "compile" {
+		t.Fatalf("first compile: cached=%t source=%q, want fresh compile", resp.Cached, resp.Source)
+	}
+	if resp.Key == "" || resp.Contexts <= 0 {
+		t.Fatalf("implausible compile response: %+v", resp)
+	}
+	run := runWorkload(t, c, "gcd")
+	if !run.OnCGRA {
+		t.Fatal("run did not execute on the CGRA")
+	}
+
+	// Second compile of identical source: served without recompiling.
+	resp2 := compileWorkload(t, c, "gcd")
+	if !resp2.Cached || resp2.Source != "installed" {
+		t.Fatalf("second compile: cached=%t source=%q, want installed", resp2.Cached, resp2.Source)
+	}
+	if resp2.Key != resp.Key {
+		t.Fatal("cache key changed between identical compiles")
+	}
+
+	names, err := c.Kernels(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "gcd" {
+		t.Fatalf("kernels = %v, want [gcd]", names)
+	}
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+}
+
+func TestCompileConflictOnDifferentSource(t *testing.T) {
+	_, c, cleanup := newTestServer(t, "")
+	defer cleanup()
+	compileWorkload(t, c, "gcd")
+	_, err := c.Compile(context.Background(), "kernel gcd(in a, inout b) { b = a + 1; }", 0)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != http.StatusConflict {
+		t.Fatalf("conflicting re-registration: got %v, want 409", err)
+	}
+}
+
+func TestRunUnknownKernel(t *testing.T) {
+	_, c, cleanup := newTestServer(t, "")
+	defer cleanup()
+	_, err := c.Run(context.Background(), "nope", nil, nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != http.StatusNotFound {
+		t.Fatalf("unknown kernel: got %v, want 404", err)
+	}
+}
+
+// TestRestartServesFromDiskCache proves a restarted daemon serves its
+// kernels from the on-disk cache without recompiling.
+func TestRestartServesFromDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	_, c1, cleanup1 := newTestServer(t, dir)
+	first := compileWorkload(t, c1, "fir")
+	if first.Source != "compile" {
+		t.Fatalf("cold compile source %q", first.Source)
+	}
+	cleanup1()
+
+	s2, c2, cleanup2 := newTestServer(t, dir)
+	defer cleanup2()
+	second := compileWorkload(t, c2, "fir")
+	if !second.Cached || second.Source != cache.SourceDisk {
+		t.Fatalf("restarted compile: cached=%t source=%q, want disk", second.Cached, second.Source)
+	}
+	if second.Key != first.Key {
+		t.Fatal("cache key not stable across restart")
+	}
+	if run := runWorkload(t, c2, "fir"); !run.OnCGRA {
+		t.Fatal("cache-served kernel did not accelerate")
+	}
+	if hits := s2.Metrics().Counter("cgra_cache_hits_total", obs.L("tier", "disk")).Value(); hits == 0 {
+		t.Fatal("disk hit not counted in cgra_cache_hits_total")
+	}
+}
+
+func TestAdmissionControlSheds(t *testing.T) {
+	comp, err := arch.ByName("9 PEs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Comp: comp, Opts: pipeline.Defaults(), MaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Shutdown(context.Background())
+	c := NewClient(ts.URL)
+
+	// Occupy the single admission slot, then any request is shed with 429.
+	s.sem <- struct{}{}
+	_, err = c.Kernels(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated server: got %v, want 429", err)
+	}
+	if s.shed.Value() == 0 {
+		t.Fatal("shed request not counted")
+	}
+	<-s.sem
+	if _, err := c.Kernels(context.Background()); err != nil {
+		t.Fatalf("after slot freed: %v", err)
+	}
+}
+
+func TestCompileDeadlineReturns504(t *testing.T) {
+	// An aggressive unroll factor makes the adpcm compile take ~100 ms, so
+	// a 1 ms deadline reliably expires inside the scheduler.
+	cfg := testConfig(t, "")
+	cfg.Opts = pipeline.Options{UnrollFactor: 64, CSE: true, ConstFold: true}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Shutdown(context.Background())
+	c := NewClient(ts.URL)
+	_, err = c.Compile(context.Background(), adpcm.KernelSource, time.Millisecond)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != http.StatusGatewayTimeout {
+		t.Fatalf("deadline compile: got %v, want 504", err)
+	}
+}
+
+// TestDrainUnderLoad sends concurrent run requests, initiates shutdown
+// while they are in flight, and requires every request to complete cleanly:
+// either a 2xx result or an orderly 503 "draining" JSON response — never a
+// connection reset.
+func TestDrainUnderLoad(t *testing.T) {
+	s, err := New(testConfig(t, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ln) }()
+	c := NewClient("http://" + ln.Addr().String())
+	compileWorkload(t, c, "fir")
+
+	w, err := workload.ByName("fir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	var wrote sync.WaitGroup
+	wrote.Add(n)
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			// Signal once the request bytes are on the wire, so shutdown
+			// races with genuinely in-flight requests.
+			trace := &httptrace.ClientTrace{WroteRequest: func(httptrace.WroteRequestInfo) { wrote.Done() }}
+			ctx := httptrace.WithClientTrace(context.Background(), trace)
+			host := w.Host(w.DefaultSize)
+			_, err := c.Run(ctx, "fir", w.Args(w.DefaultSize), host.Arrays)
+			errs <- err
+		}()
+	}
+	wrote.Wait()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(shutCtx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		err := <-errs
+		if err == nil {
+			continue
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.Code == http.StatusServiceUnavailable {
+			continue // orderly drain rejection
+		}
+		t.Fatalf("in-flight request failed uncleanly during drain: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve returned %v after clean shutdown", err)
+	}
+	if err := c.Health(context.Background()); err == nil {
+		t.Fatal("daemon still serving after shutdown")
+	}
+}
+
+// TestConcurrentMixedKernels soaks the handler with concurrent compiles and
+// reference-checked runs of a mixed kernel set (run under -race in CI).
+func TestConcurrentMixedKernels(t *testing.T) {
+	_, c, cleanup := newTestServer(t, t.TempDir())
+	defer cleanup()
+	kernels := []string{"gcd", "fir", "dot", "bitcount"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				name := kernels[(g+i)%len(kernels)]
+				w, err := workload.ByName(name)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.Compile(context.Background(), irtext.Print(w.Kernel), 0); err != nil {
+					t.Errorf("compile %s: %v", name, err)
+					return
+				}
+				host := w.Host(w.DefaultSize)
+				resp, err := c.Run(context.Background(), w.Kernel.Name, w.Args(w.DefaultSize), host.Arrays)
+				if err != nil {
+					t.Errorf("run %s: %v", name, err)
+					return
+				}
+				want := w.Reference(w.DefaultSize, w.Args(w.DefaultSize), w.Host(w.DefaultSize))
+				for out, wv := range want {
+					if got := resp.LiveOuts[out]; got != wv {
+						t.Errorf("%s live-out %q: got %d, want %d", name, out, got, wv)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, c, cleanup := newTestServer(t, t.TempDir())
+	defer cleanup()
+	compileWorkload(t, c, "gcd")
+	resp, err := http.Get(c.Base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(data)
+	for _, want := range []string{"cgra_server_requests_total", "cgra_cache_misses_total", "cgra_system_invocations_total"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package system
+
+import (
+	"context"
+	"testing"
+
+	"cgra/internal/arch"
+	"cgra/internal/cache"
+	"cgra/internal/pipeline"
+	"cgra/internal/workload"
+)
+
+// TestSystemServesFromCache proves the synthesis path consults the artifact
+// cache: a second system sharing the cache directory serves the kernel from
+// disk without recompiling, and the realized kernel executes correctly.
+func TestSystemServesFromCache(t *testing.T) {
+	comp, err := arch.ByName("9 PEs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.ByName("gcd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	newSys := func() *System {
+		store, err := cache.New(cache.Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := New(comp, pipeline.Defaults(), 1)
+		s.Cache = store
+		if err := s.Register(w.Kernel); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	s1 := newSys()
+	info, err := s1.SynthesizeCtx(context.Background(), "gcd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.CacheSource != "" {
+		t.Fatalf("first synthesis reported cache source %q, want fresh compile", info.CacheSource)
+	}
+	if info.Key == "" {
+		t.Fatal("no cache key recorded despite attached cache")
+	}
+	res1, err := s1.Invoke("gcd", w.Args(w.DefaultSize), w.Host(w.DefaultSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res1.OnCGRA {
+		t.Fatal("first system did not accelerate")
+	}
+
+	// A restarted daemon: fresh system, same cache directory.
+	s2 := newSys()
+	info2, err := s2.SynthesizeCtx(context.Background(), "gcd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.CacheSource != cache.SourceDisk {
+		t.Fatalf("second synthesis came from %q, want %q", info2.CacheSource, cache.SourceDisk)
+	}
+	if info2.Key != info.Key {
+		t.Fatalf("cache key changed across runs: %s vs %s", info2.Key, info.Key)
+	}
+	if info2.Contexts != info.Contexts || info2.MaxRF != info.MaxRF {
+		t.Fatalf("cached mapping footprint (%d ctx, %d rf) != compiled (%d ctx, %d rf)",
+			info2.Contexts, info2.MaxRF, info.Contexts, info.MaxRF)
+	}
+	res2, err := s2.Invoke("gcd", w.Args(w.DefaultSize), w.Host(w.DefaultSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.OnCGRA {
+		t.Fatal("cache-served kernel did not accelerate")
+	}
+	for out, want := range res1.LiveOuts {
+		if got := res2.LiveOuts[out]; got != want {
+			t.Fatalf("live-out %q: cached run %d != compiled run %d", out, got, want)
+		}
+	}
+	// Third synthesis in the same process hits the memory front.
+	s3 := New(comp, pipeline.Defaults(), 1)
+	s3.Cache = s2.Cache
+	if err := s3.Register(w.Kernel); err != nil {
+		t.Fatal(err)
+	}
+	info3, err := s3.SynthesizeCtx(context.Background(), "gcd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info3.CacheSource != cache.SourceMemory {
+		t.Fatalf("third synthesis came from %q, want %q", info3.CacheSource, cache.SourceMemory)
+	}
+}
+
+// TestSystemCacheCrossCheck runs a cache-served kernel with the reference
+// cross-check enabled: the realized artifact must agree with the golden
+// interpreter on live-outs and heap effects.
+func TestSystemCacheCrossCheck(t *testing.T) {
+	comp, err := arch.ByName("9 PEs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.ByName("fir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for i := 0; i < 2; i++ {
+		store, err := cache.New(cache.Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := New(comp, pipeline.Defaults(), 1)
+		s.Cache = store
+		s.Policy.CrossCheck = true
+		if err := s.Register(w.Kernel); err != nil {
+			t.Fatal(err)
+		}
+		info, err := s.SynthesizeCtx(context.Background(), "fir")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSrc := ""
+		if i == 1 {
+			wantSrc = cache.SourceDisk
+		}
+		if info.CacheSource != wantSrc {
+			t.Fatalf("run %d: cache source %q, want %q", i, info.CacheSource, wantSrc)
+		}
+		res, err := s.Invoke("fir", w.Args(w.DefaultSize), w.Host(w.DefaultSize))
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if !res.OnCGRA {
+			t.Fatalf("run %d: not accelerated", i)
+		}
+	}
+}

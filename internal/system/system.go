@@ -35,6 +35,7 @@ import (
 
 	"cgra/internal/amidar"
 	"cgra/internal/arch"
+	"cgra/internal/cache"
 	"cgra/internal/fault"
 	"cgra/internal/ir"
 	"cgra/internal/obs"
@@ -169,6 +170,12 @@ type entry struct {
 	// ref is the inlined kernel the entry was built from; the cross-check
 	// interprets it as the golden model.
 	ref *ir.Kernel
+	// key is the content-addressed cache key of the compilation (empty when
+	// no cache is attached).
+	key string
+	// cacheSrc records where the entry came from: cache.SourceMemory,
+	// cache.SourceDisk, or "" for a fresh compile.
+	cacheSrc string
 	// phys maps the entry's logical PE indices to physical PEs (nil =
 	// identity, i.e. compiled for the undegraded array).
 	phys []int
@@ -218,6 +225,10 @@ type System struct {
 	Cost amidar.CostModel
 	// Policy tunes fault detection, recovery and admission control.
 	Policy ResiliencePolicy
+	// Cache, when non-nil, is consulted before every synthesis and receives
+	// every fresh compile's artifact. Configure it before the first
+	// invocation.
+	Cache *cache.Store
 
 	// state is the lock-free dispatch snapshot consulted by every
 	// invocation.
@@ -794,9 +805,11 @@ func (s *System) compileCtx(parent context.Context) context.Context {
 
 // compileKernel runs the tool flow for the kernel (inlining its calls
 // against the registered library) targeting the current snapshot's
-// composition. It takes no locks and is called from the worker pool and —
-// under the system lock — from the recovery path. A compiler panic is
-// converted into an error so a worker goroutine never dies.
+// composition. When a cache is attached it is consulted first — a hit
+// realizes the stored artifact instead of compiling, and a fresh compile's
+// artifact is stored back. It takes no locks and is called from the worker
+// pool and — under the system lock — from the recovery path. A compiler
+// panic is converted into an error so a worker goroutine never dies.
 func (s *System) compileKernel(ctx context.Context, name string) (ent *entry, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -813,13 +826,32 @@ func (s *System) compileKernel(ctx context.Context, name string) (ent *entry, er
 	if s.Policy.CompileBudget > 0 {
 		opts.Sched.MaxCycles = s.Policy.CompileBudget
 	}
+	var key string
+	if s.Cache != nil {
+		key = pipeline.Key(flat, st.target, opts)
+		if art, src, ok := s.Cache.Get(key); ok {
+			if c, rerr := art.Realize(); rerr == nil {
+				return &entry{c: c, ref: flat, key: key, cacheSrc: src, phys: st.phys}, nil
+			}
+			// A stored artifact that no longer realizes (version skew across
+			// a binary upgrade) falls through to a fresh compile, which
+			// overwrites the entry.
+		}
+	}
 	// Compile-phase timings and sizes land in the system registry.
 	opts.Obs = s.reg
 	c, err := pipeline.CompileCtx(ctx, flat, st.target, opts)
 	if err != nil {
 		return nil, fmt.Errorf("system: synthesize %q: %w", name, err)
 	}
-	return &entry{c: c, ref: flat, phys: st.phys}, nil
+	if s.Cache != nil {
+		if art, aerr := c.Artifact(); aerr == nil {
+			// A cache write failure (disk full, permissions) must not fail
+			// the synthesis: the compiled entry is good.
+			_ = s.Cache.Put(key, art)
+		}
+	}
+	return &entry{c: c, ref: flat, key: key, phys: st.phys}, nil
 }
 
 // installLocked patches the dispatch snapshot with a freshly compiled
@@ -836,21 +868,77 @@ func (s *System) installLocked(name string, ent *entry) {
 	s.seqMu.Unlock()
 }
 
+// SynthInfo describes one completed (or cache-served) synthesis.
+type SynthInfo struct {
+	// Kernel is the kernel name.
+	Kernel string
+	// Key is the content-addressed cache key ("" when no cache is attached).
+	Key string
+	// CacheSource is where the compiled kernel came from: "memory", "disk",
+	// or "" for a fresh compile.
+	CacheSource string
+	// Contexts and MaxRF are the mapping's resource footprint.
+	Contexts int
+	MaxRF    int
+	// Elapsed is the wall time of the synthesis (or cache realization).
+	Elapsed time.Duration
+}
+
 // Synthesize forces immediate, synchronous synthesis of a registered
 // kernel, bypassing the profiling threshold (used by tools that want the
 // accelerated path from the first invocation).
 func (s *System) Synthesize(name string) error {
+	_, err := s.SynthesizeCtx(context.Background(), name)
+	return err
+}
+
+// SynthesizeCtx is Synthesize under a caller deadline, reporting where the
+// compiled kernel came from (cache tier or fresh compile) and its resource
+// footprint. Re-synthesizing an already-compiled kernel is a no-op that
+// reports the installed entry.
+func (s *System) SynthesizeCtx(ctx context.Context, name string) (*SynthInfo, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.state.Load().kernels[name] == nil {
-		return fmt.Errorf("system: unknown kernel %q", name)
+		return nil, fmt.Errorf("system: unknown kernel %q", name)
 	}
-	ent, err := s.compileKernel(s.compileCtx(context.Background()), name)
+	if ent := s.state.Load().compiled[name]; ent != nil {
+		return synthInfo(name, ent, 0), nil
+	}
+	start := time.Now()
+	ent, err := s.compileKernel(s.compileCtx(ctx), name)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	s.installLocked(name, ent)
-	return nil
+	return synthInfo(name, ent, time.Since(start)), nil
+}
+
+func synthInfo(name string, ent *entry, elapsed time.Duration) *SynthInfo {
+	return &SynthInfo{
+		Kernel:      name,
+		Key:         ent.key,
+		CacheSource: ent.cacheSrc,
+		Contexts:    ent.c.UsedContexts(),
+		MaxRF:       ent.c.MaxRFEntries(),
+		Elapsed:     elapsed,
+	}
+}
+
+// Kernel returns the registered kernel of that name, or nil.
+func (s *System) Kernel(name string) *ir.Kernel {
+	return s.state.Load().kernels[name]
+}
+
+// Kernels lists the registered kernel names, sorted.
+func (s *System) Kernels() []string {
+	st := s.state.Load()
+	out := make([]string, 0, len(st.kernels))
+	for name := range st.kernels {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Stats returns a snapshot of the accumulated counters. It reads atomic
