@@ -1,0 +1,147 @@
+// Simulator throughput benchmarks: the predecoded fast path against the
+// instrumented interpreter, per kernel. Each benchmark reports simulated
+// CGRA cycles per wall-clock second (`cycles/sec`) and, with -benchmem,
+// allocations per op — divide by `cgra-cycles` for allocs per simulated
+// cycle (the fast path targets ~0).
+//
+//	go test -bench 'BenchmarkSim/' -benchmem -run '^$' .
+package cgra_test
+
+import (
+	"testing"
+
+	"cgra/internal/adpcm"
+	"cgra/internal/arch"
+	"cgra/internal/ir"
+	"cgra/internal/pipeline"
+	"cgra/internal/sim"
+	"cgra/internal/workload"
+)
+
+// simBenchCase is one compiled kernel with an input generator.
+type simBenchCase struct {
+	name string
+	c    *pipeline.Compiled
+	args map[string]int32
+	host func() *ir.Host
+}
+
+// simBenchCases compiles the benchmark kernel set (gcd, fir, dot, bitcount
+// and the paper's adpcm decoder) on the 9-PE mesh.
+func simBenchCases(b *testing.B) []simBenchCase {
+	b.Helper()
+	comp, err := arch.HomogeneousMesh(9, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cases []simBenchCase
+	for _, name := range []string{"gcd", "fir", "dot", "bitcount"} {
+		w, err := workload.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := pipeline.Compile(w.Kernel, comp, pipeline.Defaults())
+		if err != nil {
+			b.Fatalf("compile %s: %v", name, err)
+		}
+		cases = append(cases, simBenchCase{
+			name: name,
+			c:    c,
+			args: w.Args(w.DefaultSize),
+			host: func() *ir.Host { return w.Host(w.DefaultSize) },
+		})
+	}
+	s := newSetup(b)
+	c, err := pipeline.Compile(adpcm.Kernel(), comp, pipeline.Defaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases = append(cases, simBenchCase{
+		name: "adpcm",
+		c:    c,
+		args: adpcm.Args(s.N, adpcm.State{}),
+		host: func() *ir.Host { return adpcm.NewHost(s.Codes, s.N) },
+	})
+	return cases
+}
+
+// runSimBench drives b.N runs through the given machine factory and reports
+// simulated-cycle throughput.
+func runSimBench(b *testing.B, tc simBenchCase, machine func() *sim.Machine) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res, err := machine().Run(tc.args, tc.host())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.TotalCycles()
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(cycles)*float64(b.N)/sec, "cycles/sec")
+	}
+	b.ReportMetric(float64(cycles), "cgra-cycles")
+}
+
+// BenchmarkSimInterp measures the cold interpreter path (no predecoded
+// engine attached) — the pre-predecode baseline.
+func BenchmarkSimInterp(b *testing.B) {
+	for _, tc := range simBenchCases(b) {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			runSimBench(b, tc, func() *sim.Machine { return sim.New(tc.c.Program) })
+		})
+	}
+}
+
+// BenchmarkSimFast measures the predecoded zero-allocation fast path, the
+// daemon's serving configuration (engine memoized on the Compiled, pooled
+// run state reused across runs).
+func BenchmarkSimFast(b *testing.B) {
+	for _, tc := range simBenchCases(b) {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			if _, err := tc.c.Engine(); err != nil {
+				b.Fatalf("predecode: %v", err)
+			}
+			runSimBench(b, tc, tc.c.Machine)
+		})
+	}
+}
+
+// BenchmarkSimProbed measures the instrumented path with an event probe
+// attached — the fidelity-preserving slow path the fast path falls back to.
+func BenchmarkSimProbed(b *testing.B) {
+	for _, tc := range simBenchCases(b) {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			runSimBench(b, tc, func() *sim.Machine {
+				m := tc.c.Machine()
+				m.Probe = func(sim.Event) {}
+				return m
+			})
+		})
+	}
+}
+
+// BenchmarkSimPredecode measures the one-time decode cost itself, to bound
+// the cold-start penalty a cache miss pays before entering the fast path.
+func BenchmarkSimPredecode(b *testing.B) {
+	comp, err := arch.HomogeneousMesh(9, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := pipeline.Compile(adpcm.Kernel(), comp, pipeline.Defaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Predecode(c.Program); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

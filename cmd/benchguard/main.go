@@ -1,0 +1,92 @@
+// Command benchguard compares a freshly measured simulator benchmark
+// (tables -sim-bench-json) against the committed baseline BENCH_sim.json
+// and fails when fast-path throughput regresses beyond the tolerance on
+// any kernel. It is the CI bench-regression gate: self-contained, no
+// external diffing tools required.
+//
+//	benchguard -baseline BENCH_sim.json -current BENCH_sim_new.json -tolerance 0.30
+//
+// Only throughput regressions fail the build. Improvements and new kernels
+// are reported but pass; a kernel present in the baseline but missing from
+// the current run fails (a silently dropped benchmark would otherwise
+// disable its own gate).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cgra/internal/exper"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_sim.json", "committed baseline benchmark document")
+	current := flag.String("current", "", "freshly measured benchmark document")
+	tolerance := flag.Float64("tolerance", 0.30, "maximum allowed fractional throughput drop (0.30 = 30%)")
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -current is required")
+		os.Exit(2)
+	}
+	base, err := readDoc(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := readDoc(*current)
+	if err != nil {
+		fatal(err)
+	}
+	curByName := map[string]exper.SimBenchEntry{}
+	for _, e := range cur.Workloads {
+		curByName[e.Name] = e
+	}
+	failed := false
+	for _, b := range base.Workloads {
+		c, ok := curByName[b.Name]
+		if !ok {
+			fmt.Printf("benchguard: FAIL %-10s missing from current run\n", b.Name)
+			failed = true
+			continue
+		}
+		delete(curByName, b.Name)
+		if b.FastCyclesPerSec <= 0 {
+			fmt.Printf("benchguard: skip %-10s baseline has no throughput\n", b.Name)
+			continue
+		}
+		ratio := c.FastCyclesPerSec / b.FastCyclesPerSec
+		status := "ok  "
+		if ratio < 1-*tolerance {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("benchguard: %s %-10s fast %10.0f -> %10.0f cyc/s (%+.1f%%)\n",
+			status, b.Name, b.FastCyclesPerSec, c.FastCyclesPerSec, (ratio-1)*100)
+	}
+	for name := range curByName {
+		fmt.Printf("benchguard: note %-10s new kernel, no baseline\n", name)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchguard: throughput regressed more than %.0f%% against %s\n", *tolerance*100, *baseline)
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: all kernels within tolerance")
+}
+
+func readDoc(path string) (*exper.SimBenchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b, err := exper.ReadSimBench(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return b, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

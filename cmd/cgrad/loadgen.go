@@ -4,7 +4,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,6 +24,10 @@ type loadgenConfig struct {
 	Iters      int
 	BenchJSON  string
 	ExpectWarm bool
+	// Seed drives the kernel mix. Worker g uses rand.NewSource(Seed+g), so
+	// a given (seed, clients, iters) triple replays the exact same request
+	// sequence regardless of goroutine interleaving.
+	Seed int64
 }
 
 // lgKernel is one kernel of the mixed load set with everything needed to
@@ -50,11 +56,30 @@ type benchReport struct {
 	Clients    int           `json:"clients"`
 	Iters      int           `json:"iters"`
 	Kernels    []benchKernel `json:"kernels"`
+	Seed       int64         `json:"seed"`
 	Runs       int64         `json:"runs"`
 	RunErrors  int64         `json:"run_errors"`
 	OnCGRA     int64         `json:"on_cgra"`
 	WallMS     float64       `json:"wall_ms"`
 	RunsPerSec float64       `json:"runs_per_sec"`
+	RunP50MS   float64       `json:"run_p50_ms"`
+	RunP99MS   float64       `json:"run_p99_ms"`
+}
+
+// percentile returns the p-th percentile (nearest-rank) of sorted latencies
+// in milliseconds.
+func percentile(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p/100*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx].Microseconds()) / 1000
 }
 
 // loadSet builds the mixed kernel set: representative workloads from the
@@ -154,7 +179,7 @@ func runLoadgen(cfg loadgenConfig) error {
 
 	// Phase 1+2: cold compile each kernel, then recompile warm. The
 	// server-reported elapsed time isolates compile cost from the network.
-	report := benchReport{Target: cfg.Target, Clients: cfg.Clients, Iters: cfg.Iters}
+	report := benchReport{Target: cfg.Target, Clients: cfg.Clients, Iters: cfg.Iters, Seed: cfg.Seed}
 	for _, k := range set {
 		cold, err := c.Compile(ctx, k.source, 0)
 		if err != nil {
@@ -189,8 +214,12 @@ func runLoadgen(cfg loadgenConfig) error {
 			k.name, bk.ColdMS, bk.ColdSource, bk.WarmMS, bk.WarmSource, bk.Speedup)
 	}
 
-	// Phase 3: concurrent reference-checked runs over the mixed set.
+	// Phase 3: concurrent reference-checked runs over the mixed set. Each
+	// worker draws kernels from its own deterministic RNG stream (seeded
+	// from -seed plus the worker index), so the request mix replays exactly
+	// across invocations while still interleaving freely on the wire.
 	var runs, runErrors, onCGRA atomic.Int64
+	latencies := make([][]time.Duration, cfg.Clients)
 	start := time.Now()
 	var wg sync.WaitGroup
 	errCh := make(chan error, cfg.Clients)
@@ -198,9 +227,13 @@ func runLoadgen(cfg loadgenConfig) error {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(g)))
+			lats := make([]time.Duration, 0, cfg.Iters)
 			for i := 0; i < cfg.Iters; i++ {
-				k := set[(g+i)%len(set)]
+				k := set[rng.Intn(len(set))]
+				t0 := time.Now()
 				resp, err := c.Run(ctx, k.name, k.freshArgs(), k.freshArrays())
+				lats = append(lats, time.Since(t0))
 				runs.Add(1)
 				if err != nil {
 					runErrors.Add(1)
@@ -221,10 +254,16 @@ func runLoadgen(cfg loadgenConfig) error {
 					}
 				}
 			}
+			latencies[g] = lats
 		}(g)
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	var allLat []time.Duration
+	for _, lats := range latencies {
+		allLat = append(allLat, lats...)
+	}
+	sort.Slice(allLat, func(i, j int) bool { return allLat[i] < allLat[j] })
 
 	report.Runs = runs.Load()
 	report.RunErrors = runErrors.Load()
@@ -233,8 +272,11 @@ func runLoadgen(cfg loadgenConfig) error {
 	if wall > 0 {
 		report.RunsPerSec = float64(report.Runs) / wall.Seconds()
 	}
-	fmt.Printf("cgrad: %d runs (%d on CGRA, %d errors) in %.1f ms — %.0f runs/s\n",
-		report.Runs, report.OnCGRA, report.RunErrors, report.WallMS, report.RunsPerSec)
+	report.RunP50MS = percentile(allLat, 50)
+	report.RunP99MS = percentile(allLat, 99)
+	fmt.Printf("cgrad: %d runs (%d on CGRA, %d errors) in %.1f ms — %.0f runs/s, p50 %.3f ms, p99 %.3f ms\n",
+		report.Runs, report.OnCGRA, report.RunErrors, report.WallMS, report.RunsPerSec,
+		report.RunP50MS, report.RunP99MS)
 
 	if cfg.BenchJSON != "" {
 		data, err := json.MarshalIndent(&report, "", "  ")

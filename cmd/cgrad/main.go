@@ -45,6 +45,7 @@ func main() {
 		iters      = flag.Int("iters", 8, "run iterations per client (loadgen mode)")
 		benchJSON  = flag.String("bench-json", "", "write the loadgen benchmark report to this file")
 		expectWarm = flag.Bool("expect-warm", false, "loadgen: fail unless every first compile is served from the cache")
+		seed       = flag.Int64("seed", 1, "loadgen: RNG seed for the kernel mix (each worker derives its own deterministic stream)")
 	)
 	flag.Parse()
 
@@ -55,6 +56,7 @@ func main() {
 			Iters:      *iters,
 			BenchJSON:  *benchJSON,
 			ExpectWarm: *expectWarm,
+			Seed:       *seed,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "cgrad:", err)
 			os.Exit(1)

@@ -31,9 +31,10 @@ func main() {
 	ablations := flag.Bool("ablations", false, "print the ablation studies")
 	compositions := flag.Bool("compositions", false, "print the evaluated compositions (Fig. 13/14)")
 	benchJSON := flag.String("bench-json", "", "write per-workload compile+sim timings to this JSON file (use BENCH_pipeline.json)")
+	simBenchJSON := flag.String("sim-bench-json", "", "write simulator interp-vs-fast-path throughput to this JSON file (use BENCH_sim.json)")
 	flag.Parse()
 
-	all := *table == 0 && *figure == 0 && !*speedup && !*ablations && !*compositions && !*energy && !*mul && *benchJSON == ""
+	all := *table == 0 && *figure == 0 && !*speedup && !*ablations && !*compositions && !*energy && !*mul && *benchJSON == "" && *simBenchJSON == ""
 
 	s, err := exper.NewSetup()
 	if err != nil {
@@ -41,6 +42,9 @@ func main() {
 	}
 	if *benchJSON != "" {
 		writeBench(s, *benchJSON)
+	}
+	if *simBenchJSON != "" {
+		writeSimBench(s, *simBenchJSON)
 	}
 	if all || *table == 1 {
 		printTableI(s)
@@ -101,6 +105,32 @@ func writeBench(s *exper.Setup, path string) {
 		fatal(err)
 	}
 	fmt.Printf("wrote %d workload benchmarks to %s\n", len(b.Workloads), path)
+}
+
+// writeSimBench measures interpreter-vs-fast-path simulator throughput and
+// writes the result as JSON (committed as BENCH_sim.json; cmd/benchguard
+// gates CI against it).
+func writeSimBench(s *exper.Setup, path string) {
+	b, err := exper.SimBench(s)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	err = b.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+	for _, e := range b.Workloads {
+		fmt.Printf("sim-bench: %-10s interp %10.0f cyc/s  fast %10.0f cyc/s  speedup %5.1fx  allocs/cycle %.4f\n",
+			e.Name, e.InterpCyclesPerSec, e.FastCyclesPerSec, e.Speedup, e.FastAllocsPerCycle)
+	}
+	fmt.Printf("wrote %d simulator benchmarks to %s\n", len(b.Workloads), path)
 }
 
 func i64(v int64) string { return strconv.FormatInt(v, 10) }

@@ -1,0 +1,157 @@
+package exper
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"cgra/internal/adpcm"
+	"cgra/internal/arch"
+	"cgra/internal/ir"
+	"cgra/internal/pipeline"
+	"cgra/internal/sim"
+	"cgra/internal/workload"
+)
+
+// SimBenchEntry is one kernel's measured simulator throughput on both
+// execution paths: the instrumented interpreter (the pre-predecode
+// baseline) and the predecoded fast path.
+type SimBenchEntry struct {
+	Name string `json:"name"`
+	// Cycles is the simulated CGRA cycle count of one run (transfer + run).
+	Cycles int64 `json:"cycles"`
+	// InterpCyclesPerSec and FastCyclesPerSec are simulated cycles per
+	// wall-clock second on each path.
+	InterpCyclesPerSec float64 `json:"interp_cycles_per_sec"`
+	FastCyclesPerSec   float64 `json:"fast_cycles_per_sec"`
+	// Speedup is FastCyclesPerSec / InterpCyclesPerSec.
+	Speedup float64 `json:"speedup"`
+	// FastAllocsPerCycle is heap allocations per simulated cycle on the
+	// fast path (runtime.MemStats.Mallocs delta). The per-run fixed cost
+	// (result struct, live-out map, fresh host) is included, so values are
+	// small-but-nonzero; the inner loop itself allocates nothing.
+	FastAllocsPerCycle float64 `json:"fast_allocs_per_cycle"`
+}
+
+// SimBenchResult is the document written by `tables -sim-bench-json`
+// (committed as BENCH_sim.json and gated in CI by cmd/benchguard).
+type SimBenchResult struct {
+	Composition string          `json:"composition"`
+	Workloads   []SimBenchEntry `json:"workloads"`
+}
+
+// simBenchMinTime is the minimum measurement window per (kernel, path).
+const simBenchMinTime = 200 * time.Millisecond
+
+// SimBench measures simulator throughput for the benchmark kernel set
+// (gcd, fir, dot, bitcount and the paper's ADPCM decode) on the "9 PEs"
+// reference composition: the interpreter path versus the predecoded fast
+// path, plus the fast path's allocation rate.
+func SimBench(s *Setup) (*SimBenchResult, error) {
+	comp, err := arch.ByName("9 PEs")
+	if err != nil {
+		return nil, err
+	}
+	out := &SimBenchResult{Composition: comp.Name}
+	type bcase struct {
+		name string
+		k    *ir.Kernel
+		args map[string]int32
+		host func() *ir.Host
+	}
+	var cases []bcase
+	for _, name := range []string{"gcd", "fir", "dot", "bitcount"} {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		cases = append(cases, bcase{
+			name: name,
+			k:    w.Kernel,
+			args: w.Args(w.DefaultSize),
+			host: func() *ir.Host { return w.Host(w.DefaultSize) },
+		})
+	}
+	cases = append(cases, bcase{
+		name: "adpcm",
+		k:    adpcm.Kernel(),
+		args: adpcm.Args(s.N, adpcm.State{}),
+		host: func() *ir.Host { return adpcm.NewHost(s.Codes, s.N) },
+	})
+	for _, bc := range cases {
+		c, err := pipeline.Compile(bc.k, comp, Options())
+		if err != nil {
+			return nil, fmt.Errorf("simbench %s: %v", bc.name, err)
+		}
+		if _, err := c.Engine(); err != nil {
+			return nil, fmt.Errorf("simbench %s: predecode: %v", bc.name, err)
+		}
+		e := SimBenchEntry{Name: bc.name}
+		interp := func() *sim.Machine { return sim.New(c.Program) }
+		cycles, perSec, _, err := measureSim(interp, bc.args, bc.host)
+		if err != nil {
+			return nil, fmt.Errorf("simbench %s interp: %v", bc.name, err)
+		}
+		e.Cycles, e.InterpCyclesPerSec = cycles, perSec
+		_, perSec, allocs, err := measureSim(c.Machine, bc.args, bc.host)
+		if err != nil {
+			return nil, fmt.Errorf("simbench %s fast: %v", bc.name, err)
+		}
+		e.FastCyclesPerSec, e.FastAllocsPerCycle = perSec, allocs
+		if e.InterpCyclesPerSec > 0 {
+			e.Speedup = e.FastCyclesPerSec / e.InterpCyclesPerSec
+		}
+		out.Workloads = append(out.Workloads, e)
+	}
+	return out, nil
+}
+
+// measureSim drives runs through fresh machines from the factory until the
+// measurement window elapses, returning per-run simulated cycles, cycles
+// per second, and heap allocations per simulated cycle.
+func measureSim(machine func() *sim.Machine, args map[string]int32, host func() *ir.Host) (cycles int64, perSec, allocsPerCycle float64, err error) {
+	// Warm-up run: engine decode, pool priming, code paths hot.
+	res, err := machine().Run(args, host())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	cycles = res.TotalCycles()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	iters := 0
+	for time.Since(start) < simBenchMinTime || iters < 10 {
+		if _, err := machine().Run(args, host()); err != nil {
+			return 0, 0, 0, err
+		}
+		iters++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	total := float64(cycles) * float64(iters)
+	if sec := elapsed.Seconds(); sec > 0 {
+		perSec = total / sec
+	}
+	if total > 0 {
+		allocsPerCycle = float64(ms1.Mallocs-ms0.Mallocs) / total
+	}
+	return cycles, perSec, allocsPerCycle, nil
+}
+
+// WriteJSON renders the sim bench result as an indented JSON document.
+func (b *SimBenchResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadSimBench parses a document previously written by WriteJSON.
+func ReadSimBench(r io.Reader) (*SimBenchResult, error) {
+	b := &SimBenchResult{}
+	if err := json.NewDecoder(r).Decode(b); err != nil {
+		return nil, fmt.Errorf("sim bench: %v", err)
+	}
+	return b, nil
+}

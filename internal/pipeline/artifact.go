@@ -180,7 +180,13 @@ func (a *Artifact) Realize() (*Compiled, error) {
 		}
 		prog.PE[pe] = ctxs
 	}
-	return &Compiled{Schedule: s, Graph: g, Program: prog}, nil
+	c := &Compiled{Schedule: s, Graph: g, Program: prog}
+	// Warm the fast-path engine eagerly: a realized artifact exists to be
+	// executed (the daemon's warm-cache serving path), so the one-time
+	// predecode happens here rather than on the first request. A program
+	// the fast path cannot pre-resolve simply keeps the interpreter.
+	_, _ = c.Engine()
+	return c, nil
 }
 
 // EncodeArtifact serializes an artifact with gob (bitstream images use the

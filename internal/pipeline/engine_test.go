@@ -1,0 +1,197 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cgra/internal/adpcm"
+	"cgra/internal/arch"
+	"cgra/internal/ir"
+	"cgra/internal/sim"
+	"cgra/internal/workload"
+)
+
+// engineCase is one kernel with concrete inputs for differential runs.
+type engineCase struct {
+	name string
+	c    *Compiled
+	args map[string]int32
+	host *ir.Host
+}
+
+func engineCases(t testing.TB) []engineCase {
+	t.Helper()
+	comp, err := arch.ByName("9 PEs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cases []engineCase
+	for _, w := range workload.All() {
+		c, err := Compile(w.Kernel, comp, Defaults())
+		if err != nil {
+			t.Fatalf("compile %s: %v", w.Name, err)
+		}
+		cases = append(cases, engineCase{
+			name: w.Name,
+			c:    c,
+			args: w.Args(w.DefaultSize),
+			host: w.Host(w.DefaultSize),
+		})
+	}
+	const n = 24
+	samples := adpcm.GenerateSamples(n)
+	var encSt adpcm.State
+	codes, err := adpcm.Encode(samples, &encSt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(adpcm.Kernel(), comp, Defaults())
+	if err != nil {
+		t.Fatalf("compile adpcm: %v", err)
+	}
+	cases = append(cases, engineCase{
+		name: "adpcm",
+		c:    c,
+		args: adpcm.Args(n, adpcm.State{}),
+		host: adpcm.NewHost(codes, n),
+	})
+	return cases
+}
+
+// runSlow forces the fully instrumented interpreter path by attaching a
+// no-op probe (the fast path requires Probe == nil).
+func runSlow(c *Compiled, args map[string]int32, host *ir.Host) (*sim.Result, error) {
+	m := sim.New(c.Program)
+	m.Probe = func(sim.Event) {}
+	return m.Run(args, host)
+}
+
+// TestEngineDifferential asserts the predecoded fast path is byte-for-byte
+// result-identical to the instrumented interpreter on every workload
+// kernel: live-outs, run/transfer cycles, accumulated energy and heap
+// effects.
+func TestEngineDifferential(t *testing.T) {
+	for _, tc := range engineCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.c.Engine(); err != nil {
+				t.Fatalf("program does not predecode: %v", err)
+			}
+			hostSlow := tc.host.Clone()
+			hostFast := tc.host.Clone()
+			slow, err := runSlow(tc.c, tc.args, hostSlow)
+			if err != nil {
+				t.Fatalf("interpreter: %v", err)
+			}
+			fast, err := tc.c.Run(tc.args, hostFast)
+			if err != nil {
+				t.Fatalf("fast path: %v", err)
+			}
+			if slow.RunCycles != fast.RunCycles {
+				t.Errorf("run cycles: interpreter %d, fast %d", slow.RunCycles, fast.RunCycles)
+			}
+			if slow.TransferCycles != fast.TransferCycles {
+				t.Errorf("transfer cycles: interpreter %d, fast %d", slow.TransferCycles, fast.TransferCycles)
+			}
+			if slow.Energy != fast.Energy {
+				t.Errorf("energy: interpreter %v, fast %v", slow.Energy, fast.Energy)
+			}
+			if len(slow.LiveOuts) != len(fast.LiveOuts) {
+				t.Errorf("live-out count: interpreter %d, fast %d", len(slow.LiveOuts), len(fast.LiveOuts))
+			}
+			for name, want := range slow.LiveOuts {
+				if got, ok := fast.LiveOuts[name]; !ok || got != want {
+					t.Errorf("live-out %q: interpreter %d, fast %d (present %v)", name, want, got, ok)
+				}
+			}
+			if !hostSlow.Equal(hostFast) {
+				t.Errorf("heap contents diverge between interpreter and fast path")
+			}
+		})
+	}
+}
+
+// TestEnginePoolReuse runs the fast path repeatedly and concurrently over
+// one shared Decoded: pooled run state must be fully reset between runs,
+// and concurrent requests must not interfere (the cgrad serving pattern).
+func TestEnginePoolReuse(t *testing.T) {
+	tc := engineCases(t)[0]
+	ref, err := tc.c.Run(tc.args, tc.host.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		res, err := tc.c.Run(tc.args, tc.host.Clone())
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if res.RunCycles != ref.RunCycles || res.Energy != ref.Energy {
+			t.Fatalf("run %d diverged: cycles %d vs %d", i, res.RunCycles, ref.RunCycles)
+		}
+		for name, want := range ref.LiveOuts {
+			if res.LiveOuts[name] != want {
+				t.Fatalf("run %d live-out %q: %d, want %d", i, name, res.LiveOuts[name], want)
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := tc.c.Run(tc.args, tc.host.Clone())
+			if err != nil {
+				errs <- err
+				return
+			}
+			for name, want := range ref.LiveOuts {
+				if res.LiveOuts[name] != want {
+					errs <- fmt.Errorf("concurrent live-out %q: %d, want %d", name, res.LiveOuts[name], want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestEngineWatchdog asserts the fast path honors MaxCycles with the same
+// typed error as the interpreter.
+func TestEngineWatchdog(t *testing.T) {
+	tc := engineCases(t)[0]
+	m := tc.c.Machine()
+	if m.Engine == nil {
+		t.Fatal("no engine attached")
+	}
+	m.MaxCycles = 3
+	_, err := m.Run(tc.args, tc.host.Clone())
+	var we *sim.WatchdogError
+	if !errorsAs(err, &we) {
+		t.Fatalf("want WatchdogError, got %v", err)
+	}
+	if we.Limit != 3 {
+		t.Fatalf("watchdog limit %d, want 3", we.Limit)
+	}
+}
+
+// errorsAs avoids importing errors just for one assertion helper.
+func errorsAs(err error, target *(*sim.WatchdogError)) bool {
+	for err != nil {
+		if we, ok := err.(*sim.WatchdogError); ok {
+			*target = we
+			return true
+		}
+		type unwrapper interface{ Unwrap() error }
+		u, ok := err.(unwrapper)
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

@@ -13,6 +13,7 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"cgra/internal/arch"
 	"cgra/internal/cdfg"
@@ -63,6 +64,37 @@ type Compiled struct {
 	// Trace is the compile-phase span tree (timings and size metrics per
 	// phase). Always populated, even without an Options.Obs registry.
 	Trace *obs.Span
+
+	// engine memoizes the predecoded fast-path simulator of Program, so
+	// repeated runs of one compiled kernel (the daemon's serving hot path)
+	// decode the context stream exactly once.
+	engineOnce sync.Once
+	engine     *sim.Decoded
+	engineErr  error
+}
+
+// Engine returns the predecoded fast-path engine of the compiled program,
+// decoding it on first use and memoizing the result. An error means the
+// program holds a construct the fast path cannot pre-resolve; callers fall
+// back to the instrumented interpreter, which reproduces the exact runtime
+// diagnostic.
+func (c *Compiled) Engine() (*sim.Decoded, error) {
+	c.engineOnce.Do(func() {
+		c.engine, c.engineErr = sim.Predecode(c.Program)
+	})
+	return c.engine, c.engineErr
+}
+
+// Machine builds a simulator for the compiled program with the predecoded
+// engine attached when available. Attaching instrumentation (Probe, Trace)
+// or a fault plan to the returned machine automatically reverts it to the
+// fully observable interpreter path.
+func (c *Compiled) Machine() *sim.Machine {
+	m := sim.New(c.Program)
+	if d, err := c.Engine(); err == nil {
+		m.Engine = d
+	}
+	return m
 }
 
 // CompileProgram inlines every kernel call of the program's entry kernel
@@ -158,15 +190,16 @@ func CompileCtx(ctx context.Context, k *ir.Kernel, comp *arch.Composition, o Opt
 	return &Compiled{Kernel: optimized, Graph: g, Schedule: s, Program: prog, Trace: root}, nil
 }
 
-// Run executes the compiled kernel on the CGRA simulator.
+// Run executes the compiled kernel on the CGRA simulator (fast path when
+// the program predecodes).
 func (c *Compiled) Run(args map[string]int32, host *ir.Host) (*sim.Result, error) {
-	return sim.New(c.Program).Run(args, host)
+	return c.Machine().Run(args, host)
 }
 
 // RunCtx executes the compiled kernel on the CGRA simulator with
 // cooperative cancellation (see sim.Machine.RunCtx).
 func (c *Compiled) RunCtx(ctx context.Context, args map[string]int32, host *ir.Host) (*sim.Result, error) {
-	return sim.New(c.Program).RunCtx(ctx, args, host)
+	return c.Machine().RunCtx(ctx, args, host)
 }
 
 // UsedContexts returns the number of contexts the schedule occupies

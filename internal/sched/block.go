@@ -17,6 +17,12 @@ type blockState struct {
 	// fusable maps a producer node to the pWRITE that may fold into it.
 	fusable map[*cdfg.Node]*cdfg.Node
 	maxEnd  int
+	// order holds the block's nodes pre-sorted by (priority desc, ID asc).
+	// Priorities are fixed once computePriorities runs, so the sort happens
+	// once per block; each time step only filters this list.
+	order []*cdfg.Node
+	// candBuf is the reusable backing array for candidates().
+	candBuf []*cdfg.Node
 }
 
 // block schedules one straight-line block with the time-stepped list
@@ -70,6 +76,14 @@ func (s *scheduler) block(blk *cdfg.Block, start int) (int, error) {
 		}
 	}
 	s.computePriorities(blk, bs)
+	bs.order = append(make([]*cdfg.Node, 0, len(blk.Nodes)), blk.Nodes...)
+	sort.SliceStable(bs.order, func(i, j int) bool {
+		if bs.prio[bs.order[i]] != bs.prio[bs.order[j]] {
+			return bs.prio[bs.order[i]] > bs.prio[bs.order[j]]
+		}
+		return bs.order[i].ID < bs.order[j].ID
+	})
+	bs.candBuf = make([]*cdfg.Node, 0, len(blk.Nodes))
 	if !s.opts.NoFusing {
 		for _, n := range blk.Nodes {
 			if n.Kind == cdfg.KPWrite && n.AliasOf != nil && n.Pred == nil {
@@ -97,7 +111,7 @@ func (s *scheduler) block(blk *cdfg.Block, start int) (int, error) {
 			return 0, fmt.Errorf("block %d: exceeded %d cycles (scheduling livelock?); unscheduled: %v",
 				blk.ID, s.opts.MaxCycles, stuck)
 		}
-		cands := s.candidates(blk, bs)
+		cands := s.candidates(bs)
 		for _, n := range cands {
 			if !bs.unscheduled[n] {
 				continue // fused along with its producer this cycle
@@ -181,10 +195,14 @@ func (s *scheduler) repDuration(n *cdfg.Node) int {
 
 // candidates returns unscheduled nodes whose strict dependencies are all
 // scheduled, ordered by decreasing priority (ties by node ID for
-// determinism).
-func (s *scheduler) candidates(blk *cdfg.Block, bs *blockState) []*cdfg.Node {
-	var out []*cdfg.Node
-	for _, n := range blk.Nodes {
+// determinism). The order comes from bs.order, sorted once per block —
+// filtering a sorted list preserves its order, so results are identical to
+// re-sorting the filtered set at every time step, without the O(n log n)
+// per-step cost. The returned slice aliases bs.candBuf and is only valid
+// until the next call.
+func (s *scheduler) candidates(bs *blockState) []*cdfg.Node {
+	out := bs.candBuf[:0]
+	for _, n := range bs.order {
 		if !bs.unscheduled[n] {
 			continue
 		}
@@ -199,12 +217,7 @@ func (s *scheduler) candidates(blk *cdfg.Block, bs *blockState) []*cdfg.Node {
 			out = append(out, n)
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if bs.prio[out[i]] != bs.prio[out[j]] {
-			return bs.prio[out[i]] > bs.prio[out[j]]
-		}
-		return out[i].ID < out[j].ID
-	})
+	bs.candBuf = out
 	return out
 }
 

@@ -70,6 +70,11 @@ type Machine struct {
 	// renumbered, so the mapping keeps faults pinned to the physical
 	// hardware; nil means identity (undegraded composition).
 	PhysPE []int
+	// Engine, when non-nil, is the predecoded fast-path engine for prog
+	// (see Predecode). RunCtx selects it whenever no instrumentation
+	// (Trace/Probe) and no fault plan is attached, so observability costs
+	// nothing when unused; results are identical either way.
+	Engine *Decoded
 }
 
 // New creates a machine for a program.
@@ -113,6 +118,9 @@ func (m *Machine) RunCtx(ctx context.Context, args map[string]int32, host *ir.Ho
 	if limit == 0 {
 		limit = 500_000_000
 	}
+	if m.Engine != nil && m.Trace == nil && m.Probe == nil && m.Inject == nil {
+		return m.Engine.run(ctx, limit, args, host)
+	}
 	m.Inject.BeginRun()
 	// phys maps a logical PE index to the physical identity faults name.
 	phys := func(pe int) int {
@@ -149,16 +157,16 @@ func (m *Machine) RunCtx(ctx context.Context, args map[string]int32, host *ir.Ho
 	// scheduler guarantees NOPs there, so this only guards consistency).
 	res := &Result{LiveOuts: map[string]int32{}}
 	var pending []pendingWrite
-	statuses := make([]bool, comp.NumPEs())
-	statusValid := make([]bool, comp.NumPEs())
-	// Pending status bits from multi-cycle compares (none in the standard
-	// compositions, but the model allows them).
-	type pendingStatus struct {
-		cycle int64
-		pe    int
-		val   bool
+	// Per-PE status slots: a compare finishing at cycle c leaves its value
+	// in statusVal[pe] with statusArrive[pe]=c. A PE has at most one
+	// status in flight (multi-cycle ops stall its context decoding), so
+	// one slot per PE replaces a pending-status list, and the C-Box
+	// consume becomes a single bounded lookup.
+	statusVal := make([]bool, comp.NumPEs())
+	statusArrive := make([]int64, comp.NumPEs())
+	for i := range statusArrive {
+		statusArrive[i] = -1
 	}
-	var pendStatus []pendingStatus
 
 	ccnt := 0
 	var cycle int64
@@ -252,7 +260,8 @@ func (m *Machine) RunCtx(ctx context.Context, args map[string]int32, host *ir.Ho
 					m.emit(Event{Cycle: cycle, CCNT: ccnt, Kind: EvFault, PE: pe})
 					val = cv
 				}
-				pendStatus = append(pendStatus, pendingStatus{cycle: finish, pe: pe, val: val})
+				statusVal[pe] = val
+				statusArrive[pe] = finish
 			case ctx.Op == arch.LOAD:
 				if !squash {
 					arr := g.Arrays[ctx.Array]
@@ -301,19 +310,10 @@ func (m *Machine) RunCtx(ctx context.Context, args map[string]int32, host *ir.Ho
 			var in bool
 			if cbox.Consume {
 				// The status must arrive exactly this cycle.
-				arrived := false
-				for i := range pendStatus {
-					ps := &pendStatus[i]
-					if ps.cycle == cycle && ps.pe == cbox.StatusPE {
-						statuses[ps.pe] = ps.val
-						statusValid[ps.pe] = true
-						arrived = true
-					}
-				}
-				if !arrived || !statusValid[cbox.StatusPE] {
+				if statusArrive[cbox.StatusPE] != cycle {
 					return nil, fmt.Errorf("sim: ctx %d consumes missing status of PE %d", ccnt, cbox.StatusPE)
 				}
-				in = statuses[cbox.StatusPE]
+				in = statusVal[cbox.StatusPE]
 			} else if cbox.HasA {
 				in = condMem[cbox.AAddr] != cbox.AInv
 			}
@@ -375,14 +375,6 @@ func (m *Machine) RunCtx(ctx context.Context, args map[string]int32, host *ir.Ho
 			}
 		}
 		pending = kept
-		// Drop consumed/expired statuses.
-		keptStatus := pendStatus[:0]
-		for _, ps := range pendStatus {
-			if ps.cycle > cycle {
-				keptStatus = append(keptStatus, ps)
-			}
-		}
-		pendStatus = keptStatus
 		if condWrite != nil {
 			condMem[condWrite.addr] = condWrite.val
 			v := int32(0)

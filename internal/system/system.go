@@ -41,7 +41,6 @@ import (
 	"cgra/internal/obs"
 	"cgra/internal/opt"
 	"cgra/internal/pipeline"
-	"cgra/internal/sim"
 )
 
 // Result reports one invocation through the system.
@@ -546,7 +545,9 @@ func (s *System) runHost(ctx context.Context, name string, k *ir.Kernel, args ma
 // for the retry.
 func (s *System) runAccelerated(ctx context.Context, name string, ent *entry, args map[string]int32, host *ir.Host) (*Result, error) {
 	inj := s.inj.Load()
-	m := sim.New(ent.c.Program)
+	// Machine attaches the memoized predecoded engine; setting Inject to a
+	// live fault plan reverts the run to the instrumented interpreter.
+	m := ent.c.Machine()
 	m.Inject = inj
 	m.PhysPE = ent.phys
 	m.MaxCycles = ent.maxCycles
@@ -844,6 +845,9 @@ func (s *System) compileKernel(ctx context.Context, name string) (ent *entry, er
 	if err != nil {
 		return nil, fmt.Errorf("system: synthesize %q: %w", name, err)
 	}
+	// Predecode the fast-path engine once at synthesis time, off the
+	// serving hot path (cache hits were warmed by Realize already).
+	_, _ = c.Engine()
 	if s.Cache != nil {
 		if art, aerr := c.Artifact(); aerr == nil {
 			// A cache write failure (disk full, permissions) must not fail
