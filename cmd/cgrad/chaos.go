@@ -1,0 +1,333 @@
+// Chaos soak mode (-chaos): the daemon's disaster drill. The full serving
+// stack — HTTP server, admission control, synthesis pool, artifact cache —
+// is brought up in-process over a seeded chaos injector that breaks the
+// cache filesystem (IO errors, torn writes, bit-rot, ENOSPC), the compile
+// path (latency, spurious failures) and the simulated hardware (transient
+// bit flips). Retrying clients then hammer it with reference-checked load.
+//
+// The soak asserts the robustness invariants, not the absence of errors:
+//
+//  1. Zero mismatched results. Every successful response — accelerated,
+//     host-fallback or brownout-degraded — must equal the reference
+//     interpreter. Failing loudly is allowed; lying is not.
+//  2. Zero hung requests. Every request resolves within its deadline plus
+//     slack; the whole load phase is bounded by a watchdog.
+//  3. Bounded recovery. Once the injector is disarmed, the daemon must
+//     return to full health — cache scrubbed clean and un-degraded,
+//     breakers closed, brownout exited, every kernel compiled — within the
+//     recovery window, with no restart.
+//
+// Exit status is nonzero on any violation; -metrics-out dumps the final
+// metrics (Prometheus text) for CI artifacts.
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cgra/internal/arch"
+	"cgra/internal/chaos"
+	"cgra/internal/fault"
+	"cgra/internal/irtext"
+	"cgra/internal/obs"
+	"cgra/internal/pipeline"
+	"cgra/internal/server"
+)
+
+type chaosConfig struct {
+	CompName   string
+	Seed       int64
+	Clients    int
+	Iters      int
+	MetricsOut string
+}
+
+// chaosPlan is the soak's fault schedule. The cadences are relatively
+// prime so fault kinds interleave rather than stack on the same
+// operations; the seed fixes the whole schedule for replay.
+func chaosPlan(seed int64) chaos.Plan {
+	return chaos.Plan{
+		Seed:            seed,
+		ReadErrEvery:    7,
+		WriteErrEvery:   13,
+		TornWriteEvery:  5,
+		BitRotEvery:     8,
+		ENOSPCEvery:     6,
+		CompileErrEvery: 3,
+		CompileLagEvery: 4,
+		CompileLag:      20 * time.Millisecond,
+	}
+}
+
+// runDeadline bounds one soak request; requestSlack is the extra grace the
+// hang watchdog grants over the deadline before calling a request hung.
+const (
+	runDeadline  = 10 * time.Second
+	requestSlack = 5 * time.Second
+)
+
+func runChaos(cfg chaosConfig) error {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 8
+	}
+	comp, err := arch.ByName(cfg.CompName)
+	if err != nil {
+		return err
+	}
+	cacheDir, err := os.MkdirTemp("", "cgrad-chaos-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(cacheDir)
+
+	// The injector reports into its own registry (the server builds its
+	// registry internally); the metrics dump concatenates both.
+	injReg := obs.NewRegistry()
+	inj := chaos.New(chaosPlan(cfg.Seed), nil, injReg)
+
+	srv, err := server.New(server.Config{
+		Comp:               comp,
+		Opts:               pipeline.Defaults(),
+		CacheDir:           cacheDir,
+		CacheFS:            inj,
+		CacheScrubInterval: 250 * time.Millisecond,
+		MaxInFlight:        2 * cfg.Clients,
+	})
+	if err != nil {
+		return err
+	}
+	sys := srv.System()
+	sys.CompileHook = inj.CompileHook()
+	// Short cooldown so tripped breakers re-probe quickly in recovery.
+	sys.Policy.BreakerCooldown = 100 * time.Millisecond
+	// Hardware chaos on top of environment chaos: a transient bit flip the
+	// detection/retry machinery must absorb without corrupting results.
+	if err := sys.InjectFaults(fault.Plan{Seed: cfg.Seed, Faults: []fault.Fault{{Kind: fault.TransientBit, PE: 1}}}); err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("cgrad: chaos soak on %s (seed %d, %d clients × %d iters)\n", base, cfg.Seed, cfg.Clients, cfg.Iters)
+
+	set, err := chaosSet()
+	if err != nil {
+		return err
+	}
+
+	var violations []string
+	violate := func(format string, args ...any) {
+		violations = append(violations, fmt.Sprintf(format, args...))
+	}
+
+	// --- Phase A: load under chaos ------------------------------------
+	// Register every kernel (one compile attempt each — injected compile
+	// faults may 422, which is fine: registration survives and runs fall
+	// back to the host until synthesis lands).
+	seedClient := server.NewClient(base)
+	for _, k := range set {
+		ctx, cancel := context.WithTimeout(context.Background(), runDeadline)
+		_, err := seedClient.Compile(ctx, k.source, 0)
+		cancel()
+		if err != nil {
+			fmt.Printf("cgrad: chaos: seed compile %s: %v (tolerated)\n", k.name, err)
+		}
+	}
+
+	var runs, runErrors, mismatches, degradedServes, onCGRA atomic.Int64
+	var mu sync.Mutex
+	var firstMismatch error
+	var wg sync.WaitGroup
+	for g := 0; g < cfg.Clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Per-worker client: its retry budget and backoff state are
+			// its own, like a real fleet.
+			c := server.NewClient(base)
+			for i := 0; i < cfg.Iters; i++ {
+				k := set[(g+i)%len(set)]
+				ctx, cancel := context.WithTimeout(context.Background(), runDeadline)
+				start := time.Now()
+				resp, err := c.Run(ctx, k.name, k.freshArgs(), k.freshArrays())
+				elapsed := time.Since(start)
+				cancel()
+				runs.Add(1)
+				if elapsed > runDeadline+requestSlack {
+					violate("hung request: %s run took %v (deadline %v)", k.name, elapsed, runDeadline)
+				}
+				if err != nil {
+					// Typed failures are allowed under chaos; hangs and
+					// lies are not.
+					runErrors.Add(1)
+					continue
+				}
+				if resp.Degraded {
+					degradedServes.Add(1)
+				}
+				if resp.OnCGRA {
+					onCGRA.Add(1)
+				}
+				if cerr := k.check(resp); cerr != nil {
+					mismatches.Add(1)
+					mu.Lock()
+					if firstMismatch == nil {
+						firstMismatch = cerr
+					}
+					mu.Unlock()
+				}
+			}
+		}(g)
+	}
+	loadDone := make(chan struct{})
+	go func() { wg.Wait(); close(loadDone) }()
+	phaseBudget := runDeadline + requestSlack
+	watchdog := time.Duration(cfg.Iters)*phaseBudget + time.Minute
+	select {
+	case <-loadDone:
+	case <-time.After(watchdog):
+		violate("load phase hung: not done after %v", watchdog)
+	}
+	fmt.Printf("cgrad: chaos: %d runs (%d on CGRA, %d degraded, %d typed errors, %d mismatches), %d faults injected\n",
+		runs.Load(), onCGRA.Load(), degradedServes.Load(), runErrors.Load(), mismatches.Load(), inj.Injections())
+	if n := mismatches.Load(); n > 0 {
+		violate("%d reference mismatches under chaos; first: %v", n, firstMismatch)
+	}
+
+	// --- Phase B: recovery --------------------------------------------
+	// Stop all injection; the daemon must heal itself within the window.
+	inj.Disarm()
+	sys.ClearFaults()
+	recoverStart := time.Now()
+	const recoverWindow = 30 * time.Second
+	recovered := false
+	for time.Since(recoverStart) < recoverWindow {
+		// Compiles drive half-open breaker probes and refill the cache.
+		allCompiled := true
+		for _, k := range set {
+			ctx, cancel := context.WithTimeout(context.Background(), runDeadline)
+			_, err := seedClient.Compile(ctx, k.source, 0)
+			cancel()
+			if err != nil {
+				allCompiled = false
+			}
+		}
+		sys.Quiesce()
+		rep := srv.Cache().ScrubNow()
+		if allCompiled && rep.Clean() && !srv.Cache().Degraded() &&
+			len(sys.OpenBreakers()) == 0 && !srv.BrownoutActive() {
+			recovered = true
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !recovered {
+		violate("daemon did not recover within %v: scrub=%s degraded=%t breakers=%v brownout=%t",
+			recoverWindow, srv.Cache().ScrubNow(), srv.Cache().Degraded(), sys.OpenBreakers(), srv.BrownoutActive())
+	} else {
+		fmt.Printf("cgrad: chaos: recovered in %v (cache clean, breakers closed, brownout off)\n",
+			time.Since(recoverStart).Round(time.Millisecond))
+	}
+
+	// Post-recovery verification: every kernel serves a reference-correct
+	// accelerated run from the healed daemon.
+	for _, k := range set {
+		ctx, cancel := context.WithTimeout(context.Background(), runDeadline)
+		resp, err := seedClient.Run(ctx, k.name, k.freshArgs(), k.freshArrays())
+		cancel()
+		if err != nil {
+			violate("post-recovery run %s: %v", k.name, err)
+			continue
+		}
+		if !resp.OnCGRA {
+			violate("post-recovery run %s not accelerated", k.name)
+		}
+		if cerr := k.check(resp); cerr != nil {
+			violate("post-recovery mismatch: %v", cerr)
+		}
+	}
+
+	// Readiness must agree the daemon is back.
+	if rr, err := seedClient.Ready(context.Background()); err != nil || rr == nil || !rr.Ready {
+		violate("daemon not ready after recovery: %+v (%v)", rr, err)
+	}
+
+	if cfg.MetricsOut != "" {
+		if err := writeChaosMetrics(cfg.MetricsOut, srv, injReg); err != nil {
+			return err
+		}
+		fmt.Println("cgrad: chaos: metrics dump written to", cfg.MetricsOut)
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		violate("shutdown: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		violate("serve: %v", err)
+	}
+
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "cgrad: chaos: INVARIANT VIOLATED:", v)
+		}
+		return fmt.Errorf("chaos soak failed: %d invariant violations", len(violations))
+	}
+	fmt.Println("cgrad: chaos soak passed: zero mismatches, zero hangs, full recovery")
+	return nil
+}
+
+// chaosSet is the load set plus renamed variants of the small kernels:
+// each variant has a distinct digest, so it compiles fresh and commits its
+// own cache entry — enough write traffic to reach the rarer write-site
+// faults (ENOSPC, bit-rot) that a five-kernel set never triggers.
+func chaosSet() ([]*lgKernel, error) {
+	set, err := loadSet()
+	if err != nil {
+		return nil, err
+	}
+	out := append([]*lgKernel(nil), set...)
+	for _, base := range set[:2] {
+		for i := 0; i < 4; i++ {
+			v := *base.kernel
+			v.Name = fmt.Sprintf("%s_v%d", base.kernel.Name, i)
+			out = append(out, &lgKernel{
+				name:   v.Name,
+				source: irtext.Print(&v),
+				kernel: &v,
+				args:   base.args,
+				arrays: base.arrays,
+			})
+		}
+	}
+	return out, nil
+}
+
+// writeChaosMetrics dumps the server registry and the injector's registry
+// into one Prometheus text file (disjoint families, so plain
+// concatenation is valid exposition format).
+func writeChaosMetrics(path string, srv *server.Server, injReg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := srv.Metrics().WritePrometheus(f); err != nil {
+		return err
+	}
+	return injReg.WritePrometheus(f)
+}

@@ -12,6 +12,12 @@
 // a benchmark report:
 //
 //	cgrad -loadgen -target http://127.0.0.1:8080 -clients 4 -iters 8 -bench-json BENCH_server.json
+//
+// Chaos soak mode (-chaos) serves in-process under seeded environment
+// fault injection, drives reference-checked load, then asserts bounded
+// recovery (see chaos.go):
+//
+//	cgrad -chaos -seed 1 -clients 4 -chaos-iters 8 -metrics-out chaos-metrics.prom
 package main
 
 import (
@@ -45,9 +51,27 @@ func main() {
 		iters      = flag.Int("iters", 8, "run iterations per client (loadgen mode)")
 		benchJSON  = flag.String("bench-json", "", "write the loadgen benchmark report to this file")
 		expectWarm = flag.Bool("expect-warm", false, "loadgen: fail unless every first compile is served from the cache")
-		seed       = flag.Int64("seed", 1, "loadgen: RNG seed for the kernel mix (each worker derives its own deterministic stream)")
+		seed       = flag.Int64("seed", 1, "loadgen/chaos: RNG seed (deterministic request mix and fault schedule)")
+
+		chaosMode  = flag.Bool("chaos", false, "run the chaos soak: serve in-process under fault injection, drive load, assert recovery")
+		chaosIters = flag.Int("chaos-iters", 8, "chaos: run iterations per client")
+		metricsOut = flag.String("metrics-out", "", "chaos: write the final metrics dump (Prometheus text) to this file")
 	)
 	flag.Parse()
+
+	if *chaosMode {
+		if err := runChaos(chaosConfig{
+			CompName:   *compName,
+			Seed:       *seed,
+			Clients:    *clients,
+			Iters:      *chaosIters,
+			MetricsOut: *metricsOut,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "cgrad:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *loadgen {
 		if err := runLoadgen(loadgenConfig{

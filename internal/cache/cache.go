@@ -7,12 +7,30 @@
 // The store is two-tiered. An in-memory LRU front holds decoded artifacts
 // for hot kernels; behind it an optional on-disk layer persists every entry
 // across process restarts, so a restarted daemon serves its kernels without
-// recompiling. Disk entries are written atomically (temp file + rename into
-// place), carry a versioned header and a SHA-256 payload checksum, and a
-// corrupt or truncated entry is quarantined on read — renamed aside and
-// reported as a miss, so the caller recompiles instead of crashing.
+// recompiling.
 //
-// All methods are safe for concurrent use.
+// The disk layer is crash-safe and self-healing:
+//
+//   - Entries are committed atomically and durably: the temp file is
+//     fsynced before the rename, and the directory after it, so a crash at
+//     any point leaves either the old state or the complete new entry —
+//     never a torn one that only the checksum would catch later.
+//   - Every entry carries a versioned header and a SHA-256 payload
+//     checksum; a corrupt or truncated entry is quarantined on read —
+//     renamed aside and reported as a miss, so the caller recompiles
+//     instead of crashing.
+//   - A scrubber (startup pass + periodic background rescan, see scrub.go)
+//     re-verifies every on-disk checksum, quarantines bit-rot before a
+//     request trips over it, reconciles the disk index, and probes a
+//     degraded disk back into service.
+//   - Disk usage is capped: least-recently-used entries are evicted once
+//     the configured byte budget is exceeded, and an ENOSPC write first
+//     evicts and retries, then fails the store over into memory-only
+//     degraded mode rather than erroring every request.
+//
+// All methods are safe for concurrent use. All disk IO goes through a
+// chaos.FS, so the chaos injector can exercise every failure path above
+// deterministically.
 package cache
 
 import (
@@ -20,12 +38,16 @@ import (
 	"container/list"
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
+	"cgra/internal/chaos"
 	"cgra/internal/obs"
 	"cgra/internal/pipeline"
 )
@@ -45,6 +67,18 @@ const (
 	SourceDisk   = "disk"
 )
 
+// DefaultDiskCap bounds the disk tier when Options.DiskCapBytes is 0.
+const DefaultDiskCap = 1 << 30 // 1 GiB
+
+// defaultScrubInterval paces the background scrubber when
+// Options.ScrubInterval is 0.
+const defaultScrubInterval = time.Minute
+
+// writeErrTrip is the consecutive-disk-write-failure count that fails the
+// store over into memory-only degraded mode (ENOSPC surviving the
+// evict-and-retry trips immediately).
+const writeErrTrip = 3
+
 // Options configures a Store.
 type Options struct {
 	// Dir is the on-disk layer's directory ("" = memory-only). Created if
@@ -54,16 +88,46 @@ type Options struct {
 	MemEntries int
 	// Registry receives the cache metrics (nil = private registry).
 	Registry *obs.Registry
+	// FS is the filesystem the disk layer runs on (nil = the real OS).
+	// The chaos injector plugs in here.
+	FS chaos.FS
+	// DiskCapBytes bounds the disk tier; least-recently-used entries are
+	// evicted past it (0 = DefaultDiskCap, negative = unbounded).
+	DiskCapBytes int64
+	// ScrubInterval paces the background scrubber's periodic rescan
+	// (0 = one minute, negative = no scrubber goroutine; ScrubNow remains
+	// available). Ignored for memory-only stores.
+	ScrubInterval time.Duration
 }
 
 // Store is a two-tier content-addressed artifact cache.
 type Store struct {
-	dir string
-	cap int
+	fs       chaos.FS
+	dir      string
+	cap      int
+	capBytes int64
 
 	mu  sync.Mutex
 	mem map[string]*list.Element
 	lru *list.List // front = most recent
+
+	// Disk index: every installed entry's size, LRU-ordered (front = most
+	// recently used). Maintained by Put/Get and reconciled by the scrubber.
+	disk      map[string]*list.Element
+	diskLRU   *list.List
+	diskBytes int64
+	// consecWriteErrs counts back-to-back disk write failures; reaching
+	// writeErrTrip degrades the store to memory-only.
+	consecWriteErrs int
+	tmpSeq          atomic.Int64
+
+	// degraded is the memory-only failure mode: disk writes are skipped
+	// until the scrubber's probe write succeeds again.
+	degraded atomic.Bool
+
+	stop      chan struct{}
+	scrubDone chan struct{}
+	closeOnce sync.Once
 
 	hitsMem     *obs.Counter
 	hitsDisk    *obs.Counter
@@ -72,6 +136,18 @@ type Store struct {
 	quarantined *obs.Counter
 	puts        *obs.Counter
 	hitAge      *obs.Histogram
+
+	diskBytesG    *obs.Gauge
+	diskEntriesG  *obs.Gauge
+	diskEvictions *obs.Counter
+	diskWriteErrs *obs.Counter
+	degradedG     *obs.Gauge
+
+	scrubRuns        *obs.Counter
+	scrubChecked     *obs.Counter
+	scrubQuarantined *obs.Counter
+	scrubErrors      *obs.Counter
+	scrubHeals       *obs.Counter
 }
 
 type memEntry struct {
@@ -80,11 +156,18 @@ type memEntry struct {
 	added time.Time
 }
 
+type diskEntry struct {
+	key  string
+	size int64
+}
+
 // hitAgeBuckets spans milliseconds to hours: artifact reuse ranges from
 // "compiled moments ago" to "persisted across restarts days ago".
 var hitAgeBuckets = []float64{0.001, 0.01, 0.1, 1, 10, 60, 600, 3600, 86400}
 
-// New opens (creating directories as needed) a store.
+// New opens (creating directories as needed) a store. Stores with a disk
+// layer start a scrubber goroutine (unless disabled); call Close to stop
+// it.
 func New(o Options) (*Store, error) {
 	reg := o.Registry
 	if reg == nil {
@@ -94,22 +177,46 @@ func New(o Options) (*Store, error) {
 	if capEntries <= 0 {
 		capEntries = 128
 	}
+	capBytes := o.DiskCapBytes
+	if capBytes == 0 {
+		capBytes = DefaultDiskCap
+	}
+	fsys := o.FS
+	if fsys == nil {
+		fsys = chaos.OS
+	}
 	if o.Dir != "" {
-		if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+		if err := fsys.MkdirAll(o.Dir, 0o755); err != nil {
 			return nil, fmt.Errorf("cache: %v", err)
 		}
 	}
 	reg.Help("cgra_cache_hits_total", "artifact cache hits by tier (memory, disk)")
 	reg.Help("cgra_cache_misses_total", "artifact cache misses")
 	reg.Help("cgra_cache_evictions_total", "artifacts evicted from the in-memory LRU front")
-	reg.Help("cgra_cache_quarantined_total", "corrupt on-disk entries quarantined on read")
+	reg.Help("cgra_cache_quarantined_total", "corrupt on-disk entries quarantined")
 	reg.Help("cgra_cache_puts_total", "artifacts stored")
 	reg.Help("cgra_cache_hit_age_seconds", "age of the served artifact at hit time")
-	return &Store{
-		dir:         o.Dir,
-		cap:         capEntries,
-		mem:         map[string]*list.Element{},
-		lru:         list.New(),
+	reg.Help("cgra_cache_disk_bytes", "bytes held by the on-disk tier")
+	reg.Help("cgra_cache_disk_entries", "entries held by the on-disk tier")
+	reg.Help("cgra_cache_disk_evictions_total", "disk entries evicted by the byte cap or ENOSPC recovery")
+	reg.Help("cgra_cache_disk_write_errors_total", "failed disk commit attempts")
+	reg.Help("cgra_cache_disk_degraded", "1 while the disk tier is failed over to memory-only mode")
+	reg.Help("cgra_cache_scrub_runs_total", "scrubber passes over the disk tier")
+	reg.Help("cgra_cache_scrub_checked_total", "disk entries checksum-verified by the scrubber")
+	reg.Help("cgra_cache_scrub_quarantined_total", "corrupt disk entries the scrubber quarantined")
+	reg.Help("cgra_cache_scrub_errors_total", "disk entries the scrubber could not read")
+	reg.Help("cgra_cache_scrub_heals_total", "degraded-mode exits after a successful probe write")
+	s := &Store{
+		fs:       fsys,
+		dir:      o.Dir,
+		cap:      capEntries,
+		capBytes: capBytes,
+		mem:      map[string]*list.Element{},
+		lru:      list.New(),
+		disk:     map[string]*list.Element{},
+		diskLRU:  list.New(),
+		stop:     make(chan struct{}),
+
 		hitsMem:     reg.Counter("cgra_cache_hits_total", obs.L("tier", "memory")),
 		hitsDisk:    reg.Counter("cgra_cache_hits_total", obs.L("tier", "disk")),
 		misses:      reg.Counter("cgra_cache_misses_total"),
@@ -117,7 +224,42 @@ func New(o Options) (*Store, error) {
 		quarantined: reg.Counter("cgra_cache_quarantined_total"),
 		puts:        reg.Counter("cgra_cache_puts_total"),
 		hitAge:      reg.Histogram("cgra_cache_hit_age_seconds", hitAgeBuckets),
-	}, nil
+
+		diskBytesG:    reg.Gauge("cgra_cache_disk_bytes"),
+		diskEntriesG:  reg.Gauge("cgra_cache_disk_entries"),
+		diskEvictions: reg.Counter("cgra_cache_disk_evictions_total"),
+		diskWriteErrs: reg.Counter("cgra_cache_disk_write_errors_total"),
+		degradedG:     reg.Gauge("cgra_cache_disk_degraded"),
+
+		scrubRuns:        reg.Counter("cgra_cache_scrub_runs_total"),
+		scrubChecked:     reg.Counter("cgra_cache_scrub_checked_total"),
+		scrubQuarantined: reg.Counter("cgra_cache_scrub_quarantined_total"),
+		scrubErrors:      reg.Counter("cgra_cache_scrub_errors_total"),
+		scrubHeals:       reg.Counter("cgra_cache_scrub_heals_total"),
+	}
+	if s.dir != "" {
+		s.loadDiskIndex()
+		interval := o.ScrubInterval
+		if interval == 0 {
+			interval = defaultScrubInterval
+		}
+		if interval > 0 {
+			s.scrubDone = make(chan struct{})
+			go s.scrubLoop(interval)
+		}
+	}
+	return s, nil
+}
+
+// Close stops the background scrubber. Idempotent; the store remains
+// usable for Get/Put afterwards.
+func (s *Store) Close() {
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		if s.scrubDone != nil {
+			<-s.scrubDone
+		}
+	})
 }
 
 // Path returns the on-disk location of a key ("" for memory-only stores).
@@ -133,6 +275,77 @@ func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.mem)
+}
+
+// Degraded reports whether the disk tier has failed over to memory-only
+// mode (writes skipped until a scrubber probe heals it). Always false for
+// memory-only stores, which have no disk to degrade.
+func (s *Store) Degraded() bool { return s.degraded.Load() }
+
+// DiskBytes returns the bytes currently indexed in the disk tier.
+func (s *Store) DiskBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.diskBytes
+}
+
+// DiskEntries returns the number of entries indexed in the disk tier.
+func (s *Store) DiskEntries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.disk)
+}
+
+// loadDiskIndex scans the cache directory once at startup: stale temp
+// files from a crashed commit are removed, and every installed entry is
+// indexed (size + recency from mtime) without reading its payload — the
+// scrubber verifies contents.
+func (s *Store) loadDiskIndex() {
+	ents, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	type found struct {
+		key   string
+		size  int64
+		mtime time.Time
+	}
+	var idx []found
+	for _, e := range ents {
+		name := e.Name()
+		if strings.Contains(name, ".tmp-") {
+			// Leftover from a commit interrupted before the rename: the
+			// entry was never installed, the bytes are garbage.
+			_ = s.fs.Remove(filepath.Join(s.dir, name))
+			continue
+		}
+		key, ok := strings.CutSuffix(name, ".art")
+		if !ok {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			continue
+		}
+		idx = append(idx, found{key, fi.Size(), fi.ModTime()})
+	}
+	// Oldest first, so the most recently written entries end up at the
+	// front of the LRU.
+	for i := range idx {
+		for j := i + 1; j < len(idx); j++ {
+			if idx[j].mtime.Before(idx[i].mtime) {
+				idx[i], idx[j] = idx[j], idx[i]
+			}
+		}
+	}
+	s.mu.Lock()
+	for _, f := range idx {
+		s.disk[f.key] = s.diskLRU.PushFront(&diskEntry{key: f.key, size: f.size})
+		s.diskBytes += f.size
+	}
+	s.enforceDiskCapLocked()
+	s.publishDiskGaugesLocked()
+	s.mu.Unlock()
 }
 
 // Get returns the cached artifact for key and the tier that served it
@@ -156,30 +369,38 @@ func (s *Store) Get(key string) (*pipeline.Artifact, string, bool) {
 		return nil, "", false
 	}
 	path := s.Path(key)
-	data, err := os.ReadFile(path)
+	data, err := s.fs.ReadFile(path)
 	if err != nil {
+		// An IO error is not corruption: leave the entry for the scrubber
+		// and recompile.
 		s.misses.Inc()
 		return nil, "", false
 	}
 	art, err := decodeEntry(data)
 	if err != nil {
-		s.quarantine(path, err)
+		s.quarantineKey(key)
 		s.misses.Inc()
 		return nil, "", false
 	}
 	var age time.Duration
-	if fi, err := os.Stat(path); err == nil {
+	if fi, err := s.fs.Stat(path); err == nil {
 		age = time.Since(fi.ModTime())
 	}
+	s.mu.Lock()
+	s.touchDiskLocked(key, int64(len(data)))
+	s.mu.Unlock()
 	s.insertMem(key, art, time.Now().Add(-age))
 	s.hitsDisk.Inc()
 	s.hitAge.Observe(age.Seconds())
 	return art, SourceDisk, true
 }
 
-// Put stores an artifact under key in both tiers. The disk write is
-// atomic: a rename either installs the complete, checksummed entry or
-// nothing.
+// Put stores an artifact under key in both tiers. The disk commit is
+// atomic and durable (write + fsync + rename + directory fsync); an
+// ENOSPC commit evicts least-recently-used disk entries and retries, and
+// persistent write failure degrades the store to memory-only mode instead
+// of failing every caller. The memory tier always receives the artifact,
+// so a returned error never means the compile was lost.
 func (s *Store) Put(key string, art *pipeline.Artifact) error {
 	var payload bytes.Buffer
 	if err := pipeline.EncodeArtifact(&payload, art); err != nil {
@@ -187,28 +408,131 @@ func (s *Store) Put(key string, art *pipeline.Artifact) error {
 	}
 	s.insertMem(key, art, time.Now())
 	s.puts.Inc()
-	if s.dir == "" {
+	if s.dir == "" || s.degraded.Load() {
 		return nil
 	}
 	data := encodeEntry(payload.Bytes())
-	tmp, err := os.CreateTemp(s.dir, key+".tmp-*")
+	err := s.commitDisk(key, data)
+	if errors.Is(err, syscall.ENOSPC) {
+		// Evict-and-retry: free several times the entry's footprint so a
+		// burst of compiles does not thrash one eviction per write.
+		s.evictDiskBytes(int64(len(data)) * 4)
+		err = s.commitDisk(key, data)
+	}
+	s.mu.Lock()
 	if err != nil {
-		return fmt.Errorf("cache: %v", err)
+		s.consecWriteErrs++
+		trip := s.consecWriteErrs >= writeErrTrip || errors.Is(err, syscall.ENOSPC)
+		s.mu.Unlock()
+		s.diskWriteErrs.Inc()
+		if trip {
+			s.setDegraded(true)
+		}
+		return fmt.Errorf("cache: install %s: %w", key, err)
 	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("cache: write %s: %v", key, err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("cache: close %s: %v", key, err)
-	}
-	if err := os.Rename(tmp.Name(), s.Path(key)); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("cache: install %s: %v", key, err)
-	}
+	s.consecWriteErrs = 0
+	s.touchDiskLocked(key, int64(len(data)))
+	s.enforceDiskCapLocked()
+	s.publishDiskGaugesLocked()
+	s.mu.Unlock()
 	return nil
+}
+
+// commitDisk installs one framed entry crash-safely: the temp file is
+// written and fsynced, renamed into place, and the directory fsynced so
+// the rename itself is durable. Any failure removes the temp file.
+func (s *Store) commitDisk(key string, data []byte) error {
+	path := s.Path(key)
+	tmp := fmt.Sprintf("%s.tmp-%d", path, s.tmpSeq.Add(1))
+	if err := s.fs.WriteFile(tmp, data, 0o644); err != nil {
+		_ = s.fs.Remove(tmp)
+		return err
+	}
+	if err := s.fs.Sync(tmp); err != nil {
+		_ = s.fs.Remove(tmp)
+		return err
+	}
+	if err := s.fs.Rename(tmp, path); err != nil {
+		_ = s.fs.Remove(tmp)
+		return err
+	}
+	// The entry is installed; a failed directory sync only delays
+	// durability of the rename, it does not invalidate the entry.
+	_ = s.fs.Sync(s.dir)
+	return nil
+}
+
+// setDegraded fails the disk tier over to memory-only mode (or back).
+func (s *Store) setDegraded(on bool) {
+	if s.degraded.Swap(on) == on {
+		return
+	}
+	if on {
+		s.degradedG.SetInt(1)
+	} else {
+		s.degradedG.SetInt(0)
+		s.scrubHeals.Inc()
+	}
+}
+
+// touchDiskLocked records (or refreshes) a disk-index entry.
+func (s *Store) touchDiskLocked(key string, size int64) {
+	if el, ok := s.disk[key]; ok {
+		de := el.Value.(*diskEntry)
+		s.diskBytes += size - de.size
+		de.size = size
+		s.diskLRU.MoveToFront(el)
+		return
+	}
+	s.disk[key] = s.diskLRU.PushFront(&diskEntry{key: key, size: size})
+	s.diskBytes += size
+}
+
+// dropDiskLocked removes a key from the disk index (file already gone or
+// going).
+func (s *Store) dropDiskLocked(key string) {
+	if el, ok := s.disk[key]; ok {
+		s.diskBytes -= el.Value.(*diskEntry).size
+		s.diskLRU.Remove(el)
+		delete(s.disk, key)
+	}
+}
+
+// enforceDiskCapLocked evicts least-recently-used disk entries until the
+// byte cap is respected.
+func (s *Store) enforceDiskCapLocked() {
+	if s.capBytes < 0 {
+		return
+	}
+	for s.diskBytes > s.capBytes && s.diskLRU.Len() > 0 {
+		tail := s.diskLRU.Back()
+		key := tail.Value.(*diskEntry).key
+		s.dropDiskLocked(key)
+		_ = s.fs.Remove(s.Path(key))
+		s.diskEvictions.Inc()
+	}
+}
+
+// evictDiskBytes frees at least n bytes (at least one entry) from the LRU
+// tail — the ENOSPC recovery path.
+func (s *Store) evictDiskBytes(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	freed := int64(0)
+	for (freed < n || freed == 0) && s.diskLRU.Len() > 0 {
+		tail := s.diskLRU.Back()
+		de := tail.Value.(*diskEntry)
+		freed += de.size
+		s.dropDiskLocked(de.key)
+		_ = s.fs.Remove(s.Path(de.key))
+		s.diskEvictions.Inc()
+	}
+	s.publishDiskGaugesLocked()
+}
+
+func (s *Store) publishDiskGaugesLocked() {
+	s.diskBytesG.SetInt(s.diskBytes)
+	s.diskEntriesG.SetInt(int64(len(s.disk)))
 }
 
 // insertMem adds (or refreshes) a memory-front entry, evicting from the LRU
@@ -230,14 +554,18 @@ func (s *Store) insertMem(key string, art *pipeline.Artifact, added time.Time) {
 	}
 }
 
-// quarantine moves a corrupt entry aside so the next Put can reinstall a
-// good one and the bad bytes stay available for diagnosis.
-func (s *Store) quarantine(path string, cause error) {
+// quarantineKey moves a corrupt entry aside so the next Put can reinstall
+// a good one and the bad bytes stay available for diagnosis.
+func (s *Store) quarantineKey(key string) {
 	s.quarantined.Inc()
+	path := s.Path(key)
+	s.mu.Lock()
+	s.dropDiskLocked(key)
+	s.publishDiskGaugesLocked()
+	s.mu.Unlock()
 	// Best effort: a failed rename (e.g. the file vanished) still counts
 	// as a miss and the caller recompiles.
-	_ = os.Rename(path, path+".quarantined")
-	_ = cause
+	_ = s.fs.Rename(path, path+".quarantined")
 }
 
 // encodeEntry frames a gob payload with the magic, version and checksum.
@@ -252,19 +580,28 @@ func encodeEntry(payload []byte) []byte {
 
 // decodeEntry verifies the frame and decodes the artifact.
 func decodeEntry(data []byte) (*pipeline.Artifact, error) {
+	if err := verifyEntry(data); err != nil {
+		return nil, err
+	}
+	return pipeline.DecodeArtifact(bytes.NewReader(data[headerSize:]))
+}
+
+// verifyEntry checks the frame (magic, version, checksum) without decoding
+// the payload — the scrubber's fast integrity check.
+func verifyEntry(data []byte) error {
 	if len(data) < headerSize {
-		return nil, fmt.Errorf("cache: entry truncated (%d bytes)", len(data))
+		return fmt.Errorf("cache: entry truncated (%d bytes)", len(data))
 	}
 	if !bytes.Equal(data[:8], entryMagic) {
-		return nil, fmt.Errorf("cache: bad entry magic %q", data[:8])
+		return fmt.Errorf("cache: bad entry magic %q", data[:8])
 	}
 	if v := binary.LittleEndian.Uint32(data[8:12]); v != FormatVersion {
-		return nil, fmt.Errorf("cache: entry format version %d, want %d", v, FormatVersion)
+		return fmt.Errorf("cache: entry format version %d, want %d", v, FormatVersion)
 	}
 	payload := data[headerSize:]
 	want := data[12:headerSize]
 	if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], want) {
-		return nil, fmt.Errorf("cache: checksum mismatch")
+		return fmt.Errorf("cache: checksum mismatch")
 	}
-	return pipeline.DecodeArtifact(bytes.NewReader(payload))
+	return nil
 }

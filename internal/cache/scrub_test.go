@@ -1,0 +1,313 @@
+package cache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cgra/internal/chaos"
+	"cgra/internal/obs"
+)
+
+// newDiskStore builds a store over dir with the background scrubber off,
+// so tests drive ScrubNow deterministically.
+func newDiskStore(t *testing.T, dir string, o Options) *Store {
+	t.Helper()
+	o.Dir = dir
+	o.ScrubInterval = -1
+	s, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestScrubRepairsEachCorruptionMode proves one scrubber pass quarantines
+// every injected corruption mode — torn commit, post-write bit-rot, manual
+// truncation, stomped magic — and that the store serves again after a
+// recompile (Put).
+func TestScrubRepairsEachCorruptionMode(t *testing.T) {
+	key, art := compileArtifact(t, "gcd")
+	modes := map[string]func(t *testing.T, dir string) *Store{
+		"torn_commit": func(t *testing.T, dir string) *Store {
+			inj := chaos.New(chaos.Plan{Seed: 11, TornWriteEvery: 1}, nil, nil)
+			s := newDiskStore(t, dir, Options{FS: inj})
+			if err := s.Put(key, art); err != nil {
+				t.Fatal(err)
+			}
+			inj.Disarm()
+			return s
+		},
+		"bit_rot": func(t *testing.T, dir string) *Store {
+			inj := chaos.New(chaos.Plan{Seed: 11, BitRotEvery: 1}, nil, nil)
+			s := newDiskStore(t, dir, Options{FS: inj})
+			if err := s.Put(key, art); err != nil {
+				t.Fatal(err)
+			}
+			inj.Disarm()
+			return s
+		},
+		"truncated": func(t *testing.T, dir string) *Store {
+			s := newDiskStore(t, dir, Options{})
+			if err := s.Put(key, art); err != nil {
+				t.Fatal(err)
+			}
+			data, err := os.ReadFile(s.Path(key))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(s.Path(key), data[:len(data)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		"bad_magic": func(t *testing.T, dir string) *Store {
+			s := newDiskStore(t, dir, Options{})
+			if err := s.Put(key, art); err != nil {
+				t.Fatal(err)
+			}
+			data, err := os.ReadFile(s.Path(key))
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[0] ^= 0xFF
+			if err := os.WriteFile(s.Path(key), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+	}
+	for name, corrupt := range modes {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := corrupt(t, dir)
+			rep := s.ScrubNow()
+			if rep.Quarantined != 1 {
+				t.Fatalf("scrub quarantined %d entries, want 1 (%s)", rep.Quarantined, rep)
+			}
+			if _, err := os.Stat(s.Path(key) + ".quarantined"); err != nil {
+				t.Fatalf("corrupt entry not moved aside: %v", err)
+			}
+			// The bad entry must be gone from the index and the disk.
+			if s.DiskEntries() != 0 {
+				t.Fatalf("disk index still holds %d entries", s.DiskEntries())
+			}
+			// A recompile (Put) reinstalls; the next pass is clean and a
+			// fresh store serves the entry from disk.
+			if err := s.Put(key, art); err != nil {
+				t.Fatal(err)
+			}
+			if rep := s.ScrubNow(); !rep.Clean() || rep.Checked != 1 {
+				t.Fatalf("post-repair pass not clean: %s", rep)
+			}
+			s2 := newDiskStore(t, dir, Options{})
+			if _, src, ok := s2.Get(key); !ok || src != SourceDisk {
+				t.Fatalf("repaired entry not served from disk (ok=%t src=%q)", ok, src)
+			}
+		})
+	}
+}
+
+// TestScrubReconcilesIndex proves a scrub pass indexes entries that
+// appeared behind the store's back and drops entries whose files vanished.
+func TestScrubReconcilesIndex(t *testing.T) {
+	dir := t.TempDir()
+	key, art := compileArtifact(t, "gcd")
+	seed := newDiskStore(t, dir, Options{})
+	if err := seed.Put(key, art); err != nil {
+		t.Fatal(err)
+	}
+	// A second store over the same dir, then mutate the dir directly.
+	s := newDiskStore(t, dir, Options{})
+	if s.DiskEntries() != 1 {
+		t.Fatalf("startup index holds %d entries, want 1", s.DiskEntries())
+	}
+	if err := os.Remove(s.Path(key)); err != nil {
+		t.Fatal(err)
+	}
+	if rep := s.ScrubNow(); rep.Checked != 0 {
+		t.Fatalf("scrub checked %d entries after rm, want 0", rep.Checked)
+	}
+	if s.DiskEntries() != 0 {
+		t.Fatalf("index still holds %d entries after file vanished", s.DiskEntries())
+	}
+	// Reinstall behind the store's back (what another writer would do).
+	if err := seed.Put(key, art); err != nil {
+		t.Fatal(err)
+	}
+	if rep := s.ScrubNow(); rep.Checked != 1 {
+		t.Fatalf("scrub checked %d entries after reinstall, want 1", rep.Checked)
+	}
+	if s.DiskEntries() != 1 {
+		t.Fatalf("index holds %d entries after reconcile, want 1", s.DiskEntries())
+	}
+}
+
+// TestDiskCapEvictsLRU proves the disk tier stays under its byte cap by
+// evicting least-recently-used entries, and that recency is refreshed by
+// Get.
+func TestDiskCapEvictsLRU(t *testing.T) {
+	dir := t.TempDir()
+	_, art := compileArtifact(t, "gcd")
+	probe := newDiskStore(t, t.TempDir(), Options{})
+	if err := probe.Put("size-probe", art); err != nil {
+		t.Fatal(err)
+	}
+	entrySize := probe.DiskBytes()
+	if entrySize <= 0 {
+		t.Fatal("size probe failed")
+	}
+	// Cap the tier at 3 entries; keep the memory front tiny so disk reads
+	// actually happen.
+	s := newDiskStore(t, dir, Options{MemEntries: 1, DiskCapBytes: 3 * entrySize})
+	keys := []string{"k1", "k2", "k3"}
+	for _, k := range keys {
+		if err := s.Put(k, art); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.DiskEntries() != 3 {
+		t.Fatalf("disk holds %d entries, want 3", s.DiskEntries())
+	}
+	// Refresh k1 so k2 is the LRU entry, then overflow the cap.
+	if _, _, ok := s.Get("k1"); !ok {
+		t.Fatal("k1 not servable")
+	}
+	if err := s.Put("k4", art); err != nil {
+		t.Fatal(err)
+	}
+	if s.DiskBytes() > 3*entrySize {
+		t.Fatalf("disk tier over cap: %d > %d", s.DiskBytes(), 3*entrySize)
+	}
+	if _, err := os.Stat(s.Path("k2")); !os.IsNotExist(err) {
+		t.Fatal("k2 (LRU) not evicted")
+	}
+	for _, k := range []string{"k1", "k3", "k4"} {
+		if _, err := os.Stat(s.Path(k)); err != nil {
+			t.Fatalf("%s evicted out of LRU order: %v", k, err)
+		}
+	}
+}
+
+// TestENOSPCDegradesAndScrubHeals walks the full failure arc: a disk that
+// rejects every write with ENOSPC fails the store over to memory-only
+// degraded mode (after evict-and-retry), serving continues from memory,
+// and once the disk recovers a scrub pass probes it back into service.
+func TestENOSPCDegradesAndScrubHeals(t *testing.T) {
+	dir := t.TempDir()
+	key, art := compileArtifact(t, "gcd")
+	reg := obs.NewRegistry()
+	inj := chaos.New(chaos.Plan{ENOSPCEvery: 1}, nil, reg)
+	s := newDiskStore(t, dir, Options{FS: inj, Registry: reg})
+
+	if err := s.Put(key, art); err == nil {
+		t.Fatal("Put on a full disk should report the install failure")
+	}
+	if !s.Degraded() {
+		t.Fatal("store not degraded after persistent ENOSPC")
+	}
+	if reg.Gauge("cgra_cache_disk_degraded").Value() != 1 {
+		t.Fatal("cgra_cache_disk_degraded gauge not raised")
+	}
+	// Memory tier still serves: the compile was not lost.
+	if _, src, ok := s.Get(key); !ok || src != SourceMemory {
+		t.Fatalf("memory tier lost the artifact (ok=%t src=%q)", ok, src)
+	}
+	// Degraded mode skips disk writes entirely (no error, no file).
+	if err := s.Put(key+"2", art); err != nil {
+		t.Fatalf("degraded Put must be memory-only and silent: %v", err)
+	}
+	if _, err := os.Stat(s.Path(key + "2")); !os.IsNotExist(err) {
+		t.Fatal("degraded store still wrote to disk")
+	}
+
+	// Disk recovers; the next scrub pass heals the store.
+	inj.Disarm()
+	rep := s.ScrubNow()
+	if !rep.Healed || s.Degraded() {
+		t.Fatalf("scrub did not heal the store (healed=%t degraded=%t)", rep.Healed, s.Degraded())
+	}
+	if reg.Gauge("cgra_cache_disk_degraded").Value() != 0 {
+		t.Fatal("cgra_cache_disk_degraded gauge not cleared")
+	}
+	if reg.Counter("cgra_cache_scrub_heals_total").Value() != 1 {
+		t.Fatal("heal not counted in cgra_cache_scrub_heals_total")
+	}
+	// Writes reach the disk again.
+	if err := s.Put(key, art); err != nil {
+		t.Fatalf("post-heal Put: %v", err)
+	}
+	if _, err := os.Stat(s.Path(key)); err != nil {
+		t.Fatalf("post-heal entry not on disk: %v", err)
+	}
+}
+
+// TestStartupRemovesStaleTempFiles proves leftovers of a commit that
+// crashed before its rename are cleaned at startup.
+func TestStartupRemovesStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, strings.Repeat("a", 8)+".art.tmp-3")
+	if err := os.WriteFile(stale, []byte("half a commit"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	newDiskStore(t, dir, Options{})
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale temp file survived startup")
+	}
+}
+
+// syncRecorder wraps an FS and records the operation order of one commit,
+// so the test can assert the crash-safe protocol: temp write, temp fsync,
+// rename, directory fsync — in that order.
+type syncRecorder struct {
+	chaos.FS
+	ops []string
+}
+
+func (r *syncRecorder) WriteFile(path string, data []byte, perm uint32) error {
+	r.ops = append(r.ops, "write:"+filepath.Base(path))
+	return r.FS.WriteFile(path, data, perm)
+}
+
+func (r *syncRecorder) Sync(path string) error {
+	r.ops = append(r.ops, "sync:"+filepath.Base(path))
+	return r.FS.Sync(path)
+}
+
+func (r *syncRecorder) Rename(oldPath, newPath string) error {
+	r.ops = append(r.ops, "rename:"+filepath.Base(newPath))
+	return r.FS.Rename(oldPath, newPath)
+}
+
+// TestCommitIsFsyncedBeforeRename pins the durability order of the disk
+// commit: the temp file must be fsynced before the rename installs it, and
+// the parent directory after — the fix for the crash window where a rename
+// could persist while its data had not.
+func TestCommitIsFsyncedBeforeRename(t *testing.T) {
+	dir := t.TempDir()
+	key, art := compileArtifact(t, "gcd")
+	rec := &syncRecorder{FS: chaos.OS}
+	s := newDiskStore(t, dir, Options{FS: rec})
+	if err := s.Put(key, art); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, op := range rec.ops {
+		if strings.Contains(op, ".tmp-") {
+			op = op[:strings.Index(op, ".tmp-")] + ".tmp"
+		}
+		got = append(got, op)
+	}
+	want := []string{
+		"write:" + key + ".art.tmp",
+		"sync:" + key + ".art.tmp",
+		"rename:" + key + ".art",
+		"sync:" + filepath.Base(dir),
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("commit protocol order:\n got %v\nwant %v", got, want)
+	}
+}

@@ -1,0 +1,273 @@
+// Package chaos is the service-environment analogue of internal/fault: a
+// seeded, deterministic fault injector for the world the daemon runs in
+// rather than the CGRA it simulates. Where internal/fault breaks PEs,
+// links and register bits, chaos breaks the filesystem under the artifact
+// cache (read/write IO errors, torn writes, post-write bit-rot, ENOSPC)
+// and the compile path inside the system (added latency, spurious
+// failures).
+//
+// All injection decisions are drawn from per-site operation counters plus
+// a seeded RNG fixed at construction, so a Plan with a given seed replays
+// the identical fault schedule on every run — the property the chaos soak
+// (cgrad -chaos) and CI depend on to make "the daemon survived" a
+// reproducible statement instead of an anecdote.
+//
+// The injector is armed at construction and can be disarmed (Disarm) for a
+// recovery phase: a disarmed injector passes every operation through
+// untouched, so tests can assert the system heals once the environment
+// stops misbehaving. Every applied injection is counted in the registry as
+// cgra_chaos_injections_total{kind=...}.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"cgra/internal/obs"
+)
+
+// Injection kinds, used as the kind label of cgra_chaos_injections_total.
+const (
+	KindReadErr    = "read_err"
+	KindWriteErr   = "write_err"
+	KindTornWrite  = "torn_write"
+	KindBitRot     = "bit_rot"
+	KindENOSPC     = "enospc"
+	KindCompileErr = "compile_err"
+	KindCompileLag = "compile_lag"
+)
+
+// Plan is a reproducible environment-fault scenario. Every *Every field
+// fires on each Nth operation of its site (0 disables the fault); the
+// per-site counters are independent, so e.g. ReadErrEvery=3 fails reads 3,
+// 6, 9, … regardless of interleaved writes.
+type Plan struct {
+	// Seed fixes the RNG behind torn-write lengths and bit-rot positions.
+	Seed int64
+
+	// ReadErrEvery fails every Nth FS read with an IO error.
+	ReadErrEvery int
+	// WriteErrEvery fails every Nth FS write with an IO error.
+	WriteErrEvery int
+	// TornWriteEvery truncates every Nth FS write to a strict prefix while
+	// still reporting success — the on-disk image a crash between write
+	// and writeback leaves behind.
+	TornWriteEvery int
+	// BitRotEvery flips one byte of the written file after every Nth
+	// successful FS write — silent media corruption the checksum and the
+	// scrubber must catch.
+	BitRotEvery int
+	// ENOSPCEvery fails every Nth FS write with ENOSPC.
+	ENOSPCEvery int
+
+	// CompileErrEvery fails every Nth fresh compile with an injected error.
+	CompileErrEvery int
+	// CompileLagEvery stalls every Nth fresh compile by CompileLag.
+	CompileLagEvery int
+	// CompileLag is the injected compile stall (0 = 50ms).
+	CompileLag time.Duration
+}
+
+// Injector applies a Plan. It implements FS (wrap the cache's filesystem)
+// and exports CompileHook for the system's compile path. Safe for
+// concurrent use.
+type Injector struct {
+	plan  Plan
+	base  FS
+	armed atomic.Bool
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	// Per-site operation counters (reads, writes, compiles).
+	reads, writes, compiles int64
+
+	total    atomic.Int64
+	injected map[string]*obs.Counter
+}
+
+// New builds an injector over base (nil = the real OS) reporting into reg
+// (nil = a private registry). The injector starts armed.
+func New(plan Plan, base FS, reg *obs.Registry) *Injector {
+	if base == nil {
+		base = OS
+	}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	reg.Help("cgra_chaos_injections_total", "environment faults applied by the chaos injector, by kind")
+	inj := &Injector{
+		plan:     plan,
+		base:     base,
+		rng:      rand.New(rand.NewSource(plan.Seed)),
+		injected: map[string]*obs.Counter{},
+	}
+	for _, kind := range []string{KindReadErr, KindWriteErr, KindTornWrite, KindBitRot, KindENOSPC, KindCompileErr, KindCompileLag} {
+		inj.injected[kind] = reg.Counter("cgra_chaos_injections_total", obs.L("kind", kind))
+	}
+	inj.armed.Store(true)
+	return inj
+}
+
+// Disarm stops all injection; subsequent operations pass through
+// untouched. Used to open the recovery phase of a chaos soak.
+func (in *Injector) Disarm() { in.armed.Store(false) }
+
+// Armed reports whether the injector is live.
+func (in *Injector) Armed() bool { return in.armed.Load() }
+
+// Injections returns the total number of faults applied so far.
+func (in *Injector) Injections() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.total.Load()
+}
+
+func (in *Injector) hit(kind string) {
+	in.total.Add(1)
+	in.injected[kind].Inc()
+}
+
+// due reports whether the n-th operation (1-based) triggers an every-N
+// fault.
+func due(n int64, every int) bool {
+	return every > 0 && n%int64(every) == 0
+}
+
+// errInjected marks injected IO errors so logs can tell chaos from real
+// disk trouble.
+type errInjected struct {
+	op   string
+	path string
+	err  error
+}
+
+func (e *errInjected) Error() string {
+	return fmt.Sprintf("chaos: injected %s fault on %s: %v", e.op, e.path, e.err)
+}
+
+func (e *errInjected) Unwrap() error { return e.err }
+
+// --- FS surface -----------------------------------------------------------
+
+// MkdirAll passes through: directory creation is part of setup, not the
+// serving-path fault surface.
+func (in *Injector) MkdirAll(path string, perm uint32) error { return in.base.MkdirAll(path, perm) }
+
+// ReadFile fails every ReadErrEvery-th read with an injected IO error.
+func (in *Injector) ReadFile(path string) ([]byte, error) {
+	if in.armed.Load() {
+		in.mu.Lock()
+		in.reads++
+		n := in.reads
+		in.mu.Unlock()
+		if due(n, in.plan.ReadErrEvery) {
+			in.hit(KindReadErr)
+			return nil, &errInjected{"read", path, syscall.EIO}
+		}
+	}
+	return in.base.ReadFile(path)
+}
+
+// WriteFile applies the write-site faults in priority order: ENOSPC, plain
+// write error, torn write (success with a truncated image), then bit-rot
+// (success, then one byte flipped in place).
+func (in *Injector) WriteFile(path string, data []byte, perm uint32) error {
+	if !in.armed.Load() {
+		return in.base.WriteFile(path, data, perm)
+	}
+	in.mu.Lock()
+	in.writes++
+	n := in.writes
+	var torn int
+	var rotByte int
+	var rotMask byte
+	if due(n, in.plan.TornWriteEvery) && len(data) > 0 {
+		torn = in.rng.Intn(len(data)) // strict prefix: [0, len)
+	}
+	if due(n, in.plan.BitRotEvery) && len(data) > 0 {
+		rotByte = in.rng.Intn(len(data))
+		rotMask = byte(1 << in.rng.Intn(8))
+	}
+	in.mu.Unlock()
+
+	switch {
+	case due(n, in.plan.ENOSPCEvery):
+		in.hit(KindENOSPC)
+		return &errInjected{"write", path, syscall.ENOSPC}
+	case due(n, in.plan.WriteErrEvery):
+		in.hit(KindWriteErr)
+		return &errInjected{"write", path, syscall.EIO}
+	case due(n, in.plan.TornWriteEvery) && len(data) > 0:
+		in.hit(KindTornWrite)
+		return in.base.WriteFile(path, data[:torn], perm)
+	case due(n, in.plan.BitRotEvery) && len(data) > 0:
+		rotted := append([]byte(nil), data...)
+		rotted[rotByte] ^= rotMask
+		if rotted[rotByte] == data[rotByte] { // mask was a no-op? impossible, but keep the invariant explicit
+			rotted[rotByte] ^= 0xFF
+		}
+		in.hit(KindBitRot)
+		return in.base.WriteFile(path, rotted, perm)
+	}
+	return in.base.WriteFile(path, data, perm)
+}
+
+// Rename passes through. The commit protocol's crash window is modelled by
+// torn writes; failing the rename itself adds no new failure class (the
+// caller already handles it).
+func (in *Injector) Rename(oldPath, newPath string) error { return in.base.Rename(oldPath, newPath) }
+
+// Remove passes through.
+func (in *Injector) Remove(path string) error { return in.base.Remove(path) }
+
+// Stat passes through.
+func (in *Injector) Stat(path string) (FileInfo, error) { return in.base.Stat(path) }
+
+// ReadDir passes through.
+func (in *Injector) ReadDir(path string) ([]DirEntry, error) { return in.base.ReadDir(path) }
+
+// Sync passes through (a failed fsync surfaces as a write error on the
+// next operation in practice; modelling it separately adds little).
+func (in *Injector) Sync(path string) error { return in.base.Sync(path) }
+
+// --- compile path ---------------------------------------------------------
+
+// CompileHook returns the hook the system calls at the start of every
+// fresh compile: every CompileLagEvery-th compile stalls (respecting ctx),
+// every CompileErrEvery-th fails with an injected error.
+func (in *Injector) CompileHook() func(ctx context.Context, kernel string) error {
+	return func(ctx context.Context, kernel string) error {
+		if !in.armed.Load() {
+			return nil
+		}
+		in.mu.Lock()
+		in.compiles++
+		n := in.compiles
+		in.mu.Unlock()
+		if due(n, in.plan.CompileLagEvery) {
+			in.hit(KindCompileLag)
+			lag := in.plan.CompileLag
+			if lag <= 0 {
+				lag = 50 * time.Millisecond
+			}
+			t := time.NewTimer(lag)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+			}
+		}
+		if due(n, in.plan.CompileErrEvery) {
+			in.hit(KindCompileErr)
+			return fmt.Errorf("chaos: injected compile fault for %q", kernel)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,199 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"cgra/internal/obs"
+)
+
+// writeN performs n writes of data through the injector into dir,
+// returning the per-file results.
+func writeN(t *testing.T, in *Injector, dir string, n int, data []byte) []error {
+	t.Helper()
+	errs := make([]error, n)
+	for i := range errs {
+		errs[i] = in.WriteFile(filepath.Join(dir, "f"+string(rune('a'+i))), data, 0o644)
+	}
+	return errs
+}
+
+func TestEveryNthScheduleIsDeterministic(t *testing.T) {
+	data := []byte("0123456789abcdef")
+	plan := Plan{Seed: 7, TornWriteEvery: 3, BitRotEvery: 4, ENOSPCEvery: 5}
+	sizes := func() []int64 {
+		dir := t.TempDir()
+		in := New(plan, nil, nil)
+		writeN(t, in, dir, 12, data)
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []int64
+		for _, e := range ents {
+			fi, err := e.Info()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, fi.Size())
+		}
+		return out
+	}
+	a, b := sizes(), sizes()
+	if len(a) != len(b) {
+		t.Fatalf("runs created %d vs %d files", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different torn-write lengths: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestReadErrorInjection(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x")
+	if err := os.WriteFile(path, []byte("ok"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := New(Plan{ReadErrEvery: 2}, nil, nil)
+	if _, err := in.ReadFile(path); err != nil {
+		t.Fatalf("read 1 should pass: %v", err)
+	}
+	if _, err := in.ReadFile(path); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("read 2 should fail with EIO, got %v", err)
+	}
+	if _, err := in.ReadFile(path); err != nil {
+		t.Fatalf("read 3 should pass: %v", err)
+	}
+	if in.Injections() != 1 {
+		t.Fatalf("injections = %d, want 1", in.Injections())
+	}
+}
+
+func TestWriteFaultKinds(t *testing.T) {
+	data := []byte("0123456789")
+	t.Run("enospc", func(t *testing.T) {
+		in := New(Plan{ENOSPCEvery: 1}, nil, nil)
+		err := in.WriteFile(filepath.Join(t.TempDir(), "f"), data, 0o644)
+		if !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("want ENOSPC, got %v", err)
+		}
+	})
+	t.Run("write_err", func(t *testing.T) {
+		in := New(Plan{WriteErrEvery: 1}, nil, nil)
+		err := in.WriteFile(filepath.Join(t.TempDir(), "f"), data, 0o644)
+		if !errors.Is(err, syscall.EIO) {
+			t.Fatalf("want EIO, got %v", err)
+		}
+	})
+	t.Run("torn_write", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "f")
+		in := New(Plan{Seed: 3, TornWriteEvery: 1}, nil, nil)
+		if err := in.WriteFile(path, data, 0o644); err != nil {
+			t.Fatalf("torn write must report success: %v", err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) >= len(data) {
+			t.Fatalf("torn write left %d bytes, want a strict prefix of %d", len(got), len(data))
+		}
+	})
+	t.Run("bit_rot", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "f")
+		in := New(Plan{Seed: 3, BitRotEvery: 1}, nil, nil)
+		if err := in.WriteFile(path, data, 0o644); err != nil {
+			t.Fatalf("bit rot must report success: %v", err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(data) {
+			t.Fatalf("bit rot changed length: %d vs %d", len(got), len(data))
+		}
+		diff := 0
+		for i := range got {
+			if got[i] != data[i] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("bit rot corrupted %d bytes, want exactly 1", diff)
+		}
+	})
+}
+
+func TestDisarmStopsInjection(t *testing.T) {
+	dir := t.TempDir()
+	in := New(Plan{WriteErrEvery: 1, ReadErrEvery: 1}, nil, nil)
+	in.Disarm()
+	path := filepath.Join(dir, "f")
+	if err := in.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatalf("disarmed write failed: %v", err)
+	}
+	if _, err := in.ReadFile(path); err != nil {
+		t.Fatalf("disarmed read failed: %v", err)
+	}
+	if in.Injections() != 0 {
+		t.Fatalf("disarmed injector applied %d faults", in.Injections())
+	}
+	if in.Armed() {
+		t.Fatal("Armed() true after Disarm")
+	}
+}
+
+func TestCompileHook(t *testing.T) {
+	reg := obs.NewRegistry()
+	in := New(Plan{CompileErrEvery: 2, CompileLagEvery: 3, CompileLag: 10 * time.Millisecond}, nil, reg)
+	hook := in.CompileHook()
+	ctx := context.Background()
+	if err := hook(ctx, "k"); err != nil {
+		t.Fatalf("compile 1: %v", err)
+	}
+	if err := hook(ctx, "k"); err == nil {
+		t.Fatal("compile 2 should fail")
+	}
+	start := time.Now()
+	if err := hook(ctx, "k"); err != nil { // compile 3: lag fires
+		t.Fatalf("compile 3: %v", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("compile 3 returned after %v, want >= 10ms lag", d)
+	}
+	if got := reg.Counter("cgra_chaos_injections_total", obs.L("kind", KindCompileErr)).Value(); got != 1 {
+		t.Fatalf("compile_err counter = %d, want 1", got)
+	}
+	// A cancelled context cuts the lag short and surfaces the cancellation.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	for i := 0; i < 3; i++ { // advance to the next lag slot (compile 6)
+		_ = hook(cctx, "k")
+	}
+	if err := hook(cctx, "k"); err == nil {
+		// compile 6+ under a dead context: either the lag slot returns
+		// ctx.Err or the err slot fires; both are non-nil on schedule.
+		t.Log("hook returned nil under cancelled ctx (no fault due this op)")
+	}
+}
+
+func TestOSSyncFileAndDir(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.Sync(path); err != nil {
+		t.Fatalf("file sync: %v", err)
+	}
+	if err := OS.Sync(dir); err != nil {
+		t.Fatalf("dir sync: %v", err)
+	}
+}

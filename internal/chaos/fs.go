@@ -1,0 +1,67 @@
+// The FS surface the artifact cache performs all disk IO through. The
+// real implementation (OS) adds the durability calls the cache's
+// crash-safe commit protocol needs (fsync of files and directories); the
+// Injector wraps any FS with scheduled faults.
+package chaos
+
+import (
+	"io/fs"
+	"os"
+)
+
+// FileInfo and DirEntry alias the standard library types so FS
+// implementations and callers share vocabulary.
+type (
+	FileInfo = fs.FileInfo
+	DirEntry = fs.DirEntry
+)
+
+// FS is the filesystem the artifact cache runs on. Writes are plain
+// whole-file writes with no durability of their own; callers build atomic,
+// durable commits from WriteFile + Sync + Rename + Sync(dir).
+type FS interface {
+	MkdirAll(path string, perm uint32) error
+	ReadFile(path string) ([]byte, error)
+	// WriteFile creates (or truncates) path with data. It does not sync.
+	WriteFile(path string, data []byte, perm uint32) error
+	Rename(oldPath, newPath string) error
+	Remove(path string) error
+	Stat(path string) (FileInfo, error)
+	ReadDir(path string) ([]DirEntry, error)
+	// Sync fsyncs the file or directory at path, forcing it (and, for a
+	// directory, its entry table) to stable storage.
+	Sync(path string) error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm uint32) error { return os.MkdirAll(path, os.FileMode(perm)) }
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) WriteFile(path string, data []byte, perm uint32) error {
+	return os.WriteFile(path, data, os.FileMode(perm))
+}
+
+func (osFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) Stat(path string) (FileInfo, error) { return os.Stat(path) }
+
+func (osFS) ReadDir(path string) ([]DirEntry, error) { return os.ReadDir(path) }
+
+func (osFS) Sync(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -6,16 +6,44 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 	"time"
 )
 
-// Client talks to a cgrad daemon.
+// Retry defaults; zero-valued Client fields fall back to these.
+const (
+	defaultMaxAttempts = 4
+	defaultBackoff     = 25 * time.Millisecond
+	defaultBackoffMax  = time.Second
+	defaultRetryBudget = 64
+)
+
+// Client talks to a cgrad daemon. It retries transient failures — 429,
+// 502/503, and transport errors — with exponential backoff and jitter,
+// honoring the server's Retry-After hints, bounded by a per-client retry
+// budget, and never past the caller's context deadline. The zero retry
+// configuration is production-safe; set MaxAttempts to 1 for single-shot
+// semantics.
 type Client struct {
 	// Base is the daemon's base URL, e.g. "http://127.0.0.1:8080".
 	Base string
 	// HTTP is the transport (nil = http.DefaultClient).
 	HTTP *http.Client
+	// MaxAttempts bounds tries per call: 0 = 4, 1 = no retries.
+	MaxAttempts int
+	// Backoff is the delay before the first retry (0 = 25ms); it doubles
+	// per retry up to BackoffMax (0 = 1s) and is jittered into [d/2, d).
+	Backoff    time.Duration
+	BackoffMax time.Duration
+	// RetryBudget caps retries (not first attempts) across this client's
+	// lifetime, so a dying daemon cannot trap a whole fleet of callers in
+	// retry loops: 0 = 64, negative = unlimited.
+	RetryBudget int64
+
+	retriesUsed atomic.Int64
 }
 
 // NewClient returns a client for the daemon at base.
@@ -28,11 +56,14 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
+// RetriesUsed reports how much of the retry budget this client has spent.
+func (c *Client) RetriesUsed() int64 { return c.retriesUsed.Load() }
+
 // Compile submits kernel source; deadline 0 uses the server default.
 func (c *Client) Compile(ctx context.Context, source string, deadline time.Duration) (*CompileResponse, error) {
 	req := CompileRequest{Source: source, DeadlineMS: deadline.Milliseconds()}
 	var resp CompileResponse
-	if err := c.post(ctx, "/v1/compile", req, &resp); err != nil {
+	if err := c.post(ctx, "/v1/compile", req.DeadlineMS, req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -42,7 +73,7 @@ func (c *Client) Compile(ctx context.Context, source string, deadline time.Durat
 func (c *Client) Run(ctx context.Context, kernel string, args map[string]int32, arrays map[string][]int32) (*RunResponse, error) {
 	req := RunRequest{Kernel: kernel, Args: args, Arrays: arrays}
 	var resp RunResponse
-	if err := c.post(ctx, "/v1/run", req, &resp); err != nil {
+	if err := c.post(ctx, "/v1/run", 0, req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -57,60 +88,229 @@ func (c *Client) Kernels(ctx context.Context) ([]string, error) {
 	return resp.Kernels, nil
 }
 
-// Health reports nil when the daemon is serving (not draining).
+// Health reports nil when the daemon process is alive (liveness; a
+// draining daemon is still alive). Use Ready for routability.
 func (c *Client) Health(ctx context.Context) error {
 	return c.get(ctx, "/healthz", &struct {
 		Status string `json:"status"`
 	}{})
 }
 
+// Ready fetches the daemon's readiness report. Single-shot (a status
+// probe must not retry itself ready); when the daemon answers 503 the
+// report is still returned alongside the *APIError so callers can see why.
+func (c *Client) Ready(ctx context.Context) (*ReadyResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/readyz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	var rr ReadyResponse
+	if err := json.Unmarshal(data, &rr); err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return &rr, &APIError{Code: resp.StatusCode, ErrCode: "not_ready", Message: "daemon not ready"}
+	}
+	return &rr, nil
+}
+
 // APIError is a non-2xx response from the daemon.
 type APIError struct {
-	Code    int
+	// Code is the HTTP status.
+	Code int
+	// ErrCode is the machine-readable error token from the JSON body
+	// ("overloaded", "draining", "deadline_unmeetable", ...).
+	ErrCode string
 	Message string
+	// RetryAfter is the server's backoff hint, when it sent one.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("cgrad: HTTP %d: %s", e.Code, e.Message)
 }
 
-func (c *Client) post(ctx context.Context, path string, body, out any) error {
+func (c *Client) post(ctx context.Context, path string, deadlineMS int64, body, out any) error {
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(payload))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	return c.do(req, out)
+	return c.do(ctx, http.MethodPost, path, deadlineMS, payload, out)
 }
 
 func (c *Client) get(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
-	if err != nil {
-		return err
-	}
-	return c.do(req, out)
+	return c.do(ctx, http.MethodGet, path, 0, nil, out)
 }
 
-func (c *Client) do(req *http.Request, out any) error {
+// do runs one request through the retry loop. The request is rebuilt from
+// payload on every attempt (a consumed body cannot be replayed), and each
+// attempt re-announces the remaining deadline so the server's admission
+// control sheds honestly.
+func (c *Client) do(ctx context.Context, method, path string, deadlineMS int64, payload []byte, out any) error {
+	maxAttempts := c.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = defaultMaxAttempts
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		var retryAfter time.Duration
+		done, err := c.attempt(ctx, method, path, deadlineMS, payload, out, &retryAfter)
+		if done {
+			return err
+		}
+		lastErr = err
+		if attempt+1 >= maxAttempts || !c.spendRetry() {
+			return lastErr
+		}
+		delay := c.backoffDelay(attempt)
+		if retryAfter > delay {
+			delay = retryAfter
+		}
+		// Deadline-aware give-up: if the planned sleep outlives the
+		// caller's deadline, retrying is theater — return the last error
+		// while there is still time to act on it.
+		if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) <= delay {
+			return lastErr
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return lastErr
+		case <-t.C:
+		}
+	}
+}
+
+// attempt runs a single HTTP exchange. done=true means the result is
+// final (success or non-retryable failure); done=false means err is
+// transient and the retry loop decides what happens next.
+func (c *Client) attempt(ctx context.Context, method, path string, deadlineMS int64, payload []byte, out any, retryAfter *time.Duration) (done bool, err error) {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, body)
+	if err != nil {
+		return true, err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if ms := announcedDeadlineMS(ctx, deadlineMS); ms > 0 {
+		req.Header.Set(deadlineHeader, strconv.FormatInt(ms, 10))
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return err
+		// Transport errors retry unless the caller's own context ended
+		// (per-attempt transport timeouts keep retrying; the caller's
+		// deadline does not).
+		return ctx.Err() != nil, err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return err
+		return ctx.Err() != nil, err
 	}
-	if resp.StatusCode/100 != 2 {
-		var e errorResponse
-		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return &APIError{Code: resp.StatusCode, Message: e.Error}
+	if resp.StatusCode/100 == 2 {
+		if out == nil {
+			return true, nil
 		}
-		return &APIError{Code: resp.StatusCode, Message: string(data)}
+		return true, json.Unmarshal(data, out)
 	}
-	return json.Unmarshal(data, out)
+	apiErr := &APIError{Code: resp.StatusCode, Message: string(data)}
+	var e errorResponse
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		apiErr.Message = e.Error
+		apiErr.ErrCode = e.Code
+		apiErr.RetryAfter = time.Duration(e.RetryAfterMS) * time.Millisecond
+	}
+	if d := parseRetryAfter(resp.Header); d > apiErr.RetryAfter {
+		apiErr.RetryAfter = d
+	}
+	*retryAfter = apiErr.RetryAfter
+	return !retryableStatus(resp.StatusCode), apiErr
+}
+
+// retryableStatus: overload and transient upstream failure. Everything
+// else (4xx misuse, 422 compile/run failures, 504 deadline) is final.
+func retryableStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusBadGateway, http.StatusServiceUnavailable:
+		return true
+	}
+	return false
+}
+
+// spendRetry takes one unit of the client-lifetime retry budget.
+func (c *Client) spendRetry() bool {
+	if c.RetryBudget < 0 {
+		return true
+	}
+	budget := c.RetryBudget
+	if budget == 0 {
+		budget = defaultRetryBudget
+	}
+	return c.retriesUsed.Add(1) <= budget
+}
+
+// backoffDelay is the exponential schedule with jitter: base*2^attempt
+// capped at max, then jittered into [d/2, d) so synchronized clients
+// don't re-stampede the daemon on the same tick.
+func (c *Client) backoffDelay(attempt int) time.Duration {
+	d := c.Backoff
+	if d <= 0 {
+		d = defaultBackoff
+	}
+	max := c.BackoffMax
+	if max <= 0 {
+		max = defaultBackoffMax
+	}
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)))
+}
+
+// announcedDeadlineMS picks what to tell admission control: the explicit
+// request deadline if one was set, else the remaining context deadline.
+func announcedDeadlineMS(ctx context.Context, deadlineMS int64) int64 {
+	if deadlineMS > 0 {
+		return deadlineMS
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		if ms := time.Until(deadline).Milliseconds(); ms > 0 {
+			return ms
+		}
+		return 1
+	}
+	return 0
+}
+
+// parseRetryAfter reads the precise millisecond hint, falling back to the
+// standard integer-second Retry-After header.
+func parseRetryAfter(h http.Header) time.Duration {
+	if v := h.Get(retryAfterMSHeader); v != "" {
+		if ms, err := strconv.ParseInt(v, 10, 64); err == nil && ms > 0 {
+			return time.Duration(ms) * time.Millisecond
+		}
+	}
+	if v := h.Get("Retry-After"); v != "" {
+		if secs, err := strconv.ParseInt(v, 10, 64); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
 }

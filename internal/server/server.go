@@ -6,10 +6,13 @@
 //
 // The daemon is deadline-aware and overload-safe: every request carries an
 // optional deadline that becomes a context.Context, admission control
-// bounds the in-flight requests with a semaphore (excess load is shed with
-// 429), and shutdown drains in-flight requests before quiescing the
-// synthesis pool. All traffic is counted in the system's metrics registry
-// and exported on /metrics.
+// bounds the in-flight requests with a semaphore and sheds — immediately,
+// with 429 + Retry-After — any request whose announced deadline cannot be
+// met at the current queue depth (see admission.go). Under sustained
+// overload or a failed cache disk, /v1/run overflow is served by the host
+// interpreter ("brownout") instead of shed. Shutdown drains in-flight
+// requests before quiescing the synthesis pool. All traffic is counted in
+// the system's metrics registry and exported on /metrics.
 //
 // Endpoints:
 //
@@ -17,7 +20,9 @@
 //	POST /v1/run      {"kernel": "name", "args": {...}, "arrays": {...}, "deadline_ms": n}
 //	GET  /v1/kernels
 //	GET  /metrics     (Prometheus text; ?format=json for JSON)
-//	GET  /healthz
+//	GET  /healthz     (liveness: 200 while the process serves)
+//	GET  /readyz      (readiness: 503 while draining or browned out; body
+//	                   reports drain state, cache-disk health, open breakers)
 package server
 
 import (
@@ -34,6 +39,7 @@ import (
 
 	"cgra/internal/arch"
 	"cgra/internal/cache"
+	"cgra/internal/chaos"
 	"cgra/internal/ir"
 	"cgra/internal/irtext"
 	"cgra/internal/obs"
@@ -52,11 +58,26 @@ type Config struct {
 	CacheDir string
 	// CacheMem bounds the in-memory cache front (0 = default).
 	CacheMem int
+	// CacheFS is the filesystem the cache persists through (nil = the real
+	// OS). Tests and the chaos soak pass a fault-injecting chaos.Injector.
+	CacheFS chaos.FS
+	// CacheDiskCap bounds the disk tier in bytes (0 = cache default,
+	// negative = unbounded).
+	CacheDiskCap int64
+	// CacheScrubInterval paces the cache's background scrubber (0 = cache
+	// default, negative = startup pass only).
+	CacheScrubInterval time.Duration
 	// MaxInFlight bounds concurrently served requests; excess requests are
 	// shed with 429 (0 = 32).
 	MaxInFlight int
 	// DefaultDeadline applies to requests that carry none (0 = 30s).
 	DefaultDeadline time.Duration
+	// BrownoutWindow and BrownoutThreshold arm brownout mode when that many
+	// requests are shed inside the window (0 = 1s / 4); BrownoutHold keeps
+	// it armed after the last trigger (0 = 2s).
+	BrownoutWindow    time.Duration
+	BrownoutThreshold int
+	BrownoutHold      time.Duration
 }
 
 // Server serves the compile-and-execute API over one system.System.
@@ -78,9 +99,15 @@ type Server struct {
 	draining atomic.Bool
 	httpSrv  *http.Server
 
-	inflight *obs.Gauge
-	shed     *obs.Counter
-	latency  *obs.Histogram
+	est *svcEstimator
+	bo  *brownout
+
+	inflight       *obs.Gauge
+	shed           *obs.Counter
+	deadlineShed   *obs.Counter
+	brownoutG      *obs.Gauge
+	brownoutServes *obs.Counter
+	latency        *obs.Histogram
 }
 
 // requestLatencyBuckets spans sub-millisecond cache hits to multi-second
@@ -104,25 +131,52 @@ func New(cfg Config) (*Server, error) {
 	// run), it does not wait for a hot-loop profile.
 	sys := system.New(cfg.Comp, cfg.Opts, 1)
 	reg := sys.Metrics()
-	store, err := cache.New(cache.Options{Dir: cfg.CacheDir, MemEntries: cfg.CacheMem, Registry: reg})
+	store, err := cache.New(cache.Options{
+		Dir:           cfg.CacheDir,
+		MemEntries:    cfg.CacheMem,
+		Registry:      reg,
+		FS:            cfg.CacheFS,
+		DiskCapBytes:  cfg.CacheDiskCap,
+		ScrubInterval: cfg.CacheScrubInterval,
+	})
 	if err != nil {
 		return nil, err
 	}
 	sys.Cache = store
+	boWindow := cfg.BrownoutWindow
+	if boWindow <= 0 {
+		boWindow = time.Second
+	}
+	boThreshold := cfg.BrownoutThreshold
+	if boThreshold <= 0 {
+		boThreshold = 4
+	}
+	boHold := cfg.BrownoutHold
+	if boHold <= 0 {
+		boHold = 2 * time.Second
+	}
 	reg.Help("cgra_server_requests_total", "API requests by endpoint and status code")
 	reg.Help("cgra_server_request_seconds", "API request latency")
 	reg.Help("cgra_server_inflight", "API requests currently being served")
 	reg.Help("cgra_server_shed_total", "API requests shed by admission control (429)")
+	reg.Help("cgra_server_deadline_shed_total", "API requests shed because their announced deadline cannot be met at current load")
+	reg.Help("cgra_server_brownout", "1 while brownout (host-interpreter overflow) mode is active")
+	reg.Help("cgra_server_brownout_serves_total", "run requests served by the host interpreter during brownout")
 	s := &Server{
-		sys:      sys,
-		store:    store,
-		reg:      reg,
-		sem:      make(chan struct{}, maxInFlight),
-		deadline: deadline,
-		digests:  map[string]string{},
-		inflight: reg.Gauge("cgra_server_inflight"),
-		shed:     reg.Counter("cgra_server_shed_total"),
-		latency:  reg.Histogram("cgra_server_request_seconds", requestLatencyBuckets),
+		sys:            sys,
+		store:          store,
+		reg:            reg,
+		sem:            make(chan struct{}, maxInFlight),
+		deadline:       deadline,
+		digests:        map[string]string{},
+		est:            newSvcEstimator(),
+		bo:             &brownout{window: boWindow, threshold: boThreshold, hold: boHold},
+		inflight:       reg.Gauge("cgra_server_inflight"),
+		shed:           reg.Counter("cgra_server_shed_total"),
+		deadlineShed:   reg.Counter("cgra_server_deadline_shed_total"),
+		brownoutG:      reg.Gauge("cgra_server_brownout"),
+		brownoutServes: reg.Counter("cgra_server_brownout_serves_total"),
+		latency:        reg.Histogram("cgra_server_request_seconds", requestLatencyBuckets),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/compile", s.instrument("compile", s.handleCompile))
@@ -130,6 +184,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/v1/kernels", s.instrument("kernels", s.handleKernels))
 	mux.Handle("/metrics", reg)
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/readyz", s.handleReady)
 	s.mux = mux
 	return s, nil
 }
@@ -159,9 +214,10 @@ func (s *Server) Serve(ln net.Listener) error {
 	return err
 }
 
-// Shutdown drains the daemon: new requests are rejected (healthz reports
+// Shutdown drains the daemon: new requests are rejected (readyz reports
 // draining, admission returns 503), in-flight requests run to completion
-// within ctx, then the synthesis pool is quiesced and closed.
+// within ctx, then the synthesis pool is quiesced and closed and the
+// cache's background scrubber is stopped.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	var err error
@@ -170,33 +226,61 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.sys.Quiesce()
 	s.sys.Close()
+	s.store.Close()
 	return err
 }
 
-// instrument wraps a handler with admission control, deadline propagation
-// and traffic metrics.
+// instrument wraps a handler with admission control (deadline-aware
+// shedding, brownout overflow), deadline propagation and traffic metrics.
 func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		code := http.StatusOK
+		admitted := false
 		defer func() {
 			s.latency.Observe(time.Since(start).Seconds())
+			if admitted {
+				// Only admitted requests feed the service-time EWMA: sheds
+				// complete in microseconds and would talk the estimate down.
+				s.est.observe(endpoint, time.Since(start))
+			}
 			s.reg.Counter("cgra_server_requests_total",
 				obs.L("endpoint", endpoint), obs.L("code", strconv.Itoa(code))).Inc()
 		}()
 		if s.draining.Load() {
-			code = http.StatusServiceUnavailable
-			writeError(w, code, "draining")
+			code = writeShed(w, http.StatusServiceUnavailable, codeDraining,
+				"draining", time.Second)
 			return
+		}
+		// Deadline-aware shedding: reject before taking a slot when the
+		// announced deadline cannot be met at the current queue depth.
+		if dl := clientDeadline(r); dl > 0 {
+			if est := s.expectedLatency(endpoint); est > dl {
+				s.shed.Inc()
+				s.deadlineShed.Inc()
+				s.bo.noteShed(time.Now())
+				code = writeShed(w, http.StatusTooManyRequests, codeDeadlineUnmeetable,
+					fmt.Sprintf("deadline %v unmeetable: expected latency %v at current load", dl, est), est)
+				return
+			}
 		}
 		select {
 		case s.sem <- struct{}{}:
 		default:
 			s.shed.Inc()
-			code = http.StatusTooManyRequests
-			writeError(w, code, "overloaded")
+			s.bo.noteShed(time.Now())
+			if endpoint == "run" && s.BrownoutActive() {
+				// Brownout: serve the overflow on the host interpreter
+				// instead of shedding it.
+				s.brownoutServes.Inc()
+				code = s.handleRunDegraded(w, r)
+				return
+			}
+			code = writeShed(w, http.StatusTooManyRequests, codeOverloaded,
+				"overloaded", s.retryHint(endpoint))
 			return
 		}
+		admitted = true
 		s.inflight.Add(1)
 		defer func() { s.inflight.Add(-1); <-s.sem }()
 		code = h(w, r)
@@ -215,15 +299,15 @@ func (s *Server) requestCtx(r *http.Request, deadlineMS int64) (context.Context,
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) int {
 	if r.Method != http.MethodPost {
-		return writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return writeError(w, http.StatusMethodNotAllowed, codeBadMethod, "POST required")
 	}
 	var req CompileRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return writeError(w, http.StatusBadRequest, codeBadRequest, "bad request body: "+err.Error())
 	}
 	k, err := irtext.Parse(req.Source)
 	if err != nil {
-		return writeError(w, http.StatusBadRequest, err.Error())
+		return writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
 	}
 	ctx, cancel := s.requestCtx(r, req.DeadlineMS)
 	defer cancel()
@@ -235,13 +319,13 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) int {
 	if prev, ok := s.digests[k.Name]; ok {
 		if prev != digest {
 			s.mu.Unlock()
-			return writeError(w, http.StatusConflict,
+			return writeError(w, http.StatusConflict, codeConflict,
 				fmt.Sprintf("kernel %q already registered with different source", k.Name))
 		}
 	} else {
 		if err := s.sys.Register(k); err != nil {
 			s.mu.Unlock()
-			return writeError(w, http.StatusConflict, err.Error())
+			return writeError(w, http.StatusConflict, codeConflict, err.Error())
 		}
 		s.digests[k.Name] = digest
 	}
@@ -252,9 +336,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) int {
 	info, err := s.sys.SynthesizeCtx(ctx, k.Name)
 	if err != nil {
 		if errIsDeadline(err) {
-			return writeError(w, http.StatusGatewayTimeout, err.Error())
+			return writeError(w, http.StatusGatewayTimeout, codeDeadline, err.Error())
 		}
-		return writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return writeError(w, http.StatusUnprocessableEntity, codeCompileFailed, err.Error())
 	}
 	src := info.CacheSource
 	switch {
@@ -276,14 +360,14 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) int {
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) int {
 	if r.Method != http.MethodPost {
-		return writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return writeError(w, http.StatusMethodNotAllowed, codeBadMethod, "POST required")
 	}
 	var req RunRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return writeError(w, http.StatusBadRequest, codeBadRequest, "bad request body: "+err.Error())
 	}
 	if s.sys.Kernel(req.Kernel) == nil {
-		return writeError(w, http.StatusNotFound, fmt.Sprintf("unknown kernel %q", req.Kernel))
+		return writeError(w, http.StatusNotFound, codeUnknownKernel, fmt.Sprintf("unknown kernel %q", req.Kernel))
 	}
 	ctx, cancel := s.requestCtx(r, req.DeadlineMS)
 	defer cancel()
@@ -294,9 +378,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) int {
 	res, err := s.sys.InvokeCtx(ctx, req.Kernel, req.Args, host)
 	if err != nil {
 		if errIsDeadline(err) {
-			return writeError(w, http.StatusGatewayTimeout, err.Error())
+			return writeError(w, http.StatusGatewayTimeout, codeDeadline, err.Error())
 		}
-		return writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return writeError(w, http.StatusUnprocessableEntity, codeRunFailed, err.Error())
 	}
 	return writeJSON(w, http.StatusOK, RunResponse{
 		LiveOuts: res.LiveOuts,
@@ -308,7 +392,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) int {
 
 func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) int {
 	if r.Method != http.MethodGet {
-		return writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return writeError(w, http.StatusMethodNotAllowed, codeBadMethod, "GET required")
 	}
 	names := s.sys.Kernels()
 	if names == nil {
@@ -317,14 +401,36 @@ func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) int {
 	return writeJSON(w, http.StatusOK, KernelsResponse{Kernels: names})
 }
 
+// handleHealth is liveness: 200 as long as the process can serve HTTP at
+// all, draining included. Orchestrators must not kill a draining daemon —
+// that is what readiness is for.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "draining")
-		return
-	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// handleReady is readiness: whether this daemon should receive new
+// traffic, with the reasons spelled out for operators. Draining or
+// browned-out daemons report 503 so load balancers route around them;
+// degraded cache disk and open breakers are advisory (the daemon still
+// serves) but visible.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	resp := ReadyResponse{
+		Draining:          s.draining.Load(),
+		Brownout:          s.BrownoutActive(),
+		CacheDiskDegraded: s.store.Degraded(),
+		OpenBreakers:      s.sys.OpenBreakers(),
+	}
+	if resp.OpenBreakers == nil {
+		resp.OpenBreakers = []string{}
+	}
+	resp.Ready = !resp.Draining && !resp.Brownout
+	code := http.StatusOK
+	if !resp.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) int {
@@ -334,8 +440,8 @@ func writeJSON(w http.ResponseWriter, code int, v any) int {
 	return code
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) int {
-	return writeJSON(w, code, errorResponse{Error: msg})
+func writeError(w http.ResponseWriter, status int, code, msg string) int {
+	return writeJSON(w, status, errorResponse{Error: msg, Code: code})
 }
 
 func errIsDeadline(err error) bool {
@@ -375,11 +481,15 @@ type RunRequest struct {
 
 // RunResponse reports one execution.
 type RunResponse struct {
-	LiveOuts map[string]int32   `json:"live_outs"`
+	LiveOuts map[string]int32 `json:"live_outs"`
 	// Arrays returns the heap state after the run (DMA write-back included).
 	Arrays map[string][]int32 `json:"arrays,omitempty"`
 	Cycles int64              `json:"cycles"`
 	OnCGRA bool               `json:"on_cgra"`
+	// Degraded marks a brownout result: served by the host interpreter
+	// under overload instead of being shed. Correct, but no accelerator
+	// cycle count.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // KernelsResponse lists the registered kernels.
@@ -387,7 +497,20 @@ type KernelsResponse struct {
 	Kernels []string `json:"kernels"`
 }
 
-// errorResponse is the JSON error envelope.
+// ReadyResponse is the body of GET /readyz.
+type ReadyResponse struct {
+	Ready             bool     `json:"ready"`
+	Draining          bool     `json:"draining"`
+	Brownout          bool     `json:"brownout"`
+	CacheDiskDegraded bool     `json:"cache_disk_degraded"`
+	OpenBreakers      []string `json:"open_breakers"`
+}
+
+// errorResponse is the JSON error envelope. Code is a stable
+// machine-readable token (see the code* constants); Error is the
+// human-readable reason; RetryAfterMS is set on shed responses.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error        string `json:"error"`
+	Code         string `json:"code,omitempty"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 }

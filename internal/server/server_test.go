@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"io"
 	"net"
@@ -16,6 +17,7 @@ import (
 	"cgra/internal/adpcm"
 	"cgra/internal/arch"
 	"cgra/internal/cache"
+	"cgra/internal/chaos"
 	"cgra/internal/irtext"
 	"cgra/internal/obs"
 	"cgra/internal/pipeline"
@@ -245,6 +247,9 @@ func TestDrainUnderLoad(t *testing.T) {
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- s.Serve(ln) }()
 	c := NewClient("http://" + ln.Addr().String())
+	// Single-shot client: this test asserts the raw drain responses; the
+	// retry loop would paper over the 503s (and chase the closed listener).
+	c.MaxAttempts = 1
 	compileWorkload(t, c, "fir")
 
 	w, err := workload.ByName("fir")
@@ -350,5 +355,209 @@ func TestMetricsEndpoint(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %s", want)
 		}
+	}
+}
+
+// TestLivenessVsReadiness pins the split: /healthz is liveness and stays
+// 200 while draining (an orchestrator must not kill a draining daemon),
+// /readyz is readiness and flips to 503 with the reason spelled out.
+func TestLivenessVsReadiness(t *testing.T) {
+	s, c, cleanup := newTestServer(t, "")
+	defer cleanup()
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("liveness: %v", err)
+	}
+	rr, err := c.Ready(context.Background())
+	if err != nil {
+		t.Fatalf("readiness: %v", err)
+	}
+	if !rr.Ready || rr.Draining || rr.Brownout || rr.CacheDiskDegraded || len(rr.OpenBreakers) != 0 {
+		t.Fatalf("fresh daemon not ready: %+v", rr)
+	}
+	s.draining.Store(true)
+	defer s.draining.Store(false)
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("draining daemon failed liveness: %v", err)
+	}
+	rr, err = c.Ready(context.Background())
+	if err == nil || rr == nil {
+		t.Fatalf("draining readiness: err=%v rr=%v, want 503 with report", err, rr)
+	}
+	if rr.Ready || !rr.Draining {
+		t.Fatalf("draining readiness report: %+v", rr)
+	}
+}
+
+// TestErrorBodiesCarryCodes pins the machine-readable error envelope.
+func TestErrorBodiesCarryCodes(t *testing.T) {
+	_, c, cleanup := newTestServer(t, "")
+	defer cleanup()
+	_, err := c.Run(context.Background(), "nope", nil, nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.ErrCode != codeUnknownKernel {
+		t.Fatalf("unknown kernel: got %v (code %q), want code %q", err, apiErr.ErrCode, codeUnknownKernel)
+	}
+	_, err = c.Compile(context.Background(), "this is not ir", 0)
+	if !errors.As(err, &apiErr) || apiErr.ErrCode != codeBadRequest {
+		t.Fatalf("bad source: got %v, want code %q", err, codeBadRequest)
+	}
+}
+
+// TestDeadlineAwareShedding proves a request that announces an unmeetable
+// deadline is rejected immediately — with Retry-After hints — instead of
+// being admitted to fail slowly.
+func TestDeadlineAwareShedding(t *testing.T) {
+	s, c, cleanup := newTestServer(t, "")
+	defer cleanup()
+	// Teach admission that "kernels" takes ~1s.
+	s.est.observe("kernels", time.Second)
+
+	req, err := http.NewRequest(http.MethodGet, c.Base+"/v1/kernels", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(deadlineHeader, "5")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("unmeetable deadline: HTTP %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" || resp.Header.Get(retryAfterMSHeader) == "" {
+		t.Fatal("shed response missing Retry-After hints")
+	}
+	var e struct {
+		Code         string `json:"code"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != codeDeadlineUnmeetable || e.RetryAfterMS <= 0 {
+		t.Fatalf("shed body: %+v", e)
+	}
+	if s.deadlineShed.Value() != 1 {
+		t.Fatal("deadline shed not counted")
+	}
+	// No deadline announced: same endpoint is served.
+	if _, err := c.Kernels(context.Background()); err != nil {
+		t.Fatalf("deadline-free request shed: %v", err)
+	}
+	// Client integration: a context deadline is announced automatically,
+	// and the retry loop gives up rather than sleeping past it.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err = c.Kernels(ctx)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.ErrCode != codeDeadlineUnmeetable {
+		t.Fatalf("client with tight deadline: got %v, want %q", err, codeDeadlineUnmeetable)
+	}
+}
+
+// TestBrownoutServesRunDegraded proves /v1/run overflow under sustained
+// shedding is served by the host interpreter — correct, marked degraded —
+// while other endpoints still shed, and readiness reports the brownout.
+func TestBrownoutServesRunDegraded(t *testing.T) {
+	cfg := testConfig(t, "")
+	cfg.MaxInFlight = 1
+	cfg.BrownoutThreshold = 1
+	cfg.BrownoutHold = time.Minute
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Shutdown(context.Background())
+	c := NewClient(ts.URL)
+	compileWorkload(t, c, "fir")
+
+	w, err := workload.ByName("fir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate admission, then overflow a run: the first shed arms
+	// brownout (threshold 1) and the request is served degraded.
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	host := w.Host(w.DefaultSize)
+	resp, err := c.Run(context.Background(), "fir", w.Args(w.DefaultSize), host.Arrays)
+	if err != nil {
+		t.Fatalf("brownout run: %v", err)
+	}
+	if !resp.Degraded || resp.OnCGRA {
+		t.Fatalf("brownout run: degraded=%t on_cgra=%t, want degraded host run", resp.Degraded, resp.OnCGRA)
+	}
+	refHost := w.Host(w.DefaultSize)
+	want := w.Reference(w.DefaultSize, w.Args(w.DefaultSize), refHost)
+	for out, wv := range want {
+		if got := resp.LiveOuts[out]; got != wv {
+			t.Fatalf("brownout live-out %q: got %d, want %d", out, got, wv)
+		}
+	}
+	if s.brownoutServes.Value() != 1 {
+		t.Fatal("brownout serve not counted")
+	}
+	// Non-run overflow still sheds.
+	single := NewClient(ts.URL)
+	single.MaxAttempts = 1
+	_, err = single.Kernels(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != http.StatusTooManyRequests {
+		t.Fatalf("non-run overflow during brownout: got %v, want 429", err)
+	}
+	// Readiness reports the brownout so load balancers route around it.
+	rr, _ := c.Ready(context.Background())
+	if rr == nil || rr.Ready || !rr.Brownout {
+		t.Fatalf("brownout readiness report: %+v", rr)
+	}
+}
+
+// TestCacheDiskFailureBrownsOut proves a cache disk stuck at ENOSPC fails
+// the store over to degraded mode without failing compiles, arms brownout
+// for run overflow, and surfaces on /readyz.
+func TestCacheDiskFailureBrownsOut(t *testing.T) {
+	inj := chaos.New(chaos.Plan{ENOSPCEvery: 1}, nil, nil)
+	cfg := testConfig(t, t.TempDir())
+	cfg.CacheFS = inj
+	cfg.CacheScrubInterval = -1
+	cfg.MaxInFlight = 1
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Shutdown(context.Background())
+	c := NewClient(ts.URL)
+
+	// The compile succeeds even though its cache install hits ENOSPC...
+	compileWorkload(t, c, "gcd")
+	// ...and the store is now memory-only degraded, which arms brownout.
+	if !s.Cache().Degraded() {
+		t.Fatal("store not degraded after ENOSPC install")
+	}
+	if !s.BrownoutActive() {
+		t.Fatal("degraded cache disk did not arm brownout")
+	}
+	s.sem <- struct{}{}
+	w, err := workload.ByName("gcd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := w.Host(w.DefaultSize)
+	resp, err := c.Run(context.Background(), "gcd", w.Args(w.DefaultSize), host.Arrays)
+	<-s.sem
+	if err != nil {
+		t.Fatalf("overflow run with degraded cache: %v", err)
+	}
+	if !resp.Degraded {
+		t.Fatal("overflow run not served by the brownout path")
+	}
+	rr, _ := c.Ready(context.Background())
+	if rr == nil || !rr.CacheDiskDegraded {
+		t.Fatalf("readiness does not report the degraded cache disk: %+v", rr)
 	}
 }

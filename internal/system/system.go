@@ -228,6 +228,12 @@ type System struct {
 	// every fresh compile's artifact. Configure it before the first
 	// invocation.
 	Cache *cache.Store
+	// CompileHook, when non-nil, runs at the start of every fresh compile
+	// (after the cache was consulted and missed). A returned error fails
+	// the synthesis attempt like a compiler error; the hook may also stall
+	// under ctx to model a slow toolchain. The chaos injector plugs in
+	// here. Configure it before the first invocation.
+	CompileHook func(ctx context.Context, kernel string) error
 
 	// state is the lock-free dispatch snapshot consulted by every
 	// invocation.
@@ -361,6 +367,53 @@ func (s *System) InjectFaults(plan fault.Plan) error {
 	}
 	s.inj.Store(inj)
 	return nil
+}
+
+// ClearFaults disarms the hardware fault plan: subsequent runs execute on
+// fault-free hardware. Already-masked permanent damage stays masked (the
+// degraded composition remains the synthesis target); this only stops new
+// corruption, for the recovery phase of a chaos soak.
+func (s *System) ClearFaults() {
+	s.inj.Store(nil)
+}
+
+// InvokeHost executes one invocation directly on the AMIDAR host
+// interpreter, bypassing the accelerator, the profiler and the synthesis
+// machinery entirely. It is the server's brownout path: always available,
+// never queued behind a compile, immune to accelerator faults.
+func (s *System) InvokeHost(ctx context.Context, name string, args map[string]int32, host *ir.Host) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("system: invocation of %q cancelled: %w", name, err)
+	}
+	st := s.state.Load()
+	k := st.kernels[name]
+	if k == nil {
+		return nil, fmt.Errorf("system: unknown kernel %q", name)
+	}
+	base, err := amidar.ExecuteProgram(k, st.kernels, s.Cost, args, host)
+	if err != nil {
+		return nil, fmt.Errorf("system: AMIDAR run of %q: %v", name, err)
+	}
+	s.ctr.invocations.Add(1)
+	s.ctr.amidarRuns.Add(1)
+	s.ctr.amidarCycles.Add(base.Cycles)
+	return &Result{LiveOuts: base.LiveOuts, Cycles: base.Cycles}, nil
+}
+
+// OpenBreakers lists the kernels whose circuit breaker is currently not
+// closed (open or half-open), sorted — the readiness endpoint's view of
+// which kernels are being shed to the host.
+func (s *System) OpenBreakers() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for name, b := range s.breakers {
+		if b.current() != brClosed {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // DegradedComposition returns the composition synthesis currently targets
@@ -837,6 +890,11 @@ func (s *System) compileKernel(ctx context.Context, name string) (ent *entry, er
 			// A stored artifact that no longer realizes (version skew across
 			// a binary upgrade) falls through to a fresh compile, which
 			// overwrites the entry.
+		}
+	}
+	if hook := s.CompileHook; hook != nil {
+		if err := hook(ctx, name); err != nil {
+			return nil, fmt.Errorf("system: synthesize %q: %w", name, err)
 		}
 	}
 	// Compile-phase timings and sizes land in the system registry.
