@@ -4,7 +4,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
 	"os"
 	"sort"
 	"sync"
@@ -14,6 +16,7 @@ import (
 	"cgra/internal/adpcm"
 	"cgra/internal/ir"
 	"cgra/internal/irtext"
+	"cgra/internal/obs"
 	"cgra/internal/server"
 	"cgra/internal/workload"
 )
@@ -28,6 +31,13 @@ type loadgenConfig struct {
 	// a given (seed, clients, iters) triple replays the exact same request
 	// sequence regardless of goroutine interleaving.
 	Seed int64
+	// SlowLog, when positive, logs every run whose client-observed latency
+	// crosses it, with the trace ID to paste into /debug/traces/{id}.
+	SlowLog time.Duration
+	// TraceOut, when set, fetches the daemon's flight recorder after the
+	// load phase, validates it holds at least one complete /v1/run trace,
+	// and writes the Chrome trace_event document to this file.
+	TraceOut string
 }
 
 // lgKernel is one kernel of the mixed load set with everything needed to
@@ -64,6 +74,73 @@ type benchReport struct {
 	RunsPerSec float64       `json:"runs_per_sec"`
 	RunP50MS   float64       `json:"run_p50_ms"`
 	RunP99MS   float64       `json:"run_p99_ms"`
+	// P99Attribution breaks the slowest runs down by span: mean self-time
+	// (child time excluded) in milliseconds per span name, aggregated over
+	// the daemon's slowest-run trace reservoir. It answers "where does the
+	// p99 spend its time" from the server's own flight recorder.
+	P99Attribution map[string]float64 `json:"p99_attribution_ms,omitempty"`
+	// SlowestTraceIDs lists the reservoir's trace IDs, slowest first, for
+	// /debug/traces/{id} follow-up.
+	SlowestTraceIDs []string `json:"slowest_trace_ids,omitempty"`
+}
+
+// traceList is the structured /debug/traces response.
+type traceList struct {
+	Traces []*obs.TraceExport `json:"traces"`
+}
+
+// fetchJSON GETs base+path and decodes the JSON body into out.
+func fetchJSON(base, path string, out any) error {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: HTTP %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// selfTimes accumulates each span's self-time (duration minus direct
+// children) into acc, keyed by span name.
+func selfTimes(sp *obs.SpanExport, acc map[string]float64) {
+	if sp == nil {
+		return
+	}
+	self := sp.DurationMS
+	for _, c := range sp.Children {
+		self -= c.DurationMS
+		selfTimes(c, acc)
+	}
+	if self < 0 {
+		self = 0
+	}
+	acc[sp.Name] += self
+}
+
+// p99Attribution fetches the daemon's slowest-run reservoir and reduces it
+// to mean self-time per span name, answering where the tail spends its
+// time. Returns the attribution and the reservoir's trace IDs (slowest
+// first).
+func p99Attribution(target string) (map[string]float64, []string, error) {
+	var list traceList
+	if err := fetchJSON(target, "/debug/traces?endpoint=run&slowest=1", &list); err != nil {
+		return nil, nil, err
+	}
+	if len(list.Traces) == 0 {
+		return nil, nil, nil
+	}
+	acc := map[string]float64{}
+	ids := make([]string, 0, len(list.Traces))
+	for _, t := range list.Traces {
+		ids = append(ids, t.ID)
+		selfTimes(t.Root, acc)
+	}
+	for name := range acc {
+		acc[name] /= float64(len(list.Traces))
+	}
+	return acc, ids, nil
 }
 
 // percentile returns the p-th percentile (nearest-rank) of sorted latencies
@@ -160,6 +237,48 @@ func (k *lgKernel) check(resp *server.RunResponse) error {
 	return nil
 }
 
+// exportChromeTrace fetches the daemon's flight recorder as Chrome
+// trace_event JSON, validates the document parses and holds at least one
+// complete /v1/run trace, and writes it to path — so CI can assert the
+// tracing pipeline works end to end and archive the artifact.
+func exportChromeTrace(target, path string) error {
+	resp, err := http.Get(target + "/debug/traces?format=chrome")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /debug/traces: HTTP %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("invalid chrome trace JSON: %v", err)
+	}
+	completeRuns := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "server.run" && ev.Ph == "X" {
+			if done, _ := ev.Args["complete"].(bool); done {
+				completeRuns++
+			}
+		}
+	}
+	if completeRuns == 0 {
+		return fmt.Errorf("no complete /v1/run trace in %d events", len(doc.TraceEvents))
+	}
+	fmt.Printf("cgrad: trace export: %d events, %d complete run traces\n", len(doc.TraceEvents), completeRuns)
+	return os.WriteFile(path, data, 0o644)
+}
+
 func runLoadgen(cfg loadgenConfig) error {
 	if cfg.Clients <= 0 {
 		cfg.Clients = 1
@@ -233,8 +352,13 @@ func runLoadgen(cfg loadgenConfig) error {
 				k := set[rng.Intn(len(set))]
 				t0 := time.Now()
 				resp, err := c.Run(ctx, k.name, k.freshArgs(), k.freshArrays())
-				lats = append(lats, time.Since(t0))
+				elapsed := time.Since(t0)
+				lats = append(lats, elapsed)
 				runs.Add(1)
+				if cfg.SlowLog > 0 && elapsed >= cfg.SlowLog && err == nil {
+					fmt.Printf("cgrad: slow run %-14s %8.3f ms  trace %s\n",
+						k.name, float64(elapsed.Microseconds())/1000, resp.TraceID)
+				}
 				if err != nil {
 					runErrors.Add(1)
 					select {
@@ -277,6 +401,33 @@ func runLoadgen(cfg loadgenConfig) error {
 	fmt.Printf("cgrad: %d runs (%d on CGRA, %d errors) in %.1f ms — %.0f runs/s, p50 %.3f ms, p99 %.3f ms\n",
 		report.Runs, report.OnCGRA, report.RunErrors, report.WallMS, report.RunsPerSec,
 		report.RunP50MS, report.RunP99MS)
+
+	// Tail attribution: reduce the daemon's slowest-run traces to mean
+	// self-time per span, so the report says where the p99 went, not just
+	// how big it was. A daemon without the /debug/traces surface (or an
+	// empty reservoir) only costs the report this section.
+	if attr, ids, err := p99Attribution(cfg.Target); err != nil {
+		fmt.Fprintf(os.Stderr, "cgrad: p99 attribution unavailable: %v\n", err)
+	} else if len(attr) > 0 {
+		report.P99Attribution = attr
+		report.SlowestTraceIDs = ids
+		names := make([]string, 0, len(attr))
+		for name := range attr {
+			names = append(names, name)
+		}
+		sort.Slice(names, func(i, j int) bool { return attr[names[i]] > attr[names[j]] })
+		fmt.Printf("cgrad: p99 attribution over %d slowest runs (mean self-time):\n", len(ids))
+		for _, name := range names {
+			fmt.Printf("cgrad:   %-18s %8.3f ms\n", name, attr[name])
+		}
+	}
+
+	if cfg.TraceOut != "" {
+		if err := exportChromeTrace(cfg.Target, cfg.TraceOut); err != nil {
+			return fmt.Errorf("trace export: %v", err)
+		}
+		fmt.Println("cgrad: chrome trace written to", cfg.TraceOut)
+	}
 
 	if cfg.BenchJSON != "" {
 		data, err := json.MarshalIndent(&report, "", "  ")

@@ -52,6 +52,8 @@ func main() {
 		benchJSON  = flag.String("bench-json", "", "write the loadgen benchmark report to this file")
 		expectWarm = flag.Bool("expect-warm", false, "loadgen: fail unless every first compile is served from the cache")
 		seed       = flag.Int64("seed", 1, "loadgen/chaos: RNG seed (deterministic request mix and fault schedule)")
+		slowlog    = flag.Duration("slowlog", 0, "loadgen: log every run slower than this with its trace ID (0 = off)")
+		traceOut   = flag.String("trace-out", "", "loadgen: fetch /debug/traces after the load phase, validate it, and write the Chrome trace JSON here")
 
 		chaosMode  = flag.Bool("chaos", false, "run the chaos soak: serve in-process under fault injection, drive load, assert recovery")
 		chaosIters = flag.Int("chaos-iters", 8, "chaos: run iterations per client")
@@ -81,6 +83,8 @@ func main() {
 			BenchJSON:  *benchJSON,
 			ExpectWarm: *expectWarm,
 			Seed:       *seed,
+			SlowLog:    *slowlog,
+			TraceOut:   *traceOut,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "cgrad:", err)
 			os.Exit(1)

@@ -74,6 +74,7 @@ func main() {
 	metricsFormat := flag.String("metrics-format", "prom", "metrics file format: prom or json")
 	explain := flag.Bool("explain", false, "print the scheduler's candidate-rejection summary")
 	serveAddr := flag.String("serve", "", "serve /metrics and net/http/pprof on this address (e.g. :6060)")
+	traceJSON := flag.String("trace-json", "", "write a Chrome trace_event JSON of the compile and run to this file (load in chrome://tracing or Perfetto)")
 	var args argList
 	var arrays argList
 	var faultSpecs argList
@@ -183,7 +184,15 @@ func main() {
 		}
 		return
 	}
-	c, err := pipeline.Compile(k, comp, opts)
+	// -trace-json wraps the compile and the run in one local trace, so the
+	// single-shot CLI produces the same span tree the daemon records.
+	ctx := context.Background()
+	var tr *obs.Trace
+	if *traceJSON != "" {
+		tr = obs.NewTrace(obs.NewTraceID(), "cgrasim", "cgrasim."+k.Name)
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	c, err := pipeline.CompileCtx(ctx, k, comp, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -192,7 +201,7 @@ func main() {
 		explainLog.Export(reg)
 	}
 	metricsWanted := *metricsPath != "" || *serveAddr != ""
-	if *verify && *vcdPath == "" && *maxCycles == 0 && !metricsWanted {
+	if *verify && *vcdPath == "" && *maxCycles == 0 && !metricsWanted && tr == nil {
 		res, err := pipeline.CheckAgainstInterpreter(k, c, scalars, host)
 		if err != nil {
 			fatal(fmt.Errorf("differential check failed: %v", err))
@@ -221,9 +230,23 @@ func main() {
 		rec = trace.NewRecorder()
 		rec.Attach(m)
 	}
-	res, err := m.Run(scalars, host)
+	res, err := m.RunCtx(ctx, scalars, host)
 	if err != nil {
 		fatal(err)
+	}
+	if tr != nil {
+		tr.Finish(0)
+		f, err := os.Create(*traceJSON)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteChromeTrace(f, []*obs.Trace{tr}); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote trace to %s\n", *traceJSON)
 	}
 	if ctrs != nil {
 		ctrs.Flush(reg)

@@ -36,6 +36,7 @@ package cache
 import (
 	"bytes"
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
@@ -436,6 +437,34 @@ func (s *Store) Put(key string, art *pipeline.Artifact) error {
 	s.publishDiskGaugesLocked()
 	s.mu.Unlock()
 	return nil
+}
+
+// GetCtx is Get inside the request's trace: the lookup becomes a
+// "cache.get" span annotated with the tier that served it ("memory",
+// "disk", or "miss"). Outside a traced request it is exactly Get.
+func (s *Store) GetCtx(ctx context.Context, key string) (*pipeline.Artifact, string, bool) {
+	sp := obs.ContextSpan(ctx).StartChild("cache.get")
+	defer sp.Finish()
+	art, src, ok := s.Get(key)
+	if ok {
+		sp.Annotate("source", src)
+	} else {
+		sp.Annotate("source", "miss")
+	}
+	return art, src, ok
+}
+
+// PutCtx is Put inside the request's trace: the store becomes a
+// "cache.put" span, with a "cache_degraded" event when the write failed
+// and the artifact survives in memory only.
+func (s *Store) PutCtx(ctx context.Context, key string, art *pipeline.Artifact) error {
+	sp := obs.ContextSpan(ctx).StartChild("cache.put")
+	defer sp.Finish()
+	err := s.Put(key, art)
+	if err != nil {
+		sp.Event("cache_degraded", err.Error())
+	}
+	return err
 }
 
 // commitDisk installs one framed entry crash-safely: the temp file is

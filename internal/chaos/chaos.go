@@ -256,6 +256,7 @@ func (in *Injector) CompileHook() func(ctx context.Context, kernel string) error
 			if lag <= 0 {
 				lag = 50 * time.Millisecond
 			}
+			obs.EventCtx(ctx, "chaos_compile_lag", lag.String())
 			t := time.NewTimer(lag)
 			defer t.Stop()
 			select {
@@ -266,6 +267,7 @@ func (in *Injector) CompileHook() func(ctx context.Context, kernel string) error
 		}
 		if due(n, in.plan.CompileErrEvery) {
 			in.hit(KindCompileErr)
+			obs.EventCtx(ctx, "chaos_compile_err", kernel)
 			return fmt.Errorf("chaos: injected compile fault for %q", kernel)
 		}
 		return nil

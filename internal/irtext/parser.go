@@ -74,7 +74,6 @@ func ParseProgram(src string) (*ir.Program, error) {
 	return prog, nil
 }
 
-
 type parser struct {
 	toks []token
 	pos  int

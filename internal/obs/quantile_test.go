@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 4})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	// 10 samples in (1,2], 10 in (2,4].
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+		h.Observe(3)
+	}
+	// p50: rank 10 lands exactly on the end of bucket (1,2] → 2.0.
+	if got := h.Quantile(0.5); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("p50 = %v, want 2.0", got)
+	}
+	// p75: rank 15, 5 of 10 into bucket (2,4] → 2 + 0.5*2 = 3.0.
+	if got := h.Quantile(0.75); math.Abs(got-3.0) > 1e-9 {
+		t.Fatalf("p75 = %v, want 3.0", got)
+	}
+	// p25: rank 5, 5 of 10 into the first bucket (0,1]... samples are in
+	// (1,2], which is bucket index 1: 1 + 0.5*1 = 1.5.
+	if got := h.Quantile(0.25); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("p25 = %v, want 1.5", got)
+	}
+	// Clamping.
+	if got := h.Quantile(-1); got != h.Quantile(0) {
+		t.Fatalf("q<0 not clamped: %v", got)
+	}
+	if got := h.Quantile(2); got != h.Quantile(1) {
+		t.Fatalf("q>1 not clamped: %v", got)
+	}
+}
+
+func TestHistogramQuantileFirstAndInfBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{10, 20})
+	// All mass in the first bucket: interpolate from 0.
+	for i := 0; i < 4; i++ {
+		h.Observe(5)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-5.0) > 1e-9 {
+		t.Fatalf("first-bucket p50 = %v, want 5.0", got)
+	}
+	// Mass beyond the last bound: the +Inf bucket has no upper edge, so
+	// the estimate saturates at the largest finite bound.
+	h2 := r.Histogram("lat2", []float64{10, 20})
+	for i := 0; i < 4; i++ {
+		h2.Observe(1000)
+	}
+	if got := h2.Quantile(0.99); got != 20 {
+		t.Fatalf("+Inf p99 = %v, want 20 (largest finite bound)", got)
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("cgra_server_request_seconds", []float64{0.01, 0.1, 1})
+	h.Observe(0.005) // untraced: no exemplar
+	h.ObserveTraced(0.05, "aaaa")
+	h.ObserveTraced(0.07, "bbbb") // same bucket: last writer wins
+	h.ObserveTraced(0.5, "cccc")
+
+	snap := r.Snapshot()
+	var mp *MetricPoint
+	for i := range snap {
+		if snap[i].Name == "cgra_server_request_seconds" {
+			mp = &snap[i]
+		}
+	}
+	if mp == nil {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if mp.Quantiles == nil || mp.Quantiles["p50"] <= 0 || mp.Quantiles["p99"] < mp.Quantiles["p50"] {
+		t.Fatalf("quantiles = %v", mp.Quantiles)
+	}
+	want := map[float64]string{0.1: "bbbb", 1: "cccc"}
+	for _, b := range mp.Buckets {
+		if id, ok := want[b.LE]; ok {
+			if b.Exemplar == nil || b.Exemplar.TraceID != id {
+				t.Fatalf("bucket le=%v exemplar = %+v, want trace %s", b.LE, b.Exemplar, id)
+			}
+			if b.Exemplar.At.IsZero() {
+				t.Fatalf("bucket le=%v exemplar has zero timestamp", b.LE)
+			}
+		} else if b.Exemplar != nil {
+			t.Fatalf("bucket le=%v has unexpected exemplar %+v", b.LE, b.Exemplar)
+		}
+	}
+	// Exemplars and quantiles are JSON-only: the Prometheus text format
+	// must stay 0.0.4-parsable (no exemplar syntax).
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if strings.Contains(sb.String(), "aaaa") || strings.Contains(sb.String(), "trace_id") {
+		t.Fatal("exemplars leaked into the Prometheus text exposition")
+	}
+	// And they survive the JSON round trip.
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"bbbb"`) || !strings.Contains(string(data), `"quantiles"`) {
+		t.Fatalf("JSON export missing exemplar/quantiles: %s", data)
+	}
+}
+
+func TestHistogramUntracedHasNoExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("plain", []float64{1})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5)
+	}
+	snap := r.Snapshot()
+	for _, mp := range snap {
+		if mp.Name != "plain" {
+			continue
+		}
+		for _, b := range mp.Buckets {
+			if b.Exemplar != nil {
+				t.Fatalf("untraced histogram grew an exemplar: %+v", b.Exemplar)
+			}
+		}
+	}
+}

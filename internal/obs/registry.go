@@ -21,6 +21,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Label is one metric dimension (e.g. {Key: "pe", Value: "3"}).
@@ -93,6 +94,16 @@ func (g *Gauge) SetMax(v float64) {
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
+// Exemplar links one bucket of a histogram to a concrete request: the
+// trace ID of a sample that landed in it, with the sample's value and
+// time. Tail buckets of cgra_server_request_seconds carry exemplars so a
+// p99 spike resolves to fetchable traces (/debug/traces/{id}).
+type Exemplar struct {
+	TraceID string    `json:"trace_id"`
+	Value   float64   `json:"value"`
+	At      time.Time `json:"at"`
+}
+
 // Histogram is a fixed-bucket distribution metric. Buckets are upper
 // bounds; an implicit +Inf bucket catches the rest.
 type Histogram struct {
@@ -101,16 +112,31 @@ type Histogram struct {
 	buckets []uint64 // len(bounds)+1, last is +Inf
 	sum     float64
 	count   uint64
+	// exemplars holds the most recent exemplar per bucket (allocated on
+	// the first traced observation).
+	exemplars []Exemplar
 }
 
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
+	h.ObserveTraced(v, "")
+}
+
+// ObserveTraced records one sample and, when traceID is non-empty, makes
+// it the sample's bucket exemplar (last writer wins).
+func (h *Histogram) ObserveTraced(v float64, traceID string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
 	h.buckets[i]++
 	h.sum += v
 	h.count++
+	if traceID != "" {
+		if h.exemplars == nil {
+			h.exemplars = make([]Exemplar, len(h.buckets))
+		}
+		h.exemplars[i] = Exemplar{TraceID: traceID, Value: v, At: time.Now()}
+	}
 }
 
 // Count returns the number of observations.
@@ -138,6 +164,66 @@ func (h *Histogram) snapshot() ([]uint64, float64, uint64) {
 		cum[i] = running
 	}
 	return cum, h.sum, h.count
+}
+
+// exemplarSnapshot copies the per-bucket exemplars (nil when none were
+// ever recorded).
+func (h *Histogram) exemplarSnapshot() []Exemplar {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.exemplars == nil {
+		return nil
+	}
+	return append([]Exemplar(nil), h.exemplars...)
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) by linear interpolation
+// within the landing bucket, the standard Prometheus histogram_quantile
+// estimate. The first bucket interpolates from 0; a quantile landing in
+// the +Inf bucket reports the largest finite bound. Returns 0 with no
+// observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.count == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.count)
+	var cum float64
+	for i, b := range h.buckets {
+		if b == 0 {
+			cum += float64(b)
+			continue
+		}
+		if cum+float64(b) >= rank {
+			if i >= len(h.bounds) {
+				// +Inf bucket: no upper edge to interpolate toward.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			upper := h.bounds[i]
+			frac := (rank - cum) / float64(b)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + frac*(upper-lower)
+		}
+		cum += float64(b)
+	}
+	return h.bounds[len(h.bounds)-1]
 }
 
 // DefTimeBuckets are the default duration buckets, in seconds.
@@ -371,6 +457,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 type HistogramBucket struct {
 	LE    float64 `json:"le"`
 	Count uint64  `json:"count"`
+	// Exemplar is the most recent traced sample that landed in this bucket
+	// (absent when the histogram is not trace-wired).
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // MetricPoint is one series in a JSON snapshot.
@@ -384,6 +473,9 @@ type MetricPoint struct {
 	Buckets []HistogramBucket `json:"buckets,omitempty"`
 	Sum     *float64          `json:"sum,omitempty"`
 	Count   *uint64           `json:"count,omitempty"`
+	// Quantiles are estimated p50/p95/p99 values (linear interpolation
+	// within buckets), present for histograms with at least one sample.
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
 }
 
 // Snapshot returns every series as a MetricPoint, deterministically
@@ -409,13 +501,26 @@ func (r *Registry) Snapshot() []MetricPoint {
 				p.Value = &v
 			case kindHistogram:
 				cum, sum, count := s.hist.snapshot()
+				exemplars := s.hist.exemplarSnapshot()
 				// The implicit +Inf bucket is omitted: encoding/json cannot
 				// encode Inf, and its cumulative count equals Count.
 				for i, bound := range f.bounds {
-					p.Buckets = append(p.Buckets, HistogramBucket{LE: bound, Count: cum[i]})
+					b := HistogramBucket{LE: bound, Count: cum[i]}
+					if exemplars != nil && exemplars[i].TraceID != "" {
+						ex := exemplars[i]
+						b.Exemplar = &ex
+					}
+					p.Buckets = append(p.Buckets, b)
 				}
 				p.Sum = &sum
 				p.Count = &count
+				if count > 0 {
+					p.Quantiles = map[string]float64{
+						"p50": s.hist.Quantile(0.50),
+						"p95": s.hist.Quantile(0.95),
+						"p99": s.hist.Quantile(0.99),
+					}
+				}
 			}
 			out = append(out, p)
 		}

@@ -13,6 +13,20 @@ type SpanMetric struct {
 	Value int64  `json:"value"`
 }
 
+// SpanAttr is one string annotation on a span (cache source, engine path).
+type SpanAttr struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// SpanEvent is one timestamped point annotation on a span: a retry, a
+// breaker trip, a brownout serve, a chaos injection.
+type SpanEvent struct {
+	Name string    `json:"name"`
+	At   time.Time `json:"at"`
+	Note string    `json:"note,omitempty"`
+}
+
 // Span is one timed phase of a larger operation. Spans form a tree: the
 // compile pipeline opens a root span and each phase (unroll, CSE, CDFG
 // build, schedule, route, alloc, ctxgen) becomes a child. A span carries
@@ -30,6 +44,8 @@ type Span struct {
 	dur      time.Duration
 	done     bool
 	metrics  []SpanMetric
+	attrs    []SpanAttr
+	events   []SpanEvent
 	children []*Span
 }
 
@@ -63,6 +79,25 @@ func (s *Span) Finish() {
 	}
 }
 
+// Start returns the span's start time (zero on a nil receiver).
+func (s *Span) Start() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	// start is written once at construction and never mutated; no lock.
+	return s.start
+}
+
+// Done reports whether the span has finished.
+func (s *Span) Done() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.done
+}
+
 // Duration returns the span's wall time (time since start while running).
 func (s *Span) Duration() time.Duration {
 	if s == nil {
@@ -90,6 +125,53 @@ func (s *Span) Set(name string, v int64) {
 		}
 	}
 	s.metrics = append(s.metrics, SpanMetric{Name: name, Value: v})
+}
+
+// Annotate records (or overwrites) a string attribute on the span.
+func (s *Span) Annotate(name, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Name == name {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, SpanAttr{Name: name, Value: value})
+}
+
+// Attrs returns a copy of the span's string attributes, in insertion order.
+func (s *Span) Attrs() []SpanAttr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]SpanAttr(nil), s.attrs...)
+}
+
+// Event appends a timestamped point event to the span (note may be empty).
+func (s *Span) Event(name, note string) {
+	if s == nil {
+		return
+	}
+	ev := SpanEvent{Name: name, At: time.Now(), Note: note}
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+// Events returns a copy of the span's events, in insertion order.
+func (s *Span) Events() []SpanEvent {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]SpanEvent(nil), s.events...)
 }
 
 // Metrics returns a copy of the span's metrics, in insertion order.

@@ -141,7 +141,15 @@ func CompileCtx(ctx context.Context, k *ir.Kernel, comp *arch.Composition, o Opt
 			c, err = nil, fmt.Errorf("pipeline: internal error compiling kernel: %v", r)
 		}
 	}()
-	root := obs.StartSpan("compile")
+	// Inside a traced request the compile hangs under the request's active
+	// span, so its phases show up in the end-to-end trace; standalone it
+	// stays a root span. Either way Compiled.Trace carries the tree.
+	var root *obs.Span
+	if parent := obs.ContextSpan(ctx); parent != nil {
+		root = parent.StartChild("compile")
+	} else {
+		root = obs.StartSpan("compile")
+	}
 	defer func() {
 		root.Finish()
 		if o.Obs != nil {

@@ -54,6 +54,12 @@ const deadlineHeader = "X-Deadline-Ms"
 // the standard integer-second Retry-After header.
 const retryAfterMSHeader = "X-Retry-After-Ms"
 
+// traceIDHeader carries the 32-hex-digit trace ID: inbound it lets a
+// caller (or an upstream hop) name the trace; outbound the server echoes
+// the ID it recorded under, so every response is joinable against
+// /debug/traces/{id}.
+const traceIDHeader = "X-Trace-Id"
+
 // ewmaAlpha weights the newest service-time sample; 0.3 tracks load shifts
 // within a few requests without letting one cold compile dominate.
 const ewmaAlpha = 0.3
@@ -177,14 +183,14 @@ func (s *Server) BrownoutActive() bool {
 // cycle count is absent and the result did not exercise the CGRA.
 func (s *Server) handleRunDegraded(w http.ResponseWriter, r *http.Request) int {
 	if r.Method != http.MethodPost {
-		return writeError(w, http.StatusMethodNotAllowed, codeBadMethod, "POST required")
+		return writeError(w, r, http.StatusMethodNotAllowed, codeBadMethod, "POST required")
 	}
 	var req RunRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return writeError(w, http.StatusBadRequest, codeBadRequest, "bad request body: "+err.Error())
+		return writeError(w, r, http.StatusBadRequest, codeBadRequest, "bad request body: "+err.Error())
 	}
 	if s.sys.Kernel(req.Kernel) == nil {
-		return writeError(w, http.StatusNotFound, codeUnknownKernel, fmt.Sprintf("unknown kernel %q", req.Kernel))
+		return writeError(w, r, http.StatusNotFound, codeUnknownKernel, fmt.Sprintf("unknown kernel %q", req.Kernel))
 	}
 	ctx, cancel := s.requestCtx(r, req.DeadlineMS)
 	defer cancel()
@@ -195,9 +201,9 @@ func (s *Server) handleRunDegraded(w http.ResponseWriter, r *http.Request) int {
 	res, err := s.sys.InvokeHost(ctx, req.Kernel, req.Args, host)
 	if err != nil {
 		if errIsDeadline(err) {
-			return writeError(w, http.StatusGatewayTimeout, codeDeadline, err.Error())
+			return writeError(w, r, http.StatusGatewayTimeout, codeDeadline, err.Error())
 		}
-		return writeError(w, http.StatusUnprocessableEntity, codeRunFailed, err.Error())
+		return writeError(w, r, http.StatusUnprocessableEntity, codeRunFailed, err.Error())
 	}
 	return writeJSON(w, http.StatusOK, RunResponse{
 		LiveOuts: res.LiveOuts,
@@ -205,13 +211,14 @@ func (s *Server) handleRunDegraded(w http.ResponseWriter, r *http.Request) int {
 		Cycles:   res.Cycles,
 		OnCGRA:   res.OnCGRA,
 		Degraded: true,
+		TraceID:  traceIDOf(r),
 	})
 }
 
 // writeShed writes a shed/backpressure error (429/503) with retry hints:
 // the standard integer-second Retry-After, a precise X-Retry-After-Ms, and
 // retry_after_ms in the JSON body.
-func writeShed(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) int {
+func writeShed(w http.ResponseWriter, r *http.Request, status int, code, msg string, retryAfter time.Duration) int {
 	if retryAfter > 0 {
 		secs := int64((retryAfter + time.Second - 1) / time.Second)
 		if secs < 1 {
@@ -224,5 +231,6 @@ func writeShed(w http.ResponseWriter, status int, code, msg string, retryAfter t
 		Error:        msg,
 		Code:         code,
 		RetryAfterMS: retryAfter.Milliseconds(),
+		TraceID:      traceIDOf(r),
 	})
 }

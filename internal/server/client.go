@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"cgra/internal/obs"
 )
 
 // Retry defaults; zero-valued Client fields fall back to these.
@@ -133,9 +135,15 @@ type APIError struct {
 	Message string
 	// RetryAfter is the server's backoff hint, when it sent one.
 	RetryAfter time.Duration
+	// TraceID names the failed request's server-side trace; paste it into
+	// /debug/traces/{id} to see where the time (or the failure) went.
+	TraceID string
 }
 
 func (e *APIError) Error() string {
+	if e.TraceID != "" {
+		return fmt.Sprintf("cgrad: HTTP %d: %s (trace %s)", e.Code, e.Message, e.TraceID)
+	}
 	return fmt.Sprintf("cgrad: HTTP %d: %s", e.Code, e.Message)
 }
 
@@ -160,10 +168,15 @@ func (c *Client) do(ctx context.Context, method, path string, deadlineMS int64, 
 	if maxAttempts <= 0 {
 		maxAttempts = defaultMaxAttempts
 	}
+	// One trace identity per logical call, shared by every retry attempt:
+	// if the caller is itself inside a traced request, propagate its ID so
+	// the hops compose; otherwise mint a fresh one so even a cold client
+	// call is findable in the daemon's flight recorder.
+	traceID := callTraceID(ctx)
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		var retryAfter time.Duration
-		done, err := c.attempt(ctx, method, path, deadlineMS, payload, out, &retryAfter)
+		done, err := c.attempt(ctx, method, path, deadlineMS, traceID, payload, out, &retryAfter)
 		if done {
 			return err
 		}
@@ -194,7 +207,7 @@ func (c *Client) do(ctx context.Context, method, path string, deadlineMS int64, 
 // attempt runs a single HTTP exchange. done=true means the result is
 // final (success or non-retryable failure); done=false means err is
 // transient and the retry loop decides what happens next.
-func (c *Client) attempt(ctx context.Context, method, path string, deadlineMS int64, payload []byte, out any, retryAfter *time.Duration) (done bool, err error) {
+func (c *Client) attempt(ctx context.Context, method, path string, deadlineMS int64, traceID string, payload []byte, out any, retryAfter *time.Duration) (done bool, err error) {
 	var body io.Reader
 	if payload != nil {
 		body = bytes.NewReader(payload)
@@ -205,6 +218,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, deadlineMS in
 	}
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if traceID != "" {
+		req.Header.Set(traceIDHeader, traceID)
 	}
 	if ms := announcedDeadlineMS(ctx, deadlineMS); ms > 0 {
 		req.Header.Set(deadlineHeader, strconv.FormatInt(ms, 10))
@@ -227,12 +243,15 @@ func (c *Client) attempt(ctx context.Context, method, path string, deadlineMS in
 		}
 		return true, json.Unmarshal(data, out)
 	}
-	apiErr := &APIError{Code: resp.StatusCode, Message: string(data)}
+	apiErr := &APIError{Code: resp.StatusCode, Message: string(data), TraceID: resp.Header.Get(traceIDHeader)}
 	var e errorResponse
 	if json.Unmarshal(data, &e) == nil && e.Error != "" {
 		apiErr.Message = e.Error
 		apiErr.ErrCode = e.Code
 		apiErr.RetryAfter = time.Duration(e.RetryAfterMS) * time.Millisecond
+		if e.TraceID != "" {
+			apiErr.TraceID = e.TraceID
+		}
 	}
 	if d := parseRetryAfter(resp.Header); d > apiErr.RetryAfter {
 		apiErr.RetryAfter = d
@@ -282,6 +301,17 @@ func (c *Client) backoffDelay(attempt int) time.Duration {
 		d = max
 	}
 	return d/2 + time.Duration(rand.Int63n(int64(d/2)))
+}
+
+// callTraceID picks the X-Trace-Id for one logical client call: the
+// enclosing traced request's ID when the caller is instrumented, else a
+// freshly minted one. Shared across retries, so the server records every
+// attempt of one call under the same identity.
+func callTraceID(ctx context.Context) string {
+	if t := obs.TraceFrom(ctx); t != nil {
+		return t.ID.String()
+	}
+	return obs.NewTraceID().String()
 }
 
 // announcedDeadlineMS picks what to tell admission control: the explicit

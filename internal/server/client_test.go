@@ -54,7 +54,16 @@ func (f *flaky) gap(i int) time.Duration {
 }
 
 func shedStep(status int, retryAfter time.Duration) func(http.ResponseWriter) {
-	return func(w http.ResponseWriter) { writeShed(w, status, codeOverloaded, "overloaded", retryAfter) }
+	return func(w http.ResponseWriter) {
+		writeShed(w, httptest.NewRequest(http.MethodGet, "/", nil), status, codeOverloaded, "overloaded", retryAfter)
+	}
+}
+
+// errStep writes a plain error envelope (no trace context).
+func errStep(status int, code, msg string) func(http.ResponseWriter) {
+	return func(w http.ResponseWriter) {
+		writeError(w, httptest.NewRequest(http.MethodGet, "/", nil), status, code, msg)
+	}
 }
 
 func newFlakyClient(t *testing.T, f *flaky) *Client {
@@ -135,8 +144,8 @@ func TestClientBackoffJitterBounds(t *testing.T) {
 	const base = 80 * time.Millisecond
 	f := &flaky{steps: []func(http.ResponseWriter){
 		// No Retry-After hint: the client falls back to its own schedule.
-		func(w http.ResponseWriter) { writeError(w, http.StatusTooManyRequests, codeOverloaded, "overloaded") },
-		func(w http.ResponseWriter) { writeError(w, http.StatusTooManyRequests, codeOverloaded, "overloaded") },
+		errStep(http.StatusTooManyRequests, codeOverloaded, "overloaded"),
+		errStep(http.StatusTooManyRequests, codeOverloaded, "overloaded"),
 	}}
 	c := newFlakyClient(t, f)
 	c.Backoff = base
@@ -197,7 +206,7 @@ func TestClientRetriesTransportTimeout(t *testing.T) {
 // immediately: only overload and transient upstream statuses retry.
 func TestClientDoesNotRetryFinalErrors(t *testing.T) {
 	f := &flaky{steps: []func(http.ResponseWriter){
-		func(w http.ResponseWriter) { writeError(w, http.StatusNotFound, codeUnknownKernel, "unknown kernel") },
+		errStep(http.StatusNotFound, codeUnknownKernel, "unknown kernel"),
 	}}
 	c := newFlakyClient(t, f)
 	_, err := c.Kernels(context.Background())

@@ -78,6 +78,11 @@ type Config struct {
 	BrownoutWindow    time.Duration
 	BrownoutThreshold int
 	BrownoutHold      time.Duration
+	// TraceRing bounds the flight recorder's ring of recent completed
+	// traces (0 = 256); TraceSlowest bounds its per-endpoint reservoir of
+	// slowest traces (0 = 8).
+	TraceRing    int
+	TraceSlowest int
 }
 
 // Server serves the compile-and-execute API over one system.System.
@@ -99,8 +104,9 @@ type Server struct {
 	draining atomic.Bool
 	httpSrv  *http.Server
 
-	est *svcEstimator
-	bo  *brownout
+	est    *svcEstimator
+	bo     *brownout
+	flight *obs.FlightRecorder
 
 	inflight       *obs.Gauge
 	shed           *obs.Counter
@@ -171,6 +177,7 @@ func New(cfg Config) (*Server, error) {
 		digests:        map[string]string{},
 		est:            newSvcEstimator(),
 		bo:             &brownout{window: boWindow, threshold: boThreshold, hold: boHold},
+		flight:         obs.NewFlightRecorder(cfg.TraceRing, cfg.TraceSlowest),
 		inflight:       reg.Gauge("cgra_server_inflight"),
 		shed:           reg.Counter("cgra_server_shed_total"),
 		deadlineShed:   reg.Counter("cgra_server_deadline_shed_total"),
@@ -185,6 +192,10 @@ func New(cfg Config) (*Server, error) {
 	mux.Handle("/metrics", reg)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/readyz", s.handleReady)
+	// The flight recorder's debug surface bypasses admission control: it
+	// must answer while the daemon is overloaded — that is its whole point.
+	mux.HandleFunc("/debug/traces", s.flight.HandleList)
+	mux.HandleFunc("/debug/traces/", s.flight.HandleTrace)
 	s.mux = mux
 	return s, nil
 }
@@ -197,6 +208,10 @@ func (s *Server) Cache() *cache.Store { return s.store }
 
 // Metrics exposes the shared registry.
 func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Flight returns the server's flight recorder (completed and in-flight
+// request traces).
+func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
 
 // Handler returns the daemon's HTTP handler (for tests via httptest and for
 // embedding behind an existing server).
@@ -230,15 +245,39 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// instrument wraps a handler with admission control (deadline-aware
-// shedding, brownout overflow), deadline propagation and traffic metrics.
+// requestTraceID adopts the caller's X-Trace-Id (so traces of one logical
+// request compose across retries and across nodes) or mints a fresh one.
+func requestTraceID(r *http.Request) obs.TraceID {
+	if v := r.Header.Get(traceIDHeader); v != "" {
+		if id, err := obs.ParseTraceID(v); err == nil && !id.IsZero() {
+			return id
+		}
+	}
+	return obs.NewTraceID()
+}
+
+// instrument wraps a handler with per-request tracing, admission control
+// (deadline-aware shedding, brownout overflow), deadline propagation and
+// traffic metrics. Every request gets a trace — adopted from X-Trace-Id or
+// freshly minted — whose root span is the request wall time; the trace is
+// registered with the flight recorder before the handler runs (so hung
+// requests are inspectable in flight) and committed when it completes,
+// with the final status as a tail-bucket exemplar on the latency
+// histogram.
 func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		tr := obs.NewTrace(requestTraceID(r), endpoint, "server."+endpoint)
+		r = r.WithContext(obs.WithTrace(r.Context(), tr))
+		w.Header().Set(traceIDHeader, tr.ID.String())
+		s.flight.Begin(tr)
+		// admission covers everything between arrival and the handler
+		// getting the request: shed checks plus the semaphore acquisition.
+		adm := tr.Root.StartChild("admission")
 		code := http.StatusOK
 		admitted := false
 		defer func() {
-			s.latency.Observe(time.Since(start).Seconds())
+			s.latency.ObserveTraced(time.Since(start).Seconds(), tr.ID.String())
 			if admitted {
 				// Only admitted requests feed the service-time EWMA: sheds
 				// complete in microseconds and would talk the estimate down.
@@ -246,9 +285,12 @@ func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.R
 			}
 			s.reg.Counter("cgra_server_requests_total",
 				obs.L("endpoint", endpoint), obs.L("code", strconv.Itoa(code))).Inc()
+			s.flight.End(tr, code)
 		}()
 		if s.draining.Load() {
-			code = writeShed(w, http.StatusServiceUnavailable, codeDraining,
+			adm.Event("shed", "draining")
+			adm.Finish()
+			code = writeShed(w, r, http.StatusServiceUnavailable, codeDraining,
 				"draining", time.Second)
 			return
 		}
@@ -259,7 +301,9 @@ func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.R
 				s.shed.Inc()
 				s.deadlineShed.Inc()
 				s.bo.noteShed(time.Now())
-				code = writeShed(w, http.StatusTooManyRequests, codeDeadlineUnmeetable,
+				adm.Event("shed", "deadline_unmeetable")
+				adm.Finish()
+				code = writeShed(w, r, http.StatusTooManyRequests, codeDeadlineUnmeetable,
 					fmt.Sprintf("deadline %v unmeetable: expected latency %v at current load", dl, est), est)
 				return
 			}
@@ -273,14 +317,19 @@ func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.R
 				// Brownout: serve the overflow on the host interpreter
 				// instead of shedding it.
 				s.brownoutServes.Inc()
+				adm.Event("brownout_serve", "overflow served by host interpreter")
+				adm.Finish()
 				code = s.handleRunDegraded(w, r)
 				return
 			}
-			code = writeShed(w, http.StatusTooManyRequests, codeOverloaded,
+			adm.Event("shed", "overloaded")
+			adm.Finish()
+			code = writeShed(w, r, http.StatusTooManyRequests, codeOverloaded,
 				"overloaded", s.retryHint(endpoint))
 			return
 		}
 		admitted = true
+		adm.Finish()
 		s.inflight.Add(1)
 		defer func() { s.inflight.Add(-1); <-s.sem }()
 		code = h(w, r)
@@ -299,15 +348,18 @@ func (s *Server) requestCtx(r *http.Request, deadlineMS int64) (context.Context,
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) int {
 	if r.Method != http.MethodPost {
-		return writeError(w, http.StatusMethodNotAllowed, codeBadMethod, "POST required")
+		return writeError(w, r, http.StatusMethodNotAllowed, codeBadMethod, "POST required")
 	}
+	dec := obs.ContextSpan(r.Context()).StartChild("decode")
 	var req CompileRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return writeError(w, http.StatusBadRequest, codeBadRequest, "bad request body: "+err.Error())
+		dec.Finish()
+		return writeError(w, r, http.StatusBadRequest, codeBadRequest, "bad request body: "+err.Error())
 	}
 	k, err := irtext.Parse(req.Source)
+	dec.Finish()
 	if err != nil {
-		return writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
+		return writeError(w, r, http.StatusBadRequest, codeBadRequest, err.Error())
 	}
 	ctx, cancel := s.requestCtx(r, req.DeadlineMS)
 	defer cancel()
@@ -319,13 +371,13 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) int {
 	if prev, ok := s.digests[k.Name]; ok {
 		if prev != digest {
 			s.mu.Unlock()
-			return writeError(w, http.StatusConflict, codeConflict,
+			return writeError(w, r, http.StatusConflict, codeConflict,
 				fmt.Sprintf("kernel %q already registered with different source", k.Name))
 		}
 	} else {
 		if err := s.sys.Register(k); err != nil {
 			s.mu.Unlock()
-			return writeError(w, http.StatusConflict, codeConflict, err.Error())
+			return writeError(w, r, http.StatusConflict, codeConflict, err.Error())
 		}
 		s.digests[k.Name] = digest
 	}
@@ -336,9 +388,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) int {
 	info, err := s.sys.SynthesizeCtx(ctx, k.Name)
 	if err != nil {
 		if errIsDeadline(err) {
-			return writeError(w, http.StatusGatewayTimeout, codeDeadline, err.Error())
+			return writeError(w, r, http.StatusGatewayTimeout, codeDeadline, err.Error())
 		}
-		return writeError(w, http.StatusUnprocessableEntity, codeCompileFailed, err.Error())
+		return writeError(w, r, http.StatusUnprocessableEntity, codeCompileFailed, err.Error())
 	}
 	src := info.CacheSource
 	switch {
@@ -347,6 +399,8 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) int {
 	case src == "":
 		src = "compile"
 	}
+	rsp := obs.ContextSpan(r.Context()).StartChild("respond")
+	defer rsp.Finish()
 	return writeJSON(w, http.StatusOK, CompileResponse{
 		Kernel:    info.Kernel,
 		Key:       info.Key,
@@ -355,19 +409,23 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) int {
 		Cached:    src != "compile",
 		Source:    src,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		TraceID:   traceIDOf(r),
 	})
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) int {
 	if r.Method != http.MethodPost {
-		return writeError(w, http.StatusMethodNotAllowed, codeBadMethod, "POST required")
+		return writeError(w, r, http.StatusMethodNotAllowed, codeBadMethod, "POST required")
 	}
+	dec := obs.ContextSpan(r.Context()).StartChild("decode")
 	var req RunRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return writeError(w, http.StatusBadRequest, codeBadRequest, "bad request body: "+err.Error())
+		dec.Finish()
+		return writeError(w, r, http.StatusBadRequest, codeBadRequest, "bad request body: "+err.Error())
 	}
 	if s.sys.Kernel(req.Kernel) == nil {
-		return writeError(w, http.StatusNotFound, codeUnknownKernel, fmt.Sprintf("unknown kernel %q", req.Kernel))
+		dec.Finish()
+		return writeError(w, r, http.StatusNotFound, codeUnknownKernel, fmt.Sprintf("unknown kernel %q", req.Kernel))
 	}
 	ctx, cancel := s.requestCtx(r, req.DeadlineMS)
 	defer cancel()
@@ -375,24 +433,31 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) int {
 	for name, data := range req.Arrays {
 		host.Arrays[name] = append([]int32(nil), data...)
 	}
+	dec.Set("arrays", int64(len(req.Arrays)))
+	dec.Finish()
 	res, err := s.sys.InvokeCtx(ctx, req.Kernel, req.Args, host)
 	if err != nil {
 		if errIsDeadline(err) {
-			return writeError(w, http.StatusGatewayTimeout, codeDeadline, err.Error())
+			return writeError(w, r, http.StatusGatewayTimeout, codeDeadline, err.Error())
 		}
-		return writeError(w, http.StatusUnprocessableEntity, codeRunFailed, err.Error())
+		return writeError(w, r, http.StatusUnprocessableEntity, codeRunFailed, err.Error())
 	}
+	// The response carries every host array back: on small kernels the
+	// JSON encode rivals the execution itself, so it gets its own span.
+	rsp := obs.ContextSpan(r.Context()).StartChild("respond")
+	defer rsp.Finish()
 	return writeJSON(w, http.StatusOK, RunResponse{
 		LiveOuts: res.LiveOuts,
 		Arrays:   host.Arrays,
 		Cycles:   res.Cycles,
 		OnCGRA:   res.OnCGRA,
+		TraceID:  traceIDOf(r),
 	})
 }
 
 func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) int {
 	if r.Method != http.MethodGet {
-		return writeError(w, http.StatusMethodNotAllowed, codeBadMethod, "GET required")
+		return writeError(w, r, http.StatusMethodNotAllowed, codeBadMethod, "GET required")
 	}
 	names := s.sys.Kernels()
 	if names == nil {
@@ -440,8 +505,19 @@ func writeJSON(w http.ResponseWriter, code int, v any) int {
 	return code
 }
 
-func writeError(w http.ResponseWriter, status int, code, msg string) int {
-	return writeJSON(w, status, errorResponse{Error: msg, Code: code})
+// traceIDOf returns the request's trace ID as hex ("" outside a traced
+// request, e.g. direct handler tests).
+func traceIDOf(r *http.Request) string {
+	if t := obs.TraceFrom(r.Context()); t != nil {
+		return t.ID.String()
+	}
+	return ""
+}
+
+// writeError writes the machine-readable error envelope, stamped with the
+// request's trace ID so a logged failure joins against its trace.
+func writeError(w http.ResponseWriter, r *http.Request, status int, code, msg string) int {
+	return writeJSON(w, status, errorResponse{Error: msg, Code: code, TraceID: traceIDOf(r)})
 }
 
 func errIsDeadline(err error) bool {
@@ -469,6 +545,8 @@ type CompileResponse struct {
 	// "compile" for a fresh run of the tool flow.
 	Source    string  `json:"source"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// TraceID identifies this request's trace in /debug/traces/{id}.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // RunRequest is the body of POST /v1/run.
@@ -490,6 +568,8 @@ type RunResponse struct {
 	// under overload instead of being shed. Correct, but no accelerator
 	// cycle count.
 	Degraded bool `json:"degraded,omitempty"`
+	// TraceID identifies this request's trace in /debug/traces/{id}.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // KernelsResponse lists the registered kernels.
@@ -513,4 +593,7 @@ type errorResponse struct {
 	Error        string `json:"error"`
 	Code         string `json:"code,omitempty"`
 	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+	// TraceID identifies the failed request's trace in /debug/traces/{id},
+	// so an error logged by a client joins against the server-side record.
+	TraceID string `json:"trace_id,omitempty"`
 }

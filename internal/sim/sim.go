@@ -17,6 +17,7 @@ import (
 	"cgra/internal/ctxgen"
 	"cgra/internal/fault"
 	"cgra/internal/ir"
+	"cgra/internal/obs"
 	"cgra/internal/sched"
 )
 
@@ -109,7 +110,37 @@ const ctxCheckInterval = 8192
 // context's error (wrapped, so errors.Is works) when it is cancelled or
 // past its deadline. The host heap may hold partial DMA effects after a
 // cancelled run; callers that need clean state must run against a clone.
+//
+// Inside a traced request the execution becomes an "engine" span,
+// annotated with the path taken (predecoded fast engine vs instrumented
+// interpreter) and the simulated cycle count. Untraced runs skip the span
+// entirely.
 func (m *Machine) RunCtx(ctx context.Context, args map[string]int32, host *ir.Host) (*Result, error) {
+	sp := obs.ContextSpan(ctx).StartChild("engine")
+	if sp == nil {
+		return m.runCtx(ctx, args, host)
+	}
+	if m.fastPath() {
+		sp.Annotate("path", "fast")
+	} else {
+		sp.Annotate("path", "interp")
+	}
+	res, err := m.runCtx(ctx, args, host)
+	if err == nil {
+		sp.Set("cycles", res.TotalCycles())
+	}
+	sp.Finish()
+	return res, err
+}
+
+// fastPath reports whether the run dispatches to the predecoded engine:
+// only when one is attached and no instrumentation or fault plan forces
+// the interpreter (mirrors the dispatch check in runCtx).
+func (m *Machine) fastPath() bool {
+	return m.Engine != nil && m.Trace == nil && m.Probe == nil && m.Inject == nil
+}
+
+func (m *Machine) runCtx(ctx context.Context, args map[string]int32, host *ir.Host) (*Result, error) {
 	prog := m.prog
 	s := prog.Sched
 	comp := s.Comp
@@ -118,7 +149,7 @@ func (m *Machine) RunCtx(ctx context.Context, args map[string]int32, host *ir.Ho
 	if limit == 0 {
 		limit = 500_000_000
 	}
-	if m.Engine != nil && m.Trace == nil && m.Probe == nil && m.Inject == nil {
+	if m.fastPath() {
 		return m.Engine.run(ctx, limit, args, host)
 	}
 	m.Inject.BeginRun()

@@ -390,10 +390,14 @@ func (s *System) InvokeHost(ctx context.Context, name string, args map[string]in
 	if k == nil {
 		return nil, fmt.Errorf("system: unknown kernel %q", name)
 	}
+	sp := obs.ContextSpan(ctx).StartChild("engine")
+	sp.Annotate("path", "host")
 	base, err := amidar.ExecuteProgram(k, st.kernels, s.Cost, args, host)
+	sp.Finish()
 	if err != nil {
 		return nil, fmt.Errorf("system: AMIDAR run of %q: %v", name, err)
 	}
+	sp.Set("cycles", base.Cycles)
 	s.ctr.invocations.Add(1)
 	s.ctr.amidarRuns.Add(1)
 	s.ctr.amidarCycles.Add(base.Cycles)
@@ -476,13 +480,27 @@ func (s *System) InvokeCtx(ctx context.Context, name string, args map[string]int
 	if k == nil {
 		return nil, fmt.Errorf("system: unknown kernel %q", name)
 	}
+	ctx, sp := obs.StartSpanCtx(ctx, "system.invoke")
+	defer sp.Finish()
 	s.ctr.invocations.Add(1)
 	defer func() { s.ctr.faultsInjected.SetInt(s.inj.Load().Injections()) }()
 
-	if ent := st.compiled[name]; ent != nil {
+	// The dispatch lookup is the serving-path cache decision: an installed
+	// compiled entry means the request skips the whole tool flow.
+	ent := st.compiled[name]
+	lk := sp.StartChild("cache.lookup")
+	if ent != nil {
+		lk.Annotate("source", "installed")
+	} else {
+		lk.Annotate("source", "none")
+	}
+	lk.Finish()
+
+	if ent != nil {
 		if !ent.br.allow(time.Now(), s.breakerCooldown()) {
 			// Breaker open: shed to the host without profiling (the kernel
 			// is already synthesized; re-synthesis is not what it needs).
+			sp.Event("breaker_open_shed", "breaker open: serving on host")
 			return s.runHost(ctx, name, k, args, host, false)
 		}
 		res, err := s.runAccelerated(ctx, name, ent, args, host)
@@ -495,6 +513,7 @@ func (s *System) InvokeCtx(ctx context.Context, name string, args map[string]int
 			return nil, err
 		}
 		s.ctr.faultsDetected.Add(1)
+		sp.Event("fault_detected", err.Error())
 		ent.br.failure(time.Now(), s.breakerThreshold())
 		return s.recoverInvocation(ctx, name, args, host)
 	}
@@ -556,10 +575,14 @@ func (s *System) runHost(ctx context.Context, name string, k *ir.Kernel, args ma
 		return nil, fmt.Errorf("system: invocation of %q cancelled: %w", name, err)
 	}
 	st := s.state.Load()
+	sp := obs.ContextSpan(ctx).StartChild("engine")
+	sp.Annotate("path", "host")
 	base, err := amidar.ExecuteProgram(k, st.kernels, s.Cost, args, host)
+	sp.Finish()
 	if err != nil {
 		return nil, fmt.Errorf("system: AMIDAR run of %q: %v", name, err)
 	}
+	sp.Set("cycles", base.Cycles)
 	s.ctr.amidarRuns.Add(1)
 	s.ctr.amidarCycles.Add(base.Cycles)
 	result := &Result{LiveOuts: base.LiveOuts, Cycles: base.Cycles}
@@ -586,6 +609,7 @@ func (s *System) runHost(ctx context.Context, name string, k *ir.Kernel, args ma
 	}
 	if s.enqueueSynthLocked(name) {
 		result.Synthesized = true
+		obs.EventCtx(ctx, "synth_enqueued", name)
 	} else {
 		br.cancelProbe()
 	}
@@ -597,6 +621,8 @@ func (s *System) runHost(ctx context.Context, name string, k *ir.Kernel, args ma
 // mutated when the run is accepted, so a rejected run leaves clean state
 // for the retry.
 func (s *System) runAccelerated(ctx context.Context, name string, ent *entry, args map[string]int32, host *ir.Host) (*Result, error) {
+	ctx, sp := obs.StartSpanCtx(ctx, "cgra.run")
+	defer sp.Finish()
 	inj := s.inj.Load()
 	// Machine attaches the memoized predecoded engine; setting Inject to a
 	// live fault plan reverts the run to the instrumented interpreter.
@@ -613,6 +639,8 @@ func (s *System) runAccelerated(ctx context.Context, name string, ent *entry, ar
 		return nil, fmt.Errorf("system: CGRA run of %q: %w", name, err)
 	}
 	if s.Policy.CrossCheck || inj != nil {
+		cc := sp.StartChild("crosscheck")
+		defer cc.Finish()
 		ref := ent.ref
 		if ref == nil {
 			ref = s.state.Load().kernels[name]
@@ -635,6 +663,7 @@ func (s *System) runAccelerated(ctx context.Context, name string, ent *entry, ar
 	for arr, data := range scratch.Arrays {
 		copy(host.Arrays[arr], data)
 	}
+	sp.Set("cycles", res.TotalCycles())
 	s.ctr.cgraRuns.Add(1)
 	s.ctr.cgraCycles.Add(res.TotalCycles())
 	return &Result{LiveOuts: res.LiveOuts, Cycles: res.TotalCycles(), OnCGRA: true}, nil
@@ -680,6 +709,8 @@ func (s *System) cycleBudgetLocked(name string) int64 {
 // paced by exponential backoff with jitter — and finally fall back to host
 // execution.
 func (s *System) recoverInvocation(ctx context.Context, name string, args map[string]int32, host *ir.Host) (*Result, error) {
+	ctx, sp := obs.StartSpanCtx(ctx, "recover")
+	defer sp.Finish()
 	br := s.breakerFor(name)
 	backoff := s.Policy.RetryBackoff
 	if backoff <= 0 {
@@ -698,6 +729,7 @@ func (s *System) recoverInvocation(ctx context.Context, name string, args map[st
 		}
 		s.mu.Lock()
 		if perm := s.newPermanentFaultsLocked(); len(perm) > 0 {
+			sp.Event("degrade", fmt.Sprintf("masking %d permanent fault(s)", len(perm)))
 			if !s.degradeLocked(perm) {
 				// The surviving array is unusable: permanent host fallback.
 				s.dropCompiledLocked(name)
@@ -725,6 +757,7 @@ func (s *System) recoverInvocation(ctx context.Context, name string, args map[st
 			break
 		}
 		s.ctr.retries.Add(1)
+		sp.Event("retry", fmt.Sprintf("accelerated re-execution attempt %d", attempt+1))
 		res, err := s.runAccelerated(ctx, name, ent, args, host)
 		if err == nil {
 			br.success()
@@ -735,9 +768,11 @@ func (s *System) recoverInvocation(ctx context.Context, name string, args map[st
 			break
 		}
 		s.ctr.faultsDetected.Add(1)
+		sp.Event("fault_detected", err.Error())
 		br.failure(time.Now(), s.breakerThreshold())
 	}
 	s.ctr.fallbacks.Add(1)
+	sp.Event("host_fallback", "recovery exhausted: serving on host")
 	res, err := s.runHost(ctx, name, s.state.Load().kernels[name], args, host, false)
 	if err != nil {
 		return nil, err
@@ -872,7 +907,9 @@ func (s *System) compileKernel(ctx context.Context, name string) (ent *entry, er
 	}()
 	st := s.state.Load()
 	prog := &ir.Program{Kernels: st.kernels, Entry: name}
+	inl := obs.ContextSpan(ctx).StartChild("inline")
 	flat, err := opt.Inline(prog)
+	inl.Finish()
 	if err != nil {
 		return nil, fmt.Errorf("system: inline %q: %v", name, err)
 	}
@@ -883,7 +920,7 @@ func (s *System) compileKernel(ctx context.Context, name string) (ent *entry, er
 	var key string
 	if s.Cache != nil {
 		key = pipeline.Key(flat, st.target, opts)
-		if art, src, ok := s.Cache.Get(key); ok {
+		if art, src, ok := s.Cache.GetCtx(ctx, key); ok {
 			if c, rerr := art.Realize(); rerr == nil {
 				return &entry{c: c, ref: flat, key: key, cacheSrc: src, phys: st.phys}, nil
 			}
@@ -910,7 +947,7 @@ func (s *System) compileKernel(ctx context.Context, name string) (ent *entry, er
 		if art, aerr := c.Artifact(); aerr == nil {
 			// A cache write failure (disk full, permissions) must not fail
 			// the synthesis: the compiled entry is good.
-			_ = s.Cache.Put(key, art)
+			_ = s.Cache.PutCtx(ctx, key, art)
 		}
 	}
 	return &entry{c: c, ref: flat, key: key, phys: st.phys}, nil
@@ -959,12 +996,15 @@ func (s *System) Synthesize(name string) error {
 // footprint. Re-synthesizing an already-compiled kernel is a no-op that
 // reports the installed entry.
 func (s *System) SynthesizeCtx(ctx context.Context, name string) (*SynthInfo, error) {
+	ctx, sp := obs.StartSpanCtx(ctx, "system.synthesize")
+	defer sp.Finish()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.state.Load().kernels[name] == nil {
 		return nil, fmt.Errorf("system: unknown kernel %q", name)
 	}
 	if ent := s.state.Load().compiled[name]; ent != nil {
+		sp.Annotate("source", "installed")
 		return synthInfo(name, ent, 0), nil
 	}
 	start := time.Now()
