@@ -27,6 +27,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,6 +45,9 @@ func main() {
 		maxInFlight = flag.Int("max-inflight", 0, "max concurrently served requests (0 = default)")
 		deadline    = flag.Duration("deadline", 0, "default per-request deadline (0 = 30s)")
 		unroll      = flag.Int("unroll", 2, "loop unroll factor")
+		advertise   = flag.String("advertise", "", "this node's base URL as peers reach it (enables clustering with -peers)")
+		peers       = flag.String("peers", "", "comma-separated peer base URLs (the same list can be passed to every node)")
+		probeEvery  = flag.Duration("probe-interval", 0, "peer health probe interval (0 = default)")
 
 		loadgen    = flag.Bool("loadgen", false, "run as load generator against -target instead of serving")
 		target     = flag.String("target", "http://127.0.0.1:8080", "daemon base URL (loadgen mode)")
@@ -58,8 +62,27 @@ func main() {
 		chaosMode  = flag.Bool("chaos", false, "run the chaos soak: serve in-process under fault injection, drive load, assert recovery")
 		chaosIters = flag.Int("chaos-iters", 8, "chaos: run iterations per client")
 		metricsOut = flag.String("metrics-out", "", "chaos: write the final metrics dump (Prometheus text) to this file")
+
+		churnMode  = flag.Bool("churn", false, "run the cluster churn harness: N in-process clustered nodes, kill one mid-load, restart it cold, assert peer re-warming")
+		churnNodes = flag.Int("churn-nodes", 3, "churn: cluster size")
+		churnIters = flag.Int("churn-iters", 30, "churn: run iterations per client")
 	)
 	flag.Parse()
+
+	if *churnMode {
+		if err := runChurn(churnConfig{
+			CompName:  *compName,
+			Nodes:     *churnNodes,
+			Clients:   *clients,
+			Iters:     *churnIters,
+			Seed:      *seed,
+			BenchJSON: *benchJSON,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "cgrad:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *chaosMode {
 		if err := runChaos(chaosConfig{
@@ -106,6 +129,9 @@ func main() {
 		CacheMem:        *cacheMem,
 		MaxInFlight:     *maxInFlight,
 		DefaultDeadline: *deadline,
+		Advertise:       *advertise,
+		Peers:           splitPeers(*peers),
+		ProbeInterval:   *probeEvery,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cgrad:", err)
@@ -152,4 +178,16 @@ func cacheDirLabel(dir string) string {
 		return "memory-only"
 	}
 	return dir
+}
+
+// splitPeers parses the -peers flag: comma-separated base URLs, empty
+// entries dropped.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

@@ -1,0 +1,400 @@
+// Package cluster turns N cgrad daemons into one resilient service: a
+// static-seed peer membership list kept fresh by lightweight HTTP health
+// probes, consistent-hash (rendezvous) routing of content-addressed
+// artifact keys to their owner shard, and checksum-verified peer-to-peer
+// artifact fetch with hedging, so one node's compile warms every replica's
+// cache and a node crash degrades latency instead of correctness.
+//
+// The membership model is deliberately simple — a fixed seed list, no
+// gossip, no dynamic join — because the failure modes it must survive are
+// not: probes drive each peer through an alive/suspect/dead state machine
+// with hysteresis on both edges (consecutive failures to demote,
+// consecutive successes to revive), so a flapping peer neither bounces
+// key ownership on every blip nor keeps attracting traffic while it is
+// down.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cgra/internal/obs"
+)
+
+// State is a peer's probed health.
+type State int32
+
+const (
+	// StateAlive: the peer answers probes and is routable.
+	StateAlive State = iota
+	// StateSuspect: recent probes failed; the peer is still in the routing
+	// ring (it may only be slow) but fetches hedge away from it quickly.
+	StateSuspect
+	// StateDead: enough consecutive probes failed that the peer is out of
+	// the ring; its keys are re-owned by the survivors.
+	StateDead
+)
+
+func (s State) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// Config assembles a Membership.
+type Config struct {
+	// Self is this node's advertised base URL (e.g. "http://10.0.0.3:8080").
+	// Self is always a live member of its own ring.
+	Self string
+	// Peers is the static seed list of peer base URLs. Entries equal to
+	// Self are ignored, so the same -peers flag can be passed to every
+	// node.
+	Peers []string
+	// ProbeInterval paces the per-peer health probes (0 = 250ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe (0 = 1s).
+	ProbeTimeout time.Duration
+	// SuspectAfter consecutive probe failures demote alive → suspect
+	// (0 = 1).
+	SuspectAfter int
+	// DeadAfter consecutive probe failures demote → dead (0 = 3).
+	DeadAfter int
+	// ReviveAfter consecutive probe successes promote suspect/dead → alive
+	// (0 = 2). This is the hysteresis that keeps a flapping peer from
+	// bouncing ownership.
+	ReviveAfter int
+	// HTTP is the probe transport (nil = a dedicated client with
+	// ProbeTimeout).
+	HTTP *http.Client
+	// Registry receives the peer metrics (nil = private registry).
+	Registry *obs.Registry
+	// OnChange, when set, is called (from a probe goroutine) after any
+	// peer state transition — the ring just changed shape, so routing
+	// state derived from it should be refreshed.
+	OnChange func()
+}
+
+// PeerStatus is one peer's externally visible state.
+type PeerStatus struct {
+	URL   string `json:"url"`
+	State string `json:"state"`
+	// Self marks this node's own entry.
+	Self bool `json:"self,omitempty"`
+	// Fails is the current consecutive probe-failure count.
+	Fails int `json:"fails,omitempty"`
+}
+
+// peer is one probed remote node.
+type peer struct {
+	url   string
+	state atomic.Int32
+
+	// Hysteresis counters: only the probe goroutine mutates them, but
+	// Snapshot reads them concurrently, so they are atomic.
+	fails atomic.Int32
+	oks   atomic.Int32
+
+	// ewmaNanos is the exponentially weighted fetch latency used to size
+	// hedge timeouts (0 = no data yet). Written by the Fetcher.
+	ewmaNanos atomic.Int64
+
+	stateG    *obs.Gauge
+	probeOK   *obs.Counter
+	probeFail *obs.Counter
+}
+
+func (p *peer) setState(s State) {
+	p.state.Store(int32(s))
+	p.stateG.SetInt(int64(s))
+}
+
+func (p *peer) getState() State { return State(p.state.Load()) }
+
+// Membership is the probed peer set of one node.
+type Membership struct {
+	self    string
+	peers   []*peer
+	byURL   map[string]*peer
+	http    *http.Client
+	probing bool
+
+	interval     time.Duration
+	timeout      time.Duration
+	suspectAfter int
+	deadAfter    int
+	reviveAfter  int
+
+	reg *obs.Registry
+
+	onChange    func()
+	transitions *obs.Counter
+
+	stop      chan struct{}
+	done      sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// New builds a membership over the seed list. Call Start to begin probing
+// and Close to stop.
+func New(cfg Config) *Membership {
+	if cfg.Self == "" {
+		panic("cluster: Config.Self required")
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	interval := cfg.ProbeInterval
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	timeout := cfg.ProbeTimeout
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	suspectAfter := cfg.SuspectAfter
+	if suspectAfter <= 0 {
+		suspectAfter = 1
+	}
+	deadAfter := cfg.DeadAfter
+	if deadAfter <= suspectAfter {
+		deadAfter = suspectAfter + 2
+	}
+	reviveAfter := cfg.ReviveAfter
+	if reviveAfter <= 0 {
+		reviveAfter = 2
+	}
+	client := cfg.HTTP
+	if client == nil {
+		client = &http.Client{Timeout: timeout}
+	}
+	reg.Help("cgra_peer_state", "probed peer state (0 alive, 1 suspect, 2 dead)")
+	reg.Help("cgra_peer_probe_total", "peer health probes by outcome")
+	reg.Help("cgra_peer_transitions_total", "peer state transitions")
+	m := &Membership{
+		self:         cfg.Self,
+		byURL:        map[string]*peer{},
+		http:         client,
+		interval:     interval,
+		timeout:      timeout,
+		suspectAfter: suspectAfter,
+		deadAfter:    deadAfter,
+		reviveAfter:  reviveAfter,
+		reg:          reg,
+		onChange:     cfg.OnChange,
+		transitions:  reg.Counter("cgra_peer_transitions_total"),
+		stop:         make(chan struct{}),
+	}
+	seen := map[string]bool{cfg.Self: true}
+	for _, url := range cfg.Peers {
+		if url == "" || seen[url] {
+			continue
+		}
+		seen[url] = true
+		p := &peer{
+			url:       url,
+			stateG:    reg.Gauge("cgra_peer_state", obs.L("peer", url)),
+			probeOK:   reg.Counter("cgra_peer_probe_total", obs.L("peer", url), obs.L("outcome", "ok")),
+			probeFail: reg.Counter("cgra_peer_probe_total", obs.L("peer", url), obs.L("outcome", "fail")),
+		}
+		// Optimistic start: a peer is assumed alive until probes say
+		// otherwise, so a cold-started fleet routes immediately.
+		p.setState(StateAlive)
+		m.peers = append(m.peers, p)
+		m.byURL[url] = p
+	}
+	return m
+}
+
+// Registry exposes the metrics registry the membership reports into.
+func (m *Membership) Registry() *obs.Registry { return m.reg }
+
+// Self returns this node's advertised URL.
+func (m *Membership) Self() string { return m.self }
+
+// Start launches one probe goroutine per peer. Idempotent-unsafe: call
+// once.
+func (m *Membership) Start() {
+	m.probing = true
+	for _, p := range m.peers {
+		m.done.Add(1)
+		go m.probeLoop(p)
+	}
+}
+
+// Close stops probing and waits for the probe goroutines to exit.
+func (m *Membership) Close() {
+	m.closeOnce.Do(func() {
+		close(m.stop)
+		m.done.Wait()
+	})
+}
+
+// probeLoop drives one peer's state machine.
+func (m *Membership) probeLoop(p *peer) {
+	defer m.done.Done()
+	t := time.NewTicker(m.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.probeOnce(p)
+		}
+	}
+}
+
+// probeOnce runs one health probe and advances the hysteresis counters.
+func (m *Membership) probeOnce(p *peer) {
+	ok := m.probe(p.url)
+	prev := p.getState()
+	if ok {
+		p.probeOK.Inc()
+		p.fails.Store(0)
+		oks := p.oks.Add(1)
+		// Reviving a demoted peer needs ReviveAfter consecutive successes;
+		// an alive peer just stays alive.
+		if prev != StateAlive && oks >= int32(m.reviveAfter) {
+			p.setState(StateAlive)
+			m.transitions.Inc()
+			m.notifyChange()
+		}
+		return
+	}
+	p.probeFail.Inc()
+	p.oks.Store(0)
+	fails := p.fails.Add(1)
+	next := prev
+	switch {
+	case fails >= int32(m.deadAfter):
+		next = StateDead
+	case fails >= int32(m.suspectAfter):
+		next = StateSuspect
+	}
+	// Demotion is monotone within one failure run: suspect never goes back
+	// to alive without the revive hysteresis above.
+	if next > prev {
+		p.setState(next)
+		m.transitions.Inc()
+		m.notifyChange()
+	}
+}
+
+// notifyChange fans a state transition out to the OnChange hook.
+func (m *Membership) notifyChange() {
+	if m.onChange != nil {
+		m.onChange()
+	}
+}
+
+// probe is one liveness check: /healthz answers 200 while the peer
+// process serves at all (a draining peer is still alive — its cache can
+// still be fetched from).
+func (m *Membership) probe(url string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), m.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := m.http.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// ProbeNow runs one synchronous probe round over every peer (tests and
+// the churn harness use it to advance the state machine deterministically
+// without waiting out the ticker).
+func (m *Membership) ProbeNow() {
+	for _, p := range m.peers {
+		m.probeOnce(p)
+	}
+}
+
+// State reports a peer's current state (self is always alive; unknown
+// URLs are dead).
+func (m *Membership) State(url string) State {
+	if url == m.self {
+		return StateAlive
+	}
+	if p, ok := m.byURL[url]; ok {
+		return p.getState()
+	}
+	return StateDead
+}
+
+// Ring returns the current routing members: self plus every peer not
+// probed dead, sorted for determinism. Suspect peers stay in the ring —
+// they may only be slow, and evicting them on the first blip would bounce
+// ownership (and with it cache warmth) on every hiccup.
+func (m *Membership) Ring() []string {
+	out := []string{m.self}
+	for _, p := range m.peers {
+		if p.getState() != StateDead {
+			out = append(out, p.url)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Alive returns the peers (excluding self) currently probed alive.
+func (m *Membership) Alive() []string {
+	var out []string
+	for _, p := range m.peers {
+		if p.getState() == StateAlive {
+			out = append(out, p.url)
+		}
+	}
+	return out
+}
+
+// FetchCandidates orders the peers to try for an artifact fetch: the
+// owner first (when it is not self and not dead), then every other
+// non-dead peer as fallback — after churn the previous owner often still
+// holds the warm artifact. Self is never a candidate.
+func (m *Membership) FetchCandidates(key string) []string {
+	owner := m.Owner(key)
+	var out []string
+	if owner != m.self && m.State(owner) != StateDead {
+		out = append(out, owner)
+	}
+	for _, p := range m.peers {
+		if p.url == owner || p.getState() == StateDead {
+			continue
+		}
+		out = append(out, p.url)
+	}
+	return out
+}
+
+// Owner returns the rendezvous-hash owner of key over the current ring.
+// With an empty ring (everything else dead) the owner is self.
+func (m *Membership) Owner(key string) string {
+	return RendezvousOwner(key, m.Ring())
+}
+
+// Snapshot reports every member's state, self included, sorted by URL.
+func (m *Membership) Snapshot() []PeerStatus {
+	out := []PeerStatus{{URL: m.self, State: StateAlive.String(), Self: true}}
+	for _, p := range m.peers {
+		out = append(out, PeerStatus{URL: p.url, State: p.getState().String(), Fails: int(p.fails.Load())})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}

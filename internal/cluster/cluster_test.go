@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// healthPeer is a toggleable /healthz endpoint.
+type healthPeer struct {
+	ts *httptest.Server
+	up atomic.Bool
+}
+
+func newHealthPeer(t *testing.T) *healthPeer {
+	t.Helper()
+	p := &healthPeer{}
+	p.up.Store(true)
+	p.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" || !p.up.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	}))
+	t.Cleanup(p.ts.Close)
+	return p
+}
+
+// TestMembershipHysteresis drives one peer through the full state
+// machine: alive → suspect → dead on consecutive failures, and back to
+// alive only after the revive threshold of consecutive successes.
+func TestMembershipHysteresis(t *testing.T) {
+	peer := newHealthPeer(t)
+	m := New(Config{
+		Self:         "http://self",
+		Peers:        []string{peer.ts.URL},
+		SuspectAfter: 2,
+		DeadAfter:    4,
+		ReviveAfter:  2,
+		ProbeTimeout: time.Second,
+	})
+	defer m.Close()
+
+	if got := m.State(peer.ts.URL); got != StateAlive {
+		t.Fatalf("initial state = %v, want alive", got)
+	}
+	peer.up.Store(false)
+	m.ProbeNow()
+	if got := m.State(peer.ts.URL); got != StateAlive {
+		t.Fatalf("after 1 failure = %v, want alive (hysteresis)", got)
+	}
+	m.ProbeNow()
+	if got := m.State(peer.ts.URL); got != StateSuspect {
+		t.Fatalf("after 2 failures = %v, want suspect", got)
+	}
+	// Suspect peers stay in the routing ring.
+	if ring := m.Ring(); len(ring) != 2 {
+		t.Fatalf("suspect peer fell out of the ring: %v", ring)
+	}
+	m.ProbeNow()
+	m.ProbeNow()
+	if got := m.State(peer.ts.URL); got != StateDead {
+		t.Fatalf("after 4 failures = %v, want dead", got)
+	}
+	if ring := m.Ring(); len(ring) != 1 || ring[0] != "http://self" {
+		t.Fatalf("dead peer still in the ring: %v", ring)
+	}
+
+	// One success must not revive a dead peer (hysteresis both ways).
+	peer.up.Store(true)
+	m.ProbeNow()
+	if got := m.State(peer.ts.URL); got != StateDead {
+		t.Fatalf("after 1 success = %v, want still dead", got)
+	}
+	m.ProbeNow()
+	if got := m.State(peer.ts.URL); got != StateAlive {
+		t.Fatalf("after 2 successes = %v, want alive", got)
+	}
+	// A single blip after revival must not demote again below suspect
+	// threshold.
+	peer.up.Store(false)
+	m.ProbeNow()
+	if got := m.State(peer.ts.URL); got != StateAlive {
+		t.Fatalf("one blip demoted a revived peer: %v", got)
+	}
+}
+
+// TestMembershipBackgroundProbing proves Start's probe loop demotes a
+// dead peer without manual probes.
+func TestMembershipBackgroundProbing(t *testing.T) {
+	peer := newHealthPeer(t)
+	peer.up.Store(false)
+	m := New(Config{
+		Self:          "http://self",
+		Peers:         []string{peer.ts.URL},
+		ProbeInterval: 5 * time.Millisecond,
+		SuspectAfter:  1,
+		DeadAfter:     2,
+	})
+	m.Start()
+	defer m.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for m.State(peer.ts.URL) != StateDead {
+		if time.Now().After(deadline) {
+			t.Fatal("peer never probed dead")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestMembershipSelfExcluded: the seed list may contain the node's own
+// URL (every node gets the same -peers flag); it must not probe itself.
+func TestMembershipSelfExcluded(t *testing.T) {
+	m := New(Config{Self: "http://a", Peers: []string{"http://a", "http://b", "http://b"}})
+	defer m.Close()
+	if len(m.peers) != 1 || m.peers[0].url != "http://b" {
+		t.Fatalf("peer set = %v, want just http://b", m.Snapshot())
+	}
+	if got := m.State("http://a"); got != StateAlive {
+		t.Fatalf("self state = %v, want alive", got)
+	}
+}
+
+// TestRendezvousDeterministic: every member computes the same owner.
+func TestRendezvousDeterministic(t *testing.T) {
+	members := []string{"http://a", "http://b", "http://c"}
+	for i := 0; i < 32; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		owner := RendezvousOwner(key, members)
+		// Permuted member order must not change the owner.
+		perm := []string{members[2], members[0], members[1]}
+		if got := RendezvousOwner(key, perm); got != owner {
+			t.Fatalf("key %q: owner depends on member order (%s vs %s)", key, owner, got)
+		}
+	}
+}
+
+// TestRendezvousMinimalReownership: removing one member re-owns only that
+// member's keys — everyone else's keys stay put. This is the property
+// that keeps caches warm through churn.
+func TestRendezvousMinimalReownership(t *testing.T) {
+	members := []string{"http://a", "http://b", "http://c"}
+	const n = 256
+	owners := make(map[string]string, n)
+	spread := map[string]int{}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		owners[key] = RendezvousOwner(key, members)
+		spread[owners[key]]++
+	}
+	// Sanity: all three members own something.
+	for _, m := range members {
+		if spread[m] == 0 {
+			t.Fatalf("member %s owns no keys of %d", m, n)
+		}
+	}
+	// Kill b: only b's keys may change owner.
+	survivors := []string{members[0], members[2]}
+	for key, prev := range owners {
+		next := RendezvousOwner(key, survivors)
+		if prev != "http://b" && next != prev {
+			t.Fatalf("key %q moved %s → %s though its owner survived", key, prev, next)
+		}
+		if prev == "http://b" && next == "http://b" {
+			t.Fatalf("key %q still owned by dead member", key)
+		}
+	}
+}
+
+// TestFetchCandidatesOwnerFirst: candidates lead with the key's owner and
+// never include self or dead peers.
+func TestFetchCandidatesOwnerFirst(t *testing.T) {
+	m := New(Config{Self: "http://a", Peers: []string{"http://b", "http://c"}})
+	defer m.Close()
+	// Find a key owned by a remote peer.
+	var key string
+	for i := 0; ; i++ {
+		key = fmt.Sprintf("key-%d", i)
+		if owner := m.Owner(key); owner != "http://a" {
+			break
+		}
+	}
+	owner := m.Owner(key)
+	cands := m.FetchCandidates(key)
+	if len(cands) != 2 || cands[0] != owner {
+		t.Fatalf("candidates = %v, want owner %s first", cands, owner)
+	}
+	for _, c := range cands {
+		if c == "http://a" {
+			t.Fatal("self in fetch candidates")
+		}
+	}
+	// Dead owner: remaining peer only.
+	m.byURL[owner].setState(StateDead)
+	cands = m.FetchCandidates(key)
+	if len(cands) != 1 || cands[0] == owner || cands[0] == "http://a" {
+		t.Fatalf("candidates with dead owner = %v", cands)
+	}
+}

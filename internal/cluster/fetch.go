@@ -1,0 +1,334 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"cgra/internal/cache"
+	"cgra/internal/obs"
+)
+
+// TraceIDHeader carries the request trace across peer hops, so a compile
+// that fans out over the fleet shows up as one tree in /debug/traces. It
+// must match the server's inbound trace header.
+const TraceIDHeader = "X-Trace-Id"
+
+// ErrNotFound: every candidate peer answered, none holds the artifact.
+// The caller compiles locally (it is probably the owner).
+var ErrNotFound = errors.New("cluster: artifact not found on any peer")
+
+// ErrNoPeers: no live peer to fetch from (single-node cluster, or
+// everyone else is dead).
+var ErrNoPeers = errors.New("cluster: no live peers")
+
+// maxFetchBytes bounds one peer artifact response; a peer that streams
+// garbage must not balloon this node's memory.
+const maxFetchBytes = 64 << 20
+
+// FetchConfig tunes a Fetcher.
+type FetchConfig struct {
+	// HTTP is the fetch transport (nil = a dedicated client; per-attempt
+	// deadlines come from the caller's context and the hedge schedule).
+	HTTP *http.Client
+	// HedgeMin/HedgeMax clamp the per-peer hedge delay derived from the
+	// peer's EWMA fetch latency (0 = 25ms / 1s).
+	HedgeMin time.Duration
+	HedgeMax time.Duration
+	// MaxPeers bounds how many peers one Fetch will try (0 = 3).
+	MaxPeers int
+}
+
+// FetchResult is one successful peer artifact fetch.
+type FetchResult struct {
+	// Data is the framed artifact entry (magic + version + checksum +
+	// payload), already checksum-verified.
+	Data []byte
+	// Peer served it.
+	Peer string
+	// Hedged reports the winning attempt was a hedge, not the primary.
+	Hedged bool
+}
+
+// Fetcher pulls compiled artifacts from peers: owner-first candidate
+// order, hedged requests with a per-peer EWMA-derived delay so a slow
+// owner costs milliseconds rather than a timeout, per-key singleflight so
+// a hot kernel is fetched over the network once no matter how many local
+// requests miss on it, and checksum verification before anything is
+// returned.
+type Fetcher struct {
+	m        *Membership
+	http     *http.Client
+	hedgeMin time.Duration
+	hedgeMax time.Duration
+	maxPeers int
+
+	mu       sync.Mutex
+	inflight map[string]*fetchCall
+
+	fetchHit  *obs.Counter
+	fetchMiss *obs.Counter
+	fetchErr  *obs.Counter
+	hedged    *obs.Counter
+	hedgeWins *obs.Counter
+}
+
+// fetchCall is one in-flight singleflight fetch.
+type fetchCall struct {
+	done chan struct{}
+	res  *FetchResult
+	err  error
+}
+
+// NewFetcher builds a fetcher over a membership. Metrics land in the
+// membership's registry.
+func NewFetcher(m *Membership, cfg FetchConfig) *Fetcher {
+	client := cfg.HTTP
+	if client == nil {
+		client = &http.Client{}
+	}
+	hedgeMin := cfg.HedgeMin
+	if hedgeMin <= 0 {
+		hedgeMin = 25 * time.Millisecond
+	}
+	hedgeMax := cfg.HedgeMax
+	if hedgeMax <= hedgeMin {
+		hedgeMax = time.Second
+	}
+	maxPeers := cfg.MaxPeers
+	if maxPeers <= 0 {
+		maxPeers = 3
+	}
+	reg := m.reg
+	reg.Help("cgra_peer_fetch_total", "peer artifact fetches by outcome (hit, miss, error)")
+	reg.Help("cgra_peer_fetch_hedged_total", "peer fetches where a hedge request was launched")
+	reg.Help("cgra_peer_fetch_hedge_wins_total", "peer fetches won by a hedge request")
+	return &Fetcher{
+		m:        m,
+		http:     client,
+		hedgeMin: hedgeMin,
+		hedgeMax: hedgeMax,
+		maxPeers: maxPeers,
+		inflight: map[string]*fetchCall{},
+
+		fetchHit:  reg.Counter("cgra_peer_fetch_total", obs.L("outcome", "hit")),
+		fetchMiss: reg.Counter("cgra_peer_fetch_total", obs.L("outcome", "miss")),
+		fetchErr:  reg.Counter("cgra_peer_fetch_total", obs.L("outcome", "error")),
+		hedged:    reg.Counter("cgra_peer_fetch_hedged_total"),
+		hedgeWins: reg.Counter("cgra_peer_fetch_hedge_wins_total"),
+	}
+}
+
+// Fetch retrieves the framed artifact for key from the fleet: the owner
+// first, hedging to the next candidate when the owner is slow, falling
+// through the remaining live peers on miss or error. Concurrent fetches
+// of the same key coalesce into one network operation.
+func (f *Fetcher) Fetch(ctx context.Context, key string) (*FetchResult, error) {
+	sp := obs.ContextSpan(ctx).StartChild("cluster.fetch")
+	defer sp.Finish()
+
+	f.mu.Lock()
+	if c, ok := f.inflight[key]; ok {
+		f.mu.Unlock()
+		sp.Annotate("coalesced", "true")
+		select {
+		case <-c.done:
+			return c.res, c.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	c := &fetchCall{done: make(chan struct{})}
+	f.inflight[key] = c
+	f.mu.Unlock()
+
+	c.res, c.err = f.fetch(ctx, key, sp)
+	f.mu.Lock()
+	delete(f.inflight, key)
+	f.mu.Unlock()
+	close(c.done)
+	return c.res, c.err
+}
+
+// attemptResult is one peer attempt's outcome.
+type attemptResult struct {
+	idx      int
+	peer     string
+	data     []byte
+	err      error
+	notFound bool
+	elapsed  time.Duration
+}
+
+func (f *Fetcher) fetch(ctx context.Context, key string, sp *obs.Span) (*FetchResult, error) {
+	candidates := f.m.FetchCandidates(key)
+	if len(candidates) > f.maxPeers {
+		candidates = candidates[:f.maxPeers]
+	}
+	if len(candidates) == 0 {
+		f.fetchErr.Inc()
+		sp.Annotate("outcome", "no_peers")
+		return nil, ErrNoPeers
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make(chan attemptResult, len(candidates))
+	launch := func(i int) {
+		peer := candidates[i]
+		go func() {
+			start := time.Now()
+			data, notFound, err := f.attempt(ctx, peer, key)
+			results <- attemptResult{idx: i, peer: peer, data: data, err: err, notFound: notFound, elapsed: time.Since(start)}
+		}()
+	}
+
+	launched := 1
+	launch(0)
+	hedgedAny := false
+	sawNotFound := false
+	var lastErr error
+	hedge := time.NewTimer(f.hedgeDelay(candidates[0]))
+	defer hedge.Stop()
+
+	for pending := 1; pending > 0; {
+		select {
+		case <-ctx.Done():
+			f.fetchErr.Inc()
+			sp.Annotate("outcome", "canceled")
+			return nil, ctx.Err()
+		case <-hedge.C:
+			// The current front-runner is slow: hedge to the next
+			// candidate instead of waiting out a full timeout.
+			if launched < len(candidates) {
+				f.hedged.Inc()
+				hedgedAny = true
+				launch(launched)
+				launched++
+				pending++
+				hedge.Reset(f.hedgeDelay(candidates[launched-1]))
+			}
+		case r := <-results:
+			if r.err == nil && !r.notFound {
+				f.noteLatency(r.peer, r.elapsed)
+				f.fetchHit.Inc()
+				if r.idx > 0 && hedgedAny {
+					f.hedgeWins.Inc()
+				}
+				sp.Annotate("outcome", "hit")
+				sp.Annotate("peer", r.peer)
+				if hedgedAny {
+					sp.Annotate("hedged", "true")
+				}
+				return &FetchResult{Data: r.data, Peer: r.peer, Hedged: hedgedAny && r.idx > 0}, nil
+			}
+			pending--
+			if r.notFound {
+				f.noteLatency(r.peer, r.elapsed)
+				sawNotFound = true
+			} else {
+				lastErr = r.err
+			}
+			// A definite answer (miss or error) frees a slot: try the next
+			// candidate immediately rather than waiting for the hedge
+			// timer.
+			if launched < len(candidates) {
+				launch(launched)
+				launched++
+				pending++
+			}
+		}
+	}
+	if sawNotFound {
+		f.fetchMiss.Inc()
+		sp.Annotate("outcome", "miss")
+		return nil, ErrNotFound
+	}
+	f.fetchErr.Inc()
+	sp.Annotate("outcome", "error")
+	if lastErr == nil {
+		lastErr = ErrNoPeers
+	}
+	return nil, fmt.Errorf("cluster: fetch %s: %w", key, lastErr)
+}
+
+// attempt is one peer artifact GET. notFound=true means the peer answered
+// authoritatively that it does not hold the key.
+func (f *Fetcher) attempt(ctx context.Context, peer, key string) (data []byte, notFound bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/artifact/"+key, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	if t := obs.TraceFrom(ctx); t != nil {
+		req.Header.Set(TraceIDHeader, t.ID.String())
+	}
+	resp, err := f.http.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, true, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, fmt.Errorf("cluster: %s: HTTP %d", peer, resp.StatusCode)
+	}
+	data, err = io.ReadAll(io.LimitReader(resp.Body, maxFetchBytes+1))
+	if err != nil {
+		return nil, false, err
+	}
+	if len(data) > maxFetchBytes {
+		return nil, false, fmt.Errorf("cluster: %s: artifact exceeds %d bytes", peer, maxFetchBytes)
+	}
+	// Verify the frame before anyone trusts the bytes: a corrupt response
+	// (bit rot in transit, a peer serving a torn read) is an error, and the
+	// fetch moves on to the next candidate.
+	if err := cache.Verify(data); err != nil {
+		return nil, false, fmt.Errorf("cluster: %s: %v", peer, err)
+	}
+	return data, false, nil
+}
+
+// noteLatency feeds the peer's EWMA used to size hedge delays.
+func (f *Fetcher) noteLatency(peer string, d time.Duration) {
+	p, ok := f.m.byURL[peer]
+	if !ok {
+		return
+	}
+	for {
+		old := p.ewmaNanos.Load()
+		next := int64(d)
+		if old > 0 {
+			next = old + (int64(d)-old)*3/10
+		}
+		if p.ewmaNanos.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// hedgeDelay is how long to give a peer before hedging past it: twice its
+// EWMA fetch latency, clamped to [HedgeMin, HedgeMax]; peers with no
+// latency history get 4× HedgeMin.
+func (f *Fetcher) hedgeDelay(peer string) time.Duration {
+	var ewma time.Duration
+	if p, ok := f.m.byURL[peer]; ok {
+		ewma = time.Duration(p.ewmaNanos.Load())
+	}
+	d := 2 * ewma
+	if ewma <= 0 {
+		d = 4 * f.hedgeMin
+	}
+	if d < f.hedgeMin {
+		d = f.hedgeMin
+	}
+	if d > f.hedgeMax {
+		d = f.hedgeMax
+	}
+	return d
+}

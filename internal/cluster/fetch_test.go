@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// frame wraps payload in the cache entry framing (magic + version +
+// checksum) so a fake peer serves bytes cache.Verify accepts.
+func frame(payload []byte) []byte {
+	out := []byte("CGRART01")
+	out = binary.LittleEndian.AppendUint32(out, 1)
+	sum := sha256.Sum256(payload)
+	out = append(out, sum[:]...)
+	return append(out, payload...)
+}
+
+// artifactPeer is a fake peer serving /v1/artifact/{key} from a map, with
+// an optional per-request delay and a request counter.
+type artifactPeer struct {
+	ts    *httptest.Server
+	mu    sync.Mutex
+	data  map[string][]byte
+	delay time.Duration
+	hits  atomic.Int32
+	gate  chan struct{} // when non-nil, requests block until it closes
+}
+
+func newArtifactPeer(t *testing.T) *artifactPeer {
+	t.Helper()
+	p := &artifactPeer{data: map[string][]byte{}}
+	p.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		p.hits.Add(1)
+		if p.gate != nil {
+			<-p.gate
+		}
+		if p.delay > 0 {
+			time.Sleep(p.delay)
+		}
+		key := strings.TrimPrefix(r.URL.Path, "/v1/artifact/")
+		p.mu.Lock()
+		data, ok := p.data[key]
+		p.mu.Unlock()
+		if !ok {
+			http.Error(w, "not here", http.StatusNotFound)
+			return
+		}
+		w.Write(data)
+	}))
+	t.Cleanup(p.ts.Close)
+	return p
+}
+
+func (p *artifactPeer) put(key string, data []byte) {
+	p.mu.Lock()
+	p.data[key] = data
+	p.mu.Unlock()
+}
+
+// fetchFixture: a membership over two fake peers plus a key owned by
+// peers[0], so tests control which candidate is tried first.
+func fetchFixture(t *testing.T, cfg FetchConfig) (*Fetcher, *artifactPeer, *artifactPeer, string) {
+	t.Helper()
+	a, b := newArtifactPeer(t), newArtifactPeer(t)
+	m := New(Config{Self: "http://self", Peers: []string{a.ts.URL, b.ts.URL}})
+	t.Cleanup(m.Close)
+	f := NewFetcher(m, cfg)
+	for i := 0; i < 4096; i++ {
+		key := testKey(byte(i), byte(i>>8))
+		if m.Owner(key) == a.ts.URL {
+			return f, a, b, key
+		}
+	}
+	t.Fatal("no key owned by peer a in 4096 tries")
+	return nil, nil, nil, ""
+}
+
+// testKey builds a syntactically valid 64-hex artifact key.
+func testKey(b1, b2 byte) string {
+	const hex = "0123456789abcdef"
+	k := make([]byte, 64)
+	for i := range k {
+		k[i] = hex[int(b1)%16]
+	}
+	k[0] = hex[int(b2)%16]
+	k[1] = hex[int(b2>>4)%16]
+	return string(k)
+}
+
+func TestFetchOwnerHit(t *testing.T) {
+	f, a, b, key := fetchFixture(t, FetchConfig{})
+	payload := []byte("compiled artifact payload")
+	a.put(key, frame(payload))
+	res, err := f.Fetch(context.Background(), key)
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if res.Peer != a.ts.URL {
+		t.Fatalf("served by %s, want owner %s", res.Peer, a.ts.URL)
+	}
+	if res.Hedged {
+		t.Fatal("fast owner hit reported as hedged")
+	}
+	if string(res.Data[44:]) != string(payload) {
+		t.Fatal("payload mismatch")
+	}
+	if b.hits.Load() != 0 {
+		t.Fatalf("non-owner contacted %d times on a fast owner hit", b.hits.Load())
+	}
+}
+
+// TestFetchMissFallsThrough: the owner 404s, the fallback peer holds the
+// artifact — churn-safe warming (the old owner often still has it).
+func TestFetchMissFallsThrough(t *testing.T) {
+	f, _, b, key := fetchFixture(t, FetchConfig{})
+	payload := []byte("moved artifact")
+	b.put(key, frame(payload))
+	res, err := f.Fetch(context.Background(), key)
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if res.Peer != b.ts.URL {
+		t.Fatalf("served by %s, want fallback %s", res.Peer, b.ts.URL)
+	}
+}
+
+func TestFetchAllMiss(t *testing.T) {
+	f, _, _, key := fetchFixture(t, FetchConfig{})
+	if _, err := f.Fetch(context.Background(), key); err != ErrNotFound {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+// TestFetchCorruptRejected: a peer serving a torn/corrupt frame must not
+// poison the caller — the fetch verifies and moves on.
+func TestFetchCorruptRejected(t *testing.T) {
+	f, a, b, key := fetchFixture(t, FetchConfig{})
+	good := frame([]byte("the real bytes"))
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-1] ^= 0x01
+	a.put(key, bad)
+	b.put(key, good)
+	res, err := f.Fetch(context.Background(), key)
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if res.Peer != b.ts.URL {
+		t.Fatalf("served by %s, want clean peer %s", res.Peer, b.ts.URL)
+	}
+}
+
+// TestFetchHedgesPastSlowOwner: a slow owner costs one hedge delay, not a
+// timeout — the fallback peer wins and the result is marked hedged.
+func TestFetchHedgesPastSlowOwner(t *testing.T) {
+	f, a, b, key := fetchFixture(t, FetchConfig{HedgeMin: 5 * time.Millisecond, HedgeMax: 50 * time.Millisecond})
+	data := frame([]byte("hot artifact"))
+	a.delay = 2 * time.Second
+	a.put(key, data)
+	b.put(key, data)
+	start := time.Now()
+	res, err := f.Fetch(context.Background(), key)
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if res.Peer != b.ts.URL || !res.Hedged {
+		t.Fatalf("res = {peer %s, hedged %v}, want hedge win by %s", res.Peer, res.Hedged, b.ts.URL)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("hedged fetch took %v — waited out the slow owner", elapsed)
+	}
+}
+
+// TestFetchSingleflight: concurrent fetches of one key coalesce into a
+// single network request.
+func TestFetchSingleflight(t *testing.T) {
+	f, a, _, key := fetchFixture(t, FetchConfig{HedgeMin: time.Second, HedgeMax: 2 * time.Second})
+	a.gate = make(chan struct{})
+	a.put(key, frame([]byte("fetched once")))
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = f.Fetch(context.Background(), key)
+		}(i)
+	}
+	// Let the callers pile onto the in-flight call before releasing it.
+	deadline := time.Now().Add(5 * time.Second)
+	for a.hits.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no request reached the peer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(a.gate)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("fetch %d: %v", i, err)
+		}
+	}
+	if got := a.hits.Load(); got != 1 {
+		t.Fatalf("peer saw %d requests for one key, want 1 (singleflight)", got)
+	}
+}

@@ -1,0 +1,38 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// RendezvousOwner picks the owner of key among members by highest random
+// weight (rendezvous hashing): each member scores sha256(key, member) and
+// the maximum wins. Unlike a mod-N ring, removing one member re-owns only
+// that member's keys — everything else stays put, which is exactly the
+// churn behavior a warm artifact cache wants.
+//
+// Members must be non-empty; ties (cryptographically negligible) break by
+// lexicographic member order for determinism.
+func RendezvousOwner(key string, members []string) string {
+	var (
+		best      string
+		bestScore uint64
+		have      bool
+	)
+	for _, m := range members {
+		s := rendezvousScore(key, m)
+		if !have || s > bestScore || (s == bestScore && m < best) {
+			best, bestScore, have = m, s, true
+		}
+	}
+	return best
+}
+
+func rendezvousScore(key, member string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write([]byte(member))
+	sum := h.Sum(nil)
+	return binary.BigEndian.Uint64(sum[:8])
+}

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestParseRetryAfterForms covers every Retry-After shape a client can
+// meet: the precise millisecond header, RFC 9110 delta-seconds, an
+// HTTP-date (proxies and load balancers emit these), and garbage.
+func TestParseRetryAfterForms(t *testing.T) {
+	mk := func(kv ...string) http.Header {
+		h := http.Header{}
+		for i := 0; i+1 < len(kv); i += 2 {
+			h.Set(kv[i], kv[i+1])
+		}
+		return h
+	}
+
+	if d := parseRetryAfter(mk("Retry-After", "2")); d != 2*time.Second {
+		t.Fatalf("delta-seconds: %v, want 2s", d)
+	}
+	if d := parseRetryAfter(mk(retryAfterMSHeader, "1500", "Retry-After", "10")); d != 1500*time.Millisecond {
+		t.Fatalf("ms header should win: %v, want 1.5s", d)
+	}
+
+	// HTTP-date in the future: the hint is the remaining wait. The format
+	// has one-second resolution, so accept anything in (2s, 5s].
+	future := time.Now().Add(5 * time.Second).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(mk("Retry-After", future)); d <= 2*time.Second || d > 5*time.Second {
+		t.Fatalf("future HTTP-date: %v, want (2s, 5s]", d)
+	}
+	// A date in the past means "retry now".
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(mk("Retry-After", past)); d != 0 {
+		t.Fatalf("past HTTP-date: %v, want 0", d)
+	}
+	if d := parseRetryAfter(mk("Retry-After", "soon-ish")); d != 0 {
+		t.Fatalf("garbage: %v, want 0", d)
+	}
+	if d := parseRetryAfter(mk()); d != 0 {
+		t.Fatalf("absent: %v, want 0", d)
+	}
+}
+
+// TestClientRetryHonorsHTTPDateRetryAfter: a 503 carrying an HTTP-date
+// Retry-After delays the retry like a delta-seconds hint would.
+func TestClientRetryHonorsHTTPDateRetryAfter(t *testing.T) {
+	date := time.Now().Add(1500 * time.Millisecond).UTC().Format(http.TimeFormat)
+	f := &flaky{steps: []func(http.ResponseWriter){func(w http.ResponseWriter) {
+		w.Header().Set("Retry-After", date)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"error":"overloaded"}`)
+	}}}
+	c := newFlakyClient(t, f)
+	c.Backoff = time.Millisecond // the server's date must dominate the wait
+	if _, err := c.Kernels(context.Background()); err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if f.callCount() != 2 {
+		t.Fatalf("calls = %d, want 2", f.callCount())
+	}
+	// The formatted date has second resolution: at least ~0.5s must remain.
+	if gap := f.gap(0); gap < 300*time.Millisecond {
+		t.Fatalf("retried after %v, before the HTTP-date Retry-After", gap)
+	}
+}
+
+// TestClientFailsOverToSecondEndpoint: a multi-endpoint client pinned to
+// a dead node rotates to the live one inside a single logical call, and
+// stays pinned there for subsequent calls.
+func TestClientFailsOverToSecondEndpoint(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close() // connection refused from here on
+
+	good := &flaky{}
+	ts := httptest.NewServer(good.handler())
+	defer ts.Close()
+
+	c := NewMultiClient(0, deadURL, ts.URL)
+	c.Backoff = time.Millisecond
+	if c.base() != deadURL {
+		t.Fatalf("initial pin = %s, want the dead endpoint", c.base())
+	}
+	if _, err := c.Kernels(context.Background()); err != nil {
+		t.Fatalf("failover call: %v", err)
+	}
+	if c.base() != ts.URL {
+		t.Fatalf("pin after failover = %s, want %s", c.base(), ts.URL)
+	}
+	// The next call goes straight to the live endpoint.
+	if _, err := c.Kernels(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if good.callCount() != 2 {
+		t.Fatalf("live endpoint saw %d calls, want 2", good.callCount())
+	}
+}
+
+// TestClientFailsOverOnShed: a 503 shed rotates the pin too — an
+// overloaded node is not asked twice while a sibling is idle.
+func TestClientFailsOverOnShed(t *testing.T) {
+	busy := &flaky{steps: []func(http.ResponseWriter){
+		shedStep(http.StatusServiceUnavailable, time.Millisecond),
+	}}
+	busyTS := httptest.NewServer(busy.handler())
+	defer busyTS.Close()
+	idle := &flaky{}
+	idleTS := httptest.NewServer(idle.handler())
+	defer idleTS.Close()
+
+	c := NewMultiClient(0, busyTS.URL, idleTS.URL)
+	c.Backoff = time.Millisecond
+	if _, err := c.Kernels(context.Background()); err != nil {
+		t.Fatalf("shed failover: %v", err)
+	}
+	if busy.callCount() != 1 || idle.callCount() != 1 {
+		t.Fatalf("calls busy=%d idle=%d, want 1/1", busy.callCount(), idle.callCount())
+	}
+}
+
+// TestMultiClientStartSpread: different start values pin different
+// endpoints, so a fleet of clients load-spreads without a balancer.
+func TestMultiClientStartSpread(t *testing.T) {
+	a, b := "http://a", "http://b"
+	if got := NewMultiClient(0, a, b).base(); got != a {
+		t.Fatalf("start 0 pinned %s", got)
+	}
+	if got := NewMultiClient(1, a, b).base(); got != b {
+		t.Fatalf("start 1 pinned %s", got)
+	}
+	if got := NewMultiClient(5, a, b).base(); got != b {
+		t.Fatalf("start 5 pinned %s", got)
+	}
+}

@@ -1,0 +1,288 @@
+// Cluster integration: the daemon-side half of internal/cluster.
+//
+// A clustered daemon routes each kernel's compile to the consistent-hash
+// owner of its content-addressed artifact key. A node that is not the
+// owner never compiles first: it fetches the artifact from the owner
+// (hedged past a slow peer), and when nobody holds it yet it forwards the
+// compile to the owner — so a hot kernel is compiled exactly once
+// fleet-wide, by its owner, and every other replica warms its cache over
+// GET /v1/artifact/{key}. Every failure on that path (owner dead, fetch
+// timeout, corrupt response, forward shed) degrades to a local compile —
+// routing is an optimization, never a correctness dependency, and no
+// cluster failure is user-visible.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cgra/internal/cluster"
+	"cgra/internal/obs"
+)
+
+// forwardedHeader marks a compile forwarded from a peer. The receiving
+// node compiles locally — it is the owner in the sender's view — and
+// never re-forwards, so disagreeing membership views cannot form a
+// forwarding loop.
+const forwardedHeader = "X-CGRA-Forwarded"
+
+// codeArtifactNotFound is the machine-readable code of a 404 on
+// GET /v1/artifact/{key}.
+const codeArtifactNotFound = "artifact_not_found"
+
+// clusterState is the server's routing plane: membership + fetcher plus
+// per-key ownership memory for the re-ownership metric.
+type clusterState struct {
+	m *cluster.Membership
+	f *cluster.Fetcher
+
+	mu        sync.Mutex
+	lastOwner map[string]string
+
+	ownerChanges  *obs.Counter
+	localFallback *obs.Counter
+	forwards      func(outcome string) *obs.Counter
+}
+
+// newClusterState wires membership, fetcher and metrics into the server's
+// registry and starts probing.
+func newClusterState(cfg Config, reg *obs.Registry) *clusterState {
+	reg.Help("cgra_route_owner_changes_total", "kernel keys whose consistent-hash owner changed (churn re-ownership)")
+	reg.Help("cgra_cluster_local_fallback_total", "compiles served by local synthesis after the peer path failed")
+	reg.Help("cgra_cluster_forward_total", "compiles forwarded to their owner shard, by outcome")
+	cs := &clusterState{
+		lastOwner:     map[string]string{},
+		ownerChanges:  reg.Counter("cgra_route_owner_changes_total"),
+		localFallback: reg.Counter("cgra_cluster_local_fallback_total"),
+	}
+	cs.forwards = func(outcome string) *obs.Counter {
+		return reg.Counter("cgra_cluster_forward_total", obs.L("outcome", outcome))
+	}
+	cs.m = cluster.New(cluster.Config{
+		Self:          cfg.Advertise,
+		Peers:         cfg.Peers,
+		ProbeInterval: cfg.ProbeInterval,
+		ProbeTimeout:  cfg.ProbeTimeout,
+		Registry:      reg,
+		// Any ring change re-owns keys immediately, whether or not a
+		// compile happens to route them afterwards — the metric tracks
+		// routing churn, not traffic.
+		OnChange: cs.refreshOwners,
+	})
+	cs.f = cluster.NewFetcher(cs.m, cluster.FetchConfig{})
+	cs.m.Start()
+	return cs
+}
+
+// refreshOwners recomputes the owner of every key this node has routed
+// and counts the ones that moved. Runs on every peer state transition.
+func (cs *clusterState) refreshOwners() {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	for key, prev := range cs.lastOwner {
+		if cur := cs.m.Owner(key); cur != prev {
+			cs.ownerChanges.Inc()
+			cs.lastOwner[key] = cur
+		}
+	}
+}
+
+// noteOwner records key's current owner and counts re-ownership: the
+// first observation is free, every subsequent change is churn.
+func (cs *clusterState) noteOwner(key, owner string) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if prev, ok := cs.lastOwner[key]; ok && prev != owner {
+		cs.ownerChanges.Inc()
+	}
+	cs.lastOwner[key] = owner
+}
+
+// Cluster exposes the node's membership (nil when not clustered) for the
+// churn harness and tests.
+func (s *Server) Cluster() *cluster.Membership {
+	if s.cluster == nil {
+		return nil
+	}
+	return s.cluster.m
+}
+
+// clusterWarm tries to satisfy a compile from the fleet before any local
+// synthesis: route to the key's owner, fetch its artifact, and — when
+// nobody holds it yet — forward the compile to the owner and fetch again.
+// Returns true when the artifact was imported into the local cache (the
+// following SynthesizeCtx realizes it without compiling). Returns false
+// for "compile locally": this node owns the key, already holds the
+// artifact, or the peer path failed.
+func (s *Server) clusterWarm(ctx context.Context, name, source string) bool {
+	cs := s.cluster
+	sp := obs.ContextSpan(ctx).StartChild("cluster.route")
+	defer sp.Finish()
+	key, err := s.sys.CacheKey(name)
+	if err != nil {
+		sp.Annotate("decision", "no_key")
+		return false
+	}
+	sp.Annotate("key", key[:16])
+	// Observe ownership before any short-circuit: the re-ownership metric
+	// tracks routing-table churn, which exists whether or not bytes move.
+	owner := cs.m.Owner(key)
+	cs.noteOwner(key, owner)
+	sp.Annotate("owner", owner)
+	if s.store.Contains(key) {
+		sp.Annotate("decision", "local_cache")
+		return false
+	}
+	// Even this key's owner fetches before compiling: a node restarted with
+	// a cold disk re-warms its own shard from the replicas that imported its
+	// artifacts before it died — peers are warm exactly when self is not.
+	selfOwned := owner == cs.m.Self()
+	if res, err := cs.f.Fetch(ctx, key); err == nil {
+		if s.store.ImportCtx(ctx, key, res.Data) == nil {
+			sp.Annotate("decision", "peer_fetch")
+			sp.Annotate("peer", res.Peer)
+			return true
+		}
+	} else if errors.Is(err, cluster.ErrNotFound) && !selfOwned {
+		// Nobody holds the artifact: the owner compiles it — its in-process
+		// singleflight collapses concurrent forwards from the whole fleet
+		// into one tool-flow run — and we fetch the result.
+		if ferr := s.forwardCompile(ctx, owner, source); ferr == nil {
+			cs.forwards("ok").Inc()
+			if res, err := cs.f.Fetch(ctx, key); err == nil {
+				if s.store.ImportCtx(ctx, key, res.Data) == nil {
+					sp.Annotate("decision", "forward_fetch")
+					sp.Annotate("peer", res.Peer)
+					return true
+				}
+			}
+		} else {
+			cs.forwards("error").Inc()
+			sp.Event("forward_failed", ferr.Error())
+		}
+	}
+	if selfOwned {
+		// A miss across the fleet on a self-owned key is the normal cold
+		// path, not a failure: this node is the one that should compile it.
+		sp.Annotate("decision", "local_owner")
+		return false
+	}
+	cs.localFallback.Inc()
+	sp.Annotate("decision", "local_fallback")
+	return false
+}
+
+// forwardCompile POSTs the compile to its owner shard, carrying the
+// request's trace ID (so /debug/traces shows one cross-node tree) and the
+// remaining deadline, marked forwarded so the owner cannot bounce it
+// further. Single attempt: the fallback for any failure is a local
+// compile, which is faster than a retry dance against a struggling peer.
+func (s *Server) forwardCompile(ctx context.Context, owner, source string) error {
+	sp := obs.ContextSpan(ctx).StartChild("cluster.forward")
+	defer sp.Finish()
+	sp.Annotate("peer", owner)
+	var deadlineMS int64
+	if dl, ok := ctx.Deadline(); ok {
+		deadlineMS = time.Until(dl).Milliseconds()
+		if deadlineMS <= 0 {
+			return context.DeadlineExceeded
+		}
+	}
+	body, err := json.Marshal(CompileRequest{Source: source, DeadlineMS: deadlineMS})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+"/v1/compile", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(forwardedHeader, "1")
+	if t := obs.TraceFrom(ctx); t != nil {
+		req.Header.Set(traceIDHeader, t.ID.String())
+	}
+	if deadlineMS > 0 {
+		req.Header.Set(deadlineHeader, strconv.FormatInt(deadlineMS, 10))
+	}
+	resp, err := s.clusterHTTP().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("forward to %s: HTTP %d: %s", owner, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// clusterHTTP is the transport for forwarded compiles. No client-level
+// timeout: the request context carries the deadline.
+func (s *Server) clusterHTTP() *http.Client { return http.DefaultClient }
+
+// handleArtifact serves GET /v1/artifact/{key}: the framed,
+// checksum-carrying cache entry, exactly as a scrub would verify it. 404
+// means "compile it yourself (or ask someone else)" — a clustered peer
+// treats it as a miss, never an error.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodGet {
+		return writeError(w, r, http.StatusMethodNotAllowed, codeBadMethod, "GET required")
+	}
+	key := strings.TrimPrefix(r.URL.Path, "/v1/artifact/")
+	if !validArtifactKey(key) {
+		return writeError(w, r, http.StatusBadRequest, codeBadRequest, "malformed artifact key")
+	}
+	data, ok := s.store.Export(key)
+	if !ok {
+		return writeError(w, r, http.StatusNotFound, codeArtifactNotFound,
+			fmt.Sprintf("artifact %s not cached on this node", key[:16]))
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+	return http.StatusOK
+}
+
+// validArtifactKey: pipeline.Key is 64 lowercase hex digits; anything
+// else (path tricks included) is rejected before it reaches the store.
+func validArtifactKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// PeersResponse is the body of GET /v1/peerz.
+type PeersResponse struct {
+	Self  string               `json:"self"`
+	Peers []cluster.PeerStatus `json:"peers"`
+}
+
+// handlePeers reports the membership view. Like /healthz it bypasses
+// admission: an operator diagnosing an overloaded cluster needs it most
+// exactly then. Non-clustered nodes answer with an empty set.
+func (s *Server) handlePeers(w http.ResponseWriter, r *http.Request) {
+	resp := PeersResponse{Peers: []cluster.PeerStatus{}}
+	if s.cluster != nil {
+		resp.Self = s.cluster.m.Self()
+		resp.Peers = s.cluster.m.Snapshot()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,323 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"cgra/internal/cache"
+	"cgra/internal/cluster"
+	"cgra/internal/irtext"
+	"cgra/internal/obs"
+	"cgra/internal/workload"
+)
+
+// clusterNode is one in-process cgrad replica listening on a real port.
+type clusterNode struct {
+	srv *Server
+	url string
+}
+
+// newClusterNodes boots n clustered replicas that all know each other.
+// Ports are bound before any server starts so every node's peer list is
+// complete from the first probe.
+func newClusterNodes(t *testing.T, n int) []*clusterNode {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	nodes := make([]*clusterNode, n)
+	for i := range nodes {
+		cfg := testConfig(t, t.TempDir())
+		cfg.Advertise = urls[i]
+		cfg.Peers = urls
+		cfg.ProbeInterval = 20 * time.Millisecond
+		cfg.ProbeTimeout = 500 * time.Millisecond
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go s.Serve(lns[i])
+		nodes[i] = &clusterNode{srv: s, url: urls[i]}
+	}
+	// Wait until every node answers /healthz: Serve runs in a goroutine,
+	// and a node must be fully up before a test may Abort it.
+	for _, nd := range nodes {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			resp, err := http.Get(nd.url + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node %s never became healthy", nd.url)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_ = nd.srv.Shutdown(ctx) // aborted nodes shut down idempotently
+			cancel()
+		}
+	})
+	return nodes
+}
+
+// kernelKey computes a workload's content-addressed artifact key with a
+// throwaway (non-serving) system, so tests can find a key's owner before
+// anything is compiled.
+func kernelKey(t *testing.T, name string) (key, source string) {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(testConfig(t, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	if err := s.System().Register(w.Kernel); err != nil {
+		t.Fatal(err)
+	}
+	key, err = s.System().CacheKey(w.Kernel.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key, irtext.Print(w.Kernel)
+}
+
+// splitByOwner returns (owner, nonOwner) of key among two nodes.
+func splitByOwner(t *testing.T, nodes []*clusterNode, key string) (*clusterNode, *clusterNode) {
+	t.Helper()
+	owner := cluster.RendezvousOwner(key, []string{nodes[0].url, nodes[1].url})
+	if nodes[0].url == owner {
+		return nodes[0], nodes[1]
+	}
+	return nodes[1], nodes[0]
+}
+
+// rawCompile POSTs a compile with a caller-chosen trace ID.
+func rawCompile(t *testing.T, url, source, traceID string) (*CompileResponse, int) {
+	t.Helper()
+	body, err := json.Marshal(CompileRequest{Source: source})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/compile", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		req.Header.Set("X-Trace-Id", traceID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp.StatusCode
+	}
+	var out CompileResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("decode compile response: %v (%s)", err, data)
+	}
+	return &out, resp.StatusCode
+}
+
+// TestClusterCompileRoutesToOwner is the satellite-2 end-to-end: a compile
+// sent to the NON-owner node is forwarded to the owner, fetched back as an
+// artifact, and served with Source="peer" — and every hop of that dance
+// runs under the client's trace ID, visible in the owner's flight
+// recorder.
+func TestClusterCompileRoutesToOwner(t *testing.T) {
+	nodes := newClusterNodes(t, 2)
+	key, source := kernelKey(t, "gcd")
+	owner, nonOwner := splitByOwner(t, nodes, key)
+
+	tid := obs.NewTraceID().String()
+	resp, status := rawCompile(t, nonOwner.url, source, tid)
+	if status != http.StatusOK {
+		t.Fatalf("compile on non-owner: HTTP %d", status)
+	}
+	if resp.Source != "peer" {
+		t.Fatalf("Source = %q, want \"peer\" (owner compiles, non-owner imports)", resp.Source)
+	}
+	if resp.Key != key {
+		t.Fatalf("key mismatch: response %s, precomputed %s", resp.Key, key)
+	}
+	if resp.TraceID != tid {
+		t.Fatalf("response trace %s, want caller's %s", resp.TraceID, tid)
+	}
+	// The forwarded hop ran on the owner under the SAME trace ID: the
+	// cross-node request tree is stitchable from either node's recorder.
+	if owner.srv.Flight().Get(tid) == nil {
+		t.Fatal("owner's flight recorder has no trace for the forwarded compile")
+	}
+	// The non-owner's import came over the peer fetch path.
+	hits := nonOwner.srv.Metrics().Counter("cgra_peer_fetch_total", obs.L("outcome", "hit")).Value()
+	if hits == 0 {
+		t.Fatal("cgra_peer_fetch_total{outcome=\"hit\"} = 0 on the non-owner")
+	}
+	// The owner now serves the artifact over the p2p endpoint, framed and
+	// verifiable.
+	areq, err := http.Get(owner.url + "/v1/artifact/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer areq.Body.Close()
+	if areq.StatusCode != http.StatusOK {
+		t.Fatalf("owner artifact GET: HTTP %d", areq.StatusCode)
+	}
+	data, err := io.ReadAll(areq.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cache.Verify(data); err != nil {
+		t.Fatalf("served artifact fails verification: %v", err)
+	}
+}
+
+// TestClusterWarmOwnerSkipsForward: when the owner already holds the
+// artifact, a non-owner compile warms by fetch alone — no forward hop.
+func TestClusterWarmOwnerSkipsForward(t *testing.T) {
+	nodes := newClusterNodes(t, 2)
+	key, source := kernelKey(t, "dot")
+	owner, nonOwner := splitByOwner(t, nodes, key)
+
+	if resp, status := rawCompile(t, owner.url, source, ""); status != http.StatusOK {
+		t.Fatalf("owner compile: HTTP %d", status)
+	} else if resp.Source != "compile" {
+		t.Fatalf("owner compile Source = %q, want \"compile\"", resp.Source)
+	}
+	resp, status := rawCompile(t, nonOwner.url, source, "")
+	if status != http.StatusOK {
+		t.Fatalf("non-owner compile: HTTP %d", status)
+	}
+	if resp.Source != "peer" {
+		t.Fatalf("Source = %q, want \"peer\"", resp.Source)
+	}
+	forwards := nonOwner.srv.Metrics().Counter("cgra_cluster_forward_total", obs.L("outcome", "ok")).Value()
+	if forwards != 0 {
+		t.Fatalf("forwarded %d compiles though the owner was already warm", forwards)
+	}
+}
+
+// TestClusterOwnerDeathFallsBackLocal: the owner dying is a latency
+// event, not an outage — the survivor re-owns its keys (counted by the
+// re-ownership metric) and compiles locally when no peer can help.
+func TestClusterOwnerDeathFallsBackLocal(t *testing.T) {
+	nodes := newClusterNodes(t, 2)
+	key, source := kernelKey(t, "fir")
+	owner, survivor := splitByOwner(t, nodes, key)
+
+	// Route one compile through the survivor while the owner is alive, so
+	// the survivor has an ownership observation to re-own later.
+	if resp, status := rawCompile(t, survivor.url, source, ""); status != http.StatusOK {
+		t.Fatalf("pre-kill compile: HTTP %d", status)
+	} else if resp.Source != "peer" {
+		t.Fatalf("pre-kill Source = %q, want \"peer\"", resp.Source)
+	}
+
+	owner.srv.Abort() // SIGKILL stand-in: connections die mid-flight
+	m := survivor.srv.Cluster()
+	deadline := time.Now().Add(10 * time.Second)
+	for m.State(owner.url) != cluster.StateDead {
+		if time.Now().After(deadline) {
+			t.Fatal("survivor never marked the dead owner dead")
+		}
+		m.ProbeNow()
+	}
+	if got := m.Owner(key); got != survivor.url {
+		t.Fatalf("key not re-owned by the survivor: %s", got)
+	}
+	if n := survivor.srv.Metrics().Counter("cgra_route_owner_changes_total").Value(); n == 0 {
+		t.Fatal("cgra_route_owner_changes_total did not move on the ring change")
+	}
+
+	// A kernel nobody compiled yet: with the peer dead the survivor owns
+	// it and compiles locally — the failure is never user-visible.
+	_, source2 := kernelKey(t, "bitcount")
+	resp, status := rawCompile(t, survivor.url, source2, "")
+	if status != http.StatusOK {
+		t.Fatalf("compile with dead owner: HTTP %d (must never be user-visible)", status)
+	}
+	if resp.Source != "compile" {
+		t.Fatalf("Source = %q, want \"compile\"", resp.Source)
+	}
+}
+
+// TestArtifactEndpointValidation: malformed keys are rejected before they
+// touch the store; absent keys are an authoritative 404.
+func TestArtifactEndpointValidation(t *testing.T) {
+	_, c, cleanup := newTestServer(t, t.TempDir())
+	defer cleanup()
+	base := c.Base
+
+	for _, bad := range []string{"short", "../../etc/passwd", strings.Repeat("Z", 64)} {
+		resp, err := http.Get(base + "/v1/artifact/" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest && resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("key %q: HTTP %d, want 400/404", bad, resp.StatusCode)
+		}
+	}
+	absent := fmt.Sprintf("%064d", 0)
+	resp, err := http.Get(base + "/v1/artifact/" + absent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("absent key: HTTP %d, want 404", resp.StatusCode)
+	}
+	var e errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Code != codeArtifactNotFound {
+		t.Fatalf("absent key error code = %q (%v), want %q", e.Code, err, codeArtifactNotFound)
+	}
+}
+
+// TestPeerzReportsMembership: /v1/peerz exposes the probed view, self
+// included.
+func TestPeerzReportsMembership(t *testing.T) {
+	nodes := newClusterNodes(t, 2)
+	resp, err := http.Get(nodes[0].url + "/v1/peerz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var pr PeersResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Self != nodes[0].url {
+		t.Fatalf("self = %q, want %q", pr.Self, nodes[0].url)
+	}
+	if len(pr.Peers) != 2 {
+		t.Fatalf("peers = %d entries, want 2 (self + sibling)", len(pr.Peers))
+	}
+}

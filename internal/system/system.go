@@ -1032,6 +1032,30 @@ func (s *System) Kernel(name string) *ir.Kernel {
 	return s.state.Load().kernels[name]
 }
 
+// CacheKey computes the content-addressed artifact key a compile of the
+// named kernel would produce — the same inline + pipeline.Key derivation
+// compileKernel runs — without compiling. The cluster router uses it to
+// decide which shard owns the kernel before any work happens. An already
+// installed kernel answers from its entry.
+func (s *System) CacheKey(name string) (string, error) {
+	st := s.state.Load()
+	if ent := st.compiled[name]; ent != nil && ent.key != "" {
+		return ent.key, nil
+	}
+	if st.kernels[name] == nil {
+		return "", fmt.Errorf("system: unknown kernel %q", name)
+	}
+	flat, err := opt.Inline(&ir.Program{Kernels: st.kernels, Entry: name})
+	if err != nil {
+		return "", fmt.Errorf("system: inline %q: %v", name, err)
+	}
+	opts := s.Opts
+	if s.Policy.CompileBudget > 0 {
+		opts.Sched.MaxCycles = s.Policy.CompileBudget
+	}
+	return pipeline.Key(flat, st.target, opts), nil
+}
+
 // Kernels lists the registered kernel names, sorted.
 func (s *System) Kernels() []string {
 	st := s.state.Load()
