@@ -1,15 +1,22 @@
-// Command benchguard compares a freshly measured simulator benchmark
-// (tables -sim-bench-json) against the committed baseline BENCH_sim.json
-// and fails when fast-path throughput regresses beyond the tolerance on
-// any kernel. It is the CI bench-regression gate: self-contained, no
-// external diffing tools required.
+// Command benchguard compares a freshly measured benchmark document
+// against its committed baseline and fails when performance regresses
+// beyond the tolerance on any kernel. It is the CI bench-regression gate:
+// self-contained, no external diffing tools required.
+//
+// Two document kinds are supported:
+//
+//	-kind sim       BENCH_sim.json (tables -sim-bench-json): fast-path
+//	                simulator throughput, higher is better
+//	-kind pipeline  BENCH_pipeline.json (tables -bench-json): end-to-end
+//	                kernel cycles, lower is better
 //
 //	benchguard -baseline BENCH_sim.json -current BENCH_sim_new.json -tolerance 0.30
+//	benchguard -kind pipeline -baseline BENCH_pipeline.json -current BENCH_pipeline_new.json
 //
-// Only throughput regressions fail the build. Improvements and new kernels
-// are reported but pass; a kernel present in the baseline but missing from
-// the current run fails (a silently dropped benchmark would otherwise
-// disable its own gate).
+// Only regressions fail the build. Improvements and new kernels are
+// reported but pass; a kernel present in the baseline but missing from the
+// current run fails (a silently dropped benchmark would otherwise disable
+// its own gate).
 package main
 
 import (
@@ -21,19 +28,39 @@ import (
 )
 
 func main() {
+	kind := flag.String("kind", "sim", "document kind: sim (throughput, higher is better) or pipeline (cycles, lower is better)")
 	baseline := flag.String("baseline", "BENCH_sim.json", "committed baseline benchmark document")
 	current := flag.String("current", "", "freshly measured benchmark document")
-	tolerance := flag.Float64("tolerance", 0.30, "maximum allowed fractional throughput drop (0.30 = 30%)")
+	tolerance := flag.Float64("tolerance", 0.30, "maximum allowed fractional regression (0.30 = 30%)")
 	flag.Parse()
 	if *current == "" {
 		fmt.Fprintln(os.Stderr, "benchguard: -current is required")
 		os.Exit(2)
 	}
-	base, err := readDoc(*baseline)
+	var failed bool
+	switch *kind {
+	case "sim":
+		failed = gateSim(*baseline, *current, *tolerance)
+	case "pipeline":
+		failed = gatePipeline(*baseline, *current, *tolerance)
+	default:
+		fmt.Fprintf(os.Stderr, "benchguard: unknown -kind %q (want sim or pipeline)\n", *kind)
+		os.Exit(2)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchguard: %s regressed more than %.0f%% against %s\n", *kind, *tolerance*100, *baseline)
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: all kernels within tolerance")
+}
+
+// gateSim compares fast-path simulator throughput (higher is better).
+func gateSim(baseline, current string, tolerance float64) bool {
+	base, err := readSimDoc(baseline)
 	if err != nil {
 		fatal(err)
 	}
-	cur, err := readDoc(*current)
+	cur, err := readSimDoc(current)
 	if err != nil {
 		fatal(err)
 	}
@@ -56,7 +83,7 @@ func main() {
 		}
 		ratio := c.FastCyclesPerSec / b.FastCyclesPerSec
 		status := "ok  "
-		if ratio < 1-*tolerance {
+		if ratio < 1-tolerance {
 			status = "FAIL"
 			failed = true
 		}
@@ -66,20 +93,74 @@ func main() {
 	for name := range curByName {
 		fmt.Printf("benchguard: note %-10s new kernel, no baseline\n", name)
 	}
-	if failed {
-		fmt.Fprintf(os.Stderr, "benchguard: throughput regressed more than %.0f%% against %s\n", *tolerance*100, *baseline)
-		os.Exit(1)
-	}
-	fmt.Println("benchguard: all kernels within tolerance")
+	return failed
 }
 
-func readDoc(path string) (*exper.SimBenchResult, error) {
+// gatePipeline compares end-to-end kernel cycles (lower is better). Cycle
+// counts are deterministic per compiler version, so any growth is a real
+// schedule-quality change — the tolerance only absorbs intentional
+// trade-offs below the gate.
+func gatePipeline(baseline, current string, tolerance float64) bool {
+	base, err := readPipelineDoc(baseline)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := readPipelineDoc(current)
+	if err != nil {
+		fatal(err)
+	}
+	curByName := map[string]exper.BenchEntry{}
+	for _, e := range cur.Workloads {
+		curByName[e.Name] = e
+	}
+	failed := false
+	for _, b := range base.Workloads {
+		c, ok := curByName[b.Name]
+		if !ok {
+			fmt.Printf("benchguard: FAIL %-10s missing from current run\n", b.Name)
+			failed = true
+			continue
+		}
+		delete(curByName, b.Name)
+		if b.Cycles <= 0 {
+			fmt.Printf("benchguard: skip %-10s baseline has no cycle count\n", b.Name)
+			continue
+		}
+		ratio := float64(c.Cycles) / float64(b.Cycles)
+		status := "ok  "
+		if ratio > 1+tolerance {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("benchguard: %s %-10s cycles %8d -> %8d (%+.1f%%)\n",
+			status, b.Name, b.Cycles, c.Cycles, (ratio-1)*100)
+	}
+	for name := range curByName {
+		fmt.Printf("benchguard: note %-10s new kernel, no baseline\n", name)
+	}
+	return failed
+}
+
+func readSimDoc(path string) (*exper.SimBenchResult, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
 	b, err := exper.ReadSimBench(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return b, nil
+}
+
+func readPipelineDoc(path string) (*exper.BenchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b, err := exper.ReadBench(f)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %v", path, err)
 	}

@@ -22,7 +22,8 @@ func main() {
 	kernelPath := flag.String("kernel", "", "kernel source file (required)")
 	compName := flag.String("comp", "9 PEs", "evaluated composition name (see -list)")
 	jsonPath := flag.String("json", "", "JSON composition description (overrides -comp)")
-	unroll := flag.Int("unroll", 2, "inner-loop unroll factor (1 = off)")
+	backend := flag.String("backend", "list", "scheduling backend: list or modulo (auto needs inputs; use cgrasim)")
+	unroll := flag.Int("unroll", 2, "inner-loop unroll factor (1 = off; modulo forces 1)")
 	cse := flag.Bool("cse", true, "common subexpression elimination")
 	fold := flag.Bool("fold", true, "constant folding")
 	dump := flag.Bool("dump", false, "print the scheduled operations")
@@ -40,6 +41,13 @@ func main() {
 		}
 		return
 	}
+	be, err := pipeline.ParseBackend(*backend)
+	if err != nil {
+		fatal(err)
+	}
+	if be == pipeline.BackendAuto {
+		fatal(fmt.Errorf("the auto backend times both arms on real inputs; cgrac compiles only — use cgrasim -backend=auto"))
+	}
 	if *kernelPath == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -56,7 +64,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := pipeline.Options{UnrollFactor: *unroll, CSE: *cse, ConstFold: *fold}
+	opts := pipeline.Options{Backend: be, UnrollFactor: *unroll, CSE: *cse, ConstFold: *fold}
 	c, err := pipeline.Compile(k, comp, opts)
 	if err != nil {
 		fatal(err)
@@ -74,6 +82,10 @@ func main() {
 	fmt.Printf("  routing copies:     %d\n", st.CopiesInserted)
 	fmt.Printf("  consts materialized:%d\n", st.ConstsMaterialized)
 	fmt.Printf("  C-Box operations:   %d\n", st.CBoxOps)
+	for i, pl := range c.Schedule.Pipelined {
+		fmt.Printf("  pipelined loop %d:   II=%d MII=%d (res %d, rec %d) stages=%d backtracks=%d\n",
+			i, pl.II, pl.MII, pl.ResMII, pl.RecMII, pl.Stages, pl.Backtracks)
+	}
 	fmt.Printf("  total context bits: %d\n", c.Program.TotalContextBits())
 	u := c.Schedule.Utilization()
 	fmt.Printf("  C-Box occupancy:    %.0f%%\n", u.CBoxBusy*100)

@@ -59,7 +59,8 @@ func main() {
 	workloadName := flag.String("workload", "", "built-in input: adpcm or a workload-library name (fir, matmul, ...)")
 	compName := flag.String("comp", "9 PEs", "evaluated composition name")
 	jsonPath := flag.String("json", "", "JSON composition description (overrides -comp)")
-	unroll := flag.Int("unroll", 2, "inner-loop unroll factor (1 = off)")
+	backendFlag := flag.String("backend", "list", "scheduling backend: list, modulo, or auto (auto compiles both and keeps whichever verifies faster on the given inputs; soak/fault runs normalize auto to list)")
+	unroll := flag.Int("unroll", 2, "inner-loop unroll factor (1 = off; modulo forces 1)")
 	verify := flag.Bool("verify", true, "cross-check against the reference interpreter")
 	vcdPath := flag.String("vcd", "", "write a VCD waveform of the run to this file")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault plan")
@@ -85,6 +86,10 @@ func main() {
 
 	if *metricsFormat != "prom" && *metricsFormat != "json" {
 		fatal(fmt.Errorf("unknown -metrics-format %q (want prom or json)", *metricsFormat))
+	}
+	backend, err := pipeline.ParseBackend(*backendFlag)
+	if err != nil {
+		fatal(err)
 	}
 	var k *ir.Kernel
 	scalars := map[string]int32{}
@@ -137,7 +142,7 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
-	opts := pipeline.Options{UnrollFactor: *unroll, CSE: true, ConstFold: true, Obs: reg}
+	opts := pipeline.Options{Backend: backend, UnrollFactor: *unroll, CSE: true, ConstFold: true, Obs: reg}
 	var explainLog *sched.ExplainLog
 	if *explain {
 		explainLog = sched.NewExplainLog()
@@ -192,9 +197,24 @@ func main() {
 		tr = obs.NewTrace(obs.NewTraceID(), "cgrasim", "cgrasim."+k.Name)
 		ctx = obs.WithTrace(ctx, tr)
 	}
-	c, err := pipeline.CompileCtx(ctx, k, comp, opts)
-	if err != nil {
-		fatal(err)
+	var c *pipeline.Compiled
+	if backend == pipeline.BackendAuto {
+		var rep *pipeline.AutoReport
+		c, rep, err = pipeline.CompileAutoCtx(ctx, k, comp, opts, scalars, host)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("auto backend: selected %s (list %d cycles, modulo %d)\n",
+			rep.Selected, rep.ListCycles, rep.ModuloCycles)
+	} else {
+		c, err = pipeline.CompileCtx(ctx, k, comp, opts)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	for i, pl := range c.Schedule.Pipelined {
+		fmt.Printf("pipelined loop %d: II=%d MII=%d (res %d, rec %d) stages=%d backtracks=%d\n",
+			i, pl.II, pl.MII, pl.ResMII, pl.RecMII, pl.Stages, pl.Backtracks)
 	}
 	if explainLog != nil {
 		explainLog.WriteSummary(os.Stdout, 20)

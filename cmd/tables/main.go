@@ -32,9 +32,10 @@ func main() {
 	compositions := flag.Bool("compositions", false, "print the evaluated compositions (Fig. 13/14)")
 	benchJSON := flag.String("bench-json", "", "write per-workload compile+sim timings to this JSON file (use BENCH_pipeline.json)")
 	simBenchJSON := flag.String("sim-bench-json", "", "write simulator interp-vs-fast-path throughput to this JSON file (use BENCH_sim.json)")
+	moduloBenchJSON := flag.String("modulo-bench-json", "", "write the list-vs-modulo backend comparison to this JSON file (use BENCH_modulo.json)")
 	flag.Parse()
 
-	all := *table == 0 && *figure == 0 && !*speedup && !*ablations && !*compositions && !*energy && !*mul && *benchJSON == "" && *simBenchJSON == ""
+	all := *table == 0 && *figure == 0 && !*speedup && !*ablations && !*compositions && !*energy && !*mul && *benchJSON == "" && *simBenchJSON == "" && *moduloBenchJSON == ""
 
 	s, err := exper.NewSetup()
 	if err != nil {
@@ -45,6 +46,9 @@ func main() {
 	}
 	if *simBenchJSON != "" {
 		writeSimBench(s, *simBenchJSON)
+	}
+	if *moduloBenchJSON != "" {
+		writeModuloBench(*moduloBenchJSON)
 	}
 	if all || *table == 1 {
 		printTableI(s)
@@ -105,6 +109,35 @@ func writeBench(s *exper.Setup, path string) {
 		fatal(err)
 	}
 	fmt.Printf("wrote %d workload benchmarks to %s\n", len(b.Workloads), path)
+}
+
+// writeModuloBench runs the auto backend (list vs modulo, both arms
+// verified) over the workload library and writes the per-kernel selection
+// and II report as JSON (committed as BENCH_modulo.json).
+func writeModuloBench(path string) {
+	b, err := exper.ModuloBench()
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	err = b.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+	for _, e := range b.Workloads {
+		extra := ""
+		if e.PipelinedLoops > 0 {
+			extra = fmt.Sprintf("  II=%d MII=%d stages=%d iter-latency=%d", e.II, e.MII, e.Stages, e.ListIterLatency)
+		}
+		fmt.Printf("modulo-bench: %-10s selected %-6s list %8d  modulo %8d  (%+.1f%%)%s\n",
+			e.Name, e.Selected, e.ListCycles, e.ModuloCycles, -e.Reduction*100, extra)
+	}
 }
 
 // writeSimBench measures interpreter-vs-fast-path simulator throughput and

@@ -1,0 +1,169 @@
+// Recurrence-circuit enumeration for modulo scheduling. The recurrence-
+// constrained minimum initiation interval (RecMII) of a loop body is the
+// maximum over all elementary dependence circuits of ⌈delay/distance⌉:
+// a loop-carried dependence chain whose total latency is `delay` and whose
+// accumulated iteration distance is `distance` forces successive iterations
+// at least delay/distance cycles apart (Rau's iterative modulo scheduling).
+package cdfg
+
+// RecEdge is one dependence arc of a loop body used for recurrence
+// analysis. Dist is the iteration distance: 0 for a same-iteration
+// dependence, 1 for a value carried into the next iteration through a
+// local's home slot.
+type RecEdge struct {
+	From, To *Node
+	Dist     int
+}
+
+// LoopDeps builds the dependence arcs of a single-block loop body:
+//
+//   - FromNode operands (same-iteration value flow, distance 0),
+//   - FromLocal operands with a Version list (read waits for those pWRITEs
+//     to commit, distance 0),
+//   - FromLocal operands with an empty Version list naming a local the
+//     block itself writes (the read sees the previous iteration's value:
+//     distance 1 from every pWRITE of that local),
+//   - Prereqs (strict finish-before-issue ordering, distance 0).
+//
+// WeakPrereqs (write-after-read) permit same-cycle issue and never bound
+// the II from below, so they are omitted.
+func LoopDeps(b *Block) []RecEdge {
+	writers := map[string][]*Node{}
+	for _, n := range b.Nodes {
+		if n.Kind == KPWrite {
+			writers[n.Local] = append(writers[n.Local], n)
+		}
+	}
+	var edges []RecEdge
+	for _, n := range b.Nodes {
+		for _, a := range n.Args {
+			switch a.Kind {
+			case FromNode:
+				edges = append(edges, RecEdge{From: a.Node, To: n, Dist: 0})
+			case FromLocal:
+				if len(a.Version) > 0 {
+					for _, w := range a.Version {
+						edges = append(edges, RecEdge{From: w, To: n, Dist: 0})
+					}
+				} else {
+					for _, w := range writers[a.Local] {
+						edges = append(edges, RecEdge{From: w, To: n, Dist: 1})
+					}
+				}
+			}
+		}
+		for _, p := range n.Prereqs {
+			edges = append(edges, RecEdge{From: p, To: n, Dist: 0})
+		}
+	}
+	return edges
+}
+
+// Circuit is one elementary dependence circuit of a loop body.
+type Circuit struct {
+	// Nodes lists the circuit's nodes in dependence order (the edge from
+	// the last node back to the first closes the circuit).
+	Nodes []*Node
+	// Delay is the sum of node latencies around the circuit.
+	Delay int
+	// Dist is the accumulated iteration distance (≥ 1: a same-iteration
+	// dependence cycle would be unschedulable and cannot be built).
+	Dist int
+}
+
+// MinII returns the initiation-interval lower bound ⌈Delay/Dist⌉ this
+// circuit imposes.
+func (c Circuit) MinII() int {
+	if c.Dist <= 0 {
+		return c.Delay
+	}
+	return (c.Delay + c.Dist - 1) / c.Dist
+}
+
+// maxCircuits caps enumeration; loop bodies small enough to pipeline stay
+// far below it, and RecMII degrades gracefully (underestimates) past it.
+const maxCircuits = 10000
+
+// Recurrences enumerates the elementary dependence circuits of a
+// single-block loop body. latency maps each node to its issue-to-result
+// latency on the target composition (callers typically use the minimum
+// duration over supporting PEs). Enumeration is capped at maxCircuits.
+func Recurrences(b *Block, latency func(*Node) int) []Circuit {
+	edges := LoopDeps(b)
+	// Dense index per node, in block order (deterministic).
+	idx := map[*Node]int{}
+	for i, n := range b.Nodes {
+		idx[n] = i
+	}
+	type arc struct{ to, dist int }
+	adj := make([][]arc, len(b.Nodes))
+	for _, e := range edges {
+		f, okF := idx[e.From]
+		t, okT := idx[e.To]
+		if !okF || !okT {
+			continue // dependence on a node outside the block: not loop-carried here
+		}
+		adj[f] = append(adj[f], arc{t, e.Dist})
+	}
+
+	var out []Circuit
+	onPath := make([]bool, len(b.Nodes))
+	var path []int
+	var dists []int
+
+	// Elementary circuits: root a DFS at each node s, restricted to nodes
+	// with index ≥ s, and record circuits that close back at s. Rooting at
+	// the minimum-index node of each circuit makes every elementary
+	// circuit appear exactly once.
+	var dfs func(s, u int)
+	dfs = func(s, u int) {
+		if len(out) >= maxCircuits {
+			return
+		}
+		onPath[u] = true
+		path = append(path, u)
+		for _, a := range adj[u] {
+			if a.to < s || len(out) >= maxCircuits {
+				continue
+			}
+			if a.to == s {
+				c := Circuit{Dist: a.dist}
+				for i, v := range path {
+					c.Nodes = append(c.Nodes, b.Nodes[v])
+					c.Delay += latency(b.Nodes[v])
+					if i > 0 {
+						c.Dist += dists[i-1]
+					}
+				}
+				// dists[i-1] is the distance of the edge into path[i];
+				// a.dist closes the circuit.
+				out = append(out, c)
+				continue
+			}
+			if !onPath[a.to] {
+				dists = append(dists, a.dist)
+				dfs(s, a.to)
+				dists = dists[:len(dists)-1]
+			}
+		}
+		path = path[:len(path)-1]
+		onPath[u] = false
+	}
+	for s := range b.Nodes {
+		dfs(s, s)
+	}
+	return out
+}
+
+// RecMII returns the recurrence-constrained minimum initiation interval of
+// a single-block loop body: the maximum MinII over its dependence circuits,
+// and 1 when the body has no recurrence at all.
+func RecMII(b *Block, latency func(*Node) int) int {
+	mii := 1
+	for _, c := range Recurrences(b, latency) {
+		if m := c.MinII(); m > mii {
+			mii = m
+		}
+	}
+	return mii
+}

@@ -1,0 +1,171 @@
+package cdfg_test
+
+import (
+	"testing"
+
+	"cgra/internal/arch"
+	"cgra/internal/cdfg"
+	"cgra/internal/sched"
+	"cgra/internal/workload"
+)
+
+// latN returns a latency function assigning every node the same latency.
+func latN(n int) func(*cdfg.Node) int { return func(*cdfg.Node) int { return n } }
+
+// compLatency maps a node to its minimum duration over the composition's
+// supporting PEs (the latency a modulo scheduler would plan with).
+func compLatency(comp *arch.Composition) func(*cdfg.Node) int {
+	return func(n *cdfg.Node) int {
+		op := n.Op
+		if n.Kind == cdfg.KPWrite {
+			op = arch.MOVE
+		}
+		best := 1
+		found := false
+		for _, pe := range comp.SupportingPEs(op) {
+			d := comp.PEs[pe].Duration(op)
+			if !found || d < best {
+				best, found = d, true
+			}
+		}
+		return best
+	}
+}
+
+func TestRecMIISelfLoop(t *testing.T) {
+	// pwrite x ← x (a pure copy of the previous iteration's value): one
+	// node with a distance-1 edge to itself.
+	w := &cdfg.Node{ID: 0, Kind: cdfg.KPWrite, Op: arch.MOVE, Local: "x",
+		Args: []cdfg.Operand{{Kind: cdfg.FromLocal, Local: "x"}}}
+	b := &cdfg.Block{Nodes: []*cdfg.Node{w}}
+	cs := cdfg.Recurrences(b, latN(3))
+	if len(cs) != 1 {
+		t.Fatalf("circuits = %d, want 1", len(cs))
+	}
+	if cs[0].Delay != 3 || cs[0].Dist != 1 {
+		t.Fatalf("circuit delay/dist = %d/%d, want 3/1", cs[0].Delay, cs[0].Dist)
+	}
+	if got := cdfg.RecMII(b, latN(3)); got != 3 {
+		t.Fatalf("RecMII = %d, want 3", got)
+	}
+}
+
+func TestRecMIITwoNodeCycle(t *testing.T) {
+	// acc = acc * k: IMUL reads acc from the previous iteration, pwrite
+	// commits it. Delay = lat(IMUL) + lat(pwrite) = 2 + 1, distance 1.
+	mul := &cdfg.Node{ID: 0, Kind: cdfg.KOp, Op: arch.IMUL,
+		Args: []cdfg.Operand{{Kind: cdfg.FromLocal, Local: "acc"}, {Kind: cdfg.FromConst, Const: 3}}}
+	w := &cdfg.Node{ID: 1, Kind: cdfg.KPWrite, Op: arch.MOVE, Local: "acc",
+		Args: []cdfg.Operand{{Kind: cdfg.FromNode, Node: mul}}}
+	b := &cdfg.Block{Nodes: []*cdfg.Node{mul, w}}
+	lat := func(n *cdfg.Node) int {
+		if n.Op == arch.IMUL {
+			return 2
+		}
+		return 1
+	}
+	if got := cdfg.RecMII(b, lat); got != 3 {
+		t.Fatalf("RecMII = %d, want 3", got)
+	}
+}
+
+func TestRecMIINestedCycles(t *testing.T) {
+	// Two circuits through the same pwrite: w→n1→n2→w (delay 3) nested
+	// around w→n2→w (delay 2), both at distance 1. RecMII is the max.
+	n1 := &cdfg.Node{ID: 0, Kind: cdfg.KOp, Op: arch.IADD,
+		Args: []cdfg.Operand{{Kind: cdfg.FromLocal, Local: "x"}, {Kind: cdfg.FromConst, Const: 1}}}
+	n2 := &cdfg.Node{ID: 1, Kind: cdfg.KOp, Op: arch.IADD,
+		Args: []cdfg.Operand{
+			{Kind: cdfg.FromNode, Node: n1},
+			{Kind: cdfg.FromLocal, Local: "x"},
+		}}
+	w := &cdfg.Node{ID: 2, Kind: cdfg.KPWrite, Op: arch.MOVE, Local: "x",
+		Args: []cdfg.Operand{{Kind: cdfg.FromNode, Node: n2}}}
+	b := &cdfg.Block{Nodes: []*cdfg.Node{n1, n2, w}}
+	cs := cdfg.Recurrences(b, latN(1))
+	if len(cs) != 2 {
+		t.Fatalf("circuits = %d, want 2", len(cs))
+	}
+	if got := cdfg.RecMII(b, latN(1)); got != 3 {
+		t.Fatalf("RecMII = %d, want 3", got)
+	}
+}
+
+func TestRecMIINoRecurrence(t *testing.T) {
+	// Straight-line dataflow with no loop-carried local: RecMII is 1.
+	n1 := &cdfg.Node{ID: 0, Kind: cdfg.KOp, Op: arch.IADD,
+		Args: []cdfg.Operand{{Kind: cdfg.FromConst, Const: 1}, {Kind: cdfg.FromConst, Const: 2}}}
+	n2 := &cdfg.Node{ID: 1, Kind: cdfg.KOp, Op: arch.IMUL,
+		Args: []cdfg.Operand{{Kind: cdfg.FromNode, Node: n1}, {Kind: cdfg.FromConst, Const: 3}}}
+	b := &cdfg.Block{Nodes: []*cdfg.Node{n1, n2}}
+	if cs := cdfg.Recurrences(b, latN(1)); len(cs) != 0 {
+		t.Fatalf("circuits = %d, want 0", len(cs))
+	}
+	if got := cdfg.RecMII(b, latN(1)); got != 1 {
+		t.Fatalf("RecMII = %d, want 1", got)
+	}
+}
+
+// loopsInRangeOrder lists RLoop regions in the order the list scheduler
+// appends their LoopRanges entries (a loop's range is recorded after its
+// body has been emitted, so inner loops come first).
+func loopsInRangeOrder(r *cdfg.Region) []*cdfg.Region {
+	var out []*cdfg.Region
+	var walk func(q *cdfg.Region)
+	walk = func(q *cdfg.Region) {
+		if q == nil {
+			return
+		}
+		switch q.Kind {
+		case cdfg.RSeq:
+			for _, c := range q.Children {
+				walk(c)
+			}
+		case cdfg.RLoop:
+			walk(q.Body)
+			out = append(out, q)
+		case cdfg.RIf:
+			walk(q.Then)
+			walk(q.Else)
+		}
+	}
+	walk(r)
+	return out
+}
+
+// TestRecMIIBoundedByListSchedule is the property test: the reported RecMII
+// of a loop body never exceeds the list scheduler's iteration latency for
+// that loop (the length of its back-jump range). A violation would mean the
+// "lower bound" claims more than a known-valid schedule achieves.
+func TestRecMIIBoundedByListSchedule(t *testing.T) {
+	comp, err := arch.ByName("9 PEs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := compLatency(comp)
+	for _, w := range workload.All() {
+		t.Run(w.Name, func(t *testing.T) {
+			g, err := cdfg.Build(w.Kernel, cdfg.BuildOptions{})
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			s, err := sched.Run(g, comp, sched.Options{})
+			if err != nil {
+				t.Fatalf("sched: %v", err)
+			}
+			loops := loopsInRangeOrder(g.Root)
+			if len(loops) != len(s.LoopRanges) {
+				t.Fatalf("loops %d vs ranges %d", len(loops), len(s.LoopRanges))
+			}
+			for i, lr := range loops {
+				if lr.Body == nil || lr.Body.Kind != cdfg.RBlock {
+					continue
+				}
+				iterLat := s.LoopRanges[i][1] - s.LoopRanges[i][0] + 1
+				if mii := cdfg.RecMII(lr.Body.Block, lat); mii > iterLat {
+					t.Errorf("loop %d: RecMII %d exceeds list iteration latency %d", i, mii, iterLat)
+				}
+			}
+		})
+	}
+}

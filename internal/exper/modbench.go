@@ -1,0 +1,129 @@
+package exper
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cgra/internal/arch"
+	"cgra/internal/pipeline"
+	"cgra/internal/sched"
+	"cgra/internal/workload"
+)
+
+// ModuloBenchEntry records one workload's list-vs-modulo comparison under
+// the auto backend: both arms verified against the reference interpreter,
+// the per-kernel selection, and the pipelining evidence of the modulo arm.
+type ModuloBenchEntry struct {
+	Name string `json:"name"`
+	Size int    `json:"size"`
+	// Selected is the backend the auto policy installed.
+	Selected string `json:"selected"`
+	// ListCycles and ModuloCycles are verified end-to-end run cycles
+	// (-1 when an arm failed).
+	ListCycles   int64 `json:"list_cycles"`
+	ModuloCycles int64 `json:"modulo_cycles"`
+	// Reduction is 1 - modulo/list (0 when either arm is unusable).
+	Reduction float64 `json:"reduction"`
+	// ListIterLatency is the list layout's smallest per-iteration context
+	// count over its loops (the latency an II must undercut to win).
+	ListIterLatency int `json:"list_iter_latency"`
+	// PipelinedLoops counts the loops the modulo arm software-pipelined;
+	// II/MII/... describe the first (innermost-hottest) of them.
+	PipelinedLoops int `json:"pipelined_loops"`
+	II             int `json:"ii,omitempty"`
+	MII            int `json:"mii,omitempty"`
+	ResMII         int `json:"res_mii,omitempty"`
+	RecMII         int `json:"rec_mii,omitempty"`
+	Stages         int `json:"stages,omitempty"`
+	Backtracks     int `json:"backtracks,omitempty"`
+}
+
+// ModuloBenchResult is the document written by `tables -modulo-bench-json`
+// (committed as BENCH_modulo.json).
+type ModuloBenchResult struct {
+	Composition string             `json:"composition"`
+	Workloads   []ModuloBenchEntry `json:"workloads"`
+}
+
+// ModuloBench runs the auto backend over the workload library on the
+// "9 PEs" reference composition and reports, per kernel, which backend won
+// and what the modulo scheduler achieved. Both arms of every kernel are
+// differentially verified, so a bench pass doubles as a correctness sweep
+// of the modulo backend.
+func ModuloBench() (*ModuloBenchResult, error) {
+	comp, err := arch.ByName("9 PEs")
+	if err != nil {
+		return nil, err
+	}
+	out := &ModuloBenchResult{Composition: comp.Name}
+	for _, w := range workload.All() {
+		args, host := w.Args(w.DefaultSize), w.Host(w.DefaultSize)
+		_, rep, err := pipeline.CompileAuto(w.Kernel, comp, Options(), args, host)
+		if err != nil {
+			return nil, fmt.Errorf("modulo bench %s: %v", w.Name, err)
+		}
+		e := ModuloBenchEntry{
+			Name: w.Name, Size: w.DefaultSize, Selected: rep.Selected,
+			ListCycles: rep.ListCycles, ModuloCycles: rep.ModuloCycles,
+			PipelinedLoops: len(rep.Pipelined),
+		}
+		if rep.ListCycles > 0 && rep.ModuloCycles > 0 {
+			e.Reduction = 1 - float64(rep.ModuloCycles)/float64(rep.ListCycles)
+		}
+		if len(rep.Pipelined) > 0 {
+			pl := rep.Pipelined[0]
+			e.II, e.MII, e.ResMII, e.RecMII = pl.II, pl.MII, pl.ResMII, pl.RecMII
+			e.Stages, e.Backtracks = pl.Stages, pl.Backtracks
+		}
+		if lat, err := listIterLatency(w, comp); err == nil {
+			e.ListIterLatency = lat
+		}
+		out.Workloads = append(out.Workloads, e)
+	}
+	return out, nil
+}
+
+// listIterLatency compiles the list layout and returns its tightest loop's
+// per-iteration context count (header through back-jump, inclusive).
+func listIterLatency(w *workload.Workload, comp *arch.Composition) (int, error) {
+	o := Options()
+	o.Backend = sched.BackendList
+	c, err := pipeline.Compile(w.Kernel, comp, o)
+	if err != nil {
+		return 0, err
+	}
+	best := 0
+	for _, lr := range c.Schedule.LoopRanges {
+		if n := lr[1] - lr[0] + 1; best == 0 || n < best {
+			best = n
+		}
+	}
+	return best, nil
+}
+
+// WriteJSON renders the result as an indented JSON document.
+func (b *ModuloBenchResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadModuloBench parses a document written by WriteJSON.
+func ReadModuloBench(r io.Reader) (*ModuloBenchResult, error) {
+	b := &ModuloBenchResult{}
+	if err := json.NewDecoder(r).Decode(b); err != nil {
+		return nil, fmt.Errorf("modulo bench: %v", err)
+	}
+	return b, nil
+}
+
+// ReadBench parses a document written by BenchResult.WriteJSON (the
+// committed BENCH_pipeline.json baseline benchguard gates against).
+func ReadBench(r io.Reader) (*BenchResult, error) {
+	b := &BenchResult{}
+	if err := json.NewDecoder(r).Decode(b); err != nil {
+		return nil, fmt.Errorf("pipeline bench: %v", err)
+	}
+	return b, nil
+}

@@ -1,0 +1,915 @@
+// Package modsched implements an iterative modulo scheduler (Rau-style) for
+// inhomogeneous, irregularly-routed CGRA compositions. The problem is
+// abstract — operations with candidate-PE sets, dependence edges with
+// iteration distances, a routing-distance oracle — so the package has no
+// dependency on the CDFG or architecture layers; internal/sched extracts a
+// Problem from an eligible loop body and realizes the Solution as contexts.
+//
+// The solver searches II = MII, MII+1, … (MII = max(ResMII, RecMII)). Each
+// attempt places operations in height-priority order into a modulo
+// reservation table over PE issue slots, routing-output ports, and the
+// C-Box consume port, with budget-bounded eject-and-retry backtracking.
+// When an operation cannot reach a fixed partner within the one-hop routing
+// constraint, the solver splits the dependence edge with a MOVE copy op —
+// the modulo-time analogue of the list scheduler's routing-copy insertion.
+package modsched
+
+import (
+	"context"
+	"fmt"
+	"sort"
+)
+
+// Op is one operation of the loop body.
+type Op struct {
+	// ID indexes the op in Problem.Ops (and, for copies the solver adds,
+	// extends that numbering densely).
+	ID int
+	// Name labels the op in diagnostics.
+	Name string
+	// Dur is the issue-to-result latency. It must be uniform across Cand
+	// (callers filter candidates to the op's minimum duration).
+	Dur int
+	// Cand lists candidate PEs in preference order. A single-element Cand
+	// pins the op (home-fused writes, for instance).
+	Cand []int
+	// CopyOf is -1 for caller ops; for solver-inserted copies it names the
+	// op whose result value this MOVE forwards.
+	CopyOf int
+	// UsesCBox marks ops that occupy the C-Box consume port at their
+	// finish slot (compares feeding predication; unused by plain bodies).
+	UsesCBox bool
+}
+
+// Edge is a dependence arc From → To with iteration distance Dist: the
+// reader's issue must satisfy
+//
+//	finish(From) + 1 ≤ issue(To) + Dist·II ≤ finish(From) + II
+//
+// The lower bound is value availability; the upper bound keeps the value's
+// lifetime within one II so a single pinned register per op suffices (no
+// modulo variable expansion). Additionally the reader's PE must be within
+// routing distance 1 of the writer's PE.
+type Edge struct {
+	From, To int
+	Dist     int
+}
+
+// Problem describes one loop body to modulo-schedule.
+type Problem struct {
+	// NumPEs is the composition size; PE indices are 0..NumPEs-1.
+	NumPEs int
+	// Dist is the directed routing distance oracle: Dist(a, b) is the hop
+	// count for b reading a's output (0 = same PE, 1 = direct neighbor).
+	Dist func(a, b int) int
+	// Ops are the loop-body operations. IDs must equal slice indices.
+	Ops []Op
+	// Edges are the dependence arcs over Ops.
+	Edges []Edge
+	// MoveCand lists PEs able to host inserted routing copies.
+	MoveCand []int
+	// MoveDur is the latency of a routing copy (typically 1).
+	MoveDur int
+	// SubCand/CmpCand list PEs able to host the loop-control decrement and
+	// compare. The pair must be routing-adjacent (the compare reads the
+	// decremented counter over the routing network) and shares one kernel
+	// slot m0 with m0 ≤ II-SubDur and m0+CmpDur-1 ≤ II-2 so the compare's
+	// C-Box consume lands before the conditional back-jump at slot II-1.
+	SubCand, CmpCand []int
+	SubDur, CmpDur   int
+	// MaxII bounds the search (0 = MII + 12).
+	MaxII int
+	// Budget bounds ejections per II attempt (0 = 16 + 8·len(Ops)).
+	Budget int
+	// MaxCopies bounds inserted routing copies per II attempt
+	// (0 = 8 + 4·len(Ops)).
+	MaxCopies int
+}
+
+// Attempt records one II attempt for diagnostics.
+type Attempt struct {
+	II        int
+	Placed    int
+	Ejections int
+	Copies    int
+	// Err is empty on the successful attempt.
+	Err string
+}
+
+// Solution is a feasible modulo schedule.
+type Solution struct {
+	II, MII, ResMII, RecMII int
+	// Stages is ⌈max over ops of (Time+Dur)⌉/II: the software-pipeline
+	// depth (number of overlapped iterations).
+	Stages int
+	// Ops extends Problem.Ops with inserted routing copies.
+	Ops []Op
+	// Edges is the final edge set after copy insertion.
+	Edges []Edge
+	// Time and PE give each op's schedule time within the flattened
+	// iteration (0 ≤ Time, stage = Time/II, slot = Time%II) and placement.
+	Time, PE []int
+	// CtrlSlot, SubPE, CmpPE place the loop-control pair: the counter
+	// decrement on SubPE and the exit compare on CmpPE, both at kernel
+	// slot CtrlSlot.
+	CtrlSlot, SubPE, CmpPE int
+	// Backtracks totals ejections across all II attempts.
+	Backtracks int
+	// Attempts lists every II tried, including the successful one.
+	Attempts []Attempt
+}
+
+// NoScheduleError reports an exhausted II search with its diagnostics.
+type NoScheduleError struct {
+	MII, ResMII, RecMII int
+	Attempts            []Attempt
+	Backtracks          int
+}
+
+func (e *NoScheduleError) Error() string {
+	last := ""
+	if n := len(e.Attempts); n > 0 {
+		last = ": " + e.Attempts[n-1].Err
+	}
+	return fmt.Sprintf("modsched: no schedule up to II=%d (MII=%d, res=%d, rec=%d, %d attempts, %d ejections)%s",
+		e.MII+len(e.Attempts)-1, e.MII, e.ResMII, e.RecMII, len(e.Attempts), e.Backtracks, last)
+}
+
+// fixedCost makes ejecting a pinned op (|Cand| == 1) effectively forbidden
+// in min-conflict selection; an all-pinned conflict set triggers routing
+// copy insertion instead.
+const fixedCost = 1 << 16
+
+// Solve searches for a minimum-II modulo schedule. On failure it returns a
+// *NoScheduleError (or the context's error when cancelled; cancellation is
+// checked per II attempt and per backtrack budget slice).
+func Solve(ctx context.Context, p *Problem) (*Solution, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	resMII := p.resMII()
+	recMII := p.recMII()
+	mii := resMII
+	if recMII > mii {
+		mii = recMII
+	}
+	for _, o := range p.Ops {
+		if o.Dur > mii {
+			mii = o.Dur // a value's lifetime may not exceed II
+		}
+	}
+	if min := p.SubDur + p.CmpDur; min > mii {
+		mii = min // control pair: m0 ≥ 0, consume ≤ II-2, back-jump at II-1
+	}
+	if mii < 2 {
+		mii = 2
+	}
+	maxII := p.MaxII
+	if maxII <= 0 {
+		maxII = mii + 12
+	}
+	var attempts []Attempt
+	backtracks := 0
+	for ii := mii; ii <= maxII; ii++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("modsched: II search cancelled at II=%d: %w", ii, err)
+		}
+		st := newAttempt(p, ii)
+		sol, a := st.run(ctx)
+		attempts = append(attempts, a)
+		backtracks += a.Ejections
+		if a.Err == "cancelled" {
+			return nil, fmt.Errorf("modsched: II=%d attempt cancelled: %w", ii, ctx.Err())
+		}
+		if sol != nil {
+			sol.MII, sol.ResMII, sol.RecMII = mii, resMII, recMII
+			sol.Backtracks = backtracks
+			sol.Attempts = attempts
+			return sol, nil
+		}
+	}
+	return nil, &NoScheduleError{MII: mii, ResMII: resMII, RecMII: recMII, Attempts: attempts, Backtracks: backtracks}
+}
+
+func (p *Problem) validate() error {
+	if p.NumPEs <= 0 || p.Dist == nil {
+		return fmt.Errorf("modsched: composition not described")
+	}
+	if len(p.Ops) == 0 {
+		return fmt.Errorf("modsched: empty loop body")
+	}
+	for i, o := range p.Ops {
+		if o.ID != i {
+			return fmt.Errorf("modsched: op %d has ID %d", i, o.ID)
+		}
+		if len(o.Cand) == 0 {
+			return fmt.Errorf("modsched: op %s has no candidate PEs", o.Name)
+		}
+		if o.Dur <= 0 {
+			return fmt.Errorf("modsched: op %s has duration %d", o.Name, o.Dur)
+		}
+	}
+	for _, e := range p.Edges {
+		if e.From < 0 || e.From >= len(p.Ops) || e.To < 0 || e.To >= len(p.Ops) {
+			return fmt.Errorf("modsched: edge %d→%d out of range", e.From, e.To)
+		}
+		if e.Dist < 0 {
+			return fmt.Errorf("modsched: edge %d→%d has negative distance", e.From, e.To)
+		}
+	}
+	if len(p.SubCand) == 0 || len(p.CmpCand) == 0 {
+		return fmt.Errorf("modsched: no candidates for the loop-control pair")
+	}
+	if p.SubDur <= 0 || p.CmpDur <= 0 {
+		return fmt.Errorf("modsched: control durations not set")
+	}
+	if len(p.MoveCand) == 0 || p.MoveDur <= 0 {
+		return fmt.Errorf("modsched: routing-copy description missing")
+	}
+	return nil
+}
+
+// resMII is the resource-constrained II bound: total issue slots demanded
+// (body + control pair) over the composition, and per candidate-class
+// pressure for ops restricted to a PE subset (DMA loads, pinned writes).
+func (p *Problem) resMII() int {
+	total := p.SubDur + p.CmpDur
+	classes := map[string]*[2]int{} // candidate-set key → {demand, |set|}
+	for _, o := range p.Ops {
+		total += o.Dur
+		key := fmt.Sprint(o.Cand)
+		c := classes[key]
+		if c == nil {
+			c = &[2]int{0, len(o.Cand)}
+			classes[key] = c
+		}
+		c[0] += o.Dur
+	}
+	mii := ceilDiv(total, p.NumPEs)
+	for _, c := range classes {
+		if m := ceilDiv(c[0], c[1]); m > mii {
+			mii = m
+		}
+	}
+	return mii
+}
+
+// recMII is the recurrence bound: the smallest II for which the dependence
+// constraint system issue(To) ≥ issue(From) + Dur(From) - Dist·II has no
+// positive cycle (found by binary search with Bellman-Ford style
+// relaxation; a circuit forces II ≥ ⌈Σdur/Σdist⌉).
+func (p *Problem) recMII() int {
+	sum := 0
+	for _, o := range p.Ops {
+		sum += o.Dur
+	}
+	lo, hi := 1, sum
+	if hi < 1 {
+		hi = 1
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.recFeasible(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+func (p *Problem) recFeasible(ii int) bool {
+	n := len(p.Ops)
+	t := make([]int, n)
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for _, e := range p.Edges {
+			w := p.Ops[e.From].Dur - e.Dist*ii
+			if t[e.From]+w > t[e.To] {
+				t[e.To] = t[e.From] + w
+				changed = true
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+	// One more sweep: still relaxing after n iterations ⇒ positive cycle.
+	for _, e := range p.Edges {
+		if t[e.From]+p.Ops[e.From].Dur-e.Dist*ii > t[e.To] {
+			return false
+		}
+	}
+	return true
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+// attempt is the mutable state of one II attempt.
+type attempt struct {
+	p  *Problem
+	ii int
+
+	ops   []Op
+	edges []Edge
+	in    [][]int // edge indices entering each op
+	out   [][]int // edge indices leaving each op
+
+	time       []int // -1 while unplaced
+	pe         []int
+	wasEjected []bool
+	prevTime   []int
+	height     []int
+
+	ejections int
+	copies    int
+	budget    int
+	maxCopies int
+}
+
+func newAttempt(p *Problem, ii int) *attempt {
+	st := &attempt{p: p, ii: ii}
+	st.ops = append([]Op(nil), p.Ops...)
+	st.edges = append([]Edge(nil), p.Edges...)
+	st.budget = p.Budget
+	if st.budget <= 0 {
+		st.budget = 16 + 8*len(p.Ops)
+	}
+	st.maxCopies = p.MaxCopies
+	if st.maxCopies <= 0 {
+		st.maxCopies = 8 + 4*len(p.Ops)
+	}
+	st.rebuild()
+	return st
+}
+
+// rebuild refreshes adjacency, placement arrays, and heights after the op
+// set changes (attempt start and copy insertion). Existing placements are
+// preserved.
+func (st *attempt) rebuild() {
+	n := len(st.ops)
+	st.in = make([][]int, n)
+	st.out = make([][]int, n)
+	for i, e := range st.edges {
+		st.out[e.From] = append(st.out[e.From], i)
+		st.in[e.To] = append(st.in[e.To], i)
+	}
+	grow := func(s []int, v int) []int {
+		for len(s) < n {
+			s = append(s, v)
+		}
+		return s
+	}
+	st.time = grow(st.time, -1)
+	st.pe = grow(st.pe, -1)
+	st.prevTime = grow(st.prevTime, -1)
+	for len(st.wasEjected) < n {
+		st.wasEjected = append(st.wasEjected, false)
+	}
+	// Height priority: h(op) = Dur + max over out-edges of h(To) - Dist·II,
+	// by relaxation (converges when II ≥ RecMII; capped defensively).
+	st.height = make([]int, n)
+	for i := range st.height {
+		st.height[i] = st.ops[i].Dur
+	}
+	for iter := 0; iter < 2*n+4; iter++ {
+		changed := false
+		for _, e := range st.edges {
+			h := st.ops[e.From].Dur + st.height[e.To] - e.Dist*st.ii
+			if h > st.height[e.From] {
+				st.height[e.From] = h
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+func (st *attempt) fin(op int) int { return st.time[op] + st.ops[op].Dur - 1 }
+
+// horizon bounds schedule times; exceeding it means the attempt diverged.
+func (st *attempt) horizon() int { return st.ii * (len(st.ops) + 4) }
+
+// run executes the placement loop for this II.
+func (st *attempt) run(ctx context.Context) (*Solution, Attempt) {
+	a := Attempt{II: st.ii}
+	fail := func(msg string) (*Solution, Attempt) {
+		a.Err = msg
+		a.Placed = st.placedCount()
+		a.Ejections = st.ejections
+		a.Copies = st.copies
+		return nil, a
+	}
+	iter := 0
+	for {
+		op := st.nextUnplaced()
+		if op < 0 {
+			break
+		}
+		if iter%16 == 0 {
+			if ctx.Err() != nil {
+				return fail("cancelled")
+			}
+		}
+		iter++
+		e := st.earliest(op)
+		if e > st.horizon() {
+			return fail(fmt.Sprintf("op %s pushed past horizon", st.ops[op].Name))
+		}
+		if t, pe, ok := st.findFree(op, e); ok {
+			st.place(op, t, pe)
+			continue
+		}
+		// Forced placement: min-conflict over the window, pinned conflicts
+		// effectively forbidden.
+		t, pe, conf, cost := st.findForced(op, e)
+		if cost >= fixedCost {
+			// Every slot collides with a pinned op. If the collision is a
+			// routing-adjacency violation, a copy op can bridge the hop.
+			if ei, ok := st.blockedEdge(op); ok {
+				if st.copies >= st.maxCopies {
+					return fail("routing-copy budget exhausted")
+				}
+				st.insertCopy(ei)
+				continue
+			}
+			if conf == nil {
+				return fail(fmt.Sprintf("op %s has no placement", st.ops[op].Name))
+			}
+		}
+		if conf == nil {
+			return fail(fmt.Sprintf("op %s has no placement", st.ops[op].Name))
+		}
+		for _, q := range conf {
+			st.eject(q)
+		}
+		st.ejections += len(conf)
+		if st.ejections > st.budget {
+			return fail("backtrack budget exhausted")
+		}
+		st.place(op, t, pe)
+	}
+	// Loop-control pair on top of the placed body.
+	m0, psub, pcmp, ok := st.placeControl()
+	if !ok {
+		return fail("no slot for the loop-control pair")
+	}
+	a.Placed = st.placedCount()
+	a.Ejections = st.ejections
+	a.Copies = st.copies
+	maxEnd := 0
+	for i := range st.ops {
+		if end := st.time[i] + st.ops[i].Dur; end > maxEnd {
+			maxEnd = end
+		}
+	}
+	return &Solution{
+		II:       st.ii,
+		Stages:   ceilDiv(maxEnd, st.ii),
+		Ops:      st.ops,
+		Edges:    st.edges,
+		Time:     st.time,
+		PE:       st.pe,
+		CtrlSlot: m0,
+		SubPE:    psub,
+		CmpPE:    pcmp,
+	}, a
+}
+
+func (st *attempt) placedCount() int {
+	n := 0
+	for _, t := range st.time {
+		if t >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// nextUnplaced picks the unplaced op with maximum height (ties: lowest ID).
+func (st *attempt) nextUnplaced() int {
+	best := -1
+	for i := range st.ops {
+		if st.time[i] >= 0 {
+			continue
+		}
+		if best < 0 || st.height[i] > st.height[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// earliest computes the op's lower time bound from placed neighbors, plus
+// Rau's progress rule: after an ejection, re-placement starts strictly
+// after the previous time so the search cannot cycle.
+func (st *attempt) earliest(op int) int {
+	e := 0
+	for _, ei := range st.in[op] {
+		ed := st.edges[ei]
+		if st.time[ed.From] < 0 {
+			continue
+		}
+		if lb := st.fin(ed.From) + 1 - ed.Dist*st.ii; lb > e {
+			e = lb
+		}
+	}
+	for _, ei := range st.out[op] {
+		ed := st.edges[ei]
+		if st.time[ed.To] < 0 {
+			continue
+		}
+		// Lifetime upper bound as a lower bound on the writer's time:
+		// issue(To) + Dist·II ≤ fin(op) + II.
+		if lb := st.time[ed.To] + ed.Dist*st.ii - st.ii - st.ops[op].Dur + 1; lb > e {
+			e = lb
+		}
+	}
+	if st.wasEjected[op] && st.prevTime[op] >= e {
+		e = st.prevTime[op] + 1
+	}
+	return e
+}
+
+// candOrder returns the op's candidate PEs, adjacency-satisfying ones
+// first (fewest total hop count to placed partners), preserving the
+// caller's preference order among equals.
+func (st *attempt) candOrder(op int) []int {
+	type scored struct{ pe, score, idx int }
+	var cs []scored
+	for idx, pe := range st.ops[op].Cand {
+		score := 0
+		for _, ei := range st.in[op] {
+			ed := st.edges[ei]
+			if st.time[ed.From] >= 0 {
+				score += st.p.Dist(st.pe[ed.From], pe)
+			}
+		}
+		for _, ei := range st.out[op] {
+			ed := st.edges[ei]
+			if st.time[ed.To] >= 0 {
+				score += st.p.Dist(pe, st.pe[ed.To])
+			}
+		}
+		cs = append(cs, scored{pe, score, idx})
+	}
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].score != cs[j].score {
+			return cs[i].score < cs[j].score
+		}
+		return cs[i].idx < cs[j].idx
+	})
+	out := make([]int, len(cs))
+	for i, c := range cs {
+		out[i] = c.pe
+	}
+	return out
+}
+
+// findFree scans the II-wide window from e for a conflict-free placement.
+func (st *attempt) findFree(op, e int) (int, int, bool) {
+	order := st.candOrder(op)
+	hz := st.horizon()
+	for t := e; t < e+st.ii && t <= hz; t++ {
+		for _, pe := range order {
+			if len(st.conflicts(op, t, pe)) == 0 {
+				return t, pe, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// findForced scans the same window for the min-cost conflict set.
+func (st *attempt) findForced(op, e int) (int, int, []int, int) {
+	bestCost := int(^uint(0) >> 1)
+	var bestT, bestPE int
+	var bestConf []int
+	order := st.candOrder(op)
+	hz := st.horizon()
+	for t := e; t < e+st.ii && t <= hz; t++ {
+		for _, pe := range order {
+			conf := st.conflicts(op, t, pe)
+			cost := 0
+			for _, q := range conf {
+				if len(st.ops[q].Cand) == 1 {
+					cost += fixedCost
+				} else {
+					cost++
+				}
+			}
+			if cost < bestCost {
+				bestCost, bestT, bestPE = cost, t, pe
+				bestConf = conf
+			}
+		}
+	}
+	return bestT, bestPE, bestConf, bestCost
+}
+
+// conflicts lists placed ops that collide with placing op at (t, pe):
+// dependence-window violations, modulo issue-slot overlaps on the PE,
+// routing-output port collisions, C-Box port collisions, and
+// routing-adjacency violations. Each colliding partner is listed, since
+// ejecting it could re-place it compatibly.
+func (st *attempt) conflicts(op, t, pe int) []int {
+	var conf []int
+	seen := map[int]bool{}
+	add := func(q int) {
+		if !seen[q] {
+			seen[q] = true
+			conf = append(conf, q)
+		}
+	}
+	slots := func(t0, dur int) map[int]bool {
+		m := map[int]bool{}
+		for d := 0; d < dur; d++ {
+			m[(t0+d)%st.ii] = true
+		}
+		return m
+	}
+	// Dependence windows against placed partners:
+	// fin(W)+1 ≤ issue(R)+Dist·II ≤ fin(W)+II.
+	fin := t + st.ops[op].Dur - 1
+	for _, ei := range st.in[op] {
+		ed := st.edges[ei]
+		if st.time[ed.From] < 0 {
+			continue
+		}
+		r := t + ed.Dist*st.ii
+		if r < st.fin(ed.From)+1 || r > st.fin(ed.From)+st.ii {
+			add(ed.From)
+		}
+	}
+	for _, ei := range st.out[op] {
+		ed := st.edges[ei]
+		if st.time[ed.To] < 0 {
+			continue
+		}
+		r := st.time[ed.To] + ed.Dist*st.ii
+		if r < fin+1 || r > fin+st.ii {
+			add(ed.To)
+		}
+	}
+	mine := slots(t, st.ops[op].Dur)
+	for q := range st.ops {
+		if q == op || st.time[q] < 0 || st.pe[q] != pe {
+			continue
+		}
+		for d := 0; d < st.ops[q].Dur; d++ {
+			if mine[(st.time[q]+d)%st.ii] {
+				add(q)
+				break
+			}
+		}
+	}
+	// Routing adjacency against placed partners.
+	for _, ei := range st.in[op] {
+		ed := st.edges[ei]
+		if st.time[ed.From] >= 0 && st.pe[ed.From] != pe && st.p.Dist(st.pe[ed.From], pe) > 1 {
+			add(ed.From)
+		}
+	}
+	for _, ei := range st.out[op] {
+		ed := st.edges[ei]
+		if st.time[ed.To] >= 0 && st.pe[ed.To] != pe && st.p.Dist(pe, st.pe[ed.To]) > 1 {
+			add(ed.To)
+		}
+	}
+	// Routing-output port: a PE's output register holds one value per
+	// modulo slot; every cross-PE reader of op's value claims (pe,
+	// reader-slot), and op's own cross-PE reads claim the writer's port.
+	type claim struct{ pe, slot, owner int }
+	var claims []claim
+	for i, ed := range st.edges {
+		_ = i
+		wr, rd := ed.From, ed.To
+		var wpe, rslot, owner int
+		switch {
+		case wr == op && st.time[rd] >= 0:
+			wpe, rslot, owner = pe, st.time[rd]%st.ii, op
+			if st.pe[rd] == pe {
+				continue
+			}
+		case rd == op && st.time[wr] >= 0:
+			wpe, rslot, owner = st.pe[wr], t%st.ii, wr
+			if wpe == pe {
+				continue
+			}
+		case st.time[wr] >= 0 && st.time[rd] >= 0 && st.pe[wr] != st.pe[rd]:
+			wpe, rslot, owner = st.pe[wr], st.time[rd]%st.ii, wr
+		default:
+			continue
+		}
+		claims = append(claims, claim{wpe, rslot, owner})
+	}
+	for i := 0; i < len(claims); i++ {
+		for j := i + 1; j < len(claims); j++ {
+			a, b := claims[i], claims[j]
+			if a.pe == b.pe && a.slot == b.slot && a.owner != b.owner {
+				// Blame the placed participant that is not the op being
+				// placed.
+				if a.owner != op {
+					add(a.owner)
+				}
+				if b.owner != op {
+					add(b.owner)
+				}
+			}
+		}
+	}
+	// C-Box consume port: one per modulo slot.
+	if st.ops[op].UsesCBox {
+		myslot := (t + st.ops[op].Dur - 1) % st.ii
+		for q := range st.ops {
+			if q != op && st.time[q] >= 0 && st.ops[q].UsesCBox &&
+				(st.time[q]+st.ops[q].Dur-1)%st.ii == myslot {
+				add(q)
+			}
+		}
+	}
+	sort.Ints(conf)
+	return conf
+}
+
+// blockedEdge finds a dependence edge of op whose placed partner is
+// unreachable (hop distance > 1) from every candidate PE of op — the
+// signature of a topology block that a routing copy resolves. Edges whose
+// partner is pinned are preferred (ejecting it can never help).
+func (st *attempt) blockedEdge(op int) (int, bool) {
+	best, bestPinned := -1, false
+	consider := func(ei int, partner int) {
+		blocked := true
+		for _, pe := range st.ops[op].Cand {
+			ed := st.edges[ei]
+			var d int
+			if ed.To == op {
+				d = st.p.Dist(st.pe[partner], pe)
+			} else {
+				d = st.p.Dist(pe, st.pe[partner])
+			}
+			if d <= 1 {
+				blocked = false
+				break
+			}
+		}
+		if !blocked {
+			return
+		}
+		pinned := len(st.ops[partner].Cand) == 1
+		if best < 0 || (pinned && !bestPinned) {
+			best, bestPinned = ei, pinned
+		}
+	}
+	for _, ei := range st.in[op] {
+		if st.time[st.edges[ei].From] >= 0 {
+			consider(ei, st.edges[ei].From)
+		}
+	}
+	for _, ei := range st.out[op] {
+		if st.time[st.edges[ei].To] >= 0 {
+			consider(ei, st.edges[ei].To)
+		}
+	}
+	if best >= 0 {
+		return best, true
+	}
+	// Fall back to any edge towards a pinned partner that at least one
+	// candidate cannot reach: pressure cases where the only in-reach
+	// candidate is saturated by pinned ops.
+	check := func(ei int, partner int) {
+		ed := st.edges[ei]
+		if len(st.ops[partner].Cand) != 1 {
+			return
+		}
+		for _, pe := range st.ops[op].Cand {
+			var d int
+			if ed.To == op {
+				d = st.p.Dist(st.pe[partner], pe)
+			} else {
+				d = st.p.Dist(pe, st.pe[partner])
+			}
+			if d > 1 && best < 0 {
+				best = ei
+			}
+		}
+	}
+	for _, ei := range st.in[op] {
+		if st.time[st.edges[ei].From] >= 0 {
+			check(ei, st.edges[ei].From)
+		}
+	}
+	for _, ei := range st.out[op] {
+		if st.time[st.edges[ei].To] >= 0 {
+			check(ei, st.edges[ei].To)
+		}
+	}
+	return best, best >= 0
+}
+
+// insertCopy splits edge ei (W→R, distance D) into W→C (distance D) and
+// C→R (distance 0) with a fresh MOVE op C that may live on any
+// move-capable PE. The consumer-side values and timings re-derive from the
+// updated edge set on subsequent placements.
+func (st *attempt) insertCopy(ei int) {
+	ed := st.edges[ei]
+	c := Op{
+		ID:     len(st.ops),
+		Name:   fmt.Sprintf("copy(%s→%s)", st.ops[ed.From].Name, st.ops[ed.To].Name),
+		Dur:    st.p.MoveDur,
+		Cand:   st.p.MoveCand,
+		CopyOf: ed.From,
+	}
+	st.ops = append(st.ops, c)
+	st.edges[ei] = Edge{From: ed.From, To: c.ID, Dist: ed.Dist}
+	st.edges = append(st.edges, Edge{From: c.ID, To: ed.To, Dist: 0})
+	st.copies++
+	// The reader's prior placement may now be invalid relative to the
+	// copy; eject it so both re-place against the new edge. This is a
+	// graph repair, not a backtrack: the progress rule stays off so the
+	// reader may return to its old time.
+	if st.time[ed.To] >= 0 {
+		st.eject(ed.To)
+		st.wasEjected[ed.To] = false
+	}
+	st.rebuild()
+}
+
+func (st *attempt) place(op, t, pe int) {
+	st.time[op] = t
+	st.pe[op] = pe
+}
+
+func (st *attempt) eject(op int) {
+	st.prevTime[op] = st.time[op]
+	st.wasEjected[op] = true
+	st.time[op] = -1
+	st.pe[op] = -1
+}
+
+// placeControl finds kernel slot m0 and an adjacent (SubPE, CmpPE) pair for
+// the loop counter decrement and exit compare, avoiding body issue slots,
+// routing-port reservations, and the C-Box port.
+func (st *attempt) placeControl() (m0, psub, pcmp int, ok bool) {
+	// Routing-port reservations of the placed body, keyed (pe, slot).
+	ports := map[[2]int]bool{}
+	for _, ed := range st.edges {
+		if st.time[ed.From] < 0 || st.time[ed.To] < 0 || st.pe[ed.From] == st.pe[ed.To] {
+			continue
+		}
+		ports[[2]int{st.pe[ed.From], st.time[ed.To] % st.ii}] = true
+	}
+	busy := func(pe, slot, dur int) bool {
+		for q := range st.ops {
+			if st.time[q] < 0 || st.pe[q] != pe {
+				continue
+			}
+			for d := 0; d < st.ops[q].Dur; d++ {
+				qs := (st.time[q] + d) % st.ii
+				for k := 0; k < dur; k++ {
+					if qs == (slot+k)%st.ii {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	cboxBusy := func(slot int) bool {
+		for q := range st.ops {
+			if st.time[q] >= 0 && st.ops[q].UsesCBox && (st.time[q]+st.ops[q].Dur-1)%st.ii == slot {
+				return true
+			}
+		}
+		return false
+	}
+	hiSub := st.ii - st.p.SubDur
+	hiCmp := st.ii - 1 - st.p.CmpDur
+	for m := 0; m <= hiSub && m <= hiCmp; m++ {
+		if cboxBusy(m + st.p.CmpDur - 1) {
+			continue
+		}
+		for _, ps := range st.p.SubCand {
+			if busy(ps, m, st.p.SubDur) || ports[[2]int{ps, m}] {
+				continue
+			}
+			for _, pc := range st.p.CmpCand {
+				if pc == ps || st.p.Dist(ps, pc) != 1 {
+					continue
+				}
+				if busy(pc, m, st.p.CmpDur) {
+					continue
+				}
+				return m, ps, pc, true
+			}
+		}
+	}
+	return 0, 0, 0, false
+}

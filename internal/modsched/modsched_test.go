@@ -1,0 +1,282 @@
+package modsched
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// mesh3x3 is the directed hop-count oracle of the paper's 3×3 mesh
+// (4-neighborhood), precomputed by BFS.
+func mesh3x3() func(a, b int) int {
+	adj := func(p int) []int {
+		r, c := p/3, p%3
+		var out []int
+		if r > 0 {
+			out = append(out, p-3)
+		}
+		if r < 2 {
+			out = append(out, p+3)
+		}
+		if c > 0 {
+			out = append(out, p-1)
+		}
+		if c < 2 {
+			out = append(out, p+1)
+		}
+		return out
+	}
+	var dist [9][9]int
+	for s := 0; s < 9; s++ {
+		for t := 0; t < 9; t++ {
+			dist[s][t] = -1
+		}
+		dist[s][s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj(u) {
+				if dist[s][v] < 0 {
+					dist[s][v] = dist[s][u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return func(a, b int) int { return dist[a][b] }
+}
+
+func allPEs() []int { return []int{0, 1, 2, 3, 4, 5, 6, 7, 8} }
+
+func base(ops []Op, edges []Edge) *Problem {
+	return &Problem{
+		NumPEs:   9,
+		Dist:     mesh3x3(),
+		Ops:      ops,
+		Edges:    edges,
+		MoveCand: allPEs(),
+		MoveDur:  1,
+		SubCand:  allPEs(),
+		CmpCand:  allPEs(),
+		SubDur:   1,
+		CmpDur:   1,
+	}
+}
+
+// verify checks every structural invariant of a solution: windows,
+// adjacency, slot/port/C-Box exclusivity, control-pair legality.
+func verify(t *testing.T, p *Problem, s *Solution) {
+	t.Helper()
+	ii := s.II
+	for i, o := range s.Ops {
+		if s.Time[i] < 0 || s.PE[i] < 0 {
+			t.Fatalf("op %s unplaced", o.Name)
+		}
+		if o.Dur > ii {
+			t.Fatalf("op %s: dur %d exceeds II %d", o.Name, o.Dur, ii)
+		}
+	}
+	fin := func(i int) int { return s.Time[i] + s.Ops[i].Dur - 1 }
+	for _, e := range s.Edges {
+		r := s.Time[e.To] + e.Dist*ii
+		if r < fin(e.From)+1 || r > fin(e.From)+ii {
+			t.Errorf("edge %s→%s: window violated (issue %d, writer fin %d, dist %d, II %d)",
+				s.Ops[e.From].Name, s.Ops[e.To].Name, s.Time[e.To], fin(e.From), e.Dist, ii)
+		}
+		if s.PE[e.From] != s.PE[e.To] && p.Dist(s.PE[e.From], s.PE[e.To]) > 1 {
+			t.Errorf("edge %s→%s: PEs %d→%d not adjacent",
+				s.Ops[e.From].Name, s.Ops[e.To].Name, s.PE[e.From], s.PE[e.To])
+		}
+	}
+	busy := map[[2]int]string{}
+	claim := func(pe, slot int, who string) {
+		k := [2]int{pe, slot}
+		if prev, ok := busy[k]; ok {
+			t.Errorf("PE %d slot %d: %s and %s overlap", pe, slot, prev, who)
+		}
+		busy[k] = who
+	}
+	for i, o := range s.Ops {
+		for d := 0; d < o.Dur; d++ {
+			claim(s.PE[i], (s.Time[i]+d)%ii, o.Name)
+		}
+	}
+	for d := 0; d < p.SubDur; d++ {
+		claim(s.SubPE, (s.CtrlSlot+d)%ii, "ctrl-sub")
+	}
+	for d := 0; d < p.CmpDur; d++ {
+		claim(s.CmpPE, (s.CtrlSlot+d)%ii, "ctrl-cmp")
+	}
+	if p.Dist(s.SubPE, s.CmpPE) != 1 {
+		t.Errorf("control pair PEs %d→%d not adjacent", s.SubPE, s.CmpPE)
+	}
+	if s.CtrlSlot+p.CmpDur-1 > ii-2 {
+		t.Errorf("control consume slot %d too late for back-jump at II-1=%d", s.CtrlSlot+p.CmpDur-1, ii-1)
+	}
+	ports := map[[2]int]int{}
+	for _, e := range s.Edges {
+		if s.PE[e.From] == s.PE[e.To] {
+			continue
+		}
+		k := [2]int{s.PE[e.From], s.Time[e.To] % ii}
+		if owner, ok := ports[k]; ok && owner != e.From {
+			t.Errorf("routing port PE %d slot %d claimed by both %s and %s",
+				k[0], k[1], s.Ops[owner].Name, s.Ops[e.From].Name)
+		}
+		ports[k] = e.From
+	}
+	if _, ok := ports[[2]int{s.SubPE, s.CtrlSlot}]; ok {
+		t.Errorf("control counter port PE %d slot %d also claimed by the body", s.SubPE, s.CtrlSlot)
+	}
+}
+
+// TestSolveChain schedules a dependence chain with no recurrence: the II
+// settles at the structural floor (control pair + durations), not the
+// chain length.
+func TestSolveChain(t *testing.T) {
+	ops := []Op{
+		{ID: 0, Name: "a", Dur: 1, Cand: allPEs(), CopyOf: -1},
+		{ID: 1, Name: "b", Dur: 2, Cand: allPEs(), CopyOf: -1},
+		{ID: 2, Name: "c", Dur: 1, Cand: allPEs(), CopyOf: -1},
+	}
+	edges := []Edge{{From: 0, To: 1}, {From: 1, To: 2}}
+	s, err := Solve(context.Background(), base(ops, edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, base(ops, edges), s)
+	if s.II != s.MII {
+		t.Errorf("II %d, want MII %d", s.II, s.MII)
+	}
+	if s.RecMII != 1 {
+		t.Errorf("RecMII %d, want 1", s.RecMII)
+	}
+}
+
+// TestSolveRecurrence schedules an accumulator: a self-edge at distance 1
+// bounds II by the accumulate latency, and the II honors it.
+func TestSolveRecurrence(t *testing.T) {
+	ops := []Op{
+		{ID: 0, Name: "mul", Dur: 2, Cand: allPEs(), CopyOf: -1},
+		{ID: 1, Name: "acc", Dur: 2, Cand: []int{4}, CopyOf: -1},
+	}
+	edges := []Edge{
+		{From: 0, To: 1, Dist: 0},
+		{From: 1, To: 1, Dist: 1}, // acc reads its own previous value
+	}
+	p := base(ops, edges)
+	s, err := Solve(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, p, s)
+	if s.RecMII != 2 {
+		t.Errorf("RecMII %d, want 2", s.RecMII)
+	}
+}
+
+// TestSolveInsertsCopies forces a topology block: a producer pinned to one
+// mesh corner feeding a consumer pinned to the opposite corner (hop
+// distance 4). Only inserted MOVE copies make the edge routable.
+func TestSolveInsertsCopies(t *testing.T) {
+	ops := []Op{
+		{ID: 0, Name: "src", Dur: 1, Cand: []int{0}, CopyOf: -1},
+		{ID: 1, Name: "dst", Dur: 1, Cand: []int{8}, CopyOf: -1},
+	}
+	edges := []Edge{{From: 0, To: 1}}
+	p := base(ops, edges)
+	s, err := Solve(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, p, s)
+	copies := 0
+	for _, o := range s.Ops {
+		if o.CopyOf >= 0 {
+			copies++
+		}
+	}
+	if copies < 3 {
+		t.Errorf("inserted %d copies, want ≥ 3 to bridge 4 hops", copies)
+	}
+}
+
+// TestSolveReportsAttempts asserts the diagnostics contract: every II tried
+// appears in Attempts, the last one succeeding with an empty Err.
+func TestSolveReportsAttempts(t *testing.T) {
+	ops := []Op{{ID: 0, Name: "a", Dur: 1, Cand: allPEs(), CopyOf: -1}}
+	p := base(ops, nil)
+	s, err := Solve(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Attempts) == 0 {
+		t.Fatal("no attempts recorded")
+	}
+	last := s.Attempts[len(s.Attempts)-1]
+	if last.II != s.II || last.Err != "" {
+		t.Errorf("last attempt = %+v, want II %d with empty Err", last, s.II)
+	}
+	for i, a := range s.Attempts {
+		if a.II != s.MII+i {
+			t.Errorf("attempt %d at II %d, want %d", i, a.II, s.MII+i)
+		}
+	}
+}
+
+// TestSolveValidation rejects malformed problems fast.
+func TestSolveValidation(t *testing.T) {
+	cases := []*Problem{
+		{},
+		{NumPEs: 9, Dist: mesh3x3()},
+		base([]Op{{ID: 0, Name: "a", Dur: 0, Cand: allPEs()}}, nil),
+		base([]Op{{ID: 0, Name: "a", Dur: 1}}, nil),
+		base([]Op{{ID: 5, Name: "a", Dur: 1, Cand: allPEs()}}, nil),
+		base([]Op{{ID: 0, Name: "a", Dur: 1, Cand: allPEs()}}, []Edge{{From: 0, To: 3}}),
+	}
+	for i, p := range cases {
+		if _, err := Solve(context.Background(), p); err == nil {
+			t.Errorf("case %d: want validation error", i)
+		}
+	}
+}
+
+// TestSolveDeadline aborts a deliberately hard search promptly: a large,
+// heavily conflicting body with an enormous ejection budget would churn for
+// a long time, but a 50ms deadline must cut the search short via the per-
+// slice context checks.
+func TestSolveDeadline(t *testing.T) {
+	// One writer fans out to far more readers than the machine can carry
+	// at the resource-bound II: each cross-PE reader claims one of the
+	// writer's II routing-port slots and each co-located reader one of its
+	// II issue slots, so low-II attempts churn through ejections (bounded
+	// only by the enormous budget) before the search can climb.
+	const readers = 400
+	ops := []Op{{ID: 0, Name: "w", Dur: 1, Cand: allPEs(), CopyOf: -1}}
+	var edges []Edge
+	for i := 1; i <= readers; i++ {
+		ops = append(ops, Op{ID: i, Name: "r", Dur: 1, Cand: allPEs(), CopyOf: -1})
+		edges = append(edges, Edge{From: 0, To: i, Dist: 0})
+	}
+	p := base(ops, edges)
+	p.Budget = 1 << 30
+	p.MaxCopies = 1 << 30
+	p.MaxII = 100000
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := Solve(ctx, p)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("hard search succeeded unexpectedly fast; deadline never engaged")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("search took %v to notice a 50ms deadline", elapsed)
+	}
+}

@@ -33,7 +33,7 @@ import (
 // ArtifactVersion is the structural version of the Artifact type itself.
 // It participates in the cache key, so a layout change silently invalidates
 // old cache entries instead of misdecoding them.
-const ArtifactVersion = 1
+const ArtifactVersion = 2
 
 // Home locates one live-in/live-out local's home RF slot.
 type Home struct {
@@ -214,8 +214,15 @@ func Key(k *ir.Kernel, comp *arch.Composition, o Options) string {
 	fmt.Fprintf(h, "cgra-artifact v%d ctxgen v%d\n", ArtifactVersion, ctxgen.BitstreamVersion)
 	fmt.Fprintf(h, "kernel %s\n", k.Digest())
 	fmt.Fprintf(h, "comp %s\n", comp.Digest())
-	fmt.Fprintf(h, "opts unroll=%d cse=%t constfold=%t branchallifs=%t noattr=%t nofuse=%t maxcycles=%d\n",
-		o.UnrollFactor, o.CSE, o.ConstFold, o.Build.BranchAllIfs,
+	backend := o.Backend
+	if backend == "" {
+		backend = o.Sched.Backend
+	}
+	if backend == "" {
+		backend = sched.BackendList
+	}
+	fmt.Fprintf(h, "opts backend=%s unroll=%d cse=%t constfold=%t branchallifs=%t noattr=%t nofuse=%t maxcycles=%d\n",
+		backend, o.UnrollFactor, o.CSE, o.ConstFold, o.Build.BranchAllIfs,
 		o.Sched.NoAttraction, o.Sched.NoFusing, o.Sched.MaxCycles)
 	return hex.EncodeToString(h.Sum(nil))
 }

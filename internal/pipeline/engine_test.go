@@ -8,6 +8,7 @@ import (
 	"cgra/internal/adpcm"
 	"cgra/internal/arch"
 	"cgra/internal/ir"
+	"cgra/internal/sched"
 	"cgra/internal/sim"
 	"cgra/internal/workload"
 )
@@ -38,6 +39,23 @@ func engineCases(t testing.TB) []engineCase {
 			args: w.Args(w.DefaultSize),
 			host: w.Host(w.DefaultSize),
 		})
+		// Modulo-backend variants: software-pipelined context layouts
+		// (prologue/kernel/epilogue with a conditional back-jump) must run
+		// identically on the fast path and the instrumented interpreter.
+		mo := Defaults()
+		mo.Backend = sched.BackendModulo
+		cm, err := Compile(w.Kernel, comp, mo)
+		if err != nil {
+			t.Fatalf("compile %s (modulo): %v", w.Name, err)
+		}
+		if cm.Schedule.Stats.PipelinedLoops > 0 {
+			cases = append(cases, engineCase{
+				name: w.Name + "-modulo",
+				c:    cm,
+				args: w.Args(w.DefaultSize),
+				host: w.Host(w.DefaultSize),
+			})
+		}
 	}
 	const n = 24
 	samples := adpcm.GenerateSamples(n)

@@ -1,0 +1,173 @@
+package pipeline
+
+import (
+	"testing"
+
+	"cgra/internal/arch"
+	"cgra/internal/sched"
+	"cgra/internal/workload"
+)
+
+// moduloOptions compiles with the modulo backend (resolveBackend forces
+// unrolling off so counter steps stay +1).
+func moduloOptions() Options {
+	o := Defaults()
+	o.Backend = sched.BackendModulo
+	return o
+}
+
+// TestModuloBackendDifferential compiles every workload with the modulo
+// backend and checks byte-identical live-outs and heap against the
+// reference interpreter — whether the kernel's loops pipelined or fell
+// back to the list layout.
+func TestModuloBackendDifferential(t *testing.T) {
+	comp, err := arch.ByName("9 PEs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workload.All() {
+		t.Run(w.Name, func(t *testing.T) {
+			c, err := Compile(w.Kernel, comp, moduloOptions())
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if _, err := CheckAgainstInterpreter(w.Kernel, c, w.Args(w.DefaultSize), w.Host(w.DefaultSize)); err != nil {
+				t.Fatalf("differential (pipelined=%d): %v", c.Schedule.Stats.PipelinedLoops, err)
+			}
+			t.Logf("pipelined loops: %d, stats: %+v", c.Schedule.Stats.PipelinedLoops, c.Schedule.Pipelined)
+		})
+	}
+}
+
+// TestModuloBackendPipelinesDot asserts dot actually pipelines and beats the
+// list backend end to end.
+func TestModuloBackendPipelinesDot(t *testing.T) {
+	comp, err := arch.ByName("9 PEs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload.DotProduct()
+	cm, err := Compile(w.Kernel, comp, moduloOptions())
+	if err != nil {
+		t.Fatalf("modulo compile: %v", err)
+	}
+	if cm.Schedule.Stats.PipelinedLoops != 1 {
+		t.Fatalf("pipelined loops = %d, want 1", cm.Schedule.Stats.PipelinedLoops)
+	}
+	pl := cm.Schedule.Pipelined[0]
+	t.Logf("dot: %+v", pl)
+	if pl.II < pl.MII {
+		t.Errorf("II %d below MII %d", pl.II, pl.MII)
+	}
+
+	cl, err := Compile(w.Kernel, comp, Defaults())
+	if err != nil {
+		t.Fatalf("list compile: %v", err)
+	}
+	rm, err := CheckAgainstInterpreter(w.Kernel, cm, w.Args(w.DefaultSize), w.Host(w.DefaultSize))
+	if err != nil {
+		t.Fatalf("modulo differential: %v", err)
+	}
+	rl, err := CheckAgainstInterpreter(w.Kernel, cl, w.Args(w.DefaultSize), w.Host(w.DefaultSize))
+	if err != nil {
+		t.Fatalf("list differential: %v", err)
+	}
+	t.Logf("cycles: modulo=%d list=%d", rm.Sim.RunCycles, rl.Sim.RunCycles)
+	if rm.Sim.RunCycles >= rl.Sim.RunCycles {
+		t.Errorf("modulo %d cycles not below list %d", rm.Sim.RunCycles, rl.Sim.RunCycles)
+	}
+	// The issue's acceptance bar: at least a 25% end-to-end reduction.
+	if rm.Sim.RunCycles*4 > rl.Sim.RunCycles*3 {
+		t.Errorf("modulo %d cycles is less than 25%% below list %d", rm.Sim.RunCycles, rl.Sim.RunCycles)
+	}
+}
+
+// TestParseBackend covers flag-level validation, including the pipeline-only
+// "auto" value.
+func TestParseBackend(t *testing.T) {
+	for name, want := range map[string]string{
+		"": sched.BackendList, "list": sched.BackendList,
+		"modulo": sched.BackendModulo, "auto": BackendAuto,
+	} {
+		got, err := ParseBackend(name)
+		if err != nil || got != want {
+			t.Errorf("ParseBackend(%q) = %q, %v; want %q", name, got, err, want)
+		}
+	}
+	if _, err := ParseBackend("greedy"); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+// TestCompileRejectsAuto: a plain Compile has no inputs to verify with, so
+// "auto" must fail fast instead of silently picking one backend.
+func TestCompileRejectsAuto(t *testing.T) {
+	comp, err := arch.ByName("9 PEs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Defaults()
+	o.Backend = BackendAuto
+	if _, err := Compile(workload.DotProduct().Kernel, comp, o); err == nil {
+		t.Fatal("Compile accepted the auto backend")
+	}
+}
+
+// TestAutoNeverSlowerThanList: on every workload the auto selection's
+// verified cycles match the better arm — in particular auto never installs
+// a modulo result slower than the list layout.
+func TestAutoNeverSlowerThanList(t *testing.T) {
+	comp, err := arch.ByName("9 PEs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workload.All() {
+		t.Run(w.Name, func(t *testing.T) {
+			args, host := w.Args(w.DefaultSize), w.Host(w.DefaultSize)
+			c, rep, err := CompileAuto(w.Kernel, comp, Defaults(), args, host)
+			if err != nil {
+				t.Fatalf("auto: %v", err)
+			}
+			cl, err := Compile(w.Kernel, comp, Defaults())
+			if err != nil {
+				t.Fatalf("list: %v", err)
+			}
+			rl, err := CheckAgainstInterpreter(w.Kernel, cl, args, host)
+			if err != nil {
+				t.Fatalf("list differential: %v", err)
+			}
+			ra, err := CheckAgainstInterpreter(w.Kernel, c, args, host)
+			if err != nil {
+				t.Fatalf("auto differential: %v", err)
+			}
+			if ra.Sim.RunCycles > rl.Sim.RunCycles {
+				t.Errorf("auto (%s) %d cycles slower than list %d",
+					rep.Selected, ra.Sim.RunCycles, rl.Sim.RunCycles)
+			}
+			if rep.Selected == sched.BackendModulo && rep.ModuloCycles >= rep.ListCycles {
+				t.Errorf("auto selected modulo without a cycle win: %+v", rep)
+			}
+			t.Logf("%s: selected=%s list=%d modulo=%d", w.Name, rep.Selected, rep.ListCycles, rep.ModuloCycles)
+		})
+	}
+}
+
+// TestAutoSelectsModuloForDot: the flagship kernel must actually win on the
+// modulo path, and the report must carry the pipelining evidence.
+func TestAutoSelectsModuloForDot(t *testing.T) {
+	comp, err := arch.ByName("9 PEs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload.DotProduct()
+	_, rep, err := CompileAuto(w.Kernel, comp, Defaults(), w.Args(w.DefaultSize), w.Host(w.DefaultSize))
+	if err != nil {
+		t.Fatalf("auto: %v", err)
+	}
+	if rep.Selected != sched.BackendModulo {
+		t.Fatalf("auto selected %q for dot: %+v", rep.Selected, rep)
+	}
+	if len(rep.Pipelined) != 1 {
+		t.Errorf("report carries no pipelining evidence: %+v", rep)
+	}
+}

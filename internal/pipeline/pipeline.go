@@ -13,6 +13,7 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 
 	"cgra/internal/arch"
@@ -28,6 +29,12 @@ import (
 // Options tunes the flow; the zero value reproduces the paper's defaults
 // except unrolling (the paper's headline numbers use UnrollFactor 2).
 type Options struct {
+	// Backend selects the scheduling strategy: "list" (default), "modulo"
+	// (software-pipeline eligible innermost loops, forces UnrollFactor 1 so
+	// counter steps stay +1), or "auto" (compile both, install whichever
+	// verifies faster — only via CompileAuto, which needs representative
+	// inputs). Takes precedence over Sched.Backend when non-empty.
+	Backend string
 	// UnrollFactor partially unrolls innermost loops (0/1 = off).
 	UnrollFactor int
 	// CSE enables common subexpression elimination.
@@ -49,6 +56,51 @@ type Options struct {
 // on (Fig. 1 lists them as optional steps of the synthesis flow).
 func Defaults() Options {
 	return Options{UnrollFactor: 2, CSE: true, ConstFold: true}
+}
+
+// BackendAuto selects per kernel: both backends compile and run on
+// representative inputs, the faster verified result wins (list on ties and
+// on any modulo failure). Only CompileAuto implements it; a plain Compile
+// has no inputs to verify with and rejects it.
+const BackendAuto = "auto"
+
+// ParseBackend validates a backend name from a flag or config; the empty
+// string resolves to the list backend. It accepts everything sched
+// registers plus "auto", so command-line parsing fails fast with the valid
+// choices spelled out.
+func ParseBackend(name string) (string, error) {
+	if name == BackendAuto {
+		return BackendAuto, nil
+	}
+	b, err := sched.BackendByName(name)
+	if err != nil {
+		return "", fmt.Errorf("pipeline: unknown backend %q (valid: %s, auto)",
+			name, strings.Join(sched.Backends(), ", "))
+	}
+	return b.Name(), nil
+}
+
+// resolveBackend folds Options.Backend into the scheduler options and
+// applies backend-specific constraints (modulo pipelining requires the
+// original +1 counter step, so unrolling is forced off).
+func resolveBackend(o Options) (Options, error) {
+	name := o.Backend
+	if name == "" {
+		name = o.Sched.Backend
+	}
+	name, err := ParseBackend(name)
+	if err != nil {
+		return o, err
+	}
+	if name == BackendAuto {
+		return o, fmt.Errorf("pipeline: the auto backend needs representative inputs; use CompileAuto")
+	}
+	o.Backend = name
+	o.Sched.Backend = name
+	if name == sched.BackendModulo {
+		o.UnrollFactor = 1
+	}
+	return o, nil
 }
 
 // Compiled bundles every artifact of one synthesis run.
@@ -159,6 +211,10 @@ func CompileCtx(ctx context.Context, k *ir.Kernel, comp *arch.Composition, o Opt
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("pipeline: compile cancelled: %w", err)
 	}
+	o, err = resolveBackend(o)
+	if err != nil {
+		return nil, err
+	}
 	optimized, err := opt.ApplySpan(k, opt.Options{
 		UnrollFactor: o.UnrollFactor,
 		CSE:          o.CSE,
@@ -185,6 +241,9 @@ func CompileCtx(ctx context.Context, k *ir.Kernel, comp *arch.Composition, o Opt
 	so.Span.Finish()
 	if err != nil {
 		return nil, err
+	}
+	if o.Obs != nil {
+		exportModulo(o.Obs, s)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("pipeline: compile cancelled after sched: %w", err)

@@ -44,6 +44,17 @@ const (
 	// RejectWARHazard: an earlier value in the target home slot still has
 	// pending consumers; overwriting now would feed them the wrong value.
 	RejectWARHazard RejectCause = "war-hazard"
+	// RejectPipelineIneligible: the modulo backend examined a loop and
+	// fell back to the list layout (shape, predication, stores, or
+	// unsupported operands make it unsafe to pipeline). The Node field
+	// names the loop and the reason.
+	RejectPipelineIneligible RejectCause = "pipeline-ineligible"
+	// RejectIIAttempt: one initiation-interval attempt of the modulo
+	// scheduler. Failed attempts carry the failure in the Node field;
+	// the accepted II is recorded too, so the full search is replayable
+	// from the log (the satellite "rejected II attempts are as debuggable
+	// as rejected placements").
+	RejectIIAttempt RejectCause = "ii-attempt"
 )
 
 // Rejection is one recorded scheduling rejection.

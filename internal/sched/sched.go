@@ -16,11 +16,25 @@ func Run(g *cdfg.Graph, comp *arch.Composition, opts Options) (*Schedule, error)
 	return RunCtx(context.Background(), g, comp, opts)
 }
 
-// RunCtx is Run with cooperative cancellation: the list scheduler checks
-// the context once per time step of its candidate loop and aborts with the
-// context's error (wrapped, so errors.Is works). A cancelled run returns no
-// schedule — never a partial one.
+// RunCtx is Run with cooperative cancellation: the scheduler checks the
+// context once per time step of its candidate loop (and, under the modulo
+// backend, once per II attempt and per backtrack budget slice) and aborts
+// with the context's error (wrapped, so errors.Is works). A cancelled run
+// returns no schedule — never a partial one.
+//
+// Options.Backend selects the strategy; see Backends() for valid names.
 func RunCtx(ctx context.Context, g *cdfg.Graph, comp *arch.Composition, opts Options) (*Schedule, error) {
+	b, err := BackendByName(opts.Backend)
+	if err != nil {
+		return nil, err
+	}
+	return b.Run(ctx, g, comp, opts)
+}
+
+// runCtx is the shared scheduling driver. With pipeline set, innermost
+// eligible loops are software-pipelined by the modulo scheduler; everything
+// else (and every fallback) uses the list layout.
+func runCtx(ctx context.Context, g *cdfg.Graph, comp *arch.Composition, opts Options, pipeline bool) (*Schedule, error) {
 	if err := comp.Validate(); err != nil {
 		return nil, fmt.Errorf("sched: %v", err)
 	}
@@ -32,11 +46,12 @@ func RunCtx(ctx context.Context, g *cdfg.Graph, comp *arch.Composition, opts Opt
 		opts.MaxCycles = 100000
 	}
 	s := &scheduler{
-		ctx:  ctx,
-		comp: comp,
-		g:    g,
-		rt:   rt,
-		opts: opts,
+		ctx:      ctx,
+		comp:     comp,
+		g:        g,
+		rt:       rt,
+		opts:     opts,
+		pipeline: pipeline,
 		sch: &Schedule{
 			Comp:  comp,
 			Graph: g,
@@ -112,6 +127,10 @@ func RunCtx(ctx context.Context, g *cdfg.Graph, comp *arch.Composition, opts Opt
 	opts.Span.Set("consts", int64(s.sch.Stats.ConstsMaterialized))
 	opts.Span.Set("cbox_ops", int64(s.sch.Stats.CBoxOps))
 	opts.Span.Set("contexts", int64(s.sch.Length))
+	if pipeline {
+		opts.Span.Set("pipelined_loops", int64(s.sch.Stats.PipelinedLoops))
+		opts.Span.Set("modulo_backtracks", int64(s.sch.Stats.ModuloBacktracks))
+	}
 	return s.sch, nil
 }
 
@@ -145,6 +164,8 @@ type scheduler struct {
 	rt   *route.Table
 	opts Options
 	sch  *Schedule
+	// pipeline enables the modulo backend's loop pipelining in region().
+	pipeline bool
 
 	busy     [][]bool         // [pe][cycle]
 	outl     []map[int]*Value // [pe][cycle] -> routed value
@@ -213,6 +234,15 @@ func (s *scheduler) region(r *cdfg.Region, start int) (int, error) {
 		}
 		return t, nil
 	case cdfg.RLoop:
+		if s.pipeline {
+			end, ok, err := s.tryPipeline(r, start)
+			if err != nil {
+				return 0, err
+			}
+			if ok {
+				return end, nil
+			}
+		}
 		return s.loop(r, start)
 	case cdfg.RIf:
 		return s.branchedIf(r, start)

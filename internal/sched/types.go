@@ -278,8 +278,29 @@ type Schedule struct {
 	// (branched-if arms): values defined inside must not be assumed live
 	// afterwards. Recorded for allocation sanity checks.
 	CondRanges [][2]int
+	// Pipelined records every loop the modulo backend software-pipelined,
+	// with its II search diagnostics (empty under the list backend).
+	Pipelined []PipelinedLoop
 	// Stats carries scheduling statistics.
 	Stats Stats
+}
+
+// PipelinedLoop records one software-pipelined loop and the modulo
+// scheduler's search diagnostics for it.
+type PipelinedLoop struct {
+	// II is the achieved initiation interval; MII = max(ResMII, RecMII)
+	// is the lower bound, so II-MII is the achieved-vs-bound gap.
+	II, MII, ResMII, RecMII int
+	// Stages is the software-pipeline depth (overlapped iterations).
+	Stages int
+	// Ops counts the body operations placed (copies excluded); Copies the
+	// routing copies the modulo solver inserted.
+	Ops, Copies int
+	// Backtracks totals ejections across all II attempts; Attempts the
+	// number of II values tried.
+	Backtracks, Attempts int
+	// Start and End delimit the loop's context range [Start, End).
+	Start, End int
 }
 
 // Stats summarizes a scheduling run.
@@ -296,6 +317,10 @@ type Stats struct {
 	CBoxOps int
 	// Nodes counts CDFG nodes scheduled.
 	Nodes int
+	// PipelinedLoops counts loops the modulo backend software-pipelined.
+	PipelinedLoops int
+	// ModuloBacktracks totals modulo-scheduler ejections over all loops.
+	ModuloBacktracks int
 }
 
 // OpsAt returns the operations issued at the given cycle.
@@ -324,6 +349,9 @@ func (s *Schedule) MaxRFUsage() []int {
 
 // Options tunes the scheduler; the zero value is the paper's configuration.
 type Options struct {
+	// Backend selects the scheduling strategy by name ("" = "list"). See
+	// Backends() for the valid values; RunCtx rejects unknown names.
+	Backend string
 	// NoAttraction disables the attraction criterion (ablation A1):
 	// candidate PEs are tried in index order.
 	NoAttraction bool

@@ -296,8 +296,17 @@ type sysCounters struct {
 	deadlineHits   *obs.Counter
 }
 
-// New builds a system around a composition.
+// New builds a system around a composition. The daemon synthesizes ahead of
+// any invocation, so there are no representative inputs to time the "auto"
+// backend's arms with — auto is normalized to the list backend here (pick
+// "modulo" explicitly to pipeline served kernels).
 func New(comp *arch.Composition, opts pipeline.Options, threshold int64) *System {
+	if opts.Backend == pipeline.BackendAuto {
+		opts.Backend = ""
+	}
+	if opts.Sched.Backend == pipeline.BackendAuto {
+		opts.Sched.Backend = ""
+	}
 	s := &System{
 		Comp:          comp,
 		Opts:          opts,
