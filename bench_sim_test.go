@@ -8,6 +8,8 @@
 package cgra_test
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"cgra/internal/adpcm"
@@ -124,6 +126,67 @@ func BenchmarkSimProbed(b *testing.B) {
 				return m
 			})
 		})
+	}
+}
+
+// BenchmarkEngineLanes measures the batched lane engine: N identical
+// invocations run as one RunBatch against the same N run sequentially on
+// the scalar fast path. The reported `cycles/sec` is aggregate simulated
+// cycles per second across the batch; `lane-speedup` is its ratio to this
+// machine's scalar fast-path throughput measured in the same process.
+//
+//	go test -bench 'BenchmarkEngineLanes/' -run '^$' .
+func BenchmarkEngineLanes(b *testing.B) {
+	for _, tc := range simBenchCases(b) {
+		tc := tc
+		eng, err := tc.c.Engine()
+		if err != nil {
+			b.Fatalf("predecode: %v", err)
+		}
+		// Scalar baseline for the speedup metric, measured once per kernel.
+		var scalarPerSec float64
+		b.Run(tc.name+"/scalar", func(b *testing.B) {
+			runSimBench(b, tc, tc.c.Machine)
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				res, err := tc.c.Machine().Run(tc.args, tc.host())
+				if err != nil {
+					b.Fatal(err)
+				}
+				scalarPerSec = float64(res.TotalCycles()) * float64(b.N) / sec
+			}
+		})
+		for _, n := range []int{1, 4, 16, 64} {
+			n := n
+			b.Run(fmt.Sprintf("%s/N=%d", tc.name, n), func(b *testing.B) {
+				ctx := context.Background()
+				reqs := make([]sim.BatchRequest, n)
+				b.ReportAllocs()
+				b.ResetTimer()
+				var cycles int64
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					for j := range reqs {
+						reqs[j] = sim.BatchRequest{Args: tc.args, Host: tc.host()}
+					}
+					b.StartTimer()
+					for _, o := range eng.RunBatch(ctx, 0, reqs) {
+						if o.Err != nil {
+							b.Fatal(o.Err)
+						}
+						cycles = o.Res.TotalCycles()
+					}
+				}
+				b.StopTimer()
+				if sec := b.Elapsed().Seconds(); sec > 0 {
+					agg := float64(cycles) * float64(n) * float64(b.N) / sec
+					b.ReportMetric(agg, "cycles/sec")
+					if scalarPerSec > 0 {
+						b.ReportMetric(agg/scalarPerSec, "lane-speedup")
+					}
+				}
+				b.ReportMetric(float64(cycles), "cgra-cycles")
+			})
+		}
 	}
 }
 

@@ -9,9 +9,13 @@
 //	                simulator throughput, higher is better
 //	-kind pipeline  BENCH_pipeline.json (tables -bench-json): end-to-end
 //	                kernel cycles, lower is better
+//	-kind lanes     BENCH_lanes.json (tables -lanes-bench-json): batched
+//	                lane-engine throughput at N=16, higher is better, plus
+//	                an absolute >= 3x speedup floor on fir/dot/adpcm
 //
 //	benchguard -baseline BENCH_sim.json -current BENCH_sim_new.json -tolerance 0.30
 //	benchguard -kind pipeline -baseline BENCH_pipeline.json -current BENCH_pipeline_new.json
+//	benchguard -kind lanes -baseline BENCH_lanes.json -current BENCH_lanes_new.json
 //
 // Only regressions fail the build. Improvements and new kernels are
 // reported but pass; a kernel present in the baseline but missing from the
@@ -28,7 +32,7 @@ import (
 )
 
 func main() {
-	kind := flag.String("kind", "sim", "document kind: sim (throughput, higher is better) or pipeline (cycles, lower is better)")
+	kind := flag.String("kind", "sim", "document kind: sim (throughput, higher is better), pipeline (cycles, lower is better) or lanes (batched throughput + speedup floor)")
 	baseline := flag.String("baseline", "BENCH_sim.json", "committed baseline benchmark document")
 	current := flag.String("current", "", "freshly measured benchmark document")
 	tolerance := flag.Float64("tolerance", 0.30, "maximum allowed fractional regression (0.30 = 30%)")
@@ -43,8 +47,10 @@ func main() {
 		failed = gateSim(*baseline, *current, *tolerance)
 	case "pipeline":
 		failed = gatePipeline(*baseline, *current, *tolerance)
+	case "lanes":
+		failed = gateLanes(*baseline, *current, *tolerance)
 	default:
-		fmt.Fprintf(os.Stderr, "benchguard: unknown -kind %q (want sim or pipeline)\n", *kind)
+		fmt.Fprintf(os.Stderr, "benchguard: unknown -kind %q (want sim, pipeline or lanes)\n", *kind)
 		os.Exit(2)
 	}
 	if failed {
@@ -141,6 +147,72 @@ func gatePipeline(baseline, current string, tolerance float64) bool {
 	return failed
 }
 
+// lanesGatedKernels are held to an absolute batched-speedup floor at N=16;
+// the rest (divergent control flow like gcd) only gate on throughput
+// regression against their own baseline.
+var lanesGatedKernels = map[string]bool{"fir": true, "dot": true, "adpcm": true}
+
+const lanesSpeedupFloor = 3.0
+
+// gateLanes compares batched lane-engine aggregate throughput at N=16
+// (higher is better) and enforces the absolute speedup floor on the gated
+// kernels, so the data-parallel engine can never silently decay back to
+// N sequential scalar runs while still "matching its baseline".
+func gateLanes(baseline, current string, tolerance float64) bool {
+	base, err := readLanesDoc(baseline)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := readLanesDoc(current)
+	if err != nil {
+		fatal(err)
+	}
+	at16 := func(e exper.LanesBenchEntry) float64 {
+		for _, p := range e.Lanes {
+			if p.N == 16 {
+				return p.CyclesPerSec
+			}
+		}
+		return 0
+	}
+	curByName := map[string]exper.LanesBenchEntry{}
+	for _, e := range cur.Workloads {
+		curByName[e.Name] = e
+	}
+	failed := false
+	for _, b := range base.Workloads {
+		c, ok := curByName[b.Name]
+		if !ok {
+			fmt.Printf("benchguard: FAIL %-10s missing from current run\n", b.Name)
+			failed = true
+			continue
+		}
+		delete(curByName, b.Name)
+		bAgg, cAgg := at16(b), at16(c)
+		if bAgg <= 0 {
+			fmt.Printf("benchguard: skip %-10s baseline has no N=16 throughput\n", b.Name)
+			continue
+		}
+		ratio := cAgg / bAgg
+		status := "ok  "
+		if ratio < 1-tolerance {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("benchguard: %s %-10s lanes N=16 %10.0f -> %10.0f cyc/s (%+.1f%%)\n",
+			status, b.Name, bAgg, cAgg, (ratio-1)*100)
+		if lanesGatedKernels[b.Name] && c.Speedup16 < lanesSpeedupFloor {
+			fmt.Printf("benchguard: FAIL %-10s N=16 speedup %.2fx below %.1fx floor\n",
+				b.Name, c.Speedup16, lanesSpeedupFloor)
+			failed = true
+		}
+	}
+	for name := range curByName {
+		fmt.Printf("benchguard: note %-10s new kernel, no baseline\n", name)
+	}
+	return failed
+}
+
 func readSimDoc(path string) (*exper.SimBenchResult, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -161,6 +233,19 @@ func readPipelineDoc(path string) (*exper.BenchResult, error) {
 	}
 	defer f.Close()
 	b, err := exper.ReadBench(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return b, nil
+}
+
+func readLanesDoc(path string) (*exper.LanesBenchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b, err := exper.ReadLanesBench(f)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %v", path, err)
 	}

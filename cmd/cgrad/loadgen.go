@@ -27,6 +27,10 @@ type loadgenConfig struct {
 	Iters      int
 	BenchJSON  string
 	ExpectWarm bool
+	// ExpectBatched fails the loadgen unless the daemon coalesced at least
+	// one run (client-observed and metric-confirmed) — the CI smoke asserts
+	// the batching path is actually exercised, not silently bypassed.
+	ExpectBatched bool
 	// Seed drives the kernel mix. Worker g uses rand.NewSource(Seed+g), so
 	// a given (seed, clients, iters) triple replays the exact same request
 	// sequence regardless of goroutine interleaving.
@@ -74,6 +78,17 @@ type benchReport struct {
 	RunsPerSec float64       `json:"runs_per_sec"`
 	RunP50MS   float64       `json:"run_p50_ms"`
 	RunP99MS   float64       `json:"run_p99_ms"`
+	// Solo/Batched latencies split the run phase: the solo pass opts every
+	// request out of coalescing (no_batch), the batched pass replays the
+	// same deterministic mix through the coalescer.
+	SoloP50MS    float64 `json:"solo_p50_ms,omitempty"`
+	SoloP99MS    float64 `json:"solo_p99_ms,omitempty"`
+	BatchedP50MS float64 `json:"batched_p50_ms,omitempty"`
+	BatchedP99MS float64 `json:"batched_p99_ms,omitempty"`
+	// BatchedRuns counts responses that rode a coalesced engine pass;
+	// LanesPerFlush is the daemon-side mean batch size over all flushes.
+	BatchedRuns   int64   `json:"batched_runs"`
+	LanesPerFlush float64 `json:"lanes_per_flush,omitempty"`
 	// P99Attribution breaks the slowest runs down by span: mean self-time
 	// (child time excluded) in milliseconds per span name, aggregated over
 	// the daemon's slowest-run trace reservoir. It answers "where does the
@@ -100,6 +115,33 @@ func fetchJSON(base, path string, out any) error {
 		return fmt.Errorf("GET %s: HTTP %d", path, resp.StatusCode)
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// batchCounters scrapes the daemon's metrics and returns the total number
+// of coalesced lanes (cgra_run_batched_total) and batch flushes
+// (cgra_run_batch_flush_total summed over flush reasons).
+func batchCounters(target string) (lanes, flushes float64, err error) {
+	var doc struct {
+		Metrics []struct {
+			Name  string   `json:"name"`
+			Value *float64 `json:"value"`
+		} `json:"metrics"`
+	}
+	if err := fetchJSON(target, "/metrics?format=json", &doc); err != nil {
+		return 0, 0, err
+	}
+	for _, m := range doc.Metrics {
+		if m.Value == nil {
+			continue
+		}
+		switch m.Name {
+		case "cgra_run_batched_total":
+			lanes += *m.Value
+		case "cgra_run_batch_flush_total":
+			flushes += *m.Value
+		}
+	}
+	return lanes, flushes, nil
 }
 
 // selfTimes accumulates each span's self-time (duration minus direct
@@ -333,74 +375,114 @@ func runLoadgen(cfg loadgenConfig) error {
 			k.name, bk.ColdMS, bk.ColdSource, bk.WarmMS, bk.WarmSource, bk.Speedup)
 	}
 
-	// Phase 3: concurrent reference-checked runs over the mixed set. Each
-	// worker draws kernels from its own deterministic RNG stream (seeded
-	// from -seed plus the worker index), so the request mix replays exactly
-	// across invocations while still interleaving freely on the wire.
-	var runs, runErrors, onCGRA atomic.Int64
-	latencies := make([][]time.Duration, cfg.Clients)
-	start := time.Now()
-	var wg sync.WaitGroup
+	// Phase 3: concurrent reference-checked runs over the mixed set, twice:
+	// a solo pass with every request opted out of coalescing (no_batch),
+	// then a batched pass replaying the identical mix through the coalescer.
+	// Each worker draws kernels from its own deterministic RNG stream
+	// (seeded from -seed plus the worker index), so both passes submit the
+	// same request sequence regardless of goroutine interleaving.
+	var runs, runErrors, onCGRA, batched atomic.Int64
 	errCh := make(chan error, cfg.Clients)
-	for g := 0; g < cfg.Clients; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(g)))
-			lats := make([]time.Duration, 0, cfg.Iters)
-			for i := 0; i < cfg.Iters; i++ {
-				k := set[rng.Intn(len(set))]
-				t0 := time.Now()
-				resp, err := c.Run(ctx, k.name, k.freshArgs(), k.freshArrays())
-				elapsed := time.Since(t0)
-				lats = append(lats, elapsed)
-				runs.Add(1)
-				if cfg.SlowLog > 0 && elapsed >= cfg.SlowLog && err == nil {
-					fmt.Printf("cgrad: slow run %-14s %8.3f ms  trace %s\n",
-						k.name, float64(elapsed.Microseconds())/1000, resp.TraceID)
-				}
-				if err != nil {
-					runErrors.Add(1)
-					select {
-					case errCh <- fmt.Errorf("run %s: %v", k.name, err):
-					default:
+	runPhase := func(noBatch bool) []time.Duration {
+		latencies := make([][]time.Duration, cfg.Clients)
+		var wg sync.WaitGroup
+		for g := 0; g < cfg.Clients; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(g)))
+				lats := make([]time.Duration, 0, cfg.Iters)
+				for i := 0; i < cfg.Iters; i++ {
+					k := set[rng.Intn(len(set))]
+					req := server.RunRequest{
+						Kernel:  k.name,
+						Args:    k.freshArgs(),
+						Arrays:  k.freshArrays(),
+						NoBatch: noBatch,
 					}
-					continue
-				}
-				if resp.OnCGRA {
-					onCGRA.Add(1)
-				}
-				if err := k.check(resp); err != nil {
-					runErrors.Add(1)
-					select {
-					case errCh <- err:
-					default:
+					t0 := time.Now()
+					resp, err := c.RunReq(ctx, req)
+					elapsed := time.Since(t0)
+					lats = append(lats, elapsed)
+					runs.Add(1)
+					if cfg.SlowLog > 0 && elapsed >= cfg.SlowLog && err == nil {
+						fmt.Printf("cgrad: slow run %-14s %8.3f ms  trace %s\n",
+							k.name, float64(elapsed.Microseconds())/1000, resp.TraceID)
+					}
+					if err != nil {
+						runErrors.Add(1)
+						select {
+						case errCh <- fmt.Errorf("run %s: %v", k.name, err):
+						default:
+						}
+						continue
+					}
+					if resp.OnCGRA {
+						onCGRA.Add(1)
+					}
+					if resp.Batched {
+						batched.Add(1)
+					}
+					if err := k.check(resp); err != nil {
+						runErrors.Add(1)
+						select {
+						case errCh <- err:
+						default:
+						}
 					}
 				}
-			}
-			latencies[g] = lats
-		}(g)
+				latencies[g] = lats
+			}(g)
+		}
+		wg.Wait()
+		var all []time.Duration
+		for _, lats := range latencies {
+			all = append(all, lats...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		return all
 	}
-	wg.Wait()
+
+	start := time.Now()
+	soloLat := runPhase(true)
+	batchLat := runPhase(false)
 	wall := time.Since(start)
-	var allLat []time.Duration
-	for _, lats := range latencies {
-		allLat = append(allLat, lats...)
-	}
+	allLat := append(append([]time.Duration(nil), soloLat...), batchLat...)
 	sort.Slice(allLat, func(i, j int) bool { return allLat[i] < allLat[j] })
 
 	report.Runs = runs.Load()
 	report.RunErrors = runErrors.Load()
 	report.OnCGRA = onCGRA.Load()
+	report.BatchedRuns = batched.Load()
 	report.WallMS = float64(wall.Microseconds()) / 1000
 	if wall > 0 {
 		report.RunsPerSec = float64(report.Runs) / wall.Seconds()
 	}
 	report.RunP50MS = percentile(allLat, 50)
 	report.RunP99MS = percentile(allLat, 99)
+	report.SoloP50MS = percentile(soloLat, 50)
+	report.SoloP99MS = percentile(soloLat, 99)
+	report.BatchedP50MS = percentile(batchLat, 50)
+	report.BatchedP99MS = percentile(batchLat, 99)
 	fmt.Printf("cgrad: %d runs (%d on CGRA, %d errors) in %.1f ms — %.0f runs/s, p50 %.3f ms, p99 %.3f ms\n",
 		report.Runs, report.OnCGRA, report.RunErrors, report.WallMS, report.RunsPerSec,
 		report.RunP50MS, report.RunP99MS)
+	fmt.Printf("cgrad: solo    p50 %.3f ms, p99 %.3f ms\n", report.SoloP50MS, report.SoloP99MS)
+	fmt.Printf("cgrad: batched p50 %.3f ms, p99 %.3f ms (%d of %d runs coalesced)\n",
+		report.BatchedP50MS, report.BatchedP99MS, report.BatchedRuns, int64(len(batchLat)))
+
+	// Daemon-side batching counters: mean lanes per flush confirms the
+	// coalescer actually merged lanes rather than flushing singletons.
+	if lanes, flushes, err := batchCounters(cfg.Target); err != nil {
+		fmt.Fprintf(os.Stderr, "cgrad: batch metrics unavailable: %v\n", err)
+	} else if flushes > 0 {
+		report.LanesPerFlush = lanes / flushes
+		fmt.Printf("cgrad: coalescer: %.0f lanes over %.0f flushes — %.2f lanes/flush\n",
+			lanes, flushes, report.LanesPerFlush)
+	}
+	if cfg.ExpectBatched && report.BatchedRuns == 0 {
+		return fmt.Errorf("expected coalesced runs, got none (is the daemon serving with -batch-window?)")
+	}
 
 	// Tail attribution: reduce the daemon's slowest-run traces to mean
 	// self-time per span, so the report says where the p99 went, not just

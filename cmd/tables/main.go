@@ -33,9 +33,10 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "write per-workload compile+sim timings to this JSON file (use BENCH_pipeline.json)")
 	simBenchJSON := flag.String("sim-bench-json", "", "write simulator interp-vs-fast-path throughput to this JSON file (use BENCH_sim.json)")
 	moduloBenchJSON := flag.String("modulo-bench-json", "", "write the list-vs-modulo backend comparison to this JSON file (use BENCH_modulo.json)")
+	lanesBenchJSON := flag.String("lanes-bench-json", "", "write scalar-vs-batched engine throughput to this JSON file (use BENCH_lanes.json)")
 	flag.Parse()
 
-	all := *table == 0 && *figure == 0 && !*speedup && !*ablations && !*compositions && !*energy && !*mul && *benchJSON == "" && *simBenchJSON == "" && *moduloBenchJSON == ""
+	all := *table == 0 && *figure == 0 && !*speedup && !*ablations && !*compositions && !*energy && !*mul && *benchJSON == "" && *simBenchJSON == "" && *moduloBenchJSON == "" && *lanesBenchJSON == ""
 
 	s, err := exper.NewSetup()
 	if err != nil {
@@ -49,6 +50,9 @@ func main() {
 	}
 	if *moduloBenchJSON != "" {
 		writeModuloBench(*moduloBenchJSON)
+	}
+	if *lanesBenchJSON != "" {
+		writeLanesBench(s, *lanesBenchJSON)
 	}
 	if all || *table == 1 {
 		printTableI(s)
@@ -164,6 +168,35 @@ func writeSimBench(s *exper.Setup, path string) {
 			e.Name, e.InterpCyclesPerSec, e.FastCyclesPerSec, e.Speedup, e.FastAllocsPerCycle)
 	}
 	fmt.Printf("wrote %d simulator benchmarks to %s\n", len(b.Workloads), path)
+}
+
+// writeLanesBench measures scalar-vs-batched engine throughput and writes
+// the result as JSON (committed as BENCH_lanes.json; cmd/benchguard gates
+// CI against it with -kind lanes).
+func writeLanesBench(s *exper.Setup, path string) {
+	b, err := exper.LanesBench(s)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	err = b.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+	for _, e := range b.Workloads {
+		fmt.Printf("lanes-bench: %-10s scalar %11.0f cyc/s", e.Name, e.ScalarCyclesPerSec)
+		for _, p := range e.Lanes {
+			fmt.Printf("  N=%-2d %5.2fx", p.N, p.Speedup)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("wrote %d lane benchmarks to %s\n", len(b.Workloads), path)
 }
 
 func i64(v int64) string { return strconv.FormatInt(v, 10) }

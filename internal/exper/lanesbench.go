@@ -1,0 +1,171 @@
+package exper
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"cgra/internal/adpcm"
+	"cgra/internal/arch"
+	"cgra/internal/ir"
+	"cgra/internal/pipeline"
+	"cgra/internal/sim"
+	"cgra/internal/workload"
+)
+
+// LanesBenchLaneCounts is the lane-count sweep measured per kernel.
+var LanesBenchLaneCounts = []int{1, 4, 16, 64}
+
+// LanesPoint is the aggregate throughput of one lane count: simulated
+// cycles per wall-clock second summed across all lanes of the batch, and
+// its ratio to running the same N invocations as sequential scalar runs.
+type LanesPoint struct {
+	N            int     `json:"n"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// LanesBenchEntry is one kernel's scalar-vs-batched engine throughput.
+type LanesBenchEntry struct {
+	Name string `json:"name"`
+	// Cycles is the simulated CGRA cycle count of one lane's run.
+	Cycles int64 `json:"cycles"`
+	// ScalarCyclesPerSec is the predecoded fast path running one
+	// invocation at a time (the N-sequential-runs baseline).
+	ScalarCyclesPerSec float64 `json:"scalar_cycles_per_sec"`
+	// Lanes is the batched sweep over LanesBenchLaneCounts.
+	Lanes []LanesPoint `json:"lanes"`
+	// Speedup16 is the N=16 point's speedup, the number the CI gate
+	// (benchguard -kind lanes) enforces on the gated kernels.
+	Speedup16 float64 `json:"speedup_16"`
+}
+
+// LanesBenchResult is the document written by `tables -lanes-bench-json`
+// (committed as BENCH_lanes.json and gated in CI by cmd/benchguard).
+type LanesBenchResult struct {
+	Composition string            `json:"composition"`
+	Workloads   []LanesBenchEntry `json:"workloads"`
+}
+
+// LanesBench measures batched-engine throughput for the benchmark kernel
+// set on the "9 PEs" reference composition: one scalar fast-path baseline
+// per kernel, then sim.RunBatch at each lane count, reporting aggregate
+// simulated cycles per second across the batch.
+func LanesBench(s *Setup) (*LanesBenchResult, error) {
+	comp, err := arch.ByName("9 PEs")
+	if err != nil {
+		return nil, err
+	}
+	out := &LanesBenchResult{Composition: comp.Name}
+	type bcase struct {
+		name string
+		k    *ir.Kernel
+		args map[string]int32
+		host func() *ir.Host
+	}
+	var cases []bcase
+	for _, name := range []string{"gcd", "fir", "dot", "bitcount"} {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		cases = append(cases, bcase{
+			name: name,
+			k:    w.Kernel,
+			args: w.Args(w.DefaultSize),
+			host: func() *ir.Host { return w.Host(w.DefaultSize) },
+		})
+	}
+	cases = append(cases, bcase{
+		name: "adpcm",
+		k:    adpcm.Kernel(),
+		args: adpcm.Args(s.N, adpcm.State{}),
+		host: func() *ir.Host { return adpcm.NewHost(s.Codes, s.N) },
+	})
+	for _, bc := range cases {
+		c, err := pipeline.Compile(bc.k, comp, Options())
+		if err != nil {
+			return nil, fmt.Errorf("lanesbench %s: %v", bc.name, err)
+		}
+		eng, err := c.Engine()
+		if err != nil {
+			return nil, fmt.Errorf("lanesbench %s: predecode: %v", bc.name, err)
+		}
+		e := LanesBenchEntry{Name: bc.name}
+		cycles, perSec, _, err := measureSim(c.Machine, bc.args, bc.host)
+		if err != nil {
+			return nil, fmt.Errorf("lanesbench %s scalar: %v", bc.name, err)
+		}
+		e.Cycles, e.ScalarCyclesPerSec = cycles, perSec
+		for _, n := range LanesBenchLaneCounts {
+			agg, err := measureLanes(eng, bc.args, bc.host, n, cycles)
+			if err != nil {
+				return nil, fmt.Errorf("lanesbench %s N=%d: %v", bc.name, n, err)
+			}
+			pt := LanesPoint{N: n, CyclesPerSec: agg}
+			if e.ScalarCyclesPerSec > 0 {
+				pt.Speedup = agg / e.ScalarCyclesPerSec
+			}
+			if n == 16 {
+				e.Speedup16 = pt.Speedup
+			}
+			e.Lanes = append(e.Lanes, pt)
+		}
+		out.Workloads = append(out.Workloads, e)
+	}
+	return out, nil
+}
+
+// measureLanes drives warm RunBatch calls of n identical-argument lanes
+// (each on a fresh host) until the measurement window elapses and returns
+// aggregate simulated cycles per second across the batch.
+func measureLanes(eng *sim.Decoded, args map[string]int32, host func() *ir.Host, n int, cycles int64) (float64, error) {
+	ctx := context.Background()
+	mk := func() []sim.BatchRequest {
+		reqs := make([]sim.BatchRequest, n)
+		for i := range reqs {
+			reqs[i] = sim.BatchRequest{Args: args, Host: host()}
+		}
+		return reqs
+	}
+	// Warm-up: lane-slab allocation, code paths hot.
+	for _, o := range eng.RunBatch(ctx, 0, mk()) {
+		if o.Err != nil {
+			return 0, o.Err
+		}
+	}
+	start := time.Now()
+	iters := 0
+	for time.Since(start) < simBenchMinTime || iters < 5 {
+		outs := eng.RunBatch(ctx, 0, mk())
+		for _, o := range outs {
+			if o.Err != nil {
+				return 0, o.Err
+			}
+		}
+		iters++
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		return 0, nil
+	}
+	return float64(cycles) * float64(n) * float64(iters) / elapsed, nil
+}
+
+// WriteJSON renders the lanes bench result as an indented JSON document.
+func (b *LanesBenchResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadLanesBench parses a document previously written by WriteJSON.
+func ReadLanesBench(r io.Reader) (*LanesBenchResult, error) {
+	b := &LanesBenchResult{}
+	if err := json.NewDecoder(r).Decode(b); err != nil {
+		return nil, fmt.Errorf("lanes bench: %v", err)
+	}
+	return b, nil
+}

@@ -120,9 +120,15 @@ func (c *Client) Compile(ctx context.Context, source string, deadline time.Durat
 
 // Run invokes a compiled (or at least registered) kernel.
 func (c *Client) Run(ctx context.Context, kernel string, args map[string]int32, arrays map[string][]int32) (*RunResponse, error) {
-	req := RunRequest{Kernel: kernel, Args: args, Arrays: arrays}
+	return c.RunReq(ctx, RunRequest{Kernel: kernel, Args: args, Arrays: arrays})
+}
+
+// RunReq invokes a kernel with full control over the request body (per-run
+// deadline, batching opt-out). The loadgen's solo phases use NoBatch to
+// measure uncoalesced latency against a batching daemon.
+func (c *Client) RunReq(ctx context.Context, req RunRequest) (*RunResponse, error) {
 	var resp RunResponse
-	if err := c.post(ctx, "/v1/run", 0, req, &resp); err != nil {
+	if err := c.post(ctx, "/v1/run", req.DeadlineMS, req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil

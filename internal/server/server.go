@@ -73,6 +73,13 @@ type Config struct {
 	MaxInFlight int
 	// DefaultDeadline applies to requests that carry none (0 = 30s).
 	DefaultDeadline time.Duration
+	// BatchWindow enables same-artifact coalescing on /v1/run: requests
+	// for one installed artifact arriving within this linger window run as
+	// data-parallel lanes of a single engine pass (0 = batching off).
+	BatchWindow time.Duration
+	// BatchMaxLanes bounds one batch; a batch that fills flushes without
+	// waiting out the window (0 = 16).
+	BatchMaxLanes int
 	// BrownoutWindow and BrownoutThreshold arm brownout mode when that many
 	// requests are shed inside the window (0 = 1s / 4); BrownoutHold keeps
 	// it armed after the last trigger (0 = 2s).
@@ -121,6 +128,7 @@ type Server struct {
 	bo      *brownout
 	flight  *obs.FlightRecorder
 	cluster *clusterState
+	batcher *runBatcher
 
 	inflight       *obs.Gauge
 	shed           *obs.Counter
@@ -198,6 +206,9 @@ func New(cfg Config) (*Server, error) {
 		brownoutG:      reg.Gauge("cgra_server_brownout"),
 		brownoutServes: reg.Counter("cgra_server_brownout_serves_total"),
 		latency:        reg.Histogram("cgra_server_request_seconds", requestLatencyBuckets),
+	}
+	if cfg.BatchWindow > 0 {
+		s.batcher = newRunBatcher(sys, reg, cfg.BatchWindow, cfg.BatchMaxLanes, deadline)
 	}
 	if cfg.Advertise != "" && len(cfg.Peers) > 0 {
 		s.cluster = newClusterState(cfg, reg)
@@ -482,6 +493,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) int {
 	}
 	dec.Set("arrays", int64(len(req.Arrays)))
 	dec.Finish()
+	if s.batcher != nil && !req.NoBatch {
+		if code, handled := s.serveBatched(w, r, &req, host); handled {
+			return code
+		}
+	}
 	res, err := s.sys.InvokeCtx(ctx, req.Kernel, req.Args, host)
 	if err != nil {
 		if errIsDeadline(err) {
@@ -608,6 +624,9 @@ type RunRequest struct {
 	Args       map[string]int32   `json:"args,omitempty"`
 	Arrays     map[string][]int32 `json:"arrays,omitempty"`
 	DeadlineMS int64              `json:"deadline_ms,omitempty"`
+	// NoBatch opts this request out of same-artifact coalescing (used by
+	// benchmark solo phases and latency-critical callers).
+	NoBatch bool `json:"no_batch,omitempty"`
 }
 
 // RunResponse reports one execution.
@@ -621,6 +640,10 @@ type RunResponse struct {
 	// under overload instead of being shed. Correct, but no accelerator
 	// cycle count.
 	Degraded bool `json:"degraded,omitempty"`
+	// Batched marks a coalesced result: this request ran as one lane of a
+	// shared engine pass; BatchLanes is how many lanes that pass carried.
+	Batched    bool `json:"batched,omitempty"`
+	BatchLanes int  `json:"batch_lanes,omitempty"`
 	// TraceID identifies this request's trace in /debug/traces/{id}.
 	TraceID string `json:"trace_id,omitempty"`
 }

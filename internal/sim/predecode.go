@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"cgra/internal/arch"
 	"cgra/internal/ctxgen"
@@ -38,19 +39,36 @@ const (
 type dslot struct {
 	pe   int32
 	kind int8
-	// Operand A/B: mode (SrcNone/SrcReg/SrcRoute), flat RF offset for
-	// SrcReg, source PE for SrcRoute.
+	// Operand A/B: mode (SrcNone/SrcReg/SrcRoute) and flat RF offset. For
+	// SrcRoute the offset is the source PE's presented register (resolved
+	// at decode), which the lane engine reads directly; the scalar path
+	// reads the latched outl via aSrc/bSrc instead.
 	aMode, bMode int8
 	aOff, bOff   int32
 	aSrc, bSrc   int32
 	writeEnable  bool
 	predicated   bool
-	wOff         int32
-	op           arch.OpCode
-	imm          int32
-	array        int32
-	dur          int32
-	energy       float64
+	// direct marks a write the lane engine may commit straight into the RF
+	// during issue instead of deferring to the end-of-cycle ring. For
+	// single-cycle ALU writes the condition is that no later slot of the
+	// same context reads wOff and no ring-committed writer ever targets
+	// wOff. For multi-cycle ALU writes and resolved loads the commit
+	// normally lands dur-1 cycles after issue, so the early commit is
+	// additionally proven unobservable: no context reachable within dur-1
+	// cycles reads wOff (operand or routing output) or writes it (RF
+	// offsets are per-PE, so every condition is checkable at decode time).
+	direct bool
+	// resolveLoad marks a LOAD from an array no STORE in the program ever
+	// targets: the loaded value cannot change between issue and commit, so
+	// the lane engine reads the host array at issue and defers only the
+	// cheap register write (the RF commit still lands at the scalar cycle).
+	resolveLoad bool
+	wOff        int32
+	op          arch.OpCode
+	imm         int32
+	array       int32
+	dur         int32
+	energy      float64
 }
 
 // outlSlot is one predecoded routing-output capture: at this slot's
@@ -93,6 +111,14 @@ type Decoded struct {
 	cbox []ctxgen.CBoxCtx
 	ccu  []ctxgen.CCUCtx
 
+	// Batched-lane metadata (see runlanes.go): per-context phase-activity
+	// flags and the due-cycle ring geometry, resolved once at decode time so
+	// the lane engine can skip inactive phases without re-deriving anything
+	// per cycle.
+	cmeta    []ctxMeta
+	ringSize int // power of two ≥ the longest op duration
+	ringMask int
+
 	// arrays maps DMA array IDs to host array names.
 	arrays   []string
 	liveIns  []decHome
@@ -100,6 +126,13 @@ type Decoded struct {
 	transfer int64
 
 	pool sync.Pool
+	// ready is a single-slot fast cache in front of pool: sync.Pool may be
+	// drained by any GC, which made one-shot short runs (gcd-style) pay a
+	// full state allocation per run. The slot survives GC, so after the
+	// first run a sequential caller never allocates again.
+	ready atomic.Pointer[runState]
+	// lanePool recycles the batched-run lane slabs (see runlanes.go).
+	lanePool sync.Pool
 }
 
 // fpend is one pending end-of-cycle commit on the fast path (the
@@ -134,9 +167,12 @@ type runState struct {
 	hostArr [][]int32
 }
 
-// getState draws a reset runState from the pool.
+// getState draws a reset runState from the ready slot or the pool.
 func (d *Decoded) getState() *runState {
-	rs, _ := d.pool.Get().(*runState)
+	rs := d.ready.Swap(nil)
+	if rs == nil {
+		rs, _ = d.pool.Get().(*runState)
+	}
 	if rs == nil {
 		rs = &runState{
 			rf:           make([]int32, d.rfTotal),
@@ -160,6 +196,9 @@ func (d *Decoded) getState() *runState {
 func (d *Decoded) putState(rs *runState) {
 	for i := range rs.hostArr {
 		rs.hostArr[i] = nil // do not pin host heaps beyond the run
+	}
+	if d.ready.CompareAndSwap(nil, rs) {
+		return
 	}
 	d.pool.Put(rs)
 }
@@ -304,7 +343,207 @@ func Predecode(prog *ctxgen.Program) (*Decoded, error) {
 		}
 	}
 	d.transfer = int64(2 * (len(d.liveIns) + len(d.liveOuts)))
+	d.finalizeLaneMeta()
 	return d, nil
+}
+
+// ctxMeta is the lane engine's per-context phase-activity summary: which
+// per-lane phases context c actually needs, so a batched step touches only
+// live machinery (most contexts use one PE slot and nothing else).
+type ctxMeta struct {
+	hasPred  bool  // some slot is predicated: latch the C-Box outPE signal
+	needCtrl bool  // CCU conditionally jumps: latch the branch-select signal
+	needCBox bool  // C-Box consumes or recombines this context
+	halt     bool  // CCUJump to itself: lanes reaching this context finish
+	next     int32 // next CCNT when the CCU is unconditional
+}
+
+// finalizeLaneMeta derives the batched-lane metadata: per-context activity
+// flags, the pending-commit ring geometry, load resolvability, and
+// per-slot direct-write eligibility (see dslot.direct and
+// dslot.resolveLoad).
+func (d *Decoded) finalizeLaneMeta() {
+	maxDur := int32(1)
+	storeTo := make([]bool, len(d.arrays))
+	for i := range d.slots {
+		sl := &d.slots[i]
+		if sl.dur > maxDur {
+			maxDur = sl.dur
+		}
+		if sl.kind == slotStore {
+			storeTo[sl.array] = true
+		}
+	}
+	for i := range d.slots {
+		sl := &d.slots[i]
+		if sl.kind == slotLoad && !storeTo[sl.array] {
+			sl.resolveLoad = true
+		}
+	}
+	d.ringSize = 1
+	for d.ringSize < int(maxDur) {
+		d.ringSize <<= 1
+	}
+	d.ringMask = d.ringSize - 1
+
+	d.cmeta = make([]ctxMeta, d.numCtx)
+	for c := 0; c < d.numCtx; c++ {
+		m := &d.cmeta[c]
+		cb := &d.cbox[c]
+		ccu := &d.ccu[c]
+		m.needCBox = cb.Consume || cb.Recombine
+		m.needCtrl = ccu.Mode == ctxgen.CCUCondJump
+		m.halt = ccu.Mode == ctxgen.CCUJump && ccu.Target == c
+		m.next = int32(c + 1)
+		if ccu.Mode == ctxgen.CCUJump {
+			m.next = int32(ccu.Target)
+		}
+		for i := d.slotIdx[c]; i < d.slotIdx[c+1]; i++ {
+			if d.slots[i].predicated {
+				m.hasPred = true
+			}
+		}
+	}
+	d.analyzeDirect()
+}
+
+// analyzeDirect decides, per RF-writing slot, whether the lane engine may
+// commit the value at issue (dslot.direct) instead of through the
+// end-of-cycle ring. RF offsets are per-PE disjoint, so all hazards are
+// visible statically.
+//
+// A commit moved from cycle T+dur-1 to T is observable only if something
+// touches wOff in the window (T, T+dur-1]: an operand read or routing
+// output presents the old value there, or a competing write creates a
+// commit-order inversion. The window for a dur-cycle op spans the next
+// dur-1 executed contexts, a set reachable from the CCU tables. A write
+// elsewhere in the same context is impossible (one slot per PE per
+// context), and a later slot of the same context reading wOff via SrcReg
+// must see the pre-commit value, which is checked separately.
+//
+// Competing ring commits to the same offset are ruled out by requiring
+// every deferred-commit writer of wOff (multi-cycle ALU or load) to pass
+// the same test: then all commits to wOff happen at their issue cycles in
+// both engines, and issue order equals scalar commit order.
+func (d *Decoded) analyzeDirect() {
+	// Per-context offset touch sets for the window test.
+	readAt := make([]map[int32]bool, d.numCtx)
+	writeAt := make([]map[int32]bool, d.numCtx)
+	succ := make([][]int32, d.numCtx)
+	for c := 0; c < d.numCtx; c++ {
+		r := map[int32]bool{}
+		w := map[int32]bool{}
+		for i := d.slotIdx[c]; i < d.slotIdx[c+1]; i++ {
+			sl := &d.slots[i]
+			if sl.aMode != int8(ctxgen.SrcNone) {
+				r[sl.aOff] = true // SrcRoute carries its resolved RF offset
+			}
+			if sl.bMode != int8(ctxgen.SrcNone) {
+				r[sl.bOff] = true
+			}
+			if sl.kind == slotLoad || ((sl.kind == slotALU || sl.kind == slotCompare) && sl.writeEnable) {
+				w[sl.wOff] = true
+			}
+		}
+		for _, o := range d.outls[d.outlIdx[c]:d.outlIdx[c+1]] {
+			r[o.off] = true // a routing output is an RF read
+		}
+		readAt[c], writeAt[c] = r, w
+		m := &d.cmeta[c]
+		switch {
+		case m.halt: // terminal: no cycle ever follows
+		case m.needCtrl:
+			succ[c] = []int32{int32(c + 1), int32(d.ccu[c].Target)}
+		default:
+			succ[c] = []int32{m.next}
+		}
+	}
+
+	// windowClear reports whether no context reachable within 1..depth
+	// steps of c touches off. Out-of-range successors are ignored: a lane
+	// stepping there dies with a CCNT error before any read could happen.
+	windowClear := func(c int, off int32, depth int32) bool {
+		type node struct {
+			c int32
+			d int32
+		}
+		frontier := []node{{int32(c), 0}}
+		seen := map[node]bool{}
+		for len(frontier) > 0 {
+			n := frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			if n.d >= depth {
+				continue
+			}
+			for _, s := range succ[n.c] {
+				if s < 0 || s >= int32(d.numCtx) {
+					continue
+				}
+				nx := node{s, n.d + 1}
+				if seen[nx] {
+					continue
+				}
+				seen[nx] = true
+				if readAt[s][off] || writeAt[s][off] {
+					return false
+				}
+				frontier = append(frontier, nx)
+			}
+		}
+		return true
+	}
+
+	// eligible: this slot alone could commit at issue.
+	eligible := make([]bool, len(d.slots))
+	for c := 0; c < d.numCtx; c++ {
+		lo, hi := d.slotIdx[c], d.slotIdx[c+1]
+		for i := lo; i < hi; i++ {
+			sl := &d.slots[i]
+			isWrite := (sl.kind == slotALU && sl.writeEnable) ||
+				(sl.kind == slotLoad && sl.resolveLoad)
+			if !isWrite {
+				continue
+			}
+			readLater := false
+			for j := i + 1; j < hi; j++ {
+				// Route reads count too: the lane engine reads a routed
+				// operand straight from the RF (resolved offset), and it
+				// must see the pre-commit value like the latched outl does.
+				nx := &d.slots[j]
+				if (nx.aMode != int8(ctxgen.SrcNone) && nx.aOff == sl.wOff) ||
+					(nx.bMode != int8(ctxgen.SrcNone) && nx.bOff == sl.wOff) {
+					readLater = true
+					break
+				}
+			}
+			if readLater {
+				continue
+			}
+			if sl.dur > 1 && !windowClear(c, sl.wOff, sl.dur-1) {
+				continue
+			}
+			eligible[i] = true
+		}
+	}
+
+	// An offset's writers go direct only as a set: if any deferred-commit
+	// writer (multi-cycle ALU, or any load) of wOff must stay in the ring,
+	// every writer of wOff stays ordered through it.
+	ringBound := map[int32]bool{}
+	for i := range d.slots {
+		sl := &d.slots[i]
+		deferredWriter := sl.kind == slotLoad ||
+			(sl.kind == slotALU && sl.writeEnable && sl.dur > 1)
+		if deferredWriter && !eligible[i] {
+			ringBound[sl.wOff] = true
+		}
+	}
+	for i := range d.slots {
+		sl := &d.slots[i]
+		if eligible[i] && !ringBound[sl.wOff] {
+			sl.direct = true
+		}
+	}
 }
 
 // homeOff resolves a (PE, addr) home to its flat slab offset, or -1 when
@@ -343,7 +582,11 @@ func (d *Decoded) decodeSrc(prog *ctxgen.Program, pe, c int, mode ctxgen.SrcMode
 		if !prog.PE[src][c].OutlEnable {
 			return 0, 0, 0, fmt.Errorf("sim: predecode: PE %d reads idle outl of PE %d at ctx %d", pe, src, c)
 		}
-		return int8(ctxgen.SrcRoute), 0, int32(src), nil
+		// A routing output presents rf[OutlAddr] of the source PE at this
+		// context, so the route is just an RF read under another name: the
+		// offset is resolved here and the lane engine reads it directly
+		// (the scalar path keeps the latched outl via aSrc/bSrc).
+		return int8(ctxgen.SrcRoute), d.rfOff[src] + int32(prog.PE[src][c].OutlAddr), int32(src), nil
 	default:
 		return int8(ctxgen.SrcNone), 0, 0, nil
 	}

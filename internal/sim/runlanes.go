@@ -1,0 +1,803 @@
+// Batched execution lanes: one predecoded microprogram walk amortized
+// across N independent requests for the same artifact. Each lane carries
+// its own register slab, condition memory, status slots, pending commits
+// and context counter, laid out struct-of-arrays so the shared per-slot
+// decode (operand multiplexer settings, op identity, duration, energy) is
+// paid once per slot per cycle instead of once per lane.
+//
+// The per-lane cost of a batched cycle is far below the scalar path's:
+//
+//   - all lane slabs are lane-innermost (rf[off*L+lane], not
+//     rf[lane*rfTotal+off]), so the N lanes touched by one slot share one
+//     or two cache lines instead of N, and every per-slot index is hoisted
+//     out of the lane loop;
+//   - routed operands were resolved to RF offsets at predecode, so the
+//     routing phase vanishes and a route read is an ordinary RF read
+//     (predecode's direct-commit analysis accounts for the changed read
+//     point);
+//   - per-context metadata (ctxMeta, resolved at predecode) lets a step
+//     skip every phase the context doesn't use — most contexts of real
+//     schedules have one PE slot and an idle C-Box;
+//   - writes whose early commit is provably unobservable (dslot.direct:
+//     single-cycle ALU results, and multi-cycle ALU results or resolved
+//     loads with a clear latency window) commit straight into the RF at
+//     issue; only the rest go through a due-cycle ring of 16-byte entries
+//     guarded by a per-lane occupancy bitmask and a global outstanding
+//     count, so ring-free stretches skip the commit phase entirely;
+//   - loads from arrays no store ever targets (dslot.resolveLoad) read
+//     the host value at issue and defer only the register write;
+//   - op evaluation is inlined into the slot walk (invalid static ops are
+//     rejected once per slot, not once per lane) — no per-lane calls.
+//
+// Control flow is allowed to diverge: lanes advance their own CCNT. While
+// every lane shares a context — the server's same-artifact coalescing
+// case, and every batch before its first data-dependent branch — the whole
+// batch steps as one group, a single accumulator stands in for every
+// lane's identical energy sum, and no lane's CCNT is ever written; the
+// first data-dependent branch that splits the group materializes the
+// per-lane state and drops the run into per-group stepping, walking
+// maximal runs of active lanes sharing a context. Lanes fail and finish
+// independently: a finished or faulted lane is compacted out of the
+// active set and stops costing anything, so one short gcd lane never
+// stalls a long fir lane.
+//
+// Results are byte-identical to N scalar runs: per-lane energy accumulates
+// in slot order (the uniform accumulator performs the same additions in
+// the same order from the same zero), commits settle in the scalar order,
+// and the watchdog and cancellation checks fire on the same global cycle
+// counter a scalar run would have used.
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"cgra/internal/arch"
+	"cgra/internal/ctxgen"
+	"cgra/internal/ir"
+	"cgra/internal/sched"
+)
+
+// BatchRequest is one lane of a batched run: the live-in arguments and the
+// host heap that lane's DMA traffic targets. Hosts must be distinct (or
+// the caller must accept interleaved DMA) — the server layer clones a
+// scratch heap per lane.
+type BatchRequest struct {
+	Args map[string]int32
+	Host *ir.Host
+}
+
+// BatchResult is one lane's outcome: exactly one of Res or Err is set.
+type BatchResult struct {
+	Res *Result
+	Err error
+}
+
+const laneSrcNone = int8(ctxgen.SrcNone)
+
+// lpend is one deferred lane commit: 16 bytes against the scalar path's
+// 40-byte fpend, because the ring bucket already encodes the due cycle
+// and squashed writes are simply never enqueued. meta==0 is a plain
+// register write; otherwise it carries the DMA array ID and direction.
+type lpend struct {
+	wOff  int32
+	value int32 // ALU/resolved-load result, or the value a store writes
+	index int32 // DMA array index
+	meta  int32 // 0, or array<<2 | lpLoad? | lpDMA
+}
+
+const (
+	lpDMA  = int32(1)
+	lpLoad = int32(2)
+)
+
+// laneState is the reusable mutable state of one batched run. All slabs
+// are lane-innermost with stride L == lanes: lane l's view of RF offset o
+// is rf[o*L+l], of PE p's status statusVal[p*L+l], of C-Box slot s
+// cond[s*L+l]. Only the commit ring is lane-major (pend[l*ringSize+bkt]),
+// since a drain walks one lane's bucket.
+type laneState struct {
+	lanes int // provisioned lane capacity == slab stride
+
+	rf           []int32   // rfTotal × lanes
+	cond         []bool    // cbSlots × lanes
+	statusVal    []bool    // numPE × lanes
+	statusArrive []int64   // numPE × lanes
+	hostArr      [][]int32 // arrays × lanes
+	pend         [][]lpend // lanes × ringSize due-cycle buckets
+	pendMask     []uint64  // per-lane bucket-occupancy bits (ringSize ≤ 64)
+	pendAny      int       // outstanding ring entries across all lanes
+	energyU      float64   // uniform-mode accumulator (== every lane's sum)
+	energy       []float64
+	ccnt         []int32
+	outPE        []bool
+	outCtrl      []bool
+	dead         []bool
+	active       []int32
+	scratch      []int32 // mid-step group compaction buffer
+}
+
+// getLaneState draws a laneState with capacity for n lanes from the pool,
+// reset exactly like a scalar runState: registers and condition memory
+// zeroed, status arrivals cleared, commit buckets emptied. statusVal is
+// intentionally not cleared — status reads are gated by the arrival
+// cycle, mirroring the scalar path.
+func (d *Decoded) getLaneState(n int) *laneState {
+	ls, _ := d.lanePool.Get().(*laneState)
+	if ls == nil || ls.lanes < n {
+		grown := n
+		if ls != nil && 2*ls.lanes > grown {
+			grown = 2 * ls.lanes
+		}
+		ls = &laneState{
+			lanes:        grown,
+			rf:           make([]int32, d.rfTotal*grown),
+			cond:         make([]bool, d.cbSlots*grown),
+			statusVal:    make([]bool, d.numPE*grown),
+			statusArrive: make([]int64, d.numPE*grown),
+			hostArr:      make([][]int32, len(d.arrays)*grown),
+			pend:         make([][]lpend, grown*d.ringSize),
+			pendMask:     make([]uint64, grown),
+			energy:       make([]float64, grown),
+			ccnt:         make([]int32, grown),
+			outPE:        make([]bool, grown),
+			outCtrl:      make([]bool, grown),
+			dead:         make([]bool, grown),
+			active:       make([]int32, 0, grown),
+			scratch:      make([]int32, 0, grown),
+		}
+		for i := range ls.pend {
+			ls.pend[i] = make([]lpend, 0, 4)
+		}
+	}
+	// Slabs are lane-innermost, so a partial reset would be strided;
+	// clearing the whole slab is a handful of KB and runs once per batch.
+	clear(ls.rf)
+	clear(ls.cond)
+	for i := range ls.statusArrive {
+		ls.statusArrive[i] = -1
+	}
+	for i := 0; i < n*d.ringSize; i++ {
+		ls.pend[i] = ls.pend[i][:0]
+	}
+	ls.pendAny = 0
+	ls.energyU = 0
+	for i := 0; i < n; i++ {
+		ls.pendMask[i] = 0
+		ls.energy[i] = 0
+		ls.ccnt[i] = 0
+		ls.dead[i] = false
+	}
+	return ls
+}
+
+func (d *Decoded) putLaneState(ls *laneState) {
+	for i := range ls.hostArr {
+		ls.hostArr[i] = nil // do not pin host heaps beyond the run
+	}
+	ls.active = ls.active[:0]
+	d.lanePool.Put(ls)
+}
+
+// RunBatch executes the decoded program once per request as data-parallel
+// lanes sharing one slot-dispatch walk. It has the same watchdog and
+// cancellation semantics as the scalar fast path — limit bounds every
+// lane's cycle count (0 means the scalar default of 500M), and ctx is
+// checked on the same cycle cadence — and each lane's entry in the result
+// slice carries either that lane's Result or that lane's error; one lane's
+// fault never poisons its siblings.
+func (d *Decoded) RunBatch(ctx context.Context, limit int64, reqs []BatchRequest) []BatchResult {
+	out := make([]BatchResult, len(reqs))
+	n := len(reqs)
+	if n == 0 {
+		return out
+	}
+	if limit <= 0 {
+		limit = 500_000_000
+	}
+	ls := d.getLaneState(n)
+	defer d.putLaneState(ls)
+	L := ls.lanes
+
+	active := ls.active[:0]
+	for l := 0; l < n; l++ {
+		failed := false
+		for _, h := range d.liveIns {
+			v, ok := reqs[l].Args[h.name]
+			if !ok {
+				out[l].Err = fmt.Errorf("sim: missing live-in %q", h.name)
+				failed = true
+				break
+			}
+			ls.rf[int(h.off)*L+l] = v
+		}
+		if failed {
+			continue
+		}
+		for i, name := range d.arrays {
+			ls.hostArr[i*L+l] = reqs[l].Host.Arrays[name]
+		}
+		active = append(active, int32(l))
+	}
+
+	// While uniform, every active lane shares one CCNT (held here, never
+	// written per lane) and the batch steps as a single group with no scan.
+	// The first data-dependent branch that splits the group drops the run
+	// into per-group stepping for good (re-convergence is possible but rare
+	// and never worth detecting).
+	uniform := true
+	cUni := int32(0)
+	var cycle int64
+	for len(active) > 0 {
+		if cycle >= limit {
+			for _, l := range active {
+				cc := int(ls.ccnt[l])
+				if uniform {
+					cc = int(cUni)
+				}
+				out[l].Err = &WatchdogError{Limit: limit, CCNT: cc}
+			}
+			break
+		}
+		if cycle&(ctxCheckInterval-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				for _, l := range active {
+					out[l].Err = fmt.Errorf("sim: run cancelled at cycle %d: %w", cycle, err)
+				}
+				break
+			}
+		}
+		deaths := 0
+		if uniform {
+			dd, split, next := d.stepLanes(ls, reqs, out, active, int(cUni), cycle, true)
+			deaths = dd
+			if split {
+				uniform = false
+			} else {
+				cUni = next
+			}
+		} else {
+			// Step maximal runs of consecutive active lanes sharing a
+			// CCNT. Grouping is pure amortization — per-lane state keeps
+			// lanes independent — so no sorting is needed.
+			for gi := 0; gi < len(active); {
+				c := ls.ccnt[active[gi]]
+				ge := gi + 1
+				for ge < len(active) && ls.ccnt[active[ge]] == c {
+					ge++
+				}
+				dd, _, _ := d.stepLanes(ls, reqs, out, active[gi:ge], int(c), cycle, false)
+				deaths += dd
+				gi = ge
+			}
+		}
+		cycle++
+		if deaths > 0 {
+			// Compact finished/faulted lanes out of the active set,
+			// keeping lane order stable so groups stay maximal.
+			kept := active[:0]
+			for _, l := range active {
+				if !ls.dead[l] {
+					kept = append(kept, l)
+				}
+			}
+			active = kept
+		}
+	}
+	return out
+}
+
+// stepLanes executes one cycle of context c for every lane in group. Lanes
+// that halt, fault, or consume a missing status are marked dead and their
+// BatchResult is filled in. It returns how many lanes died this step (so
+// the caller compacts only when needed), whether a conditional branch sent
+// group members different ways, and the group's shared next context when
+// it did not split. In uniform mode per-lane CCNT and energy are not
+// maintained — the caller holds the shared CCNT and ls.energyU holds the
+// (identical) energy sum — and both are materialized for every lane the
+// moment the group splits. Lane deaths mid-step compact the working group
+// so the hot loops never test a per-lane dead flag.
+func (d *Decoded) stepLanes(ls *laneState, reqs []BatchRequest, out []BatchResult, group []int32, c int, cycle int64, uniform bool) (deaths int, split bool, next int32) {
+	if c < 0 || c >= d.numCtx {
+		for _, l := range group {
+			out[l].Err = fmt.Errorf("sim: CCNT %d out of range", c)
+			ls.dead[l] = true
+		}
+		return len(group), false, 0
+	}
+	m := &d.cmeta[c]
+	cb := &d.cbox[c]
+	L := ls.lanes
+	ring := d.ringSize
+	maskable := ring <= 64
+	rf := ls.rf
+	died := false
+	// compactLive filters dead lanes out of the working group. The scratch
+	// buffer is reused; filtering from scratch into itself only shrinks it.
+	compactLive := func(g []int32) []int32 {
+		dst := ls.scratch[:0]
+		for _, l := range g {
+			if !ls.dead[l] {
+				dst = append(dst, l)
+			}
+		}
+		ls.scratch = dst[:0:cap(dst)]
+		died = false
+		return dst
+	}
+
+	// Phase 1 (routing outputs present RF values) has no lane work: routed
+	// operands carry their resolved RF offset, and predecode's direct-commit
+	// analysis guarantees the register still holds the pre-commit value when
+	// a route reads it here instead of at the scalar path's latch point.
+
+	// Phase 2: latch the C-Box combinational outputs, but only the ones
+	// this context consumes (predication for squash, branch-select for the
+	// CCU). The latch must happen before phase 4 writes condition memory.
+	if m.hasPred {
+		if cb.OutPEEnable {
+			base := cb.OutPEAddr * L
+			for _, l := range group {
+				ls.outPE[l] = ls.cond[base+int(l)]
+			}
+		} else {
+			for _, l := range group {
+				ls.outPE[l] = false
+			}
+		}
+	}
+	if m.needCtrl {
+		if cb.OutCtrlEnable {
+			base, inv := cb.OutCtrlAddr*L, cb.OutCtrlInv
+			for _, l := range group {
+				ls.outCtrl[l] = ls.cond[base+int(l)] != inv
+			}
+		} else {
+			for _, l := range group {
+				ls.outCtrl[l] = false
+			}
+		}
+	}
+
+	// Phase 3: issue this context's non-NOP slots, lanes innermost so the
+	// slot decode is shared and each operand's lane values sit on adjacent
+	// cache lines. Energy accumulates per lane in slot order, matching the
+	// scalar path bit for bit; while the group is uniform every lane's sum
+	// is the same chain of additions, so one accumulator stands in for all.
+	for i := d.slotIdx[c]; i < d.slotIdx[c+1]; i++ {
+		sl := &d.slots[i]
+		aMode, bMode := sl.aMode, sl.bMode
+		aReg, bReg := int(sl.aOff)*L, int(sl.bOff)*L
+		op := sl.op
+		finish := cycle + int64(sl.dur) - 1
+		bkt := int(finish) & d.ringMask
+		bit := uint64(1) << uint(bkt) // 0 beyond 64 buckets: mask unused then
+		if uniform {
+			ls.energyU += sl.energy
+		} else {
+			en := sl.energy
+			for _, l := range group {
+				ls.energy[l] += en
+			}
+		}
+
+		switch sl.kind {
+		case slotCompare:
+			switch op {
+			case arch.IFLT, arch.IFLE, arch.IFGT, arch.IFGE, arch.IFEQ, arch.IFNE:
+			default:
+				// The op is static: every lane dies with the scalar error.
+				for _, l := range group {
+					out[l].Err = fmt.Errorf("unknown compare %v", op)
+					ls.dead[l] = true
+				}
+				return deaths + len(group), split, 0
+			}
+			stIdx := int(sl.pe) * L
+			for _, l := range group {
+				li := int(l)
+				var a, b int32
+				if aMode != laneSrcNone {
+					a = rf[aReg+li]
+				}
+				if bMode != laneSrcNone {
+					b = rf[bReg+li]
+				}
+				var v bool
+				switch op {
+				case arch.IFLT:
+					v = a < b
+				case arch.IFLE:
+					v = a <= b
+				case arch.IFGT:
+					v = a > b
+				case arch.IFGE:
+					v = a >= b
+				case arch.IFEQ:
+					v = a == b
+				default: // arch.IFNE
+					v = a != b
+				}
+				ls.statusVal[stIdx+li] = v
+				ls.statusArrive[stIdx+li] = finish
+			}
+		case slotLoad:
+			pred := sl.predicated
+			resolve := sl.resolveLoad
+			direct := sl.direct
+			arrBase := int(sl.array) * L
+			wIdx := int(sl.wOff) * L
+			if resolve && direct && !pred {
+				// The common fir/dot shape: a coefficient or sample fetch
+				// from a read-only array, committed at issue.
+				for _, l := range group {
+					li := int(l)
+					var a int32
+					if aMode != laneSrcNone {
+						a = rf[aReg+li]
+					}
+					arr := ls.hostArr[arrBase+li]
+					if a < 0 || int(a) >= len(arr) {
+						// Reproduce the host interface's fault verbatim.
+						_, err := reqs[l].Host.Load(d.arrays[sl.array], a)
+						out[l].Err = fmt.Errorf("sim: %v", err)
+						ls.dead[l] = true
+						deaths++
+						died = true
+						continue
+					}
+					rf[wIdx+li] = arr[a]
+				}
+			} else {
+				dmaMeta := sl.array<<2 | lpLoad | lpDMA
+				for _, l := range group {
+					li := int(l)
+					var a int32
+					if aMode != laneSrcNone {
+						a = rf[aReg+li]
+					}
+					if pred && !ls.outPE[l] {
+						continue
+					}
+					if resolve {
+						arr := ls.hostArr[arrBase+li]
+						if a < 0 || int(a) >= len(arr) {
+							_, err := reqs[l].Host.Load(d.arrays[sl.array], a)
+							out[l].Err = fmt.Errorf("sim: %v", err)
+							ls.dead[l] = true
+							deaths++
+							died = true
+							continue
+						}
+						if direct {
+							rf[wIdx+li] = arr[a]
+						} else {
+							pb := li*ring + bkt
+							ls.pend[pb] = append(ls.pend[pb], lpend{wOff: sl.wOff, value: arr[a]})
+							ls.pendMask[li] |= bit
+							ls.pendAny++
+						}
+					} else {
+						pb := li*ring + bkt
+						ls.pend[pb] = append(ls.pend[pb], lpend{wOff: sl.wOff, index: a, meta: dmaMeta})
+						ls.pendMask[li] |= bit
+						ls.pendAny++
+					}
+				}
+			}
+		case slotStore:
+			pred := sl.predicated
+			dmaMeta := sl.array<<2 | lpDMA
+			for _, l := range group {
+				li := int(l)
+				var a, b int32
+				if aMode != laneSrcNone {
+					a = rf[aReg+li]
+				}
+				if bMode != laneSrcNone {
+					b = rf[bReg+li]
+				}
+				if pred && !ls.outPE[l] {
+					continue
+				}
+				pb := li*ring + bkt
+				ls.pend[pb] = append(ls.pend[pb], lpend{index: a, value: b, meta: dmaMeta})
+				ls.pendMask[li] |= bit
+				ls.pendAny++
+			}
+		default: // slotALU
+			switch op {
+			case arch.MOVE, arch.CONST, arch.IADD, arch.ISUB, arch.IMUL,
+				arch.IAND, arch.IOR, arch.IXOR, arch.ISHL, arch.ISHR,
+				arch.IUSHR, arch.INEG, arch.INOT:
+			default:
+				for _, l := range group {
+					out[l].Err = fmt.Errorf("sim: pe %d ctx %d: unknown ALU op %v", sl.pe, c, op)
+					ls.dead[l] = true
+				}
+				return deaths + len(group), split, 0
+			}
+			if !sl.writeEnable {
+				continue // energy accounted; the result is discarded
+			}
+			pred := sl.predicated
+			direct := sl.direct
+			wIdx := int(sl.wOff) * L
+			imm := sl.imm
+			if direct && !pred {
+				for _, l := range group {
+					li := int(l)
+					var a, b int32
+					if aMode != laneSrcNone {
+						a = rf[aReg+li]
+					}
+					if bMode != laneSrcNone {
+						b = rf[bReg+li]
+					}
+					var v int32
+					switch op {
+					case arch.MOVE:
+						v = a
+					case arch.CONST:
+						v = imm
+					case arch.IADD:
+						v = a + b
+					case arch.ISUB:
+						v = a - b
+					case arch.IMUL:
+						v = a * b
+					case arch.IAND:
+						v = a & b
+					case arch.IOR:
+						v = a | b
+					case arch.IXOR:
+						v = a ^ b
+					case arch.ISHL:
+						v = a << (uint32(b) & 31)
+					case arch.ISHR:
+						v = a >> (uint32(b) & 31)
+					case arch.IUSHR:
+						v = int32(uint32(a) >> (uint32(b) & 31))
+					case arch.INEG:
+						v = -a
+					default: // arch.INOT
+						v = ^a
+					}
+					rf[wIdx+li] = v
+				}
+			} else {
+				for _, l := range group {
+					li := int(l)
+					if pred && !ls.outPE[l] {
+						continue
+					}
+					var a, b int32
+					if aMode != laneSrcNone {
+						a = rf[aReg+li]
+					}
+					if bMode != laneSrcNone {
+						b = rf[bReg+li]
+					}
+					var v int32
+					switch op {
+					case arch.MOVE:
+						v = a
+					case arch.CONST:
+						v = imm
+					case arch.IADD:
+						v = a + b
+					case arch.ISUB:
+						v = a - b
+					case arch.IMUL:
+						v = a * b
+					case arch.IAND:
+						v = a & b
+					case arch.IOR:
+						v = a | b
+					case arch.IXOR:
+						v = a ^ b
+					case arch.ISHL:
+						v = a << (uint32(b) & 31)
+					case arch.ISHR:
+						v = a >> (uint32(b) & 31)
+					case arch.IUSHR:
+						v = int32(uint32(a) >> (uint32(b) & 31))
+					case arch.INEG:
+						v = -a
+					default: // arch.INOT
+						v = ^a
+					}
+					if direct {
+						rf[wIdx+li] = v
+					} else {
+						pb := li*ring + bkt
+						ls.pend[pb] = append(ls.pend[pb], lpend{wOff: sl.wOff, value: v})
+						ls.pendMask[li] |= bit
+						ls.pendAny++
+					}
+				}
+			}
+		}
+		if died {
+			group = compactLive(group)
+			if len(group) == 0 {
+				return deaths, split, 0
+			}
+		}
+	}
+
+	// Phase 4: C-Box consumes a status / recombines. Condition memory is
+	// only read by this phase and the (already latched) phase-2 outputs,
+	// so the write lands immediately.
+	if m.needCBox {
+		stIdx := cb.StatusPE * L
+		aIdx, bIdx, wIdx := cb.AAddr*L, cb.BAddr*L, cb.WriteAddr*L
+		for _, l := range group {
+			li := int(l)
+			var in bool
+			if cb.Consume {
+				if ls.statusArrive[stIdx+li] != cycle {
+					out[l].Err = fmt.Errorf("sim: ctx %d consumes missing status of PE %d", c, cb.StatusPE)
+					ls.dead[l] = true
+					deaths++
+					died = true
+					continue
+				}
+				in = ls.statusVal[stIdx+li]
+			} else if cb.HasA {
+				in = ls.cond[aIdx+li] != cb.AInv
+			}
+			v := in
+			switch cb.Logic {
+			case sched.CBAnd:
+				if cb.Consume && cb.HasA {
+					v = in && (ls.cond[aIdx+li] != cb.AInv)
+				} else if cb.Recombine && cb.HasB {
+					v = in && (ls.cond[bIdx+li] != cb.BInv)
+				}
+			case sched.CBOr:
+				if cb.Consume && cb.HasA {
+					v = in || (ls.cond[aIdx+li] != cb.AInv)
+				} else if cb.Recombine && cb.HasB {
+					v = in || (ls.cond[bIdx+li] != cb.BInv)
+				}
+			}
+			ls.cond[wIdx+li] = v
+		}
+		if died {
+			group = compactLive(group)
+			if len(group) == 0 {
+				return deaths, split, 0
+			}
+		}
+	}
+
+	// Phase 5: end-of-cycle commits — drain this cycle's due bucket. The
+	// global outstanding count makes ring-free stretches one integer test,
+	// and the occupancy bitmask keeps quiet lanes at a single word test
+	// (direct writes never enter the ring).
+	if ls.pendAny > 0 {
+		bkt := int(cycle) & d.ringMask
+		bit := uint64(1) << uint(bkt)
+		for _, l := range group {
+			li := int(l)
+			if maskable {
+				if ls.pendMask[li]&bit == 0 {
+					continue
+				}
+				ls.pendMask[li] &^= bit
+			}
+			pb := li*ring + bkt
+			bucket := ls.pend[pb]
+			if len(bucket) == 0 {
+				continue
+			}
+			ls.pendAny -= len(bucket)
+			for pi := range bucket {
+				pw := &bucket[pi]
+				if pw.meta == 0 {
+					rf[int(pw.wOff)*L+li] = pw.value
+					continue
+				}
+				arrID := int(pw.meta >> 2)
+				load := pw.meta&lpLoad != 0
+				arr := ls.hostArr[arrID*L+li]
+				if pw.index < 0 || int(pw.index) >= len(arr) {
+					// Reproduce the host interface's fault verbatim.
+					var err error
+					if load {
+						_, err = reqs[l].Host.Load(d.arrays[arrID], pw.index)
+					} else {
+						err = reqs[l].Host.Store(d.arrays[arrID], pw.index, pw.value)
+					}
+					out[l].Err = fmt.Errorf("sim: %v", err)
+					ls.dead[l] = true
+					deaths++
+					died = true
+					break
+				}
+				if load {
+					rf[int(pw.wOff)*L+li] = arr[pw.index]
+				} else {
+					arr[pw.index] = pw.value
+				}
+			}
+			ls.pend[pb] = bucket[:0]
+		}
+		if died {
+			group = compactLive(group)
+			if len(group) == 0 {
+				return deaths, split, 0
+			}
+		}
+	}
+
+	// Phase 6: next CCNT, or halt the whole group at a terminal context.
+	if m.halt {
+		for _, l := range group {
+			li := int(l)
+			e := ls.energy[l]
+			if uniform {
+				e = ls.energyU
+			}
+			res := &Result{
+				RunCycles:      cycle + 1,
+				TransferCycles: d.transfer,
+				Energy:         e,
+				LiveOuts:       make(map[string]int32, len(d.liveOuts)),
+			}
+			for _, h := range d.liveOuts {
+				res.LiveOuts[h.name] = rf[int(h.off)*L+li]
+			}
+			out[l].Res = res
+			ls.dead[l] = true
+		}
+		return deaths + len(group), split, 0
+	}
+	if m.needCtrl {
+		tgt, seq := int32(d.ccu[c].Target), int32(c+1)
+		first := ls.outCtrl[group[0]]
+		same := true
+		for _, l := range group {
+			if ls.outCtrl[l] != first {
+				same = false
+				break
+			}
+		}
+		if same {
+			if first {
+				next = tgt
+			} else {
+				next = seq
+			}
+			if !uniform {
+				for _, l := range group {
+					ls.ccnt[l] = next
+				}
+			}
+			return deaths, false, next
+		}
+		// The group splits: materialize the per-lane CCNT and energy the
+		// divergent path keeps from here on.
+		if uniform {
+			for _, l := range group {
+				ls.energy[l] = ls.energyU
+			}
+		}
+		for _, l := range group {
+			if ls.outCtrl[l] {
+				ls.ccnt[l] = tgt
+			} else {
+				ls.ccnt[l] = seq
+			}
+		}
+		return deaths, true, 0
+	}
+	next = m.next
+	if !uniform {
+		for _, l := range group {
+			ls.ccnt[l] = next
+		}
+	}
+	return deaths, false, next
+}

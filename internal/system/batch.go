@@ -1,0 +1,153 @@
+// Batched invocation: N same-kernel requests dispatched through one
+// predecoded engine pass (sim.RunBatch). The server's request coalescer
+// feeds this; the system layer contributes the dispatch-snapshot lookup,
+// the per-kernel watchdog budget, scratch-heap isolation, and the same
+// fault accounting and recovery ladder a scalar invocation gets.
+package system
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"cgra/internal/ir"
+	"cgra/internal/obs"
+	"cgra/internal/sim"
+)
+
+// BatchRequest is one lane of a coalesced invocation. The host heap must
+// not be shared with another concurrent invocation.
+type BatchRequest struct {
+	Args map[string]int32
+	Host *ir.Host
+}
+
+// BatchOutcome is one lane's result: exactly one of Res or Err is set.
+type BatchOutcome struct {
+	Res *Result
+	Err error
+}
+
+// Batchable reports whether an invocation of name would currently dispatch
+// to the batched engine: a compiled entry is installed and no fault plan
+// or cross-check forces the instrumented interpreter. The server's
+// coalescer consults this before making a request wait out the linger
+// window — batching a host-bound kernel buys nothing.
+func (s *System) Batchable(name string) bool {
+	return s.state.Load().compiled[name] != nil &&
+		s.inj.Load() == nil && !s.Policy.CrossCheck
+}
+
+// InstalledKey returns the batching identity of the kernel's installed
+// artifact: the content-addressed cache key when a cache is attached,
+// otherwise the kernel name (still stable per snapshot). Unlike CacheKey —
+// which re-inlines the kernel to hash it — this is one atomic load, cheap
+// enough for the per-request batching decision. ok is false when nothing
+// is installed yet.
+func (s *System) InstalledKey(name string) (string, bool) {
+	ent := s.state.Load().compiled[name]
+	if ent == nil {
+		return "", false
+	}
+	if ent.key == "" {
+		return name, true
+	}
+	return ent.key, true
+}
+
+// InvokeBatch executes N invocations of one kernel as data-parallel lanes
+// of a single engine pass. Each lane gets its own scratch heap and its own
+// outcome; a lane's detected fault is counted, fed to the kernel's circuit
+// breaker and retried through the scalar recovery ladder without touching
+// its siblings. When the batch cannot run on the engine (no compiled
+// entry, armed fault plan, cross-check on, breaker open, program does not
+// predecode) every lane falls back to a scalar InvokeCtx, preserving
+// exactly the scalar semantics.
+func (s *System) InvokeBatch(ctx context.Context, name string, reqs []BatchRequest) []BatchOutcome {
+	outs := make([]BatchOutcome, len(reqs))
+	if len(reqs) == 0 {
+		return outs
+	}
+	st := s.state.Load()
+	if st.kernels[name] == nil {
+		err := fmt.Errorf("system: unknown kernel %q", name)
+		for i := range outs {
+			outs[i].Err = err
+		}
+		return outs
+	}
+	solo := func() {
+		for i := range reqs {
+			res, err := s.InvokeCtx(ctx, name, reqs[i].Args, reqs[i].Host)
+			outs[i] = BatchOutcome{Res: res, Err: err}
+		}
+	}
+	ent := st.compiled[name]
+	if ent == nil || s.inj.Load() != nil || s.Policy.CrossCheck {
+		solo()
+		return outs
+	}
+	eng, err := ent.c.Engine()
+	if err != nil {
+		solo()
+		return outs
+	}
+	if !ent.br.allow(time.Now(), s.breakerCooldown()) {
+		// Breaker open: InvokeCtx sheds each lane to the host.
+		solo()
+		return outs
+	}
+
+	ctx, sp := obs.StartSpanCtx(ctx, "cgra.run_batch")
+	defer sp.Finish()
+	sp.Set("lanes", int64(len(reqs)))
+	s.ctr.invocations.Add(int64(len(reqs)))
+
+	limit := ent.maxCycles
+	if limit == 0 {
+		limit = s.watchdogCap()
+	}
+	simReqs := make([]sim.BatchRequest, len(reqs))
+	scratch := make([]*ir.Host, len(reqs))
+	for i := range reqs {
+		scratch[i] = reqs[i].Host.Clone()
+		simReqs[i] = sim.BatchRequest{Args: reqs[i].Args, Host: scratch[i]}
+	}
+	lanes := eng.RunBatch(ctx, limit, simReqs)
+	anyOK := false
+	for i, ln := range lanes {
+		if ln.Err == nil {
+			// Accept: commit the lane's scratch heap into the caller's.
+			for arr, data := range scratch[i].Arrays {
+				copy(reqs[i].Host.Arrays[arr], data)
+			}
+			s.ctr.cgraRuns.Add(1)
+			s.ctr.cgraCycles.Add(ln.Res.TotalCycles())
+			outs[i] = BatchOutcome{Res: &Result{
+				LiveOuts: ln.Res.LiveOuts,
+				Cycles:   ln.Res.TotalCycles(),
+				OnCGRA:   true,
+			}}
+			anyOK = true
+			continue
+		}
+		laneErr := fmt.Errorf("system: CGRA run of %q: %w", name, ln.Err)
+		if ctx.Err() != nil {
+			// Caller cancellation is not a hardware fault; surface it.
+			outs[i].Err = laneErr
+			continue
+		}
+		// A lane fault is handled exactly like a scalar detected fault:
+		// count it, feed the breaker, and run that lane alone through the
+		// recovery ladder.
+		s.ctr.faultsDetected.Add(1)
+		sp.Event("lane_fault_detected", laneErr.Error())
+		ent.br.failure(time.Now(), s.breakerThreshold())
+		res, rerr := s.recoverInvocation(ctx, name, reqs[i].Args, reqs[i].Host)
+		outs[i] = BatchOutcome{Res: res, Err: rerr}
+	}
+	if anyOK {
+		ent.br.success()
+	}
+	return outs
+}

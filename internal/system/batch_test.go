@@ -1,0 +1,145 @@
+package system
+
+import (
+	"context"
+	"testing"
+
+	"cgra/internal/ir"
+)
+
+// synthesizeDot registers dot and drives it through synthesis so the
+// compiled entry is installed.
+func synthesizeDot(t *testing.T) *System {
+	t.Helper()
+	s := newSystem(t, 1)
+	if err := s.Register(mustParse(t, dotSrc)); err != nil {
+		t.Fatal(err)
+	}
+	args := map[string]int32{"n": 8, "s": 0}
+	if _, err := s.Invoke("dot", args, dotHost()); err != nil {
+		t.Fatal(err)
+	}
+	s.Quiesce()
+	if !s.Synthesized("dot") {
+		t.Fatal("dot not synthesized")
+	}
+	return s
+}
+
+// TestInvokeBatch runs a mixed-argument batch through the engine and
+// checks every lane against its scalar invocation.
+func TestInvokeBatch(t *testing.T) {
+	s := synthesizeDot(t)
+	defer s.Close()
+
+	reqs := make([]BatchRequest, 5)
+	wants := make([]int32, 5)
+	for i := range reqs {
+		n := int32(3 + i)
+		args := map[string]int32{"n": n, "s": 0}
+		host := dotHost()
+		reqs[i] = BatchRequest{Args: args, Host: host}
+		ref, err := s.InvokeCtx(context.Background(), "dot", map[string]int32{"n": n, "s": 0}, dotHost())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = ref.LiveOuts["s"]
+	}
+	outs := s.InvokeBatch(context.Background(), "dot", reqs)
+	for i, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("lane %d: %v", i, o.Err)
+		}
+		if !o.Res.OnCGRA {
+			t.Errorf("lane %d did not run on the CGRA", i)
+		}
+		if got := o.Res.LiveOuts["s"]; got != wants[i] {
+			t.Errorf("lane %d: s = %d, want %d", i, got, wants[i])
+		}
+	}
+}
+
+// TestInvokeBatchUncompiled falls back to scalar host invocations when no
+// compiled entry is installed, with correct per-lane results.
+func TestInvokeBatchUncompiled(t *testing.T) {
+	s := newSystem(t, 1<<40) // threshold never reached
+	defer s.Close()
+	if err := s.Register(mustParse(t, dotSrc)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Batchable("dot") {
+		t.Fatal("uncompiled kernel reported batchable")
+	}
+	if _, ok := s.InstalledKey("dot"); ok {
+		t.Fatal("uncompiled kernel reported an installed key")
+	}
+	reqs := []BatchRequest{
+		{Args: map[string]int32{"n": 8, "s": 0}, Host: dotHost()},
+		{Args: map[string]int32{"n": 4, "s": 0}, Host: dotHost()},
+	}
+	outs := s.InvokeBatch(context.Background(), "dot", reqs)
+	var want0 int32 = 1*8 + 2*7 + 3*6 + 4*5 + 5*4 + 6*3 + 7*2 + 8*1
+	var want1 int32 = 1*8 + 2*7 + 3*6 + 4*5
+	for i, want := range []int32{want0, want1} {
+		if outs[i].Err != nil {
+			t.Fatalf("lane %d: %v", i, outs[i].Err)
+		}
+		if outs[i].Res.OnCGRA {
+			t.Errorf("lane %d claims CGRA without a compiled entry", i)
+		}
+		if got := outs[i].Res.LiveOuts["s"]; got != want {
+			t.Errorf("lane %d: s = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestInvokeBatchLaneIsolation puts a lane with a broken heap in the
+// middle of good lanes: the bad lane reports its own error (after the
+// recovery ladder also fails on the host) and the good lanes' results and
+// heap commits are untouched.
+func TestInvokeBatchLaneIsolation(t *testing.T) {
+	s := synthesizeDot(t)
+	defer s.Close()
+
+	broken := ir.NewHost()
+	broken.Arrays["a"] = []int32{}
+	broken.Arrays["b"] = []int32{}
+	reqs := []BatchRequest{
+		{Args: map[string]int32{"n": 8, "s": 0}, Host: dotHost()},
+		{Args: map[string]int32{"n": 8, "s": 0}, Host: broken},
+		{Args: map[string]int32{"n": 8, "s": 0}, Host: dotHost()},
+	}
+	outs := s.InvokeBatch(context.Background(), "dot", reqs)
+	if outs[1].Err == nil {
+		t.Error("broken lane succeeded")
+	}
+	var want int32 = 1*8 + 2*7 + 3*6 + 4*5 + 5*4 + 6*3 + 7*2 + 8*1
+	for _, i := range []int{0, 2} {
+		if outs[i].Err != nil {
+			t.Fatalf("good lane %d poisoned: %v", i, outs[i].Err)
+		}
+		if got := outs[i].Res.LiveOuts["s"]; got != want {
+			t.Errorf("good lane %d: s = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestInstalledKey: stable, cheap batching identity for installed entries.
+func TestInstalledKey(t *testing.T) {
+	s := synthesizeDot(t)
+	defer s.Close()
+	if !s.Batchable("dot") {
+		t.Fatal("synthesized kernel not batchable")
+	}
+	k1, ok := s.InstalledKey("dot")
+	if !ok || k1 == "" {
+		t.Fatalf("no installed key (ok=%v)", ok)
+	}
+	k2, _ := s.InstalledKey("dot")
+	if k1 != k2 {
+		t.Fatalf("installed key unstable: %q vs %q", k1, k2)
+	}
+	if _, ok := s.InstalledKey("nosuch"); ok {
+		t.Fatal("unknown kernel reported a key")
+	}
+}
